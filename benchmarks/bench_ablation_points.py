@@ -1,0 +1,30 @@
+"""Ablation (§7) — Cook–Toom polynomial point sensitivity.
+
+Shape to match the discussion: INT8 pipeline error grows with tile size;
+naive consecutive-integer points blow up the transform dynamic range and
+the quantized error for F6, while the default point set stays best or
+tied for every configuration.
+"""
+
+from repro.experiments import ablation_points
+
+
+def test_ablation_polynomial_points(run_once):
+    report = run_once(ablation_points.run, scale="smoke", seed=0)
+
+    def err(config, points):
+        return report.find(config=config, points=points)["int8_error"]
+
+    # error grows with tile size under the default points
+    assert err("F(2,3)", "default") < err("F(4,3)", "default") < err("F(6,3)", "default")
+
+    # naive integer points are catastrophically worse for the large tile
+    assert err("F(6,3)", "integers") > 5 * err("F(6,3)", "default")
+
+    # the FP64 pipeline is exact for every point set (pure algebra)
+    assert all(r["fp64_error"] < 1e-6 for r in report.rows)
+
+    # dynamic range explains the error ordering for F6
+    rng_default = report.find(config="F(6,3)", points="default")["transform_range"]
+    rng_integers = report.find(config="F(6,3)", points="integers")["transform_range"]
+    assert rng_integers > rng_default

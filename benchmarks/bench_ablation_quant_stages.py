@@ -1,0 +1,24 @@
+"""Ablation (§3.2/§7) — quantization diversity across pipeline stages.
+
+Shape to match the paper's hypothesis: the Hadamard/summation stage is the
+dominant INT8 error source for F4, so relaxing it to 16 bits recovers far
+more accuracy than relaxing any boundary stage.
+"""
+
+from repro.experiments import ablation_quant_stages
+
+
+def test_ablation_quant_stages(run_once):
+    report = run_once(ablation_quant_stages.run, scale="smoke", seed=0)
+
+    base = report.find(stages="all INT8")["error"]
+    fp32 = report.find(stages="fp32 (no quantization)")["error"]
+    hadamard = report.find(stages="hadamard→INT16")["error"]
+
+    assert fp32 < 1e-3  # unquantized pipeline is exact-ish
+    assert hadamard < base * 0.5  # relaxing Hadamard halves the error
+
+    # Hadamard relaxation helps more than any boundary-stage relaxation.
+    for stage in ("input", "weight", "output"):
+        other = report.find(stages=f"{stage}→INT16")["error"]
+        assert hadamard < other

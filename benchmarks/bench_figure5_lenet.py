@@ -1,0 +1,30 @@
+"""Figure 5 — INT8 LeNet with 5×5 filters on the MNIST stand-in.
+
+Shape to match the paper: with 5×5 filters the tile sizes explode (F6 →
+10×10), so static transforms degrade sharply with m while flex variants
+recover (paper: static F4 73%, F6 51%, flex ≥97%).
+
+At smoke scale (8 epochs, 400 synthetic digits) the flex-vs-static gap is
+cleanly resolvable for F2 (the paper's 30-epoch MNIST budget is needed for
+the INT8 F4/F6 5×5 cases, whose tiles reach 10×10); for F4/F6 the
+asserted shape is the *degradation with tile size* that motivates flex.
+"""
+
+from repro.experiments import figure5
+
+
+def test_figure5_lenet(run_once):
+    report = run_once(figure5.run, scale="smoke", seed=0)
+
+    def acc(config):
+        return report.find(config=config)["accuracy"]
+
+    base = acc("im2row")
+    assert base > 0.6
+    # the headline: learning the transforms beats keeping them fixed
+    assert acc("F2-flex") >= acc("F2") + 0.1
+    # static degradation grows with tile size (F4/F6 near chance at INT8)
+    assert acc("F4") <= acc("F2") + 0.05
+    assert acc("F6") <= acc("F2") + 0.05
+    # training curves were recorded for every config
+    assert all(len(r["curve"]) > 0 for r in report.rows)

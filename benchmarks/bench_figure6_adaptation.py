@@ -1,0 +1,20 @@
+"""Figure 6 — adapting a pretrained standard model to Winograd-aware form.
+
+Shape to match the paper: with the same (short) budget, models adapted
+from a trained standard-conv source outperform from-scratch training, and
+the effect requires/most benefits the flex transforms.
+"""
+
+from repro.experiments import figure6
+
+
+def test_figure6_adaptation(run_once):
+    report = run_once(figure6.run, scale="smoke", seed=0)
+
+    def acc(config):
+        return report.find(config=config)["accuracy"]
+
+    assert acc("F4-flex (adapted)") >= acc("F4-flex (scratch)") - 0.02
+    assert acc("F4 (adapted)") >= acc("F4 (scratch)") - 0.05
+    # curves recorded for the figure
+    assert all(isinstance(r["curve"], list) for r in report.rows)

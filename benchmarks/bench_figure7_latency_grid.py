@@ -1,0 +1,34 @@
+"""Figure 7 — the dense per-layer latency grid, model vs measurements.
+
+Regenerates all 240 cells of the published A73 FP32 grid from the
+calibrated analytical model and scores rank agreement.  Shapes to match:
+per-column Spearman ρ ≥ 0.95, winner agreement ≥ 75%, and the three §6.2
+observations (im2row wins the input column; optimal m tracks output
+width; F6 takes over at large widths).
+"""
+
+from repro.experiments import figure7
+
+
+def test_figure7_latency_grid(run_once):
+    report = run_once(figure7.run, scale="smoke")
+
+    spearman_notes = [n for n in report.notes if n.startswith("spearman(")]
+    assert len(spearman_notes) == 5
+    for note in spearman_notes:
+        rho = float(note.split("=")[1])
+        assert rho > 0.95, note
+
+    agreement = next(n for n in report.notes if n.startswith("winner agreement"))
+    agree, total = agreement.split("=")[1].split("/")
+    assert int(agree) / int(total) >= 0.75
+
+    # §6.2 observation 1: im2row wins the whole 3→32 column, both sides.
+    for row in report.rows:
+        if row["channels"] == "3->32":
+            assert row["winner_pred"] == "im2row"
+            assert row["winner_paper"] == "im2row"
+
+    # §6.2 observation 3: F6 wins the deep wide cells in both grids.
+    wide = report.find(out_width=24, channels="256->512")
+    assert wide["winner_pred"] == "F6" and wide["winner_paper"] == "F6"

@@ -1,0 +1,38 @@
+"""Figure 8 — per-layer latency ratios with transform-stage breakdown.
+
+Shapes to match the paper's bars: Winograd never helps the 3→32 input
+layer on either core; deep layers gain clearly on the A73 and less on the
+A53; Winograd bars decompose into input-transform / GEMM / output-
+transform stages that sum to the total.
+"""
+
+import pytest
+
+from repro.experiments import figure8
+
+
+def test_figure8_layer_breakdown(run_once):
+    report = run_once(figure8.run, scale="smoke")
+
+    def ratio(core, layer, algorithm):
+        return report.find(core=core, layer=layer, algorithm=algorithm)["ratio"]
+
+    # Input layer: every Winograd config is slower than im2row on both cores.
+    for core in ("A73", "A53"):
+        for algo in ("F2", "F4", "F6"):
+            assert ratio(core, "32x32 3->32", algo) > 1.0
+
+    # Deep layers: Winograd wins on the A73 (paper shows ~2–3×).
+    assert ratio("A73", "16x16 128->128", "F4") < 0.7
+    assert ratio("A73", "8x8 256->256", "F4") < 0.8
+
+    # The A73 gains more than the A53 (paper §6.2, memory subsystem).
+    gain_a73 = 1.0 / ratio("A73", "16x16 128->128", "F4")
+    gain_a53 = 1.0 / ratio("A53", "16x16 128->128", "F4")
+    assert gain_a73 > gain_a53
+
+    # Stage decomposition is a genuine partition of each Winograd bar.
+    for row in report.rows:
+        if row["algorithm"].startswith("F"):
+            total = row["input_tr_ratio"] + row["gemm_ratio"] + row["output_tr_ratio"]
+            assert total == pytest.approx(row["ratio"], rel=0.05)

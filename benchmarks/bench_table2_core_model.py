@@ -1,0 +1,36 @@
+"""Table 2 — core specifications and the calibrated model built on them.
+
+Regenerates the spec table and validates that the calibrated per-core
+models respect the published hierarchy (A73 strictly faster).
+"""
+
+from repro.experiments.common import ExperimentReport, format_table
+from repro.hardware import CORES, ConvShape, get_calibrated_model
+from repro.paperdata import TABLE2_CORES
+
+
+def _build_report() -> ExperimentReport:
+    cal = get_calibrated_model()
+    report = ExperimentReport("table2_cores", "n/a", paper_reference=TABLE2_CORES)
+    for name, core in CORES.items():
+        report.add(
+            core=name,
+            clock_ghz=core.clock_ghz,
+            l1_kb=core.l1_kb,
+            l2_kb=core.l2_kb,
+            fitted_gemm_gmacs=cal.params(name).r_mac / 1e6,
+            fitted_transform_gmacs=cal.params(name).r_tr / 1e6,
+        )
+    return report
+
+
+def test_table2_core_model(run_once):
+    report = run_once(_build_report)
+    rows = {r["core"]: r for r in report.rows}
+    for name, spec in TABLE2_CORES.items():
+        assert rows[name]["clock_ghz"] == spec["clock_ghz"]
+        assert rows[name]["l1_kb"] == spec["l1_kb"]
+        assert rows[name]["l2_kb"] == spec["l2_kb"]
+    # The efficiency core must be fitted strictly slower on both pipelines.
+    assert rows["A53"]["fitted_gemm_gmacs"] < rows["A73"]["fitted_gemm_gmacs"]
+    assert rows["A53"]["fitted_transform_gmacs"] < rows["A73"]["fitted_transform_gmacs"]

@@ -1,0 +1,33 @@
+"""Table 3 — ResNet-18 accuracy & latency per algorithm and precision.
+
+Regenerates the full table: seven FP32 rows and four INT8 rows with
+modelled A53/A73 latencies and speedups against FP32 im2row.
+
+Shapes to match the paper:
+* latency ordering FP32 A73: WF4 < WF2 < im2row < im2col;
+* INT8 Winograd-aware nets are the fastest configurations overall;
+* accuracy: FP32 rows all close; INT8 WAF4 trails INT8 WAF2 (the paper's
+  92.46 vs 93.72 gap, amplified at micro scale).
+"""
+
+from repro.experiments import table3
+
+
+def test_table3_accuracy_latency(run_once):
+    report = run_once(table3.run, scale="smoke", seed=0)
+
+    def row(conv, bits):
+        return report.find(conv=conv, bits=bits)
+
+    # -- latency shape -----------------------------------------------------
+    assert row("WF4", 32)["a73_ms"] < row("WF2", 32)["a73_ms"] < row("im2row", 32)["a73_ms"]
+    assert row("im2col", 32)["a73_ms"] > row("im2row", 32)["a73_ms"]
+    assert row("WAF4", 8)["a73_ms"] < row("im2row", 8)["a73_ms"]
+    assert row("WAF4", 8)["a73_speedup"] > 2.0  # paper: 2.43×
+    assert row("WAF4", 8)["a53_speedup"] > 1.1  # paper: 1.44×
+
+    # -- accuracy shape -------------------------------------------------------
+    fp32_accs = [r["accuracy"] for r in report.rows if r["bits"] == 32]
+    assert max(fp32_accs) - min(fp32_accs) < 0.25
+    assert row("WAF2", 8)["accuracy"] > 0.4  # INT8 WA-F2 is solid
+    assert row("WAF2", 8)["accuracy"] >= row("WAF4", 8)["accuracy"] - 0.05

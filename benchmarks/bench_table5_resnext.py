@@ -1,0 +1,26 @@
+"""Table 5 — ResNeXt-20 (8×16): grouped Winograd, static vs flex.
+
+Same shape as Table 4, on grouped convolutions (cardinality 8): INT8
+WAF4-static is the weak row (paper: 76.73), flex recovers (93.29).
+"""
+
+from repro.experiments import table5
+
+
+def test_table5_resnext(run_once):
+    report = run_once(table5.run, scale="smoke", seed=0)
+
+    def acc(conv, bits, transforms):
+        return report.find(conv=conv, bits=bits, transforms=transforms)["accuracy"]
+
+    fp32 = [r["accuracy"] for r in report.rows if r["bits"] == 32]
+    assert max(fp32) - min(fp32) < 0.35
+
+    assert acc("im2row", 8, "-") > 0.3
+    # Table 5's INT8 shape: the grouped F4 rows collapse far below the F2
+    # rows (paper: 76.7 static vs 92.9–93.3); at smoke scale both F4 rows
+    # are near chance so flex-vs-static within F4 is noise and only the
+    # collapse is asserted.
+    waf4_int8 = max(acc("WAF4", 8, "static"), acc("WAF4", 8, "flex"))
+    assert waf4_int8 < acc("WAF2", 8, "static") - 0.2
+    assert acc("WAF2", 8, "flex") > 0.25

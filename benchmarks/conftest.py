@@ -1,0 +1,47 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper at the
+``smoke`` scale (see ``repro.experiments.common``) and prints the measured
+rows next to the published ones.  Experiment benchmarks involve training
+and are therefore run exactly once (``rounds=1``); kernel micro-benchmarks
+use pytest-benchmark's normal statistics.
+
+Run everything:   pytest benchmarks/ --benchmark-only
+One experiment:   pytest benchmarks/bench_table1_posttraining_swap.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_init():
+    from repro.nn import init
+
+    init.set_default_rng(0)
+    yield
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer, print its
+    report, and persist it to ``benchmarks/reports/<experiment>.txt``
+    (pytest captures stdout, so the file is the durable artefact)."""
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        if hasattr(result, "format"):
+            text = result.format()
+            print()
+            print(text)
+            REPORT_DIR.mkdir(exist_ok=True)
+            name = getattr(result, "experiment", fn.__module__.rsplit(".", 1)[-1])
+            (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+        return result
+
+    return _run

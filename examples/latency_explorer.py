@@ -1,0 +1,48 @@
+"""Explore the calibrated Arm-CPU latency model (Figures 7 & 8).
+
+Prints, for a chosen layer shape, each convolution algorithm's latency
+breakdown on both cores — the tool you'd use to answer "should this layer
+be F4 or F6?" before reaching for the full wiNAS search.
+
+Run:  python examples/latency_explorer.py [inCh] [outCh] [outWidth]
+"""
+
+import sys
+
+from repro.hardware import ConvShape, get_calibrated_model
+from repro.paperdata import figure7_grid
+
+cin = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+cout = int(sys.argv[2]) if len(sys.argv) > 2 else 128
+width = int(sys.argv[3]) if len(sys.argv) > 3 else 16
+
+cal = get_calibrated_model()
+shape = ConvShape(cin, cout, width)
+grid = figure7_grid()
+
+print(f"3x3 convolution, {cin}->{cout} channels, {width}x{width} output\n")
+for core in ("A73", "A53"):
+    print(f"--- Cortex-{core} (FP32 / INT8, ms) ---")
+    base = cal.conv_latency(shape, "im2row", core=core).total_ms
+    for algo in ("im2row", "im2col", "F2", "F4", "F6"):
+        fp = cal.conv_latency(shape, algo, core=core)
+        i8 = cal.conv_latency(shape, algo, dtype="int8", core=core)
+        published = grid.get((width, cin, cout, algo))
+        pub = f"  (paper A73 fp32: {published:7.3f})" if published and core == "A73" else ""
+        stages = (
+            f"[transforms {fp.input_transform_ms + fp.output_transform_ms:6.3f}"
+            f" + gemm {fp.gemm_ms + fp.lowering_ms:6.3f}]"
+            if algo.startswith("F")
+            else ""
+        )
+        print(
+            f"  {algo:7s} fp32 {fp.total_ms:8.3f} ({base / fp.total_ms:4.2f}x)"
+            f"  int8 {i8.total_ms:8.3f} {stages}{pub}"
+        )
+    print()
+
+print("dense (learned/flex) transform penalty for F4, per §A.2:")
+for core in ("A73", "A53"):
+    sparse = cal.conv_latency(shape, "F4", core=core).total_ms
+    dense = cal.conv_latency(shape, "F4", core=core, dense_transforms=True).total_ms
+    print(f"  {core}: {sparse:.3f} → {dense:.3f} ms (+{100 * (dense / sparse - 1):.0f}%)")

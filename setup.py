@@ -1,0 +1,6 @@
+"""Setup shim: this environment ships without the `wheel` package, so
+`pip install -e .` (PEP 660) cannot build editable wheels offline.
+`python setup.py develop` provides the equivalent editable install."""
+from setuptools import setup
+
+setup()

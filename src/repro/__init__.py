@@ -1,0 +1,45 @@
+"""repro — a reproduction of *Searching for Winograd-aware Quantized
+Networks* (Fernandez-Marques et al., MLSys 2020).
+
+Sub-packages
+------------
+``repro.autograd``
+    Reverse-mode autodiff on NumPy (the training substrate).
+``repro.nn`` / ``repro.optim``
+    Network modules, losses, optimizers and schedules.
+``repro.quant``
+    Uniform symmetric fake-quantization (QAT) with EMA observers.
+``repro.winograd``
+    Cook–Toom transforms and the Winograd-aware layer (the paper's core).
+``repro.models``
+    ResNet-18 (CIFAR variant), LeNet, SqueezeNet, ResNeXt-20.
+``repro.data``
+    Deterministic synthetic stand-ins for CIFAR-10/100 and MNIST.
+``repro.hardware``
+    Arm Cortex-A73/A53 latency model calibrated on the paper's Figure 7 grid.
+``repro.nas``
+    wiNAS — the latency-aware differentiable search over conv algorithms.
+``repro.training``
+    Trainer, metrics and the Figure-6 adaptation recipe.
+``repro.experiments``
+    One module per paper table/figure.
+``repro.paperdata``
+    The paper's published numbers, embedded for comparison.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autograd",
+    "nn",
+    "optim",
+    "quant",
+    "winograd",
+    "models",
+    "data",
+    "hardware",
+    "nas",
+    "training",
+    "experiments",
+    "paperdata",
+]

@@ -1,0 +1,80 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This package is the training substrate for the reproduction: a small,
+well-tested autodiff engine exposing a :class:`~repro.autograd.tensor.Tensor`
+type, a library of differentiable primitives, and a finite-difference
+gradient checker used throughout the test suite.
+
+The design mirrors the classic tape-based approach (PyTorch-style): each
+primitive is a :class:`~repro.autograd.function.Function` that records its
+parents when grad mode is enabled, and :meth:`Tensor.backward` walks the
+recorded graph in reverse topological order.
+"""
+
+from repro.autograd.function import Function, is_grad_enabled, no_grad
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.autograd import ops
+from repro.autograd.ops import (
+    add,
+    concat,
+    div,
+    exp,
+    extract_patches,
+    fold_patches,
+    log,
+    log_softmax,
+    matmul,
+    max as max_reduce,
+    maximum,
+    mean,
+    mul,
+    neg,
+    pad2d,
+    permute,
+    pow as pow_op,
+    relu,
+    reshape,
+    sigmoid,
+    slice_axis,
+    sqrt,
+    sub,
+    sum as sum_reduce,
+    tanh,
+)
+from repro.autograd.gradcheck import gradcheck, numerical_gradient
+
+__all__ = [
+    "Function",
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "pow_op",
+    "exp",
+    "log",
+    "sqrt",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "maximum",
+    "matmul",
+    "reshape",
+    "permute",
+    "sum_reduce",
+    "mean",
+    "max_reduce",
+    "log_softmax",
+    "pad2d",
+    "slice_axis",
+    "concat",
+    "extract_patches",
+    "fold_patches",
+    "gradcheck",
+    "numerical_gradient",
+]

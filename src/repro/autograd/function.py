@@ -1,0 +1,98 @@
+"""Function base class and global grad-mode switch."""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.autograd.tensor import Tensor
+
+_STATE = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return True when operations should record the autograd tape."""
+    return getattr(_STATE, "grad_enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph recording (inference / updates)."""
+    prev = is_grad_enabled()
+    _STATE.grad_enabled = False
+    try:
+        yield
+    finally:
+        _STATE.grad_enabled = prev
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` undoing NumPy broadcasting.
+
+    Sums over leading axes that were prepended by broadcasting, then over
+    axes where the original dimension was 1 but the gradient dimension is
+    larger.
+    """
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Function:
+    """A differentiable primitive.
+
+    Subclasses implement :meth:`forward` (NumPy in / NumPy out) and
+    :meth:`backward` (gradient of the output w.r.t. each parent, aligned
+    with the order of tensor arguments passed to :meth:`apply`).
+
+    Instances are single-use: each call of :meth:`apply` creates a fresh
+    instance that stores whatever the backward pass needs.
+    """
+
+    def __init__(self) -> None:
+        self.parents: Tuple["Tensor", ...] = ()
+        self.requires_grad = False
+
+    # -- subclass API -----------------------------------------------------
+    def forward(self, *arrays: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> Sequence[Optional[np.ndarray]]:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- engine -----------------------------------------------------------
+    @classmethod
+    def apply(cls, *args, **kwargs) -> "Tensor":
+        """Run ``forward`` and, if grad mode is on, record the tape node."""
+        from repro.autograd.tensor import Tensor, as_tensor
+
+        ctx = cls(**kwargs)
+        tensors = tuple(as_tensor(a) for a in args)
+        out_data = ctx.forward(*(t.data for t in tensors))
+        requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
+        out = Tensor(out_data, requires_grad=requires)
+        if requires:
+            ctx.parents = tensors
+            ctx.requires_grad = True
+            out._ctx = ctx
+        return out
+
+    def parent_grads(self, grad: np.ndarray) -> Iterable[Tuple["Tensor", Optional[np.ndarray]]]:
+        """Pair each parent with its gradient contribution."""
+        grads = self.backward(grad)
+        if len(grads) != len(self.parents):  # pragma: no cover - dev guard
+            raise RuntimeError(
+                f"{type(self).__name__}.backward returned {len(grads)} grads "
+                f"for {len(self.parents)} parents"
+            )
+        return zip(self.parents, grads)

@@ -1,0 +1,65 @@
+"""Finite-difference gradient verification used across the test suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-4,
+) -> np.ndarray:
+    """Central finite-difference gradient of ``sum(fn(*inputs))`` w.r.t one input."""
+    target = inputs[index]
+    base = target.data.astype(np.float64).copy()
+    grad = np.zeros_like(base)
+    flat = base.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        target.data = base.reshape(target.shape).astype(target.dtype)
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = orig - eps
+        target.data = base.reshape(target.shape).astype(target.dtype)
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2.0 * eps)
+    target.data = base.reshape(target.shape).astype(target.dtype)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-4,
+    atol: float = 1e-3,
+    rtol: float = 5e-3,
+) -> bool:
+    """Check analytic gradients of ``sum(fn(*inputs))`` against finite differences.
+
+    Inputs should be float64 tensors for stable comparisons. Raises
+    ``AssertionError`` with a diagnostic on mismatch; returns True otherwise.
+    """
+    for t in inputs:
+        t.zero_grad()
+    out = fn(*inputs)
+    out.sum().backward()
+    for i, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        numeric = numerical_gradient(fn, inputs, i, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            err = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"gradcheck failed for input {i}: max abs err {err:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

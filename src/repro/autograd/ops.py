@@ -1,0 +1,544 @@
+"""Differentiable primitives.
+
+Every public function takes tensors (or array-likes) and returns a
+:class:`~repro.autograd.tensor.Tensor`.  Backward rules are written against
+NumPy broadcasting semantics and are validated by finite differences in
+``tests/autograd``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd.function import Function, unbroadcast
+
+
+def _axis_tuple(axis, ndim: int) -> Tuple[int, ...]:
+    if axis is None:
+        return tuple(range(ndim))
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(a % ndim for a in axis)
+
+
+# ---------------------------------------------------------------------------
+# Elementwise arithmetic
+# ---------------------------------------------------------------------------
+
+
+class Add(Function):
+    def forward(self, a, b):
+        self.a_shape, self.b_shape = a.shape, b.shape
+        return a + b
+
+    def backward(self, grad):
+        return unbroadcast(grad, self.a_shape), unbroadcast(grad, self.b_shape)
+
+
+class Sub(Function):
+    def forward(self, a, b):
+        self.a_shape, self.b_shape = a.shape, b.shape
+        return a - b
+
+    def backward(self, grad):
+        return unbroadcast(grad, self.a_shape), unbroadcast(-grad, self.b_shape)
+
+
+class Mul(Function):
+    def forward(self, a, b):
+        self.a, self.b = a, b
+        return a * b
+
+    def backward(self, grad):
+        return (
+            unbroadcast(grad * self.b, self.a.shape),
+            unbroadcast(grad * self.a, self.b.shape),
+        )
+
+
+class Div(Function):
+    def forward(self, a, b):
+        self.a, self.b = a, b
+        return a / b
+
+    def backward(self, grad):
+        ga = grad / self.b
+        gb = -grad * self.a / (self.b * self.b)
+        return unbroadcast(ga, self.a.shape), unbroadcast(gb, self.b.shape)
+
+
+class Neg(Function):
+    def forward(self, a):
+        return -a
+
+    def backward(self, grad):
+        return (-grad,)
+
+
+class Pow(Function):
+    def __init__(self, exponent: float):
+        super().__init__()
+        self.exponent = float(exponent)
+
+    def forward(self, a):
+        self.a = a
+        return a**self.exponent
+
+    def backward(self, grad):
+        return (grad * self.exponent * self.a ** (self.exponent - 1.0),)
+
+
+class Exp(Function):
+    def forward(self, a):
+        self.out = np.exp(a)
+        return self.out
+
+    def backward(self, grad):
+        return (grad * self.out,)
+
+
+class Log(Function):
+    def forward(self, a):
+        self.a = a
+        return np.log(a)
+
+    def backward(self, grad):
+        return (grad / self.a,)
+
+
+class Sqrt(Function):
+    def forward(self, a):
+        self.out = np.sqrt(a)
+        return self.out
+
+    def backward(self, grad):
+        return (grad / (2.0 * self.out),)
+
+
+class ReLU(Function):
+    def forward(self, a):
+        self.mask = a > 0
+        return np.where(self.mask, a, 0.0).astype(a.dtype)
+
+    def backward(self, grad):
+        return (grad * self.mask,)
+
+
+class Sigmoid(Function):
+    def forward(self, a):
+        self.out = 1.0 / (1.0 + np.exp(-a))
+        return self.out.astype(a.dtype)
+
+    def backward(self, grad):
+        return (grad * self.out * (1.0 - self.out),)
+
+
+class Tanh(Function):
+    def forward(self, a):
+        self.out = np.tanh(a)
+        return self.out
+
+    def backward(self, grad):
+        return (grad * (1.0 - self.out * self.out),)
+
+
+class Maximum(Function):
+    """Elementwise max; ties send the gradient to the first argument."""
+
+    def forward(self, a, b):
+        self.a_shape, self.b_shape = a.shape, b.shape
+        self.a_wins = a >= b
+        return np.maximum(a, b)
+
+    def backward(self, grad):
+        ga = unbroadcast(grad * self.a_wins, self.a_shape)
+        gb = unbroadcast(grad * (~self.a_wins), self.b_shape)
+        return ga, gb
+
+
+# ---------------------------------------------------------------------------
+# Linear algebra / shape
+# ---------------------------------------------------------------------------
+
+
+class MatMul(Function):
+    """Batched matrix multiply with full NumPy broadcasting of batch dims."""
+
+    def forward(self, a, b):
+        self.a, self.b = a, b
+        return np.matmul(a, b)
+
+    def backward(self, grad):
+        a, b = self.a, self.b
+        ga = np.matmul(grad, np.swapaxes(b, -1, -2))
+        gb = np.matmul(np.swapaxes(a, -1, -2), grad)
+        return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+
+
+class Reshape(Function):
+    def __init__(self, shape: Tuple[int, ...]):
+        super().__init__()
+        self.shape = tuple(shape)
+
+    def forward(self, a):
+        self.orig = a.shape
+        return a.reshape(self.shape)
+
+    def backward(self, grad):
+        return (grad.reshape(self.orig),)
+
+
+class Permute(Function):
+    def __init__(self, axes: Tuple[int, ...]):
+        super().__init__()
+        self.axes = tuple(axes)
+
+    def forward(self, a):
+        return np.transpose(a, self.axes)
+
+    def backward(self, grad):
+        inverse = np.argsort(self.axes)
+        return (np.transpose(grad, inverse),)
+
+
+class Sum(Function):
+    def __init__(self, axis=None, keepdims: bool = False):
+        super().__init__()
+        self.axis = axis
+        self.keepdims = keepdims
+
+    def forward(self, a):
+        self.orig = a.shape
+        return a.sum(axis=self.axis, keepdims=self.keepdims)
+
+    def backward(self, grad):
+        if not self.keepdims and self.axis is not None:
+            axes = _axis_tuple(self.axis, len(self.orig))
+            grad = np.expand_dims(grad, axes)
+        return (np.broadcast_to(grad, self.orig).copy(),)
+
+
+class Max(Function):
+    """Max reduction; gradient splits evenly across tied maxima."""
+
+    def __init__(self, axis=None, keepdims: bool = False):
+        super().__init__()
+        self.axis = axis
+        self.keepdims = keepdims
+
+    def forward(self, a):
+        self.a = a
+        out = a.max(axis=self.axis, keepdims=True)
+        self.mask = (a == out).astype(a.dtype)
+        self.mask /= self.mask.sum(axis=self.axis, keepdims=True)
+        if self.keepdims:
+            return out
+        if self.axis is None:
+            return out.reshape(())
+        return np.squeeze(out, axis=self.axis)
+
+    def backward(self, grad):
+        if self.axis is not None and not self.keepdims:
+            axes = _axis_tuple(self.axis, self.a.ndim)
+            grad = np.expand_dims(grad, axes)
+        elif self.axis is None:
+            grad = np.asarray(grad).reshape((1,) * self.a.ndim)
+        return (grad * self.mask,)
+
+
+class LogSoftmax(Function):
+    """Numerically stable log-softmax along ``axis``."""
+
+    def __init__(self, axis: int = -1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, a):
+        shifted = a - a.max(axis=self.axis, keepdims=True)
+        logsumexp = np.log(np.exp(shifted).sum(axis=self.axis, keepdims=True))
+        self.out = shifted - logsumexp
+        return self.out.astype(a.dtype)
+
+    def backward(self, grad):
+        softmax = np.exp(self.out)
+        return (grad - softmax * grad.sum(axis=self.axis, keepdims=True),)
+
+
+# ---------------------------------------------------------------------------
+# Structural ops
+# ---------------------------------------------------------------------------
+
+
+class Pad2d(Function):
+    """Zero-pad the two trailing spatial dims of an NCHW tensor."""
+
+    def __init__(self, padding: Tuple[int, int, int, int]):
+        super().__init__()
+        # (top, bottom, left, right)
+        self.padding = tuple(int(p) for p in padding)
+        if any(p < 0 for p in self.padding):
+            raise ValueError(f"negative padding: {self.padding}")
+
+    def forward(self, a):
+        t, b, l, r = self.padding
+        pad_width = [(0, 0)] * (a.ndim - 2) + [(t, b), (l, r)]
+        return np.pad(a, pad_width)
+
+    def backward(self, grad):
+        t, b, l, r = self.padding
+        h, w = grad.shape[-2], grad.shape[-1]
+        sl = (Ellipsis, slice(t, h - b), slice(l, w - r))
+        return (grad[sl],)
+
+
+class SliceAxis(Function):
+    """Slice ``[start:stop]`` along one axis."""
+
+    def __init__(self, axis: int, start: int, stop: int):
+        super().__init__()
+        self.axis, self.start, self.stop = axis, start, stop
+
+    def forward(self, a):
+        self.orig = a.shape
+        index = [slice(None)] * a.ndim
+        index[self.axis] = slice(self.start, self.stop)
+        return a[tuple(index)]
+
+    def backward(self, grad):
+        out = np.zeros(self.orig, dtype=grad.dtype)
+        index = [slice(None)] * len(self.orig)
+        index[self.axis] = slice(self.start, self.stop)
+        out[tuple(index)] = grad
+        return (out,)
+
+
+class Concat(Function):
+    def __init__(self, axis: int = 0):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, *arrays):
+        self.sizes = [a.shape[self.axis] for a in arrays]
+        return np.concatenate(arrays, axis=self.axis)
+
+    def backward(self, grad):
+        splits = np.cumsum(self.sizes)[:-1]
+        return tuple(np.split(grad, splits, axis=self.axis))
+
+
+class ExtractPatches(Function):
+    """Extract sliding (kh, kw) patches at a given stride from NCHW input.
+
+    Output shape: ``(N, C, nH, nW, kh, kw)``.  The backward pass is the
+    adjoint overlap-add (scatter-add), which is exactly the operation needed
+    to train both im2row convolutions and Winograd tilings.
+    """
+
+    def __init__(self, kernel: Tuple[int, int], stride: Tuple[int, int]):
+        super().__init__()
+        self.kh, self.kw = kernel
+        self.sh, self.sw = stride
+
+    def forward(self, a):
+        n, c, h, w = a.shape
+        self.in_shape = a.shape
+        nh = (h - self.kh) // self.sh + 1
+        nw = (w - self.kw) // self.sw + 1
+        if nh <= 0 or nw <= 0:
+            raise ValueError(
+                f"input {h}x{w} too small for kernel {self.kh}x{self.kw} "
+                f"stride {self.sh}x{self.sw}"
+            )
+        sn, sc, sh_, sw_ = a.strides
+        shape = (n, c, nh, nw, self.kh, self.kw)
+        strides = (sn, sc, sh_ * self.sh, sw_ * self.sw, sh_, sw_)
+        view = np.lib.stride_tricks.as_strided(a, shape=shape, strides=strides)
+        return np.ascontiguousarray(view)
+
+    def backward(self, grad):
+        n, c, h, w = self.in_shape
+        out = np.zeros(self.in_shape, dtype=grad.dtype)
+        nh, nw = grad.shape[2], grad.shape[3]
+        # Scatter-add each kernel offset in one vectorized slab; kh*kw
+        # iterations of O(N*C*nH*nW) work each (no Python loop over tiles).
+        for i in range(self.kh):
+            for j in range(self.kw):
+                rows = np.arange(nh) * self.sh + i
+                cols = np.arange(nw) * self.sw + j
+                if self.sh >= self.kh and self.sw >= self.kw:
+                    # Non-overlapping: plain (fast) slice assignment-add.
+                    out[:, :, rows[0] : rows[-1] + 1 : self.sh,
+                        cols[0] : cols[-1] + 1 : self.sw] += grad[:, :, :, :, i, j]
+                else:
+                    np.add.at(
+                        out,
+                        (slice(None), slice(None), rows[:, None], cols[None, :]),
+                        grad[:, :, :, :, i, j],
+                    )
+        return (out,)
+
+
+class FoldPatches(Function):
+    """Adjoint of :class:`ExtractPatches`: overlap-add patches back.
+
+    Rarely needed in the forward direction (Winograd output tiles do not
+    overlap and are assembled by reshape), but exposed for completeness and
+    used by tests to verify the extract/fold adjoint pair.
+    """
+
+    def __init__(self, output_size: Tuple[int, int], stride: Tuple[int, int]):
+        super().__init__()
+        self.out_h, self.out_w = output_size
+        self.sh, self.sw = stride
+
+    def forward(self, patches):
+        n, c, nh, nw, kh, kw = patches.shape
+        self.patch_shape = patches.shape
+        out = np.zeros((n, c, self.out_h, self.out_w), dtype=patches.dtype)
+        for i in range(kh):
+            for j in range(kw):
+                rows = np.arange(nh) * self.sh + i
+                cols = np.arange(nw) * self.sw + j
+                np.add.at(
+                    out,
+                    (slice(None), slice(None), rows[:, None], cols[None, :]),
+                    patches[:, :, :, :, i, j],
+                )
+        return out
+
+    def backward(self, grad):
+        n, c, nh, nw, kh, kw = self.patch_shape
+        sn, sc, sh_, sw_ = grad.strides
+        shape = (n, c, nh, nw, kh, kw)
+        strides = (sn, sc, sh_ * self.sh, sw_ * self.sw, sh_, sw_)
+        view = np.lib.stride_tricks.as_strided(grad, shape=shape, strides=strides)
+        return (np.ascontiguousarray(view),)
+
+
+# ---------------------------------------------------------------------------
+# Public functional API
+# ---------------------------------------------------------------------------
+
+
+def add(a, b):
+    return Add.apply(a, b)
+
+
+def sub(a, b):
+    return Sub.apply(a, b)
+
+
+def mul(a, b):
+    return Mul.apply(a, b)
+
+
+def div(a, b):
+    return Div.apply(a, b)
+
+
+def neg(a):
+    return Neg.apply(a)
+
+
+def pow(a, exponent: float):  # noqa: A001 - mirrors Tensor.__pow__
+    return Pow.apply(a, exponent=exponent)
+
+
+def exp(a):
+    return Exp.apply(a)
+
+
+def log(a):
+    return Log.apply(a)
+
+
+def sqrt(a):
+    return Sqrt.apply(a)
+
+
+def relu(a):
+    return ReLU.apply(a)
+
+
+def sigmoid(a):
+    return Sigmoid.apply(a)
+
+
+def tanh(a):
+    return Tanh.apply(a)
+
+
+def maximum(a, b):
+    return Maximum.apply(a, b)
+
+
+def matmul(a, b):
+    return MatMul.apply(a, b)
+
+
+def reshape(a, shape: Sequence[int]):
+    return Reshape.apply(a, shape=tuple(shape))
+
+
+def permute(a, axes: Sequence[int]):
+    return Permute.apply(a, axes=tuple(axes))
+
+
+def sum(a, axis=None, keepdims: bool = False):  # noqa: A001
+    return Sum.apply(a, axis=axis, keepdims=keepdims)
+
+
+def mean(a, axis=None, keepdims: bool = False):
+    from repro.autograd.tensor import as_tensor
+
+    t = as_tensor(a)
+    axes = _axis_tuple(axis, t.ndim)
+    count = 1
+    for ax in axes:
+        count *= t.shape[ax]
+    return sum(t, axis=axis, keepdims=keepdims) * (1.0 / count)
+
+
+def max(a, axis=None, keepdims: bool = False):  # noqa: A001
+    return Max.apply(a, axis=axis, keepdims=keepdims)
+
+
+def log_softmax(a, axis: int = -1):
+    return LogSoftmax.apply(a, axis=axis)
+
+
+def pad2d(a, padding):
+    """Zero-pad the trailing two dims; ``padding`` is int or (t, b, l, r)."""
+    if isinstance(padding, int):
+        padding = (padding,) * 4
+    if all(p == 0 for p in padding):
+        from repro.autograd.tensor import as_tensor
+
+        return as_tensor(a)
+    return Pad2d.apply(a, padding=tuple(padding))
+
+
+def slice_axis(a, axis: int, start: int, stop: int):
+    return SliceAxis.apply(a, axis=axis, start=start, stop=stop)
+
+
+def concat(tensors, axis: int = 0):
+    return Concat.apply(*tensors, axis=axis)
+
+
+def extract_patches(a, kernel, stride):
+    if isinstance(kernel, int):
+        kernel = (kernel, kernel)
+    if isinstance(stride, int):
+        stride = (stride, stride)
+    return ExtractPatches.apply(a, kernel=tuple(kernel), stride=tuple(stride))
+
+
+def fold_patches(patches, output_size, stride):
+    if isinstance(output_size, int):
+        output_size = (output_size, output_size)
+    if isinstance(stride, int):
+        stride = (stride, stride)
+    return FoldPatches.apply(patches, output_size=tuple(output_size), stride=tuple(stride))

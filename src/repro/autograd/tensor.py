@@ -1,0 +1,270 @@
+"""The Tensor type: a NumPy array plus an autograd tape."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.function import Function, is_grad_enabled
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+DEFAULT_DTYPE = np.float32
+
+
+class Tensor:
+    """A multi-dimensional array that supports reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a NumPy array. Floating data is kept in its
+        own dtype (default float32); integer input is promoted to the
+        default float dtype so gradients are well-defined.
+    requires_grad:
+        When True, operations involving this tensor are recorded and
+        :meth:`backward` accumulates into :attr:`grad`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_ctx")
+    __array_priority__ = 100.0  # NumPy defers binary ops to Tensor
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, dtype=None):
+        if isinstance(data, Tensor):
+            data = data.data
+        was_ndarray = isinstance(data, (np.ndarray, np.generic))
+        arr = np.asarray(data, dtype=dtype)
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(DEFAULT_DTYPE)
+        elif dtype is None and not was_ndarray and arr.dtype == np.float64:
+            # Python floats/lists default to the framework dtype; explicit
+            # NumPy arrays keep whatever precision the caller chose.
+            arr = arr.astype(DEFAULT_DTYPE)
+        self.data: np.ndarray = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._ctx: Optional[Function] = None
+
+    # -- basic protocol ----------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- autograd ------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be supplied for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        topo: List[Tensor] = []
+        seen = set()
+
+        def visit(t: "Tensor") -> None:
+            # Iterative DFS: deep graphs (long training loops of composed
+            # primitives) overflow Python's recursion limit otherwise.
+            stack = [(t, iter(t._ctx.parents if t._ctx else ()))]
+            seen.add(id(t))
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for parent in it:
+                    if id(parent) not in seen and parent._ctx is not None:
+                        seen.add(id(parent))
+                        stack.append((parent, iter(parent._ctx.parents)))
+                        advanced = True
+                        break
+                    seen.add(id(parent))
+                if not advanced:
+                    stack.pop()
+                    topo.append(node)
+
+        if self._ctx is not None:
+            visit(self)
+
+        grads = {id(self): grad}
+        if self._ctx is None:
+            self.grad = grad if self.grad is None else self.grad + grad
+            return
+
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and (node is self or node._retains_grad()):
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+            ctx = node._ctx
+            if ctx is None:
+                continue
+            for parent, pgrad in ctx.parent_grads(node_grad):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                pgrad = np.asarray(pgrad, dtype=parent.data.dtype)
+                if parent._ctx is None:
+                    # Leaf: accumulate directly.
+                    parent.grad = pgrad if parent.grad is None else parent.grad + pgrad
+                else:
+                    key = id(parent)
+                    if key in grads:
+                        grads[key] = grads[key] + pgrad
+                    else:
+                        grads[key] = pgrad
+
+    def _retains_grad(self) -> bool:
+        # Interior nodes do not retain gradients (leaf-only semantics),
+        # matching the framework conventions the paper's code relied on.
+        return self._ctx is None
+
+    # -- operators ----------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        from repro.autograd import ops
+
+        return ops.add(self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        from repro.autograd import ops
+
+        return ops.sub(self, other)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        from repro.autograd import ops
+
+        return ops.sub(other, self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        from repro.autograd import ops
+
+        return ops.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        from repro.autograd import ops
+
+        return ops.div(self, other)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        from repro.autograd import ops
+
+        return ops.div(other, self)
+
+    def __neg__(self) -> "Tensor":
+        from repro.autograd import ops
+
+        return ops.neg(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        from repro.autograd import ops
+
+        return ops.pow(self, exponent)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        from repro.autograd import ops
+
+        return ops.matmul(self, other)
+
+    # -- fluent helpers -------------------------------------------------------
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        from repro.autograd import ops
+
+        return ops.matmul(self, other)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        from repro.autograd import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        from repro.autograd import ops
+
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        return ops.permute(self, axes)
+
+    permute = transpose
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.autograd import ops
+
+        return ops.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.autograd import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        from repro.autograd import ops
+
+        return ops.max(self, axis=axis, keepdims=keepdims)
+
+    def relu(self) -> "Tensor":
+        from repro.autograd import ops
+
+        return ops.relu(self)
+
+    def exp(self) -> "Tensor":
+        from repro.autograd import ops
+
+        return ops.exp(self)
+
+    def log(self) -> "Tensor":
+        from repro.autograd import ops
+
+        return ops.log(self)
+
+    def sqrt(self) -> "Tensor":
+        from repro.autograd import ops
+
+        return ops.sqrt(self)
+
+
+def as_tensor(value: ArrayLike, dtype=None) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, dtype=dtype)

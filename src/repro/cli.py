@@ -1,0 +1,79 @@
+"""Command-line entry point: run any paper experiment by name.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run table1 --scale smoke --seed 0
+    python -m repro.cli run figure7
+    python -m repro.cli run figure4 --scale quick --out figure4.txt
+
+Each experiment prints (and optionally writes) its measured-vs-published
+report; see EXPERIMENTS.md for how to read them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Optional, Sequence
+
+EXPERIMENTS = (
+    "table1",
+    "table3",
+    "table4",
+    "table5",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "ablation_points",
+    "ablation_dense_transforms",
+    "ablation_quant_stages",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables/figures of 'Searching for Winograd-aware "
+        "Quantized Networks' (MLSys 2020).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=EXPERIMENTS)
+    run.add_argument("--scale", default="smoke", choices=("smoke", "quick", "paper"))
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--verbose", action="store_true")
+    run.add_argument("--out", default=None, help="also write the report to this file")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:28s} {doc}")
+        return 0
+
+    module = importlib.import_module(f"repro.experiments.{args.experiment}")
+    kwargs = {"scale": args.scale, "seed": args.seed}
+    if "verbose" in module.run.__code__.co_varnames:
+        kwargs["verbose"] = args.verbose
+    report = module.run(**kwargs)
+    text = report.format()
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"\nreport written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

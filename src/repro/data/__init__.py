@@ -1,0 +1,32 @@
+"""Deterministic synthetic datasets standing in for CIFAR-10/100 and MNIST.
+
+The environment has no network access, so the real datasets cannot be
+downloaded.  The phenomena the paper studies — numerical collapse of large
+Winograd tiles under quantization, the flex-vs-static gap, accuracy/latency
+trade-offs — are properties of the *layers*, not of the data distribution;
+any image-classification task whose classes require convolutional features
+exposes them.  These generators produce structured, augmentable,
+procedurally-labelled image datasets with controllable difficulty.
+"""
+
+from repro.data.synthetic import (
+    Dataset,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_mnist_like,
+    synthetic_images,
+)
+from repro.data.loader import DataLoader
+from repro.data.augment import random_crop, random_flip, augment_batch
+
+__all__ = [
+    "Dataset",
+    "make_cifar10_like",
+    "make_cifar100_like",
+    "make_mnist_like",
+    "synthetic_images",
+    "DataLoader",
+    "random_crop",
+    "random_flip",
+    "augment_batch",
+]

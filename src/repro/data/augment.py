@@ -1,0 +1,29 @@
+"""Standard CIFAR-style training augmentation (pad-crop + horizontal flip)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_crop(images: np.ndarray, rng: np.random.Generator, padding: int = 4) -> np.ndarray:
+    """Zero-pad by ``padding`` then take a random crop of the original size."""
+    n, c, h, w = images.shape
+    padded = np.pad(images, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.empty_like(images)
+    offsets = rng.integers(0, 2 * padding + 1, size=(n, 2))
+    for i, (dy, dx) in enumerate(offsets):
+        out[i] = padded[i, :, dy : dy + h, dx : dx + w]
+    return out
+
+
+def random_flip(images: np.ndarray, rng: np.random.Generator, p: float = 0.5) -> np.ndarray:
+    """Horizontally flip each image with probability ``p``."""
+    flips = rng.random(len(images)) < p
+    out = images.copy()
+    out[flips] = out[flips][:, :, :, ::-1]
+    return out
+
+
+def augment_batch(images: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """The usual CIFAR recipe: random crop with padding 4, then flip."""
+    return random_flip(random_crop(images, rng), rng)

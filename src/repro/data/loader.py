@@ -1,0 +1,59 @@
+"""Mini-batch iteration with optional shuffling and augmentation."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.synthetic import Dataset
+
+BatchTransform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class DataLoader:
+    """Iterate a :class:`Dataset` in batches.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to iterate.
+    batch_size:
+        Batch size; the final partial batch is kept (not dropped).
+    shuffle:
+        Reshuffle example order each epoch.
+    augment:
+        Optional per-batch transform (e.g. :func:`repro.data.augment.augment_batch`).
+    seed:
+        RNG seed controlling shuffling and augmentation.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 64,
+        shuffle: bool = True,
+        augment: Optional[BatchTransform] = None,
+        seed: int = 0,
+    ):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.augment = augment
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return -(-len(self.dataset) // self.batch_size)
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            images = self.dataset.images[idx]
+            labels = self.dataset.labels[idx]
+            if self.augment is not None:
+                images = self.augment(images, self._rng)
+            yield images, labels

@@ -1,0 +1,61 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``run(scale=..., seed=...) -> ExperimentReport``.  The
+``scale`` knob selects between a CI-sized run ("smoke"), a longer local run
+("quick"), and the paper's full protocol ("paper" — documented, but sized
+for a GPU cluster, not this NumPy substrate).  Reports print measured rows
+next to the paper's published rows so shape agreement is auditable.
+"""
+
+import importlib
+
+from repro.experiments.common import (
+    ExperimentReport,
+    ScaleConfig,
+    get_scale,
+    format_table,
+)
+
+_EXPERIMENT_MODULES = (
+    "table1",
+    "table3",
+    "table4",
+    "table5",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "ablation_points",
+    "ablation_dense_transforms",
+    "ablation_quant_stages",
+)
+
+
+def __getattr__(name: str):
+    # Lazy loading keeps `import repro.experiments` cheap and lets each
+    # experiment be run standalone (python -m repro.experiments.table1).
+    if name in _EXPERIMENT_MODULES:
+        return importlib.import_module(f"repro.experiments.{name}")
+    raise AttributeError(f"module 'repro.experiments' has no attribute {name!r}")
+
+__all__ = [
+    "ExperimentReport",
+    "ScaleConfig",
+    "get_scale",
+    "format_table",
+    "table1",
+    "table3",
+    "table4",
+    "table5",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "ablation_points",
+    "ablation_dense_transforms",
+    "ablation_quant_stages",
+]

@@ -1,0 +1,191 @@
+"""Shared experiment plumbing: scales, builders, reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.loader import DataLoader
+from repro.data.synthetic import Dataset, make_cifar10_like, make_cifar100_like, make_mnist_like
+from repro.models.common import ConvSpec, LayerPlan
+from repro.nn.module import Module
+from repro.quant.qconfig import QConfig, from_name
+from repro.training.trainer import TrainConfig, Trainer, evaluate
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Sizing of an experiment run.
+
+    ``paper`` documents the full protocol; it is not runnable on the NumPy
+    substrate in reasonable time and exists so the scaling relationship is
+    explicit and auditable.
+    """
+
+    name: str
+    train_size: int
+    test_size: int
+    image_size: int
+    width_multiplier: float
+    epochs: int
+    batch_size: int
+    lenet_epochs: int
+    search_epochs: int
+    num_classes_c100: int  # CIFAR-100 stand-in class count
+
+    def loaders(
+        self,
+        dataset: str = "cifar10",
+        seed: int = 0,
+        batch_size: Optional[int] = None,
+    ) -> Tuple[DataLoader, DataLoader, Dataset, Dataset]:
+        """(train_loader, test_loader, train_set, test_set) for a dataset name."""
+        bs = batch_size or self.batch_size
+        if dataset == "cifar10":
+            train, test = make_cifar10_like(
+                self.train_size, self.test_size, self.image_size, seed=seed
+            )
+        elif dataset == "cifar100":
+            train, test = make_cifar100_like(
+                self.train_size,
+                self.test_size,
+                self.image_size,
+                seed=seed,
+                num_classes=self.num_classes_c100,
+            )
+        elif dataset == "mnist":
+            train, test = make_mnist_like(
+                self.train_size, self.test_size, max(self.image_size, 20), seed=seed
+            )
+        else:
+            raise ValueError(f"unknown dataset {dataset!r}")
+        return (
+            DataLoader(train, batch_size=bs, shuffle=True, seed=seed),
+            DataLoader(test, batch_size=bs, shuffle=False, seed=seed),
+            train,
+            test,
+        )
+
+
+_SCALES: Dict[str, ScaleConfig] = {
+    "smoke": ScaleConfig(
+        name="smoke",
+        train_size=400,
+        test_size=160,
+        image_size=16,
+        width_multiplier=0.25,
+        epochs=3,
+        batch_size=40,
+        lenet_epochs=8,
+        search_epochs=1,
+        num_classes_c100=20,
+    ),
+    "quick": ScaleConfig(
+        name="quick",
+        train_size=1500,
+        test_size=400,
+        image_size=24,
+        width_multiplier=0.25,
+        epochs=6,
+        batch_size=50,
+        lenet_epochs=8,
+        search_epochs=3,
+        num_classes_c100=50,
+    ),
+    "paper": ScaleConfig(
+        name="paper",
+        train_size=50000,
+        test_size=10000,
+        image_size=32,
+        width_multiplier=1.0,
+        epochs=120,
+        batch_size=64,
+        lenet_epochs=30,
+        search_epochs=100,
+        num_classes_c100=100,
+    ),
+}
+
+
+def get_scale(scale: str = "smoke") -> ScaleConfig:
+    try:
+        return _SCALES[scale]
+    except KeyError:
+        raise KeyError(f"unknown scale {scale!r}; available: {sorted(_SCALES)}") from None
+
+
+@dataclass
+class ExperimentReport:
+    """Measured rows + published reference for one table/figure."""
+
+    experiment: str
+    scale: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    paper_reference: Optional[object] = None
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, **kwargs: object) -> None:
+        self.rows.append(kwargs)
+
+    def column(self, key: str) -> List[object]:
+        return [row.get(key) for row in self.rows]
+
+    def find(self, **match: object) -> Dict[str, object]:
+        """First row whose items all match; KeyError if absent."""
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                return row
+        raise KeyError(f"no row matching {match} in {self.experiment}")
+
+    def format(self) -> str:
+        lines = [f"== {self.experiment} (scale={self.scale}) =="]
+        if self.rows:
+            lines.append(format_table(self.rows))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def format_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Fixed-width text table over the union of row keys."""
+    if not rows:
+        return "(empty)"
+    keys: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in keys:
+                keys.append(key)
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    table = [[fmt(row.get(k, "")) for k in keys] for row in rows]
+    widths = [max(len(k), *(len(r[i]) for r in table)) for i, k in enumerate(keys)]
+    header = "  ".join(k.ljust(w) for k, w in zip(keys, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = ["  ".join(v.ljust(w) for v, w in zip(row, widths)) for row in table]
+    return "\n".join([header, sep] + body)
+
+
+def train_and_evaluate(
+    model: Module,
+    train_loader: DataLoader,
+    test_loader: DataLoader,
+    epochs: int,
+    lr: float = 2e-3,
+    verbose: bool = False,
+    track_curve: bool = False,
+) -> Tuple[float, List[float]]:
+    """Train with the §5.1 recipe (Adam + cosine); return (test_acc, curve)."""
+    config = TrainConfig(epochs=epochs, lr=lr, cosine=True, verbose=verbose)
+    trainer = Trainer(
+        model, train_loader, val_loader=test_loader if track_curve else None, config=config
+    )
+    trainer.fit()
+    curve = [r.val_accuracy for r in trainer.history if r.val_accuracy is not None]
+    final = evaluate(model, test_loader)
+    return final, curve

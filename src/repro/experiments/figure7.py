@@ -1,0 +1,73 @@
+"""Figure 7 — the dense latency grid, model vs published measurements.
+
+No training involved: the calibrated hardware model prices every
+(output width × channel config × algorithm) cell of the published A73 FP32
+grid; the report carries per-cell predictions, per-column Spearman rank
+correlations, and the winner-agreement count — the three things that
+matter for wiNAS (the search consumes *orderings*, not absolute ms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.experiments.common import ExperimentReport
+from repro.hardware.calibration import get_calibrated_model
+from repro.hardware.model import ConvShape
+from repro.paperdata.figure7 import (
+    FIGURE7_ALGORITHMS,
+    FIGURE7_CHANNEL_CONFIGS,
+    FIGURE7_OUTPUT_WIDTHS,
+    figure7_grid,
+)
+
+
+def run(scale: str = "smoke", seed: int = 0, core: str = "A73") -> ExperimentReport:
+    cal = get_calibrated_model()
+    grid = figure7_grid()
+    report = ExperimentReport("figure7_latency_grid", scale, paper_reference=grid)
+
+    winners_agree = 0
+    cells = 0
+    all_pred, all_obs = [], []
+    for cin, cout in FIGURE7_CHANNEL_CONFIGS:
+        col_pred, col_obs = [], []
+        for w in FIGURE7_OUTPUT_WIDTHS:
+            pred = {
+                algo: cal.conv_latency(ConvShape(cin, cout, w), algo, core=core).total_ms
+                for algo in FIGURE7_ALGORITHMS
+            }
+            obs = {algo: grid[(w, cin, cout, algo)] for algo in FIGURE7_ALGORITHMS}
+            cells += 1
+            winners_agree += min(pred, key=pred.get) == min(obs, key=obs.get)
+            for algo in FIGURE7_ALGORITHMS:
+                col_pred.append(pred[algo])
+                col_obs.append(obs[algo])
+            report.add(
+                out_width=w,
+                channels=f"{cin}->{cout}",
+                **{f"{a}_pred": pred[a] for a in FIGURE7_ALGORITHMS},
+                **{f"{a}_paper": obs[a] for a in FIGURE7_ALGORITHMS},
+                winner_pred=min(pred, key=pred.get),
+                winner_paper=min(obs, key=obs.get),
+            )
+        rho = stats.spearmanr(col_pred, col_obs).statistic
+        report.notes.append(f"spearman({cin}->{cout}) = {rho:.4f}")
+        all_pred.extend(col_pred)
+        all_obs.extend(col_obs)
+
+    overall = stats.spearmanr(all_pred, all_obs).statistic
+    med_err = float(
+        np.median(np.abs(np.log(np.array(all_pred) / np.array(all_obs))))
+    )
+    report.notes.append(f"overall spearman = {overall:.4f}")
+    report.notes.append(f"median |log error| = {med_err:.3f} (~{np.expm1(med_err):.0%})")
+    report.notes.append(f"winner agreement = {winners_agree}/{cells}")
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    rep = run()
+    for note in rep.notes:
+        print(note)

@@ -1,0 +1,72 @@
+"""Table 1 — post-training swap of direct convolutions for Winograd.
+
+Protocol (paper §3.1): train a ResNet-18 with standard convolutions in
+FP32; then, *without retraining*, replace every 3×3 convolution with
+F2/F4/F6 at 32/16/8-bit, warm up the quantizer moving averages on the
+training set (the footnote's relaxation), and evaluate.
+
+Expected shape: FP32 columns match the direct baseline for every tile
+size; under quantization F2 survives but F4 and F6 collapse to near
+chance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import ExperimentReport, get_scale, train_and_evaluate
+from repro.models.common import ConvSpec, LayerPlan
+from repro.models.resnet import resnet18
+from repro.paperdata.tables import TABLE1_ACCURACY
+from repro.quant.qconfig import QConfig, fp32
+from repro.training.adaptation import transfer_weights
+from repro.training.calibrate import calibrate
+from repro.training.trainer import evaluate
+
+METHODS = ("direct", "F2", "F4", "F6")
+BIT_WIDTHS = (32, 16, 8)
+
+
+def _qconfig(bits: int) -> QConfig:
+    return fp32() if bits == 32 else QConfig(bits=bits)
+
+
+def run(scale: str = "smoke", seed: int = 0, verbose: bool = False) -> ExperimentReport:
+    cfg = get_scale(scale)
+    train_loader, test_loader, *_ = cfg.loaders("cifar10", seed=seed)
+    report = ExperimentReport("table1_posttraining_swap", scale, paper_reference=TABLE1_ACCURACY)
+
+    source = resnet18(
+        width_multiplier=cfg.width_multiplier, spec=ConvSpec("im2row"), rng=None
+    )
+    base_acc, _ = train_and_evaluate(
+        source, train_loader, test_loader, cfg.epochs, verbose=verbose
+    )
+    report.notes.append(f"FP32 direct-conv baseline accuracy: {base_acc:.3f}")
+
+    for method in METHODS:
+        for bits in BIT_WIDTHS:
+            qc = _qconfig(bits)
+            if method == "direct":
+                spec = ConvSpec("im2row", qc)
+            else:
+                spec = ConvSpec(method, qc, flex=False)
+            # Swap every layer (Table 1 replaces all convolutions).
+            swapped = resnet18(
+                width_multiplier=cfg.width_multiplier, plan=LayerPlan(spec)
+            )
+            transfer_weights(source, swapped)
+            if qc.enabled:
+                calibrate(swapped, train_loader, num_batches=4)
+            acc = evaluate(swapped, test_loader)
+            report.add(
+                method=method,
+                bits=bits,
+                accuracy=acc,
+                paper_accuracy=TABLE1_ACCURACY[method][bits] / 100.0,
+            )
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(verbose=True).format())

@@ -1,0 +1,145 @@
+"""Table 3 — ResNet-18 accuracy & latency per convolution algorithm.
+
+Accuracy comes from scaled-down training runs on the synthetic CIFAR-10
+stand-in (CIFAR-100 variant optional); latency comes from the calibrated
+hardware model evaluated at the paper's *full-size* network shapes, on both
+cores and both precisions, with speedups against FP32 im2row — exactly the
+table's layout.
+
+Row semantics follow the paper:
+
+* ``im2row``/``im2col`` — standard convolutions (QAT when INT8);
+* ``WF2``/``WF4`` — plain Winograd *swap* after standard training (only
+  meaningful in FP32, which is the only place the paper reports them);
+* ``WAF2`` — Winograd-aware training with static (default) transforms;
+* ``WAF4`` — Winograd-aware training with learned (flex) transforms,
+  priced with dense transforms (the table's †);
+* ``wiNAS-WA`` / ``wiNAS-WA-Q`` — searched per-layer plans (optional,
+  ``include_nas=True``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.experiments.common import ExperimentReport, get_scale, train_and_evaluate
+from repro.hardware.calibration import get_calibrated_model
+from repro.models.common import ConvSpec, LayerPlan, uniform_plan
+from repro.models.resnet import NUM_SEARCHABLE_LAYERS, TAIL_F2_LAYERS, resnet18
+from repro.paperdata.tables import TABLE3_ROWS
+from repro.quant.qconfig import QConfig, fp32, int8
+from repro.training.adaptation import transfer_weights
+from repro.training.calibrate import calibrate
+from repro.training.trainer import evaluate
+
+
+def _build(spec: ConvSpec, width: float, num_classes: int):
+    plan = uniform_plan(spec, NUM_SEARCHABLE_LAYERS, TAIL_F2_LAYERS)
+    return resnet18(width_multiplier=width, plan=plan, num_classes=num_classes)
+
+
+def run(
+    scale: str = "smoke",
+    seed: int = 0,
+    dataset: str = "cifar10",
+    include_nas: bool = False,
+    verbose: bool = False,
+) -> ExperimentReport:
+    cfg = get_scale(scale)
+    train_loader, test_loader, train_set, _ = cfg.loaders(dataset, seed=seed)
+    num_classes = train_set.num_classes
+    cal = get_calibrated_model()
+    report = ExperimentReport("table3_accuracy_latency", scale, paper_reference=TABLE3_ROWS)
+
+    base_latency = {
+        core: cal.resnet18_latency("im2row", "fp32", core) for core in ("A53", "A73")
+    }
+
+    def add_row(name: str, bits: int, accuracy: float, lat_plan: str, dtype: str) -> None:
+        lat = {core: cal.resnet18_latency(lat_plan, dtype, core) for core in ("A53", "A73")}
+        report.add(
+            conv=name,
+            bits=bits,
+            accuracy=accuracy,
+            a53_ms=lat["A53"],
+            a73_ms=lat["A73"],
+            a53_speedup=base_latency["A53"] / lat["A53"],
+            a73_speedup=base_latency["A73"] / lat["A73"],
+        )
+
+    # ---- FP32 rows -------------------------------------------------------
+    base = _build(ConvSpec("im2row"), cfg.width_multiplier, num_classes)
+    acc_im2row, _ = train_and_evaluate(base, train_loader, test_loader, cfg.epochs, verbose=verbose)
+    add_row("im2row", 32, acc_im2row, "im2row", "fp32")
+    add_row("im2col", 32, acc_im2row, "im2col", "fp32")  # same math, same accuracy
+
+    for name in ("WF2", "WF4"):
+        swap_spec = ConvSpec("F2" if name == "WF2" else "F4")
+        swapped = _build(swap_spec, cfg.width_multiplier, num_classes)
+        transfer_weights(base, swapped)
+        add_row(name, 32, evaluate(swapped, test_loader), name, "fp32")
+
+    wa2 = _build(ConvSpec("F2", fp32(), flex=False), cfg.width_multiplier, num_classes)
+    acc, _ = train_and_evaluate(wa2, train_loader, test_loader, cfg.epochs, verbose=verbose)
+    add_row("WAF2", 32, acc, "WAF2", "fp32")
+
+    wa4 = _build(ConvSpec("F4", fp32(), flex=True), cfg.width_multiplier, num_classes)
+    acc, _ = train_and_evaluate(wa4, train_loader, test_loader, cfg.epochs, verbose=verbose)
+    add_row("WAF4", 32, acc, "WAF4", "fp32")
+
+    # ---- INT8 rows ------------------------------------------------------------
+    q8 = int8()
+    base8 = _build(ConvSpec("im2row", q8), cfg.width_multiplier, num_classes)
+    acc8, _ = train_and_evaluate(base8, train_loader, test_loader, cfg.epochs, verbose=verbose)
+    add_row("im2row", 8, acc8, "im2row", "int8")
+    add_row("im2col", 8, acc8, "im2col", "int8")
+
+    wa28 = _build(ConvSpec("F2", q8, flex=False), cfg.width_multiplier, num_classes)
+    acc, _ = train_and_evaluate(wa28, train_loader, test_loader, cfg.epochs, verbose=verbose)
+    add_row("WAF2", 8, acc, "WAF2", "int8")
+
+    wa48 = _build(ConvSpec("F4", q8, flex=True), cfg.width_multiplier, num_classes)
+    acc, _ = train_and_evaluate(wa48, train_loader, test_loader, cfg.epochs, verbose=verbose)
+    add_row("WAF4", 8, acc, "WAF4", "int8")
+
+    # ---- wiNAS rows (optional at small scale) -----------------------------------
+    if include_nas:
+        from repro.nas import SearchConfig, WiNAS, wa_space
+
+        tr, val = train_set.split(0.5)
+        from repro.data.loader import DataLoader
+
+        tr_loader = DataLoader(tr, batch_size=cfg.batch_size, seed=seed)
+        val_loader = DataLoader(val, batch_size=cfg.batch_size, seed=seed + 1)
+        plan = WiNAS.make_plan(wa_space("int8"))
+        search_model = resnet18(
+            width_multiplier=cfg.width_multiplier, plan=plan, num_classes=num_classes
+        )
+        nas = WiNAS(search_model, SearchConfig(epochs=cfg.search_epochs, lambda2=0.02))
+        nas.populate_latencies(train_set.images[: cfg.batch_size])
+        result = nas.search(tr_loader, val_loader)
+        final = resnet18(
+            width_multiplier=cfg.width_multiplier, plan=result.plan, num_classes=num_classes
+        )
+        acc, _ = train_and_evaluate(final, train_loader, test_loader, cfg.epochs, verbose=verbose)
+        report.add(
+            conv="wiNAS-WA",
+            bits=8,
+            accuracy=acc,
+            a53_ms=float("nan"),
+            a73_ms=float("nan"),
+            a53_speedup=float("nan"),
+            a73_speedup=float("nan"),
+            searched_latency_ms=result.expected_latency_ms,
+        )
+        report.notes.append(
+            "wiNAS-WA row: latency is the searched per-layer sum at experiment "
+            "scale, not the full-size network prediction."
+        )
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(verbose=True).format())

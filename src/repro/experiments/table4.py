@@ -1,0 +1,32 @@
+"""Table 4 — SqueezeNet: im2row vs Winograd-aware, static vs flex."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentReport, get_scale
+from repro.experiments.table45 import run_architecture
+from repro.models.squeezenet import SqueezeNet
+from repro.paperdata.tables import TABLE4_SQUEEZENET
+
+
+def run(scale: str = "smoke", seed: int = 0, dataset: str = "cifar10",
+        verbose: bool = False) -> ExperimentReport:
+    cfg = get_scale(scale)
+
+    def build(plan, num_classes):
+        return SqueezeNet(
+            num_classes=num_classes, width_multiplier=cfg.width_multiplier, plan=plan
+        )
+
+    return run_architecture(
+        "table4_squeezenet",
+        build,
+        TABLE4_SQUEEZENET,
+        scale=scale,
+        seed=seed,
+        dataset=dataset,
+        verbose=verbose,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(verbose=True).format())

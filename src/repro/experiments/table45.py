@@ -1,0 +1,53 @@
+"""Shared driver for Tables 4 (SqueezeNet) and 5 (ResNeXt-20 8×16).
+
+Both tables have the same structure: {im2row, WAF2, WAF4} × {static, flex}
+× {FP32, INT8}, on CIFAR-10 and CIFAR-100.  The expected shape under INT8:
+WAF4-static collapses (79.3 / 76.7 in the paper), WAF4-flex recovers to
+within ~1 point of im2row; the appendix attributes the milder ResNet-18
+gap to these models having fewer consecutive 3×3 layers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.experiments.common import ExperimentReport, get_scale, train_and_evaluate
+from repro.models.common import ConvSpec, LayerPlan
+from repro.quant.qconfig import QConfig, fp32, int8
+
+#: (name, algorithm, transforms) rows of both tables.
+ROWS: List[Tuple[str, str, str]] = [
+    ("im2row", "im2row", "-"),
+    ("WAF2", "F2", "static"),
+    ("WAF2", "F2", "flex"),
+    ("WAF4", "F4", "static"),
+    ("WAF4", "F4", "flex"),
+]
+
+
+def run_architecture(
+    experiment: str,
+    build: Callable[[LayerPlan, int], object],
+    paper_reference,
+    scale: str = "smoke",
+    seed: int = 0,
+    dataset: str = "cifar10",
+    bits: Tuple[int, ...] = (32, 8),
+    verbose: bool = False,
+) -> ExperimentReport:
+    cfg = get_scale(scale)
+    train_loader, test_loader, train_set, _ = cfg.loaders(dataset, seed=seed)
+    report = ExperimentReport(experiment, scale, paper_reference=paper_reference)
+    for bit in bits:
+        qc = fp32() if bit == 32 else QConfig(bits=bit)
+        for name, algorithm, transforms in ROWS:
+            if algorithm == "im2row":
+                spec = ConvSpec("im2row", qc)
+            else:
+                spec = ConvSpec(algorithm, qc, flex=(transforms == "flex"))
+            model = build(LayerPlan(spec), train_set.num_classes)
+            acc, _ = train_and_evaluate(
+                model, train_loader, test_loader, cfg.epochs, verbose=verbose
+            )
+            report.add(conv=name, bits=bit, transforms=transforms, accuracy=acc)
+    return report

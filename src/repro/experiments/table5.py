@@ -1,0 +1,32 @@
+"""Table 5 — ResNeXt-20 (8×16): im2row vs Winograd-aware, static vs flex."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentReport, get_scale
+from repro.experiments.table45 import run_architecture
+from repro.models.resnext import ResNeXt20
+from repro.paperdata.tables import TABLE5_RESNEXT
+
+
+def run(scale: str = "smoke", seed: int = 0, dataset: str = "cifar10",
+        verbose: bool = False) -> ExperimentReport:
+    cfg = get_scale(scale)
+
+    def build(plan, num_classes):
+        return ResNeXt20(
+            num_classes=num_classes, width_multiplier=cfg.width_multiplier, plan=plan
+        )
+
+    return run_architecture(
+        "table5_resnext",
+        build,
+        TABLE5_RESNEXT,
+        scale=scale,
+        seed=seed,
+        dataset=dataset,
+        verbose=verbose,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(verbose=True).format())

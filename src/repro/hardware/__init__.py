@@ -1,0 +1,45 @@
+"""Analytical latency model of Arm Cortex-A73 / A53 mobile CPUs.
+
+The paper measures real hardware (HiKey 960).  That board is not available
+here, so this package substitutes an analytical cost model with the same
+*interface* the paper's pipeline needs — per-layer, per-algorithm latency
+lookups — calibrated against the paper's own published measurements:
+
+* the Figure 7 grid (A73, FP32, 240 data points) fits the base model;
+* Table 3's network-level latencies fit the INT8 throughput factors and the
+  A53 scaling factors.
+
+The model accounts for the mechanisms the paper discusses: GEMM efficiency
+loss on small dimensions (why input layers don't benefit from Winograd),
+ragged-tile waste from ``ceil(W/m)`` (why F4/F6 alternate with output
+width), transform cost proportional to transform-matrix density (why
+learned dense transforms cost more — §A.2), and lowering cost for
+im2row/im2col.
+"""
+
+from repro.hardware.cores import CoreSpec, CORES, get_core
+from repro.hardware.model import (
+    ConvShape,
+    LatencyBreakdown,
+    conv_latency,
+    gemm_time_ms,
+)
+from repro.hardware.calibration import CalibratedModel, get_calibrated_model
+from repro.hardware.network import model_latency, conv_modules_with_shapes, NetworkLatency
+from repro.hardware.table import LatencyTable
+
+__all__ = [
+    "CoreSpec",
+    "CORES",
+    "get_core",
+    "ConvShape",
+    "LatencyBreakdown",
+    "conv_latency",
+    "gemm_time_ms",
+    "CalibratedModel",
+    "get_calibrated_model",
+    "model_latency",
+    "conv_modules_with_shapes",
+    "NetworkLatency",
+    "LatencyTable",
+]

@@ -1,0 +1,313 @@
+"""Fitting the latency model to the paper's published measurements.
+
+Two-step calibration:
+
+1. **A73 / FP32 base** — seven parameters (GEMM rate, transform rate,
+   lowering cost, fixed overhead, three GEMM-efficiency knees) are fitted
+   to the 240-point Figure 7 grid in log space.
+2. **Extensions** — the INT8 speedup factors, the im2col lowering factor,
+   and a network-context factor are fitted to Table 3's A73 network
+   latencies; the A53's own parameters are fitted to Table 3's A53 column
+   (sharing the A73's efficiency knees, which are micro-architectural
+   shape constants).
+
+The *network-context factor* absorbs the constant offset between isolated
+layer benchmarks (cold caches, 5-second separations — §5.3) and layers
+executed back-to-back inside a network; it rescales totals uniformly and
+therefore never changes which algorithm wins.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.hardware.model import (
+    ConvShape,
+    LatencyBreakdown,
+    ModelParams,
+    conv_latency,
+)
+from repro.hardware.network import resnet18_layer_shapes
+from repro.paperdata.figure7 import figure7_grid
+from repro.paperdata.tables import TABLE3_ROWS
+
+
+def _unpack_base(x: np.ndarray) -> ModelParams:
+    r_mac, r_tr, c_lower, o_fix, a_m, a_k, a_n = np.exp(x)
+    return ModelParams(
+        r_mac=r_mac,
+        r_tr=r_tr,
+        c_lower=c_lower,
+        o_fix=o_fix,
+        alpha_m=a_m,
+        alpha_k=a_k,
+        alpha_n=a_n,
+    )
+
+
+@lru_cache(maxsize=1)
+def _fit_a73_base() -> ModelParams:
+    grid = figure7_grid()
+    entries = [
+        (ConvShape(cin, cout, out_w), algo, ms)
+        for (out_w, cin, cout, algo), ms in grid.items()
+    ]
+
+    def residuals(x: np.ndarray) -> np.ndarray:
+        params = _unpack_base(x)
+        res = np.empty(len(entries))
+        for i, (shape, algo, observed) in enumerate(entries):
+            pred = conv_latency(params, shape, algo).total_ms
+            res[i] = math.log(pred) - math.log(observed)
+        return res
+
+    # Physically motivated starting point: ~2.7 GMAC/s effective GEMM rate,
+    # transforms an order of magnitude slower, microsecond-scale overheads.
+    x0 = np.log([2.7e6, 4.0e5, 3.0e-6, 5.0e-3, 50.0, 50.0, 20.0])
+    fit = optimize.least_squares(residuals, x0, method="lm", max_nfev=4000)
+    return _unpack_base(fit.x)
+
+
+# ---------------------------------------------------------------------------
+# Table 3 network predictions
+# ---------------------------------------------------------------------------
+
+#: Plans for Table 3 rows: how each conv role is implemented.
+#: (block 3×3 algorithm, tail-two-blocks algorithm, dense transforms?)
+_PLAN = {
+    "im2row": ("im2row", "im2row", False),
+    "im2col": ("im2col", "im2col", False),
+    "WF2": ("F2", "F2", False),
+    "WF4": ("F4", "F2", False),
+    "WAF2": ("F2", "F2", False),  # default (sparse) transforms — the paper's (*)
+    "WAF4": ("F4", "F2", True),  # learned transforms: dense (†)
+}
+
+
+def predict_resnet18_latency(
+    params: ModelParams,
+    plan: str,
+    dtype: str,
+    image_size: int = 32,
+) -> float:
+    """Model-predicted conv latency (ms) of the paper's ResNet-18."""
+    main_algo, tail_algo, dense = _PLAN[plan]
+    shapes = resnet18_layer_shapes(image_size)
+    block_indices = [i for i, (role, _) in enumerate(shapes) if role == "block"]
+    tail = set(block_indices[-4:])  # the last two residual blocks
+    total = 0.0
+    for i, (role, shape) in enumerate(shapes):
+        if role == "block":
+            algo = tail_algo if i in tail else main_algo
+        else:
+            # stem and 1×1 shortcuts always use the standard algorithm
+            algo = "im2row" if main_algo not in ("im2row", "im2col") else main_algo
+        is_winograd = algo.startswith("F")
+        total += conv_latency(
+            params, shape, algo, dtype=dtype, dense_transforms=dense and is_winograd
+        ).total_ms
+    return total
+
+
+def _a73_observations() -> List[Tuple[str, str, float]]:
+    obs = []
+    for row in TABLE3_ROWS:
+        if row["conv"] not in _PLAN or not isinstance(row["a73"], (int, float)):
+            continue
+        dtype = "fp32" if row["bits"] == 32 else "int8"
+        if (row["conv"], dtype) == ("WAF2", "fp32"):
+            continue  # identical prediction to WF2 fp32 (duplicate)
+        obs.append((row["conv"], dtype, float(row["a73"])))
+    return obs
+
+
+def _a53_observations() -> List[Tuple[str, str, float]]:
+    obs = []
+    for row in TABLE3_ROWS:
+        if row["conv"] not in _PLAN or not isinstance(row["a53"], (int, float)):
+            continue
+        dtype = "fp32" if row["bits"] == 32 else "int8"
+        if (row["conv"], dtype) == ("WAF2", "fp32"):
+            continue
+        obs.append((row["conv"], dtype, float(row["a53"])))
+    return obs
+
+
+@lru_cache(maxsize=1)
+def _fit_extensions() -> Tuple[ModelParams, float, ModelParams]:
+    """Returns (a73_params_with_factors, a73_network_factor, a53_params)."""
+    base = _fit_a73_base()
+
+    a73_obs = _a73_observations()
+
+    def a73_residuals(x: np.ndarray) -> np.ndarray:
+        net_factor, im2col_f, i8_gemm, i8_tr, i8_low = np.exp(x)
+        params = ModelParams(
+            r_mac=base.r_mac,
+            r_tr=base.r_tr,
+            c_lower=base.c_lower,
+            o_fix=base.o_fix,
+            alpha_m=base.alpha_m,
+            alpha_k=base.alpha_k,
+            alpha_n=base.alpha_n,
+            im2col_factor=im2col_f,
+            int8_gemm_speedup=i8_gemm,
+            int8_tr_speedup=i8_tr,
+            int8_lower_speedup=i8_low,
+        )
+        res = []
+        for plan, dtype, observed in a73_obs:
+            pred = net_factor * predict_resnet18_latency(params, plan, dtype)
+            res.append(math.log(pred) - math.log(observed))
+        return np.array(res)
+
+    # Bounds keep every factor physically meaningful: the network factor is
+    # a cache-warmth effect (well under 1); im2col costs at most ~2× im2row;
+    # INT8 helps by 1–4× (NEON dot-product kernels) and never slows a stage
+    # below 0.5× (widening overheads in transform kernels).
+    x0 = np.log([0.5, 1.3, 2.0, 1.5, 2.0])
+    lo = np.log([0.05, 1.0, 1.0, 0.5, 0.5])
+    hi = np.log([1.5, 2.0, 4.0, 4.0, 4.0])
+    fit = optimize.least_squares(a73_residuals, x0, bounds=(lo, hi), max_nfev=2000)
+    net_factor, im2col_f, i8_gemm, i8_tr, i8_low = np.exp(fit.x)
+    a73 = ModelParams(
+        r_mac=base.r_mac,
+        r_tr=base.r_tr,
+        c_lower=base.c_lower,
+        o_fix=base.o_fix,
+        alpha_m=base.alpha_m,
+        alpha_k=base.alpha_k,
+        alpha_n=base.alpha_n,
+        im2col_factor=float(im2col_f),
+        int8_gemm_speedup=float(i8_gemm),
+        int8_tr_speedup=float(i8_tr),
+        int8_lower_speedup=float(i8_low),
+    )
+
+    a53_obs = _a53_observations()
+
+    def a53_residuals(x: np.ndarray) -> np.ndarray:
+        r_mac, r_tr, c_lower, im2col_f, i8_gemm, i8_tr, i8_low = np.exp(x)
+        params = ModelParams(
+            r_mac=r_mac,
+            r_tr=r_tr,
+            c_lower=c_lower,
+            o_fix=base.o_fix,
+            alpha_m=base.alpha_m,
+            alpha_k=base.alpha_k,
+            alpha_n=base.alpha_n,
+            im2col_factor=im2col_f,
+            int8_gemm_speedup=i8_gemm,
+            int8_tr_speedup=i8_tr,
+            int8_lower_speedup=i8_low,
+        )
+        res = []
+        for plan, dtype, observed in a53_obs:
+            # Fitted rates are network-scale here; they are rescaled to
+            # isolated-benchmark scale after the fit (see below).
+            pred = predict_resnet18_latency(params, plan, dtype)
+            res.append(math.log(pred) - math.log(observed))
+        return np.array(res)
+
+    # Start from A73 values scaled by clock × issue-width, expressed at
+    # network scale (the A53 observations are network latencies, so its
+    # rates absorb the cache-warmth factor the A73 keeps separate).  The
+    # A53 is strictly the weaker core: bound its effective rates below the
+    # A73's network-scale rates.
+    scale = (1.8 / 2.4) * 0.5
+    a73_net_mac = base.r_mac / net_factor
+    a73_net_tr = base.r_tr / net_factor
+    x0 = np.log([a73_net_mac * scale, a73_net_tr * scale, base.c_lower, 1.3, 1.2, 1.5, 1.5])
+    lo = np.log([a73_net_mac * 0.05, a73_net_tr * 0.02, base.c_lower * 0.1, 1.0, 0.8, 0.5, 0.5])
+    hi = np.log([a73_net_mac * 1.0, a73_net_tr * 1.0, base.c_lower * 100, 2.0, 4.0, 4.0, 4.0])
+    fit53 = optimize.least_squares(a53_residuals, x0, bounds=(lo, hi), max_nfev=2000)
+    r_mac, r_tr, c_lower, im2col_f53, i8_gemm53, i8_tr53, i8_low53 = np.exp(fit53.x)
+    # The A53 was fitted on network-scale observations.  Re-express its
+    # rates at isolated-benchmark scale (dividing out the cache-warmth
+    # factor, assumed shared across cores) so that per-layer predictions
+    # are directly comparable between the two cores; the factor is then
+    # re-applied for network-context predictions, leaving the fitted
+    # network latencies unchanged.
+    r_mac *= net_factor
+    r_tr *= net_factor
+    c_lower /= net_factor
+    a53 = ModelParams(
+        r_mac=float(r_mac),
+        r_tr=float(r_tr),
+        c_lower=float(c_lower),
+        o_fix=base.o_fix,
+        alpha_m=base.alpha_m,
+        alpha_k=base.alpha_k,
+        alpha_n=base.alpha_n,
+        im2col_factor=float(im2col_f53),
+        int8_gemm_speedup=float(i8_gemm53),
+        int8_tr_speedup=float(i8_tr53),
+        int8_lower_speedup=float(i8_low53),
+    )
+    return a73, float(net_factor), a53
+
+
+@dataclass
+class CalibratedModel:
+    """Fitted latency model for both cores, with convenience API."""
+
+    a73: ModelParams
+    a53: ModelParams
+    network_factor: Dict[str, float]
+
+    def params(self, core: str) -> ModelParams:
+        core = core.upper()
+        if core == "A73":
+            return self.a73
+        if core == "A53":
+            return self.a53
+        raise KeyError(f"unknown core {core!r}")
+
+    def conv_latency(
+        self,
+        shape: ConvShape,
+        algorithm: str,
+        dtype: str = "fp32",
+        dense_transforms: bool = False,
+        core: str = "A73",
+        network_context: bool = False,
+        transform=None,
+    ) -> LatencyBreakdown:
+        params = self.params(core)
+        breakdown = conv_latency(
+            params, shape, algorithm, dtype=dtype, dense_transforms=dense_transforms,
+            transform=transform,
+        )
+        if network_context:
+            f = self.network_factor[core.upper()]
+            breakdown = LatencyBreakdown(
+                algorithm=breakdown.algorithm,
+                lowering_ms=breakdown.lowering_ms * f,
+                input_transform_ms=breakdown.input_transform_ms * f,
+                gemm_ms=breakdown.gemm_ms * f,
+                output_transform_ms=breakdown.output_transform_ms * f,
+                overhead_ms=breakdown.overhead_ms * f,
+            )
+        return breakdown
+
+    def resnet18_latency(self, plan: str, dtype: str, core: str = "A73") -> float:
+        """Network-scale Table-3-style prediction (ms)."""
+        raw = predict_resnet18_latency(self.params(core), plan, dtype)
+        return raw * self.network_factor[core.upper()]
+
+
+@lru_cache(maxsize=1)
+def get_calibrated_model() -> CalibratedModel:
+    """The calibrated model (fitted once per process, ~a second)."""
+    a73, net_factor, a53 = _fit_extensions()
+    return CalibratedModel(
+        a73=a73,
+        a53=a53,
+        network_factor={"A73": net_factor, "A53": net_factor},
+    )

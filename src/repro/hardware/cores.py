@@ -1,0 +1,50 @@
+"""Core specifications (paper Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """Published hardware characteristics of one CPU core.
+
+    ``peak_fp32_macs_per_cycle`` comes from the micro-architecture (NEON
+    width × pipes), not Table 2; it seeds the calibration but the fitted
+    effective rate is what the model uses.
+    """
+
+    name: str
+    clock_ghz: float
+    l1_kb: int
+    l2_kb: int
+    peak_fp32_macs_per_cycle: float
+
+    @property
+    def peak_fp32_macs_per_ms(self) -> float:
+        return self.clock_ghz * 1e6 * self.peak_fp32_macs_per_cycle
+
+    @property
+    def l1_bytes(self) -> int:
+        return self.l1_kb * 1024
+
+    @property
+    def l2_bytes(self) -> int:
+        return self.l2_kb * 1024
+
+
+#: HiKey 960 big.LITTLE cores (Table 2).  The A73 is the high-performance
+#: out-of-order core (2×128-bit NEON FMA pipes); the A53 the in-order
+#: efficiency core (1×64-bit NEON pipe).
+CORES: Dict[str, CoreSpec] = {
+    "A73": CoreSpec(name="A73", clock_ghz=2.4, l1_kb=64, l2_kb=2048, peak_fp32_macs_per_cycle=8.0),
+    "A53": CoreSpec(name="A53", clock_ghz=1.8, l1_kb=32, l2_kb=512, peak_fp32_macs_per_cycle=2.0),
+}
+
+
+def get_core(name: str) -> CoreSpec:
+    try:
+        return CORES[name.upper()]
+    except KeyError:
+        raise KeyError(f"unknown core {name!r}; available: {sorted(CORES)}") from None

@@ -1,0 +1,203 @@
+"""The analytical per-layer latency model.
+
+Cost structure (all times in milliseconds, square spatial dims):
+
+``im2row`` / ``im2col``
+    lowering (memory-bound patch expansion) + one GEMM of
+    (W² × 9C) · (9C × K).  im2col pays a constant factor more for the
+    lowering because of its transposed, cache-unfriendly write pattern.
+
+``Winograd F(m)``  (t = m + r - 1, tiles P = ceil(W/m)²)
+    input transform   — 2·nnz(Bᵀ)·t MACs per tile·channel, at the
+                        transform-stage rate (scatter/gather bound);
+    Hadamard stage    — t² GEMMs of (K × C)·(C × P) at the GEMM rate;
+    output transform  — 2·nnz(Aᵀ)·t MACs per tile·filter.
+    The filter transform ``G g Gᵀ`` is amortised across inferences and
+    excluded, as the paper assumes (§3.1).
+
+GEMM efficiency degrades on small dimensions via
+``eff = 1 / (1 + αm/M + αk/K + αn/N)``, which reproduces the paper's two
+qualitative findings: input layers (C = 3) cannot feed the Hadamard GEMMs,
+and small outputs leave the ragged ``ceil``-tile waste dominant (the F4/F6
+alternation of Figure 7).
+
+Transform cost scales with the *density* of the transform matrices:
+learned ("flex") transforms are dense and therefore slower — exactly the
+§A.2 overhead study.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.winograd.transforms import WinogradTransform, get_transform
+
+#: Winograd algorithm names understood by the model.
+WINOGRAD_M = {"F2": 2, "F4": 4, "F6": 6}
+
+#: Supported datatypes.
+DTYPES = ("fp32", "int16", "int8")
+
+
+@dataclass(frozen=True)
+class ConvShape:
+    """A 3×3 (or r×r) convolution layer's shape: C→K at W×W output."""
+
+    in_channels: int
+    out_channels: int
+    out_width: int
+    kernel_size: int = 3
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.in_channels, self.out_channels, self.out_width) <= 0:
+            raise ValueError(f"invalid shape {self}")
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ValueError(f"groups={self.groups} must divide channels in {self}")
+
+
+@dataclass
+class ModelParams:
+    """Fitted per-core parameters (FP32 base + precision factors)."""
+
+    r_mac: float  # GEMM MACs per ms at peak
+    r_tr: float  # transform-stage MACs per ms
+    c_lower: float  # ms per lowered element (im2row)
+    o_fix: float  # fixed per-call overhead, ms
+    alpha_m: float  # GEMM efficiency knees
+    alpha_k: float
+    alpha_n: float
+    im2col_factor: float = 1.35  # lowering penalty of im2col vs im2row
+    int8_gemm_speedup: float = 2.0
+    int8_tr_speedup: float = 1.5
+    int8_lower_speedup: float = 2.0
+
+    def gemm_rate(self, dtype: str) -> float:
+        return self.r_mac * self._dtype_factor(dtype, self.int8_gemm_speedup)
+
+    def tr_rate(self, dtype: str) -> float:
+        return self.r_tr * self._dtype_factor(dtype, self.int8_tr_speedup)
+
+    def lower_cost(self, dtype: str) -> float:
+        return self.c_lower / self._dtype_factor(dtype, self.int8_lower_speedup)
+
+    @staticmethod
+    def _dtype_factor(dtype: str, int8_speedup: float) -> float:
+        if dtype == "fp32":
+            return 1.0
+        if dtype == "int8":
+            return int8_speedup
+        if dtype == "int16":
+            # INT16 is unsupported by Arm Compute Library (paper §5.3);
+            # model it between FP32 and INT8 (geometric mean).
+            return math.sqrt(int8_speedup)
+        raise ValueError(f"unknown dtype {dtype!r}; expected one of {DTYPES}")
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Per-stage latency of one layer (the Figure 8 bar decomposition)."""
+
+    algorithm: str
+    lowering_ms: float = 0.0
+    input_transform_ms: float = 0.0
+    gemm_ms: float = 0.0
+    output_transform_ms: float = 0.0
+    overhead_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return (
+            self.lowering_ms
+            + self.input_transform_ms
+            + self.gemm_ms
+            + self.output_transform_ms
+            + self.overhead_ms
+        )
+
+    @property
+    def transform_fraction(self) -> float:
+        """Share of time in to/from-Winograd transforms (paper: up to 75%)."""
+        total = self.total_ms
+        return (self.input_transform_ms + self.output_transform_ms) / total if total else 0.0
+
+
+def gemm_eff(params: ModelParams, m: float, k: float, n: float) -> float:
+    """GEMM efficiency in (0, 1]: degrades when any dimension is small."""
+    return 1.0 / (1.0 + params.alpha_m / m + params.alpha_k / k + params.alpha_n / n)
+
+
+def gemm_time_ms(params: ModelParams, m: float, k: float, n: float, dtype: str = "fp32") -> float:
+    """Time of one (m × k)·(k × n) GEMM."""
+    return (m * k * n) / (params.gemm_rate(dtype) * gemm_eff(params, m, k, n))
+
+
+def _transform_nnz(transform: WinogradTransform, dense: bool) -> Dict[str, float]:
+    t = transform.t
+    m = transform.m
+    if dense:
+        return {"BT": float(t * t), "AT": float(m * t)}
+    return {
+        "BT": float(np.count_nonzero(transform.BT)),
+        "AT": float(np.count_nonzero(transform.AT)),
+    }
+
+
+def conv_latency(
+    params: ModelParams,
+    shape: ConvShape,
+    algorithm: str,
+    dtype: str = "fp32",
+    dense_transforms: bool = False,
+    transform: Optional[WinogradTransform] = None,
+) -> LatencyBreakdown:
+    """Latency breakdown for one convolution layer under one algorithm.
+
+    ``dense_transforms=True`` models learned (flex) transforms, which lose
+    the zero-structure of the Cook–Toom defaults (§A.2).  ``transform``
+    overrides the canonical transform (e.g. to price an actual learned
+    matrix by its real density).
+    """
+    c = shape.in_channels // shape.groups
+    k = shape.out_channels // shape.groups
+    g = shape.groups
+    w = shape.out_width
+    r = shape.kernel_size
+
+    if algorithm in ("im2row", "im2col"):
+        elements = c * g * r * r * w * w
+        lowering = params.lower_cost(dtype) * elements
+        gemm = g * gemm_time_ms(params, w * w, r * r * c, k, dtype)
+        # im2col's column-major patch layout costs extra locality in both
+        # the lowering writes and the GEMM reads (Table 3: ~1.1–1.3×).
+        penalty = params.im2col_factor if algorithm == "im2col" else 1.0
+        return LatencyBreakdown(
+            algorithm=algorithm,
+            lowering_ms=lowering * penalty,
+            gemm_ms=gemm * penalty,
+            overhead_ms=params.o_fix,
+        )
+
+    if algorithm not in WINOGRAD_M:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    m = WINOGRAD_M[algorithm]
+    if transform is None:
+        transform = get_transform(m, r)
+    t = transform.t
+    tiles = math.ceil(w / m) ** 2
+    nnz = _transform_nnz(transform, dense_transforms)
+
+    in_tr = 2.0 * nnz["BT"] * t * c * g * tiles / params.tr_rate(dtype)
+    hadamard = g * t * t * gemm_time_ms(params, k, c, tiles, dtype)
+    out_tr = 2.0 * nnz["AT"] * t * k * g * tiles / params.tr_rate(dtype)
+    return LatencyBreakdown(
+        algorithm=algorithm,
+        input_transform_ms=in_tr,
+        gemm_ms=hadamard,
+        output_transform_ms=out_tr,
+        overhead_ms=params.o_fix,
+    )

@@ -1,0 +1,182 @@
+"""Network-level latency: walk a model, price every convolution.
+
+The paper evaluates whole ResNet-18 variants on the board (Table 3).  Here
+a model is run once on an example input (shape capture), then every conv
+module is priced by the analytical model.  Non-convolution layers (BN,
+pooling, ReLU, the classifier) are not priced — the paper's measurements
+and search likewise only concern the convolution algorithm choice, and the
+paper notes the non-conv remainder is small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.function import no_grad
+from repro.autograd.tensor import Tensor
+from repro.hardware.model import ConvShape, LatencyBreakdown, conv_latency
+from repro.nn.layers import Conv2d
+from repro.nn.module import Module
+from repro.nn.qlayers import QuantConv2d
+from repro.winograd.layer import WinogradConv2d
+
+
+def dtype_from_bits(bits: Optional[int]) -> str:
+    """Map a QConfig bit-width to a latency-model datatype.
+
+    The board supports FP32 and INT8 kernels; INT16 is priced between the
+    two (§5.3: "INT16 measurements are not currently supported in Arm
+    Compute Library").  Odd widths like the paper's INT10 accuracy study
+    are priced as INT16 (nearest supported container).
+    """
+    if bits is None:
+        return "fp32"
+    if bits <= 9:
+        return "int8"
+    return "int16"
+
+
+@dataclass
+class PricedConv:
+    name: str
+    shape: ConvShape
+    algorithm: str
+    dtype: str
+    dense_transforms: bool
+    breakdown: Optional[LatencyBreakdown] = None
+
+
+@dataclass
+class NetworkLatency:
+    core: str
+    layers: List[PricedConv]
+
+    @property
+    def total_ms(self) -> float:
+        return sum(l.breakdown.total_ms for l in self.layers if l.breakdown)
+
+    def describe(self) -> List[str]:
+        rows = []
+        for l in self.layers:
+            rows.append(
+                f"{l.name:<28s} {l.algorithm:<7s} {l.dtype:<5s} "
+                f"{l.shape.in_channels}->{l.shape.out_channels}@{l.shape.out_width}"
+                f"  {l.breakdown.total_ms:8.3f} ms"
+            )
+        return rows
+
+
+def _classify(module: Module) -> Optional[Tuple[str, str, bool]]:
+    """(algorithm, dtype, dense_transforms) for a conv-like module, else None."""
+    if isinstance(module, WinogradConv2d):
+        algorithm = f"F{module.m}"
+        dtype = dtype_from_bits(module.qconfig.bits)
+        # Flex transforms are dense after training; price them as dense
+        # whenever they have actually drifted from Cook–Toom (or will:
+        # flex implies dense deployment — §A.2).
+        return algorithm, dtype, module.flex
+    if isinstance(module, QuantConv2d):
+        return module.conv.method, dtype_from_bits(module.qconfig.bits), False
+    if isinstance(module, Conv2d):
+        return module.method, "fp32", False
+    return None
+
+
+def conv_modules_with_shapes(
+    model: Module, example_input: np.ndarray
+) -> List[PricedConv]:
+    """Run a shape-capturing forward pass and list every priced conv."""
+    model.eval()
+    with no_grad():
+        model(Tensor(example_input))
+    model.train()
+    priced: List[PricedConv] = []
+    seen_convs = set()
+    for name, module in model.named_modules():
+        info = _classify(module)
+        if info is None:
+            continue
+        # A QuantConv2d wraps a Conv2d child; skip the child.
+        if isinstance(module, QuantConv2d):
+            seen_convs.add(id(module.conv))
+        if isinstance(module, Conv2d) and id(module) in seen_convs:
+            continue
+        algorithm, dtype, dense = info
+        inner = module.conv if isinstance(module, QuantConv2d) else module
+        if not hasattr(inner, "last_input_hw"):
+            continue  # module not touched by this input
+        h, _ = inner.last_input_hw
+        kernel = inner.kernel_size[0] if isinstance(inner.kernel_size, tuple) else inner.kernel_size
+        if isinstance(inner, WinogradConv2d):
+            kernel = inner.kernel_size
+            pad = inner.padding
+            stride = 1
+        else:
+            pad = inner.padding if isinstance(inner.padding, int) else inner.padding[0]
+            stride = inner.stride if isinstance(inner.stride, int) else inner.stride[0]
+        out_w = (h + 2 * pad - kernel) // stride + 1
+        shape = ConvShape(
+            in_channels=inner.in_channels,
+            out_channels=inner.out_channels,
+            out_width=out_w,
+            kernel_size=kernel,
+            groups=inner.groups,
+        )
+        priced.append(PricedConv(name, shape, algorithm, dtype, dense))
+    return priced
+
+
+def model_latency(
+    model: Module,
+    example_input: np.ndarray,
+    core: str = "A73",
+    calibrated=None,
+) -> NetworkLatency:
+    """Total conv latency of ``model`` on ``core`` for the given input."""
+    from repro.hardware.calibration import get_calibrated_model
+
+    calibrated = calibrated or get_calibrated_model()
+    priced = conv_modules_with_shapes(model, example_input)
+    for layer in priced:
+        layer.breakdown = calibrated.conv_latency(
+            layer.shape,
+            layer.algorithm,
+            dtype=layer.dtype,
+            dense_transforms=layer.dense_transforms,
+            core=core,
+            network_context=True,
+        )
+    return NetworkLatency(core=core, layers=priced)
+
+
+# ---------------------------------------------------------------------------
+# Static ResNet-18 shape enumeration — used for calibrating against Table 3
+# without building a full model.
+# ---------------------------------------------------------------------------
+
+
+def resnet18_layer_shapes(image_size: int = 32) -> List[Tuple[str, ConvShape]]:
+    """(role, shape) for every conv of the paper's CIFAR ResNet-18.
+
+    Roles: "stem", "block" (searchable 3×3, indexed in network order by
+    position in this list), "shortcut" (1×1).
+    """
+    layers: List[Tuple[str, ConvShape]] = []
+    layers.append(("stem", ConvShape(3, 32, image_size)))
+    widths = [64, 128, 256, 512]
+    in_ch = 32
+    size = image_size
+    for stage, out_ch in enumerate(widths):
+        if stage > 0:
+            size //= 2
+        for block in range(2):
+            downsample = stage > 0 and block == 0
+            layers.append(("block", ConvShape(in_ch, out_ch, size)))
+            layers.append(("block", ConvShape(out_ch, out_ch, size)))
+            if downsample or in_ch != out_ch:
+                layers.append(("shortcut", ConvShape(in_ch, out_ch, size, kernel_size=1)))
+            in_ch = out_ch
+    return layers

@@ -1,0 +1,81 @@
+"""Latency lookup tables — the database backing wiNAS.
+
+The paper measured every (layer shape × algorithm × precision) combination
+once on the board and looked latencies up during the search.  This module
+provides the same artefact, generated from the calibrated model and
+memoised, so the search's ``E{latency}`` term is a cheap dictionary read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.hardware.calibration import CalibratedModel, get_calibrated_model
+from repro.hardware.model import ConvShape
+
+Key = Tuple[int, int, int, int, int, str, str]  # (cin, cout, w, r, groups, algo, dtype)
+
+
+class LatencyTable:
+    """Memoised per-layer latency lookups for one core."""
+
+    def __init__(
+        self,
+        core: str = "A73",
+        calibrated: Optional[CalibratedModel] = None,
+        network_context: bool = True,
+    ):
+        self.core = core.upper()
+        self.calibrated = calibrated or get_calibrated_model()
+        self.network_context = network_context
+        self._cache: Dict[Tuple[Key, bool], float] = {}
+
+    def latency_ms(
+        self,
+        shape: ConvShape,
+        algorithm: str,
+        dtype: str = "fp32",
+        dense_transforms: bool = False,
+    ) -> float:
+        key = (
+            (
+                shape.in_channels,
+                shape.out_channels,
+                shape.out_width,
+                shape.kernel_size,
+                shape.groups,
+                algorithm,
+                dtype,
+            ),
+            dense_transforms,
+        )
+        if key not in self._cache:
+            self._cache[key] = self.calibrated.conv_latency(
+                shape,
+                algorithm,
+                dtype=dtype,
+                dense_transforms=dense_transforms,
+                core=self.core,
+                network_context=self.network_context,
+            ).total_ms
+        return self._cache[key]
+
+    def candidates(
+        self,
+        shape: ConvShape,
+        algorithms: Tuple[str, ...] = ("im2row", "F2", "F4", "F6"),
+        dtype: str = "fp32",
+        dense_transforms: bool = True,
+    ) -> Dict[str, float]:
+        """Latency of each candidate algorithm for one layer shape.
+
+        ``dense_transforms`` defaults to True here because wiNAS candidates
+        are Winograd-*aware* layers whose transforms may be learned; the
+        search should price the worst case (§A.2, the † in Table 3).
+        """
+        return {
+            algo: self.latency_ms(
+                shape, algo, dtype, dense_transforms and algo.startswith("F")
+            )
+            for algo in algorithms
+        }

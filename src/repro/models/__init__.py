@@ -1,0 +1,29 @@
+"""Model zoo: the architectures evaluated in the paper.
+
+All models are built through a *conv plan* — a factory deciding, for every
+3×3 (or 5×5) convolution, which algorithm implements it (im2row / im2col /
+Winograd F2/F4/F6), at which precision, and whether the Winograd transforms
+are learnable.  This is exactly the knob wiNAS searches over, and it lets a
+single macro-architecture express every row of the paper's tables.
+"""
+
+from repro.models.common import ConvSpec, LayerPlan, uniform_plan, spec_from_name
+from repro.models.resnet import ResNet18, resnet18
+from repro.models.lenet import LeNet, lenet
+from repro.models.squeezenet import SqueezeNet, squeezenet
+from repro.models.resnext import ResNeXt20, resnext20
+
+__all__ = [
+    "ConvSpec",
+    "LayerPlan",
+    "uniform_plan",
+    "spec_from_name",
+    "ResNet18",
+    "resnet18",
+    "LeNet",
+    "lenet",
+    "SqueezeNet",
+    "squeezenet",
+    "ResNeXt20",
+    "resnext20",
+]

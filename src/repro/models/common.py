@@ -1,0 +1,195 @@
+"""Conv-spec plumbing shared by every model.
+
+A :class:`ConvSpec` names one point of the paper's per-layer search space
+(Fig. 3): the convolution algorithm, the quantization level, and — for
+Winograd — whether the transforms are learnable (``flex``).  A
+:class:`LayerPlan` assigns a spec (or an arbitrary module factory, which is
+how wiNAS injects its mixed ops) to every searchable conv layer of a model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.nn.layers import Conv2d
+from repro.nn.module import Module
+from repro.nn.qlayers import QuantConv2d
+from repro.quant.qconfig import QConfig, fp32
+from repro.winograd.layer import WinogradConv2d
+
+#: Algorithms in the wiNAS search space (Fig. 3), plus "im2col" which the
+#: latency study benchmarks (Fig. 7/8) but the search space omits.
+ALGORITHMS = ("im2row", "im2col", "F2", "F4", "F6")
+
+_WINOGRAD_M = {"F2": 2, "F4": 4, "F6": 6}
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """One candidate implementation of a convolutional layer."""
+
+    algorithm: str = "im2row"
+    qconfig: QConfig = field(default_factory=fp32)
+    flex: bool = False
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {self.algorithm!r}; expected {ALGORITHMS}")
+        if self.flex and not self.is_winograd:
+            raise ValueError("flex transforms only apply to Winograd algorithms")
+
+    @property
+    def is_winograd(self) -> bool:
+        return self.algorithm in _WINOGRAD_M
+
+    @property
+    def m(self) -> int:
+        if not self.is_winograd:
+            raise ValueError(f"{self.algorithm} has no tile size m")
+        return _WINOGRAD_M[self.algorithm]
+
+    @property
+    def name(self) -> str:
+        flex = "-flex" if self.flex else ""
+        return f"{self.algorithm}{flex}@{self.qconfig.name}"
+
+    def build(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        padding: Optional[int] = None,
+        groups: int = 1,
+        bias: bool = True,
+        rng=None,
+    ) -> Module:
+        """Instantiate the layer this spec describes (stride 1)."""
+        pad = (kernel_size - 1) // 2 if padding is None else padding
+        if self.is_winograd:
+            return WinogradConv2d(
+                in_channels,
+                out_channels,
+                kernel_size=kernel_size,
+                m=self.m,
+                padding=pad,
+                groups=groups,
+                bias=bias,
+                flex=self.flex,
+                qconfig=self.qconfig,
+                rng=rng,
+            )
+        conv = Conv2d(
+            in_channels,
+            out_channels,
+            kernel_size=kernel_size,
+            stride=1,
+            padding=pad,
+            groups=groups,
+            bias=bias,
+            method=self.algorithm,
+            rng=rng,
+        )
+        if self.qconfig.enabled:
+            return QuantConv2d(conv, self.qconfig)
+        return conv
+
+
+def spec_from_name(name: str, qconfig: Optional[QConfig] = None) -> ConvSpec:
+    """Parse the paper's naming: "im2row", "F2", "F4-flex", "WAF4", ...
+
+    ``WAF4`` ("Winograd-aware F4") and plain ``F4`` both map to the F4
+    algorithm; the Winograd-*aware* distinction is about how the model is
+    trained, which in this codebase is always the case for Winograd layers.
+    """
+    raw = name.strip()
+    flex = raw.endswith("-flex")
+    if flex:
+        raw = raw[: -len("-flex")]
+    if raw.upper().startswith("WA"):
+        raw = raw[2:]
+    if raw.upper() in _WINOGRAD_M:
+        return ConvSpec(raw.upper(), qconfig or fp32(), flex)
+    if raw.lower() in ("im2row", "im2col"):
+        if flex:
+            raise ValueError(f"{name!r}: flex only applies to Winograd")
+        return ConvSpec(raw.lower(), qconfig or fp32())
+    raise ValueError(f"cannot parse conv spec name {name!r}")
+
+
+#: A factory turning (in_ch, out_ch, layer_index, groups) into a module.
+ConvFactory = Callable[[int, int, int], Module]
+
+
+class LayerPlan:
+    """Assigns a :class:`ConvSpec` (or custom factory) to each conv layer.
+
+    ``specs`` may be a single spec (applied everywhere), a list indexed by
+    layer position, or a dict of overrides on top of a default.  Models
+    call :meth:`build` with consecutive ``layer_index`` values in network
+    order; the number of searchable layers is a property of the model
+    (16 for ResNet-18, 8 for SqueezeNet, 6 for ResNeXt-20 — appendix A.1).
+    """
+
+    def __init__(
+        self,
+        default: ConvSpec,
+        overrides: Optional[Dict[int, ConvSpec]] = None,
+        factory: Optional[Callable[[int, int, int, int], Optional[Module]]] = None,
+    ):
+        self.default = default
+        self.overrides = dict(overrides or {})
+        self.factory = factory
+        self.built: List[Module] = []
+
+    def spec_for(self, layer_index: int) -> ConvSpec:
+        return self.overrides.get(layer_index, self.default)
+
+    def build(
+        self,
+        in_channels: int,
+        out_channels: int,
+        layer_index: int,
+        kernel_size: int = 3,
+        groups: int = 1,
+        rng=None,
+    ) -> Module:
+        if self.factory is not None:
+            module = self.factory(in_channels, out_channels, layer_index, groups)
+            if module is not None:
+                self.built.append(module)
+                return module
+        spec = self.spec_for(layer_index)
+        module = spec.build(
+            in_channels, out_channels, kernel_size=kernel_size, groups=groups, rng=rng
+        )
+        self.built.append(module)
+        return module
+
+    def describe(self) -> List[str]:
+        """Human-readable per-layer assignment (Fig. 9 style)."""
+        out = []
+        for i, module in enumerate(self.built):
+            out.append(f"layer {i:2d}: {module!r}")
+        return out
+
+
+def uniform_plan(
+    spec: ConvSpec,
+    num_layers: int,
+    tail_f2_layers: Sequence[int] = (),
+) -> LayerPlan:
+    """The paper's §5.1 policy: one config everywhere, except the listed
+    tail layers pinned to F2 (the "last two residual blocks" rule).
+
+    The pin only applies when the main spec is a *larger* Winograd config;
+    im2row/F2 plans are left untouched.
+    """
+    overrides: Dict[int, ConvSpec] = {}
+    if spec.is_winograd and spec.m > 2:
+        f2 = replace(spec, algorithm="F2")
+        for idx in tail_f2_layers:
+            if not (0 <= idx < num_layers):
+                raise ValueError(f"tail layer {idx} out of range for {num_layers} layers")
+            overrides[idx] = f2
+    return LayerPlan(spec, overrides)

@@ -1,0 +1,95 @@
+"""LeNet with 5×5 filters (paper Figure 5).
+
+The paper uses an INT8 LeNet on MNIST to stress Winograd-aware layers with
+5×5 filters: F(m×m, 5×5) needs (m+4)×(m+4) tiles — F(6×6, 5×5) already
+operates on 10×10 tiles, demanding many good Cook–Toom points, which is
+where static transforms collapse (47% accuracy gap) and flex recovers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.autograd.tensor import Tensor
+from repro.nn import functional as F
+from repro.nn.layers import BatchNorm2d, Linear, MaxPool2d
+from repro.nn.module import Module
+from repro.nn.qlayers import QuantLinear
+from repro.quant.qconfig import QConfig, fp32
+from repro.models.common import ConvSpec, LayerPlan
+
+#: Both 5×5 convolutions are Winograd-eligible.
+NUM_SEARCHABLE_LAYERS = 2
+
+
+class LeNet(Module):
+    """LeNet-5-style network: two 5×5 convs + three FC layers.
+
+    Spatial plan for 28×28 inputs (padding 2 keeps "same" size):
+    28×28 → pool → 14×14 → pool → 7×7.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        plan: Optional[LayerPlan] = None,
+        head_qconfig: Optional[QConfig] = None,
+        channels: tuple = (6, 16),
+        in_channels: int = 1,
+        image_size: int = 28,
+        batch_norm: bool = True,
+        rng=None,
+    ):
+        super().__init__()
+        if plan is None:
+            plan = LayerPlan(ConvSpec("im2row"))
+        if head_qconfig is None:
+            head_qconfig = plan.default.qconfig
+        self.plan = plan
+        c1, c2 = channels
+
+        self.conv1 = plan.build(in_channels, c1, 0, kernel_size=5, rng=rng)
+        # The classic LeNet has no normalisation; at reproduction scale the
+        # quantized Winograd pipeline needs it to keep activation ranges
+        # (and hence the INT8 grids) stable.  FP32 results are unaffected.
+        self.bn1 = BatchNorm2d(c1) if batch_norm else None
+        self.pool1 = MaxPool2d(2, 2)
+        self.conv2 = plan.build(c1, c2, 1, kernel_size=5, rng=rng)
+        self.bn2 = BatchNorm2d(c2) if batch_norm else None
+        self.pool2 = MaxPool2d(2, 2)
+
+        feat = c2 * (image_size // 4) ** 2
+        make_fc = lambda i, o: (
+            QuantLinear(Linear(i, o, rng=rng), head_qconfig)
+            if head_qconfig.enabled
+            else Linear(i, o, rng=rng)
+        )
+        self.fc1 = make_fc(feat, 120)
+        self.fc2 = make_fc(120, 84)
+        self.fc3 = make_fc(84, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.conv1(x)
+        if self.bn1 is not None:
+            out = self.bn1(out)
+        out = self.pool1(F.relu(out))
+        out = self.conv2(out)
+        if self.bn2 is not None:
+            out = self.bn2(out)
+        out = self.pool2(F.relu(out))
+        out = out.reshape(out.shape[0], out.shape[1] * out.shape[2] * out.shape[3])
+        out = F.relu(self.fc1(out))
+        out = F.relu(self.fc2(out))
+        return self.fc3(out)
+
+
+def lenet(
+    num_classes: int = 10,
+    spec: Optional[ConvSpec] = None,
+    plan: Optional[LayerPlan] = None,
+    rng=None,
+    **kwargs,
+) -> LeNet:
+    if plan is None:
+        plan = LayerPlan(spec or ConvSpec("im2row"))
+    return LeNet(num_classes=num_classes, plan=plan, rng=rng, **kwargs)

@@ -1,0 +1,194 @@
+"""ResNet-18, the paper's CIFAR variant (§5.1).
+
+Differences from torchvision's ResNet-18, all mandated by the paper:
+
+* the stem convolution outputs **32** channels instead of 64 ("to reduce
+  the memory peak during training") and stays a *standard* convolution;
+* every stride-2 convolution is replaced by a 2×2 max-pool followed by a
+  dense stride-1 3×3 convolution (no strided Winograd exists);
+* a ``width_multiplier`` scales every channel count (0.125 … 1.0, the
+  x-axis of Figure 4);
+* the sixteen 3×3 convolutions inside the residual blocks are built
+  through a :class:`~repro.models.common.LayerPlan` so each can be im2row
+  or Winograd at any precision (wiNAS's search space);
+* shortcut 1×1 convolutions are always im2row (paper §A.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn import functional as F
+from repro.nn.layers import BatchNorm2d, Conv2d, Linear, MaxPool2d
+from repro.nn.module import Module, ModuleList, Sequential
+from repro.nn.qlayers import QuantConv2d, QuantLinear
+from repro.quant.qconfig import QConfig, fp32
+from repro.models.common import ConvSpec, LayerPlan, uniform_plan
+
+#: 3×3 conv layers inside residual blocks (2 per block, 2 blocks per stage).
+NUM_SEARCHABLE_LAYERS = 16
+
+#: The paper keeps "the last two residual blocks" at F2 — layers 12..15.
+TAIL_F2_LAYERS = (12, 13, 14, 15)
+
+
+def _scaled(channels: int, width_multiplier: float) -> int:
+    return max(1, int(round(channels * width_multiplier)))
+
+
+class BasicBlock(Module):
+    """Two 3×3 convolutions with identity shortcut.
+
+    When the block downsamples, both the residual branch and the shortcut
+    start with a 2×2 max-pool (the paper's strided-conv replacement).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        downsample: bool,
+        plan: LayerPlan,
+        layer_index: int,
+        shortcut_qconfig: QConfig,
+        rng=None,
+    ):
+        super().__init__()
+        self.downsample = downsample
+        self.pool = MaxPool2d(2, 2) if downsample else None
+        self.conv1 = plan.build(in_channels, out_channels, layer_index, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = plan.build(out_channels, out_channels, layer_index + 1, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if downsample or in_channels != out_channels:
+            proj = Conv2d(in_channels, out_channels, 1, bias=False, rng=rng)
+            self.shortcut_conv = (
+                QuantConv2d(proj, shortcut_qconfig) if shortcut_qconfig.enabled else proj
+            )
+            self.shortcut_bn = BatchNorm2d(out_channels)
+        else:
+            self.shortcut_conv = None
+            self.shortcut_bn = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.pool is not None:
+            x = self.pool(x)
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        if self.shortcut_conv is not None:
+            shortcut = self.shortcut_bn(self.shortcut_conv(x))
+        else:
+            shortcut = x
+        return F.relu(out + shortcut)
+
+
+class ResNet18(Module):
+    """The paper's CIFAR ResNet-18.
+
+    Parameters
+    ----------
+    num_classes:
+        10 for CIFAR-10, 100 for CIFAR-100.
+    width_multiplier:
+        Scales all channel counts (Figure 4's x-axis).
+    plan:
+        Per-layer conv assignment for the 16 searchable 3×3 layers.
+    stem_spec:
+        Algorithm/precision of the input convolution (always a standard
+        conv in §5.1; wiNAS-Q may still quantize it differently).
+    head_qconfig:
+        Precision of the final classifier.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        width_multiplier: float = 1.0,
+        plan: Optional[LayerPlan] = None,
+        stem_spec: Optional[ConvSpec] = None,
+        head_qconfig: Optional[QConfig] = None,
+        stem_channels: int = 32,
+        stage_channels: Sequence[int] = (64, 128, 256, 512),
+        rng=None,
+    ):
+        super().__init__()
+        if plan is None:
+            plan = uniform_plan(ConvSpec("im2row"), NUM_SEARCHABLE_LAYERS, TAIL_F2_LAYERS)
+        if stem_spec is None:
+            stem_spec = ConvSpec("im2row", plan.default.qconfig)
+        if head_qconfig is None:
+            head_qconfig = plan.default.qconfig
+        self.plan = plan
+        self.num_classes = num_classes
+        self.width_multiplier = width_multiplier
+
+        stem_out = _scaled(stem_channels, width_multiplier)
+        widths = [_scaled(c, width_multiplier) for c in stage_channels]
+
+        self.stem = stem_spec.build(3, stem_out, kernel_size=3, rng=rng)
+        self.stem_bn = BatchNorm2d(stem_out)
+
+        blocks: List[BasicBlock] = []
+        in_ch = stem_out
+        layer_index = 0
+        shortcut_q = plan.default.qconfig
+        for stage, out_ch in enumerate(widths):
+            for block in range(2):
+                downsample = stage > 0 and block == 0
+                blocks.append(
+                    BasicBlock(
+                        in_ch,
+                        out_ch,
+                        downsample,
+                        plan,
+                        layer_index,
+                        shortcut_qconfig=shortcut_q,
+                        rng=rng,
+                    )
+                )
+                in_ch = out_ch
+                layer_index += 2
+        assert layer_index == NUM_SEARCHABLE_LAYERS
+        self.blocks = ModuleList(blocks)
+
+        fc = Linear(in_ch, num_classes, rng=rng)
+        self.fc = QuantLinear(fc, head_qconfig) if head_qconfig.enabled else fc
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.stem_bn(self.stem(x)))
+        for block in self.blocks:
+            out = block(out)
+        out = F.global_avg_pool2d(out)
+        return self.fc(out)
+
+    def conv3x3_modules(self) -> List[Module]:
+        """The 16 searchable convolution modules, in network order."""
+        return list(self.plan.built[:NUM_SEARCHABLE_LAYERS])
+
+
+def resnet18(
+    num_classes: int = 10,
+    width_multiplier: float = 1.0,
+    spec: Optional[ConvSpec] = None,
+    plan: Optional[LayerPlan] = None,
+    rng=None,
+    **kwargs,
+) -> ResNet18:
+    """Convenience constructor applying the §5.1 uniform policy.
+
+    ``spec`` sets every searchable layer (tail pinned to F2 when the spec
+    is F4/F6); pass ``plan`` instead for full per-layer control (Fig. 9).
+    """
+    if plan is None:
+        spec = spec or ConvSpec("im2row")
+        plan = uniform_plan(spec, NUM_SEARCHABLE_LAYERS, TAIL_F2_LAYERS)
+    return ResNet18(
+        num_classes=num_classes,
+        width_multiplier=width_multiplier,
+        plan=plan,
+        rng=rng,
+        **kwargs,
+    )

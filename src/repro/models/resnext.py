@@ -1,0 +1,157 @@
+"""ResNeXt-20 (8×16) for CIFAR (paper Table 5 / appendix A.1).
+
+Three stages of two bottleneck blocks; each bottleneck holds one grouped
+3×3 convolution (cardinality 8, base width 16), giving the six searchable
+3×3 layers the appendix counts.  Downsampling uses max-pool + stride-1
+convs, consistent with the paper's no-strided-Winograd policy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.autograd.tensor import Tensor
+from repro.nn import functional as F
+from repro.nn.layers import BatchNorm2d, Conv2d, MaxPool2d
+from repro.nn.module import Module, ModuleList
+from repro.nn.qlayers import QuantConv2d
+from repro.quant.qconfig import QConfig
+from repro.models.common import ConvSpec, LayerPlan
+
+NUM_SEARCHABLE_LAYERS = 6
+
+
+def _scaled(channels: int, width_multiplier: float, multiple: int = 1) -> int:
+    c = max(multiple, int(round(channels * width_multiplier)))
+    return (c // multiple) * multiple if c % multiple else c
+
+
+class ResNeXtBlock(Module):
+    """1×1 reduce → grouped 3×3 (searchable) → 1×1 expand, with shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        group_width: int,
+        out_channels: int,
+        cardinality: int,
+        downsample: bool,
+        plan: LayerPlan,
+        layer_index: int,
+        qconfig: QConfig,
+        rng=None,
+    ):
+        super().__init__()
+        self.pool = MaxPool2d(2, 2) if downsample else None
+        reduce = Conv2d(in_channels, group_width, 1, bias=False, rng=rng)
+        expand = Conv2d(group_width, out_channels, 1, bias=False, rng=rng)
+        self.reduce = QuantConv2d(reduce, qconfig) if qconfig.enabled else reduce
+        self.bn1 = BatchNorm2d(group_width)
+        self.conv3 = plan.build(
+            group_width, group_width, layer_index, groups=cardinality, rng=rng
+        )
+        self.bn2 = BatchNorm2d(group_width)
+        self.expand = QuantConv2d(expand, qconfig) if qconfig.enabled else expand
+        self.bn3 = BatchNorm2d(out_channels)
+        if downsample or in_channels != out_channels:
+            proj = Conv2d(in_channels, out_channels, 1, bias=False, rng=rng)
+            self.shortcut_conv = QuantConv2d(proj, qconfig) if qconfig.enabled else proj
+            self.shortcut_bn = BatchNorm2d(out_channels)
+        else:
+            self.shortcut_conv = None
+            self.shortcut_bn = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.pool is not None:
+            x = self.pool(x)
+        out = F.relu(self.bn1(self.reduce(x)))
+        out = F.relu(self.bn2(self.conv3(out)))
+        out = self.bn3(self.expand(out))
+        if self.shortcut_conv is not None:
+            shortcut = self.shortcut_bn(self.shortcut_conv(x))
+        else:
+            shortcut = x
+        return F.relu(out + shortcut)
+
+
+class ResNeXt20(Module):
+    """ResNeXt-20 (cardinality × base width = 8×16)."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        cardinality: int = 8,
+        base_width: int = 16,
+        width_multiplier: float = 1.0,
+        plan: Optional[LayerPlan] = None,
+        stem_spec: Optional[ConvSpec] = None,
+        rng=None,
+    ):
+        super().__init__()
+        if plan is None:
+            plan = LayerPlan(ConvSpec("im2row"))
+        if stem_spec is None:
+            stem_spec = ConvSpec("im2row", plan.default.qconfig)
+        self.plan = plan
+        qconfig = plan.default.qconfig
+
+        stem_out = _scaled(32, width_multiplier, cardinality)
+        self.stem = stem_spec.build(3, stem_out, kernel_size=3, rng=rng)
+        self.stem_bn = BatchNorm2d(stem_out)
+
+        from repro.nn.layers import Linear
+        from repro.nn.qlayers import QuantLinear
+
+        blocks: List[ResNeXtBlock] = []
+        in_ch = stem_out
+        layer_index = 0
+        for stage in range(3):
+            group_width = _scaled(cardinality * base_width * 2**stage, width_multiplier, cardinality)
+            out_ch = _scaled(64 * 2**stage * 2, width_multiplier, cardinality)
+            for block in range(2):
+                downsample = stage > 0 and block == 0
+                blocks.append(
+                    ResNeXtBlock(
+                        in_ch,
+                        group_width,
+                        out_ch,
+                        cardinality,
+                        downsample,
+                        plan,
+                        layer_index,
+                        qconfig,
+                        rng=rng,
+                    )
+                )
+                in_ch = out_ch
+                layer_index += 1
+        assert layer_index == NUM_SEARCHABLE_LAYERS
+        self.blocks = ModuleList(blocks)
+        fc = Linear(in_ch, num_classes, rng=rng)
+        self.fc = QuantLinear(fc, qconfig) if qconfig.enabled else fc
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.stem_bn(self.stem(x)))
+        for block in self.blocks:
+            out = block(out)
+        out = F.global_avg_pool2d(out)
+        return self.fc(out)
+
+
+def resnext20(
+    num_classes: int = 10,
+    width_multiplier: float = 1.0,
+    spec: Optional[ConvSpec] = None,
+    plan: Optional[LayerPlan] = None,
+    rng=None,
+    **kwargs,
+) -> ResNeXt20:
+    if plan is None:
+        plan = LayerPlan(spec or ConvSpec("im2row"))
+    return ResNeXt20(
+        num_classes=num_classes,
+        width_multiplier=width_multiplier,
+        plan=plan,
+        rng=rng,
+        **kwargs,
+    )

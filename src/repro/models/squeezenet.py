@@ -1,0 +1,133 @@
+"""SqueezeNet for CIFAR (paper Table 4 / appendix A.1).
+
+Eight fire modules, each with a 1×1 squeeze and a pair of 1×1 / 3×3
+expands; the eight expand-3×3 convolutions are the searchable layers
+(the appendix counts 8 for SqueezeNet).  The stem stays a standard
+convolution, pooling handles all downsampling (no strided convs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn import functional as F
+from repro.nn.layers import BatchNorm2d, Conv2d, MaxPool2d
+from repro.nn.module import Module, ModuleList
+from repro.nn.qlayers import QuantConv2d
+from repro.quant.qconfig import QConfig, fp32
+from repro.models.common import ConvSpec, LayerPlan
+
+NUM_SEARCHABLE_LAYERS = 8
+
+
+def _scaled(channels: int, width_multiplier: float) -> int:
+    return max(1, int(round(channels * width_multiplier)))
+
+
+class Fire(Module):
+    """squeeze(1×1) → concat(expand1×1, expand3×3)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        squeeze: int,
+        expand: int,
+        plan: LayerPlan,
+        layer_index: int,
+        qconfig: QConfig,
+        rng=None,
+    ):
+        super().__init__()
+        sq = Conv2d(in_channels, squeeze, 1, rng=rng)
+        e1 = Conv2d(squeeze, expand, 1, rng=rng)
+        self.squeeze = QuantConv2d(sq, qconfig) if qconfig.enabled else sq
+        self.expand1 = QuantConv2d(e1, qconfig) if qconfig.enabled else e1
+        self.expand3 = plan.build(squeeze, expand, layer_index, rng=rng)
+        self.bn = BatchNorm2d(2 * expand)
+
+    def forward(self, x: Tensor) -> Tensor:
+        s = F.relu(self.squeeze(x))
+        out = ops.concat([self.expand1(s), self.expand3(s)], axis=1)
+        return F.relu(self.bn(out))
+
+
+class SqueezeNet(Module):
+    """CIFAR-sized SqueezeNet v1.1-style network."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        width_multiplier: float = 1.0,
+        plan: Optional[LayerPlan] = None,
+        stem_spec: Optional[ConvSpec] = None,
+        rng=None,
+    ):
+        super().__init__()
+        if plan is None:
+            plan = LayerPlan(ConvSpec("im2row"))
+        if stem_spec is None:
+            stem_spec = ConvSpec("im2row", plan.default.qconfig)
+        self.plan = plan
+        qconfig = plan.default.qconfig
+        wm = width_multiplier
+
+        stem_out = _scaled(64, wm)
+        self.stem = stem_spec.build(3, stem_out, kernel_size=3, rng=rng)
+        self.stem_bn = BatchNorm2d(stem_out)
+
+        # (squeeze, expand) per fire module; pools after modules 2, 4, 6.
+        cfg: Sequence[Tuple[int, int]] = (
+            (16, 64),
+            (16, 64),
+            (32, 128),
+            (32, 128),
+            (48, 192),
+            (48, 192),
+            (64, 256),
+            (64, 256),
+        )
+        fires: List[Fire] = []
+        in_ch = stem_out
+        for i, (squeeze, expand) in enumerate(cfg):
+            fire = Fire(
+                in_ch,
+                _scaled(squeeze, wm),
+                _scaled(expand, wm),
+                plan,
+                layer_index=i,
+                qconfig=qconfig,
+                rng=rng,
+            )
+            fires.append(fire)
+            in_ch = 2 * _scaled(expand, wm)
+        self.fires = ModuleList(fires)
+        self.pool_after = {1, 3, 5}
+        self.pool = MaxPool2d(2, 2)
+
+        classifier = Conv2d(in_ch, num_classes, 1, rng=rng)
+        self.classifier = QuantConv2d(classifier, qconfig) if qconfig.enabled else classifier
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.relu(self.stem_bn(self.stem(x)))
+        for i, fire in enumerate(self.fires):
+            out = fire(out)
+            if i in self.pool_after:
+                out = self.pool(out)
+        out = self.classifier(out)
+        return F.global_avg_pool2d(out)
+
+
+def squeezenet(
+    num_classes: int = 10,
+    width_multiplier: float = 1.0,
+    spec: Optional[ConvSpec] = None,
+    plan: Optional[LayerPlan] = None,
+    rng=None,
+) -> SqueezeNet:
+    if plan is None:
+        plan = LayerPlan(spec or ConvSpec("im2row"))
+    return SqueezeNet(
+        num_classes=num_classes, width_multiplier=width_multiplier, plan=plan, rng=rng
+    )

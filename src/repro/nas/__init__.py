@@ -1,0 +1,31 @@
+"""wiNAS — Winograd-aware neural architecture search (paper §4).
+
+A ProxylessNAS-style gradient search that, for each 3×3 convolution of a
+fixed macro-architecture, picks among {im2row, F2, F4, F6} (``WA`` space)
+or the product of those with {FP32, INT16, INT8} (``WA-Q`` space),
+alternating:
+
+* **weight steps** (Eq. 2): cross-entropy + L2, SGD with Nesterov momentum,
+  single sampled path per batch;
+* **architecture steps** (Eq. 3): cross-entropy + L2 on the architecture
+  parameters + λ₂·E{latency}, Adam with β₁ = 0 (only sampled paths move),
+  two sampled paths per batch (path-level binarization).
+
+``E{latency}`` is the probability-weighted sum of per-candidate latencies
+taken from the calibrated hardware model's lookup table.
+"""
+
+from repro.nas.search_space import Candidate, WA_SPACE, waq_space, wa_space
+from repro.nas.mixed_op import MixedConv2d
+from repro.nas.winas import WiNAS, SearchConfig, SearchResult
+
+__all__ = [
+    "Candidate",
+    "WA_SPACE",
+    "wa_space",
+    "waq_space",
+    "MixedConv2d",
+    "WiNAS",
+    "SearchConfig",
+    "SearchResult",
+]

@@ -1,0 +1,67 @@
+"""Candidate operation definitions for the two wiNAS search spaces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.models.common import ConvSpec
+from repro.quant.qconfig import QConfig, fp32, int8, int16
+
+#: Algorithms in the Fig. 3 search space.
+SEARCH_ALGORITHMS: Tuple[str, ...] = ("im2row", "F2", "F4", "F6")
+
+#: Precisions in the WA-Q space (§5.2).
+SEARCH_PRECISIONS: Tuple[str, ...] = ("fp32", "int16", "int8")
+
+_QCONFIGS = {"fp32": fp32, "int16": int16, "int8": int8}
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One operation choice for a layer: algorithm × precision."""
+
+    algorithm: str
+    precision: str = "fp32"
+    flex: bool = True  # Winograd candidates are Winograd-aware with flex
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in SEARCH_ALGORITHMS:
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if self.precision not in SEARCH_PRECISIONS:
+            raise ValueError(f"unknown precision {self.precision!r}")
+
+    @property
+    def qconfig(self) -> QConfig:
+        return _QCONFIGS[self.precision]()
+
+    @property
+    def is_winograd(self) -> bool:
+        return self.algorithm.startswith("F")
+
+    @property
+    def name(self) -> str:
+        return f"{self.algorithm}@{self.precision}"
+
+    def to_spec(self) -> ConvSpec:
+        return ConvSpec(
+            self.algorithm, self.qconfig, flex=self.flex and self.is_winograd
+        )
+
+
+def wa_space(precision: str = "fp32", flex: bool = True) -> List[Candidate]:
+    """wiNAS-WA: all algorithms at one fixed bit-width (§5.2)."""
+    return [Candidate(a, precision, flex) for a in SEARCH_ALGORITHMS]
+
+
+def waq_space(flex: bool = True) -> List[Candidate]:
+    """wiNAS-WA-Q: algorithms × {FP32, INT16, INT8} (§5.2)."""
+    return [
+        Candidate(a, p, flex)
+        for a in SEARCH_ALGORITHMS
+        for p in SEARCH_PRECISIONS
+    ]
+
+
+#: Default WA space at FP32.
+WA_SPACE: List[Candidate] = wa_space()

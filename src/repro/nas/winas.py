@@ -1,0 +1,227 @@
+"""The wiNAS search driver (paper §4.1, §5.2).
+
+Alternates the two-stage optimisation of ProxylessNAS:
+
+* weight stage on the training split, loss Eq. 2:
+  ``L = CE + λ₀‖w‖²`` — SGD with Nesterov momentum;
+* architecture stage on the validation split, loss Eq. 3:
+  ``L = CE + λ₁‖a‖² + λ₂·E{latency}`` — Adam with β₁ = 0.
+
+After the search, :meth:`WiNAS.derive_plan` freezes each layer to its
+argmax candidate, producing a :class:`~repro.models.common.LayerPlan` that
+is trained end-to-end with the §5.1 recipe (the paper does the same).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.data.loader import DataLoader
+from repro.hardware.model import ConvShape
+from repro.hardware.table import LatencyTable
+from repro.models.common import ConvSpec, LayerPlan
+from repro.nn.losses import cross_entropy
+from repro.nn.module import Module, Parameter
+from repro.optim.adam import Adam
+from repro.optim.sgd import SGD
+from repro.training.metrics import Meter, accuracy
+from repro.nas.mixed_op import MixedConv2d
+from repro.nas.search_space import Candidate
+
+
+@dataclass
+class SearchConfig:
+    """Hyper-parameters of the search (§5.2 defaults, scaled)."""
+
+    epochs: int = 2
+    weight_lr: float = 0.01
+    weight_momentum: float = 0.9
+    lambda0: float = 1e-4  # Eq. 2 weight decay
+    arch_lr: float = 1e-2
+    lambda1: float = 1e-3  # Eq. 3 decay on architecture params
+    lambda2: float = 0.01  # Eq. 3 latency weight
+    core: str = "A73"
+    verbose: bool = False
+
+
+@dataclass
+class SearchResult:
+    plan: LayerPlan
+    chosen: List[Candidate]
+    expected_latency_ms: float
+    history: List[Dict[str, float]] = field(default_factory=list)
+
+    def describe(self) -> List[str]:
+        return [f"layer {i:2d}: {c.name}" for i, c in enumerate(self.chosen)]
+
+
+class WiNAS:
+    """Search over a model whose searchable convs are :class:`MixedConv2d`.
+
+    Build the model by passing a ``LayerPlan`` whose ``factory`` creates
+    mixed ops (see :meth:`make_plan`), then call :meth:`search`.
+    """
+
+    def __init__(self, model: Module, config: Optional[SearchConfig] = None):
+        self.model = model
+        self.config = config or SearchConfig()
+        self.mixed_ops: List[MixedConv2d] = [
+            m for m in model.modules() if isinstance(m, MixedConv2d)
+        ]
+        if not self.mixed_ops:
+            raise ValueError("model contains no MixedConv2d layers to search over")
+        alpha_ids = {id(m.alpha) for m in self.mixed_ops}
+        self.arch_params: List[Parameter] = [m.alpha for m in self.mixed_ops]
+        self.weight_params: List[Parameter] = [
+            p for p in model.parameters() if id(p) not in alpha_ids
+        ]
+        # Eq. 2 / Eq. 3 L2 terms live in the optimizers' weight_decay.
+        self.weight_opt = SGD(
+            self.weight_params,
+            lr=self.config.weight_lr,
+            momentum=self.config.weight_momentum,
+            nesterov=True,
+            weight_decay=self.config.lambda0,
+        )
+        self.arch_opt = Adam(
+            self.arch_params,
+            lr=self.config.arch_lr,
+            betas=(0.0, 0.999),  # β₁ = 0: only sampled paths move (§5.2)
+            weight_decay=self.config.lambda1,
+        )
+        self.latency_table = LatencyTable(core=self.config.core)
+
+    # -- plan factory -------------------------------------------------------
+    @staticmethod
+    def make_plan(candidates: Sequence[Candidate], seed: int = 0, rng=None) -> LayerPlan:
+        """A LayerPlan whose layers are mixed ops over ``candidates``."""
+
+        def factory(cin: int, cout: int, index: int, groups: int) -> MixedConv2d:
+            return MixedConv2d(
+                cin, cout, candidates, groups=groups, rng=rng, seed=seed + index
+            )
+
+        return LayerPlan(ConvSpec("im2row"), factory=factory)
+
+    # -- latency ---------------------------------------------------------------
+    def populate_latencies(self, example_input: np.ndarray) -> None:
+        """Shape-probe forward, then fill each mixed op's candidate latencies."""
+        from repro.autograd.function import no_grad
+
+        self.model.eval()
+        with no_grad():
+            self.model(Tensor(example_input))
+        self.model.train()
+        for op in self.mixed_ops:
+            if not hasattr(op, "last_input_hw"):
+                raise RuntimeError("mixed op did not see the probe input")
+            h, _ = op.last_input_hw
+            out_w = h + 2 * ((op.kernel_size - 1) // 2) - op.kernel_size + 1
+            shape = ConvShape(
+                op.in_channels, op.out_channels, out_w,
+                kernel_size=op.kernel_size, groups=op.groups,
+            )
+            lat = [
+                self.latency_table.latency_ms(
+                    shape,
+                    cand.algorithm,
+                    dtype=cand.precision,
+                    dense_transforms=cand.is_winograd and cand.flex,
+                )
+                for cand in op.candidates
+            ]
+            op.set_latencies(lat)
+
+    def expected_latency_ms(self) -> float:
+        """Current E{latency} over searchable layers (argmax-free, in ms)."""
+        total = 0.0
+        for op in self.mixed_ops:
+            if op.latencies_ms is None:
+                raise RuntimeError("latencies not populated")
+            total += float(op.probabilities() @ op.latencies_ms)
+        return total
+
+    def _set_mode(self, mode: str) -> None:
+        for op in self.mixed_ops:
+            op.mode = mode
+
+    # -- search ----------------------------------------------------------------
+    def search(
+        self,
+        train_loader: DataLoader,
+        val_loader: DataLoader,
+        epochs: Optional[int] = None,
+    ) -> SearchResult:
+        epochs = epochs if epochs is not None else self.config.epochs
+        history: List[Dict[str, float]] = []
+        self.model.train()
+        for epoch in range(epochs):
+            weight_meter, arch_meter, acc_meter = Meter(), Meter(), Meter()
+            val_iter = iter(val_loader)
+            for images, labels in train_loader:
+                # ---- weight step (Eq. 2) on the training split ----
+                self._set_mode("weight")
+                logits = self.model(Tensor(images))
+                loss = cross_entropy(logits, labels)
+                self.weight_opt.zero_grad()
+                self.arch_opt.zero_grad()
+                loss.backward()
+                self.weight_opt.step()
+                weight_meter.update(loss.item(), len(labels))
+                acc_meter.update(accuracy(logits, labels), len(labels))
+
+                # ---- architecture step (Eq. 3) on the validation split ----
+                try:
+                    v_images, v_labels = next(val_iter)
+                except StopIteration:
+                    val_iter = iter(val_loader)
+                    v_images, v_labels = next(val_iter)
+                self._set_mode("arch")
+                v_logits = self.model(Tensor(v_images))
+                arch_loss = cross_entropy(v_logits, v_labels)
+                latency = None
+                for op in self.mixed_ops:
+                    term = op.expected_latency()
+                    latency = term if latency is None else latency + term
+                arch_loss = arch_loss + self.config.lambda2 * latency
+                self.weight_opt.zero_grad()
+                self.arch_opt.zero_grad()
+                arch_loss.backward()
+                self.arch_opt.step()
+                arch_meter.update(arch_loss.item(), len(v_labels))
+            entry = {
+                "epoch": epoch,
+                "weight_loss": weight_meter.mean,
+                "arch_loss": arch_meter.mean,
+                "train_accuracy": acc_meter.mean,
+                "expected_latency_ms": self.expected_latency_ms(),
+            }
+            history.append(entry)
+            if self.config.verbose:  # pragma: no cover
+                print(
+                    f"search epoch {epoch}: w-loss {entry['weight_loss']:.3f} "
+                    f"a-loss {entry['arch_loss']:.3f} "
+                    f"E[lat] {entry['expected_latency_ms']:.2f} ms"
+                )
+        return self.derive(history)
+
+    # -- derivation ---------------------------------------------------------------
+    def derive(self, history: Optional[List[Dict[str, float]]] = None) -> SearchResult:
+        """Freeze each layer to its argmax candidate."""
+        chosen = [op.chosen() for op in self.mixed_ops]
+        overrides = {i: c.to_spec() for i, c in enumerate(chosen)}
+        plan = LayerPlan(chosen[0].to_spec(), overrides)
+        total_lat = 0.0
+        for op in self.mixed_ops:
+            if op.latencies_ms is not None:
+                total_lat += float(op.latencies_ms[op.argmax_index()])
+        return SearchResult(
+            plan=plan,
+            chosen=chosen,
+            expected_latency_ms=total_lat,
+            history=history or [],
+        )

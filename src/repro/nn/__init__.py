@@ -1,0 +1,58 @@
+"""Neural-network modules built on :mod:`repro.autograd`.
+
+Provides the substrate the paper assumed from PyTorch: parameterised
+modules, convolutions (direct and im2row), batch normalisation, pooling,
+losses and initialisers.
+"""
+
+from repro.nn.module import Buffer, Module, Parameter, Sequential, ModuleList
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.losses import cross_entropy, mse_loss, nll_loss
+from repro.nn import init
+from repro.nn.functional import (
+    avg_pool2d,
+    conv2d_im2row,
+    global_avg_pool2d,
+    linear,
+    max_pool2d,
+    relu,
+    softmax,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Buffer",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "ReLU",
+    "Flatten",
+    "Identity",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "init",
+    "conv2d_im2row",
+    "linear",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "relu",
+    "softmax",
+]

@@ -1,0 +1,150 @@
+"""Functional layer implementations composed from autograd primitives."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor, as_tensor
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(v: IntPair) -> Tuple[int, int]:
+    if isinstance(v, int):
+        return (v, v)
+    return tuple(v)  # type: ignore[return-value]
+
+
+def relu(x: Tensor) -> Tensor:
+    return ops.relu(x)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return ops.exp(ops.log_softmax(x, axis=axis))
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """``x @ weightᵀ + bias`` with weight of shape (out, in)."""
+    out = ops.matmul(x, weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def conv2d_im2row(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+    groups: int = 1,
+) -> Tensor:
+    """Convolution by im2row patch expansion + GEMM.
+
+    im2row is the paper's standard-convolution baseline: lower the input to
+    a (N·outH·outW) × (C·kh·kw) row matrix, multiply by the reshaped filter
+    matrix, and fold back.  Shapes: x (N, C, H, W), weight (K, C/groups, kh, kw).
+    """
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    n, c, h, w = x.shape
+    k, cg, kh, kw = weight.shape
+    if c % groups or k % groups:
+        raise ValueError(f"channels ({c}->{k}) not divisible by groups={groups}")
+    if cg != c // groups:
+        raise ValueError(f"weight expects {cg} in-channels/group, input gives {c // groups}")
+
+    xp = ops.pad2d(x, (ph, ph, pw, pw))
+    patches = ops.extract_patches(xp, (kh, kw), (sh, sw))  # (N, C, oh, ow, kh, kw)
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+
+    if groups == 1:
+        rows = patches.permute(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+        wmat = weight.reshape(k, c * kh * kw).transpose()  # (C·kh·kw, K)
+        out = ops.matmul(rows, wmat).reshape(n, oh, ow, k).permute(0, 3, 1, 2)
+    else:
+        g = groups
+        rows = (
+            patches.reshape(n, g, c // g, oh, ow, kh, kw)
+            .permute(1, 0, 3, 4, 2, 5, 6)
+            .reshape(g, n * oh * ow, (c // g) * kh * kw)
+        )
+        wmat = weight.reshape(g, k // g, (c // g) * kh * kw).permute(0, 2, 1)
+        out = (
+            ops.matmul(rows, wmat)  # (g, N·oh·ow, K/g)
+            .reshape(g, n, oh, ow, k // g)
+            .permute(1, 0, 4, 2, 3)
+            .reshape(n, k, oh, ow)
+        )
+    if bias is not None:
+        out = out + bias.reshape(1, k, 1, 1)
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    kh, kw = _pair(kernel)
+    if stride is None:
+        stride = (kh, kw)
+    sh, sw = _pair(stride)
+    n, c, h, w = x.shape
+    patches = ops.extract_patches(x, (kh, kw), (sh, sw))
+    oh, ow = patches.shape[2], patches.shape[3]
+    return ops.max(patches.reshape(n, c, oh, ow, kh * kw), axis=4)
+
+
+def avg_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    kh, kw = _pair(kernel)
+    if stride is None:
+        stride = (kh, kw)
+    sh, sw = _pair(stride)
+    n, c, h, w = x.shape
+    patches = ops.extract_patches(x, (kh, kw), (sh, sw))
+    oh, ow = patches.shape[2], patches.shape[3]
+    return ops.mean(patches.reshape(n, c, oh, ow, kh * kw), axis=4)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """(N, C, H, W) → (N, C)."""
+    return ops.mean(x, axis=(2, 3))
+
+
+def batch_norm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalisation over (N, H, W) per channel.
+
+    In training mode the batch statistics participate in the graph and the
+    running buffers are updated in place; in eval mode the buffers are used
+    as constants.
+    """
+    c = x.shape[1]
+    if training:
+        mean = ops.mean(x, axis=(0, 2, 3), keepdims=True)
+        centred = x - mean
+        var = ops.mean(centred * centred, axis=(0, 2, 3), keepdims=True)
+        batch_mean = mean.data.reshape(c)
+        batch_var = var.data.reshape(c)
+        n_count = x.shape[0] * x.shape[2] * x.shape[3]
+        unbiased = batch_var * (n_count / max(n_count - 1, 1))
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * batch_mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+        inv_std = (var + eps) ** -0.5
+        x_hat = centred * inv_std
+    else:
+        mean = as_tensor(running_mean.reshape(1, c, 1, 1))
+        var = as_tensor(running_var.reshape(1, c, 1, 1))
+        x_hat = (x - mean) * ((var + eps) ** -0.5)
+    return x_hat * gamma.reshape(1, c, 1, 1) + beta.reshape(1, c, 1, 1)

@@ -1,0 +1,62 @@
+"""Weight initialisers (He / Glorot) with explicit RNG control."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+_DEFAULT_RNG = np.random.default_rng(0)
+
+
+def set_default_rng(seed: int) -> None:
+    """Re-seed the module-level RNG used when no generator is passed."""
+    global _DEFAULT_RNG
+    _DEFAULT_RNG = np.random.default_rng(seed)
+
+
+def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else _DEFAULT_RNG
+
+
+def _fan(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """(fan_in, fan_out) for linear (out, in) or conv (K, C, kh, kw) shapes."""
+    if len(shape) == 2:
+        return shape[1], shape[0]
+    if len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ValueError(f"cannot infer fans for shape {shape}")
+
+
+def kaiming_normal(shape, gain: float = np.sqrt(2.0), rng=None, dtype=np.float32) -> np.ndarray:
+    """He initialisation (suited to ReLU networks)."""
+    fan_in, _ = _fan(tuple(shape))
+    std = gain / np.sqrt(fan_in)
+    return (_rng(rng).standard_normal(shape) * std).astype(dtype)
+
+
+def kaiming_uniform(shape, gain: float = np.sqrt(2.0), rng=None, dtype=np.float32) -> np.ndarray:
+    fan_in, _ = _fan(tuple(shape))
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return _rng(rng).uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def xavier_uniform(shape, gain: float = 1.0, rng=None, dtype=np.float32) -> np.ndarray:
+    fan_in, fan_out = _fan(tuple(shape))
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return _rng(rng).uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def uniform_bias(shape, fan_in: int, rng=None, dtype=np.float32) -> np.ndarray:
+    """PyTorch-style bias init: U(-1/√fan_in, 1/√fan_in)."""
+    bound = 1.0 / np.sqrt(fan_in) if fan_in > 0 else 0.0
+    return _rng(rng).uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def zeros(shape, dtype=np.float32) -> np.ndarray:
+    return np.zeros(shape, dtype=dtype)
+
+
+def ones(shape, dtype=np.float32) -> np.ndarray:
+    return np.ones(shape, dtype=dtype)

@@ -1,0 +1,164 @@
+"""Standard layer modules."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.module import Buffer, Module, Parameter
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class Linear(Module):
+    """Fully connected layer: ``y = x Wᵀ + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng=rng))
+        self.bias = Parameter(init.uniform_bias((out_features,), in_features, rng=rng)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class Conv2d(Module):
+    """2-D convolution implemented as im2row + GEMM.
+
+    ``method`` is recorded metadata ("im2row"/"im2col") used by the hardware
+    latency model; both lower to the same GEMM here (the distinction on real
+    hardware is the memory layout of the patch matrix).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntPair = 3,
+        stride: IntPair = 1,
+        padding: IntPair = 0,
+        groups: int = 1,
+        bias: bool = True,
+        method: str = "im2row",
+        rng=None,
+    ):
+        super().__init__()
+        kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) else kernel_size
+        if in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"groups={groups} must divide channels {in_channels}->{out_channels}"
+            )
+        if method not in ("im2row", "im2col", "direct"):
+            raise ValueError(f"unknown conv method {method!r}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        self.method = method
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels // groups, kh, kw), rng=rng)
+        )
+        fan_in = (in_channels // groups) * kh * kw
+        self.bias = Parameter(init.uniform_bias((out_channels,), fan_in, rng=rng)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.last_input_hw = (x.shape[2], x.shape[3])  # consumed by repro.hardware
+        return F.conv2d_im2row(
+            x, self.weight, self.bias, stride=self.stride, padding=self.padding, groups=self.groups
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, kernel={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}, groups={self.groups}, "
+            f"method={self.method})"
+        )
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalisation with running statistics."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)))
+        self.bias = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm2d(
+            x,
+            self.weight,
+            self.bias,
+            self.running_mean.data,
+            self.running_var.data,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features})"
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d({self.kernel_size}, stride={self.stride})"
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1 if 0 in x.shape[1:] else int(np.prod(x.shape[1:])))
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def __repr__(self) -> str:
+        return "Identity()"

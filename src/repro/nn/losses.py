@@ -1,0 +1,46 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor, as_tensor
+
+
+def _one_hot(targets: np.ndarray, num_classes: int, dtype) -> np.ndarray:
+    targets = np.asarray(targets)
+    if targets.ndim != 1:
+        raise ValueError(f"targets must be 1-D class indices, got shape {targets.shape}")
+    if targets.min() < 0 or targets.max() >= num_classes:
+        raise ValueError(
+            f"target out of range [0, {num_classes}): min={targets.min()} max={targets.max()}"
+        )
+    out = np.zeros((targets.shape[0], num_classes), dtype=dtype)
+    out[np.arange(targets.shape[0]), targets] = 1.0
+    return out
+
+
+def cross_entropy(logits: Tensor, targets: Union[np.ndarray, list]) -> Tensor:
+    """Mean cross-entropy between logits (N, C) and integer class targets (N,)."""
+    logits = as_tensor(logits)
+    log_probs = ops.log_softmax(logits, axis=1)
+    onehot = _one_hot(np.asarray(targets), logits.shape[1], logits.dtype)
+    picked = ops.sum(log_probs * onehot, axis=1)
+    return -ops.mean(picked)
+
+
+def nll_loss(log_probs: Tensor, targets: Union[np.ndarray, list]) -> Tensor:
+    """Mean negative log-likelihood given log-probabilities (N, C)."""
+    log_probs = as_tensor(log_probs)
+    onehot = _one_hot(np.asarray(targets), log_probs.shape[1], log_probs.dtype)
+    picked = ops.sum(log_probs * onehot, axis=1)
+    return -ops.mean(picked)
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    pred = as_tensor(pred)
+    diff = pred - as_tensor(target)
+    return ops.mean(diff * diff)

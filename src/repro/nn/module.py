@@ -1,0 +1,200 @@
+"""Module / Parameter containers with PyTorch-like ergonomics."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is a learnable model parameter (requires grad)."""
+
+    def __init__(self, data, requires_grad: bool = True, dtype=None):
+        super().__init__(data, requires_grad=requires_grad, dtype=dtype)
+
+
+class Buffer(Tensor):
+    """Persistent, non-learnable module state (e.g. BN running stats)."""
+
+    def __init__(self, data, dtype=None):
+        super().__init__(data, requires_grad=False, dtype=dtype)
+
+
+class Module:
+    """Base class for all network modules.
+
+    Subclasses define ``forward``; attribute assignment automatically
+    registers parameters, buffers and sub-modules, enabling recursive
+    iteration, train/eval switching and state (de)serialisation.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # -- registration -------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            self._buffers.pop(name, None)
+            self._modules.pop(name, None)
+        elif isinstance(value, Buffer):
+            self._buffers[name] = value
+            self._parameters.pop(name, None)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self._parameters.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: Union[Buffer, np.ndarray]) -> None:
+        buf = value if isinstance(value, Buffer) else Buffer(value)
+        setattr(self, name, buf)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        setattr(self, name, module)
+
+    # -- iteration ------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        # Deduplicate by identity: modules may share parameters (e.g. the
+        # NAS mixed op's candidates all share one filter tensor), and an
+        # optimizer must see each tensor exactly once.
+        seen = set()
+        out: List[Parameter] = []
+        for _, p in self.named_parameters():
+            if id(p) not in seen:
+                seen.add(id(p))
+                out.append(p)
+        return out
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, Buffer]]:
+        for name, buf in self._buffers.items():
+            yield (f"{prefix}{name}", buf)
+        for mod_name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{mod_name}.")
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for mod_name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{mod_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, m in self.named_modules():
+            yield m
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    # -- mode / grads -----------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- state ---------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for name, p in self.named_parameters():
+            state[name] = p.data.copy()
+        for name, b in self.named_buffers():
+            state[name] = b.data.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        own = {name: p for name, p in self.named_parameters()}
+        own.update({name: b for name, b in self.named_buffers()})
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(f"state mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, value in state.items():
+            if name in own:
+                target = own[name]
+                if target.shape != value.shape:
+                    raise ValueError(f"shape mismatch for {name}: {target.shape} vs {value.shape}")
+                target.data = value.astype(target.dtype).copy()
+
+    # -- call -------------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        lines = [f"{type(self).__name__}("]
+        for name, module in self._modules.items():
+            mod_repr = repr(module).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {mod_repr}")
+        lines.append(")")
+        return "\n".join(lines) if len(lines) > 2 else f"{type(self).__name__}()"
+
+
+class Sequential(Module):
+    """Chain modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        for i, module in enumerate(modules):
+            self.add_module(str(i), module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def forward(self, x):
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+
+class ModuleList(Module):
+    """A list of sub-modules that is properly registered."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        for i, module in enumerate(modules):
+            self.add_module(str(i), module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def forward(self, *args, **kwargs):  # pragma: no cover
+        raise RuntimeError("ModuleList is a container; call its members explicitly")

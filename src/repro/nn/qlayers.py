@@ -1,0 +1,77 @@
+"""Quantization-aware wrappers for standard layers.
+
+These provide the INT8/INT16 *baseline* rows of the paper's tables:
+standard convolutions (im2row/im2col) and the classifier head trained with
+fake-quantized weights and activations, so that accuracy comparisons
+against Winograd-aware layers are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.autograd.tensor import Tensor
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+from repro.quant.qconfig import QConfig, fp32
+from repro.quant.quantizer import Quantizer
+
+
+class QuantConv2d(Module):
+    """Standard convolution with input/weight/output fake-quantization."""
+
+    def __init__(self, conv: Conv2d, qconfig: Optional[QConfig] = None):
+        super().__init__()
+        self.conv = conv
+        self.qconfig = qconfig if qconfig is not None else fp32()
+        mom = self.qconfig.ema_momentum
+        self.q_input = Quantizer(self.qconfig.bits_for("input"), mom, "input")
+        self.q_weight = Quantizer(self.qconfig.bits_for("weight"), mom, "weight")
+        self.q_output = Quantizer(self.qconfig.bits_for("output"), mom, "output")
+
+    @property
+    def method(self) -> str:
+        return self.conv.method
+
+    def forward(self, x: Tensor) -> Tensor:
+        from repro.nn import functional as F
+
+        self.conv.last_input_hw = (x.shape[2], x.shape[3])  # repro.hardware
+        x = self.q_input(x)
+        w = self.q_weight(self.conv.weight)
+        out = F.conv2d_im2row(
+            x,
+            w,
+            self.conv.bias,
+            stride=self.conv.stride,
+            padding=self.conv.padding,
+            groups=self.conv.groups,
+        )
+        return self.q_output(out)
+
+    def __repr__(self) -> str:
+        return f"QuantConv2d({self.conv!r}, q={self.qconfig.name})"
+
+
+class QuantLinear(Module):
+    """Linear layer with input/weight/output fake-quantization."""
+
+    def __init__(self, linear: Linear, qconfig: Optional[QConfig] = None):
+        super().__init__()
+        self.linear = linear
+        self.qconfig = qconfig if qconfig is not None else fp32()
+        mom = self.qconfig.ema_momentum
+        self.q_input = Quantizer(self.qconfig.bits_for("input"), mom, "input")
+        self.q_weight = Quantizer(self.qconfig.bits_for("weight"), mom, "weight")
+        self.q_output = Quantizer(self.qconfig.bits_for("output"), mom, "output")
+
+    def forward(self, x: Tensor) -> Tensor:
+        from repro.nn import functional as F
+
+        x = self.q_input(x)
+        w = self.q_weight(self.linear.weight)
+        out = F.linear(x, w, self.linear.bias)
+        return self.q_output(out)
+
+    def __repr__(self) -> str:
+        return f"QuantLinear({self.linear!r}, q={self.qconfig.name})"

@@ -1,0 +1,13 @@
+"""Optimizers and learning-rate schedules used by the paper's recipes.
+
+§5.1 trains Winograd-aware networks with Adam; §5.2's wiNAS alternates
+mini-batch SGD with Nesterov momentum (model weights) and Adam with β₁=0
+(architecture parameters), both under cosine annealing.
+"""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.schedulers import ConstantLR, CosineAnnealingLR, StepLR
+
+__all__ = ["Optimizer", "SGD", "Adam", "CosineAnnealingLR", "StepLR", "ConstantLR"]

@@ -1,0 +1,53 @@
+"""Adam optimizer (Kingma & Ba 2015)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias correction.
+
+    The wiNAS architecture-update stage uses ``betas=(0.0, 0.999)`` — with
+    β₁ = 0 the first-moment average vanishes, "so the optimizer only
+    updates paths that have been sampled" (paper §5.2): unsampled paths
+    have exactly zero gradient and therefore receive no update.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        max_grad_norm=None,
+    ):
+        super().__init__(params, lr, weight_decay, max_grad_norm)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1): {betas}")
+        self.betas = (float(b1), float(b2))
+        self.eps = float(eps)
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def _update(self) -> None:
+        b1, b2 = self.betas
+        t = self._step_count
+        bias1 = 1.0 - b1**t
+        bias2 = 1.0 - b2**t
+        for p, m, v in zip(self.params, self._m, self._v):
+            g = self._grad(p)
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * g * g
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= (self.lr * m_hat / (np.sqrt(v_hat) + self.eps)).astype(p.dtype)

@@ -1,0 +1,79 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a list of parameters.
+
+    ``weight_decay`` implements L2 regularisation added to the gradient
+    (the ``λ‖w‖²`` terms of the paper's Eq. 2 and Eq. 3).
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float,
+        weight_decay: float = 0.0,
+        max_grad_norm: Optional[float] = None,
+    ):
+        self.params: List[Parameter] = [p for p in params if p.requires_grad]
+        if not self.params:
+            raise ValueError("optimizer got no parameters requiring grad")
+        if lr < 0:
+            raise ValueError(f"negative learning rate: {lr}")
+        if weight_decay < 0:
+            raise ValueError(f"negative weight decay: {weight_decay}")
+        if max_grad_norm is not None and max_grad_norm <= 0:
+            raise ValueError(f"max_grad_norm must be positive, got {max_grad_norm}")
+        self.lr = float(lr)
+        self.weight_decay = float(weight_decay)
+        self.max_grad_norm = max_grad_norm
+        self._step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def clip_gradients(self) -> float:
+        """Global-norm gradient clipping; returns the pre-clip norm.
+
+        Quantization-aware Winograd training can produce occasional
+        gradient spikes (STE through large-range transforms feeding
+        BatchNorm channels with near-zero variance); clipping keeps the
+        float32 Adam state finite.
+        """
+        total = 0.0
+        for p in self.params:
+            if p.grad is not None:
+                total += float(np.square(p.grad.astype(np.float64)).sum())
+        norm = float(np.sqrt(total))
+        if self.max_grad_norm is not None and norm > self.max_grad_norm and norm > 0:
+            scale = self.max_grad_norm / norm
+            for p in self.params:
+                if p.grad is not None:
+                    p.grad = (p.grad * scale).astype(p.grad.dtype)
+        return norm
+
+    def _grad(self, p: Parameter) -> np.ndarray:
+        grad = p.grad if p.grad is not None else np.zeros_like(p.data)
+        if not np.isfinite(grad).all():
+            grad = np.nan_to_num(grad, nan=0.0, posinf=0.0, neginf=0.0)
+        if self.weight_decay:
+            grad = grad + self.weight_decay * p.data
+        return grad
+
+    def step(self) -> None:
+        if self.max_grad_norm is not None:
+            self.clip_gradients()
+        self._step_count += 1
+        self._update()
+
+    def _update(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError

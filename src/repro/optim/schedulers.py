@@ -1,0 +1,60 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.optimizer import Optimizer
+
+
+class LRScheduler:
+    """Base class: call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr()
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine annealing (Loshchilov & Hutter 2017), as in the paper's recipes.
+
+    ``lr(e) = eta_min + (base − eta_min)·(1 + cos(π e / T)) / 2``.
+    """
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        self.t_max = int(t_max)
+        self.eta_min = float(eta_min)
+
+    def get_lr(self) -> float:
+        frac = min(self.epoch, self.t_max) / self.t_max
+        return self.eta_min + (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * frac)) / 2
+
+
+class StepLR(LRScheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class ConstantLR(LRScheduler):
+    def get_lr(self) -> float:
+        return self.base_lr

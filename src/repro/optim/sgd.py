@@ -1,0 +1,52 @@
+"""SGD with (Nesterov) momentum."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """Mini-batch SGD, optionally with classical or Nesterov momentum.
+
+    Matches the standard formulation (Sutskever et al. 2013) used in the
+    wiNAS weight-update stage:
+
+        v ← μ·v + g
+        w ← w − lr·(g + μ·v)     (nesterov)
+        w ← w − lr·v             (classical)
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+        max_grad_norm=None,
+    ):
+        super().__init__(params, lr, weight_decay, max_grad_norm)
+        if momentum < 0:
+            raise ValueError(f"negative momentum: {momentum}")
+        if nesterov and momentum == 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def _update(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            g = self._grad(p)
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                if self.nesterov:
+                    g = g + self.momentum * v
+                else:
+                    g = v
+            p.data -= (self.lr * g).astype(p.dtype)

@@ -1,0 +1,40 @@
+"""The paper's published measurements, embedded verbatim.
+
+These serve three purposes:
+
+1. calibrate the analytical Arm-CPU latency model (Figure 7 grid);
+2. give every benchmark a paper-vs-measured side-by-side print-out;
+3. anchor shape-level regression tests (who wins where, crossovers).
+"""
+
+from repro.paperdata.figure7 import (
+    FIGURE7_ALGORITHMS,
+    FIGURE7_CHANNEL_CONFIGS,
+    FIGURE7_OUTPUT_WIDTHS,
+    figure7_grid,
+    figure7_latency,
+)
+from repro.paperdata.tables import (
+    TABLE1_ACCURACY,
+    TABLE2_CORES,
+    TABLE3_ROWS,
+    TABLE4_SQUEEZENET,
+    TABLE5_RESNEXT,
+    FIGURE5_LENET,
+    FIGURE9_ARCHITECTURES,
+)
+
+__all__ = [
+    "FIGURE7_ALGORITHMS",
+    "FIGURE7_CHANNEL_CONFIGS",
+    "FIGURE7_OUTPUT_WIDTHS",
+    "figure7_grid",
+    "figure7_latency",
+    "TABLE1_ACCURACY",
+    "TABLE2_CORES",
+    "TABLE3_ROWS",
+    "TABLE4_SQUEEZENET",
+    "TABLE5_RESNEXT",
+    "FIGURE5_LENET",
+    "FIGURE9_ARCHITECTURES",
+]

@@ -1,0 +1,140 @@
+"""Figure 7: measured latencies (ms) of 3×3 convolutions on a Cortex-A73.
+
+FP32, single-thread, Arm Compute Library kernels, as published in the
+paper.  Rows: output width/height (square).  Column blocks: inCh→outCh.
+Within each block: im2row, Winograd F2, F4, F6.
+
+This grid is the ground truth the analytical model in
+:mod:`repro.hardware` is calibrated against, and the latency database
+backing wiNAS for these shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+FIGURE7_ALGORITHMS: Tuple[str, ...] = ("im2row", "F2", "F4", "F6")
+
+FIGURE7_CHANNEL_CONFIGS: Tuple[Tuple[int, int], ...] = (
+    (3, 32),
+    (32, 64),
+    (128, 192),
+    (192, 256),
+    (256, 512),
+)
+
+FIGURE7_OUTPUT_WIDTHS: Tuple[int, ...] = (2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24)
+
+# latency_ms[outW][(inCh, outCh)][algorithm]  — transcribed from the paper.
+_RAW = {
+    2: {
+        (3, 32): (0.007, 0.008, 0.016, 0.029),
+        (32, 64): (0.070, 0.043, 0.082, 0.167),
+        (128, 192): (0.659, 0.407, 1.219, 2.196),
+        (192, 256): (1.463, 1.082, 2.378, 4.407),
+        (256, 512): (3.912, 2.932, 6.619, 11.853),
+    },
+    4: {
+        (3, 32): (0.011, 0.029, 0.016, 0.030),
+        (32, 64): (0.154, 0.078, 0.081, 0.167),
+        (128, 192): (1.642, 0.802, 1.170, 2.195),
+        (192, 256): (2.884, 1.731, 2.502, 4.486),
+        (256, 512): (7.450, 4.962, 6.588, 11.947),
+    },
+    6: {
+        (3, 32): (0.021, 0.053, 0.065, 0.029),
+        (32, 64): (0.328, 0.199, 0.174, 0.165),
+        (128, 192): (4.137, 2.229, 2.040, 2.148),
+        (192, 256): (6.780, 4.559, 4.135, 4.327),
+        (256, 512): (17.450, 13.858, 11.452, 11.919),
+    },
+    8: {
+        (3, 32): (0.031, 0.059, 0.064, 0.133),
+        (32, 64): (0.519, 0.280, 0.175, 0.408),
+        (128, 192): (5.306, 2.993, 2.004, 3.899),
+        (192, 256): (10.932, 6.145, 4.167, 7.907),
+        (256, 512): (28.238, 14.930, 11.499, 21.241),
+    },
+    10: {
+        (3, 32): (0.058, 0.101, 0.119, 0.144),
+        (32, 64): (0.910, 0.475, 0.482, 0.412),
+        (128, 192): (9.466, 5.054, 5.321, 3.973),
+        (192, 256): (17.808, 10.198, 10.318, 7.904),
+        (256, 512): (44.656, 27.597, 32.685, 21.437),
+    },
+    12: {
+        (3, 32): (0.066, 0.133, 0.129, 0.132),
+        (32, 64): (1.208, 0.621, 0.475, 0.424),
+        (128, 192): (11.625, 6.601, 5.382, 3.971),
+        (192, 256): (24.196, 12.995, 10.272, 7.955),
+        (256, 512): (61.236, 35.702, 32.164, 21.478),
+    },
+    14: {
+        (3, 32): (0.087, 0.186, 0.154, 0.267),
+        (32, 64): (1.610, 0.868, 0.695, 1.043),
+        (128, 192): (16.177, 9.277, 7.498, 9.846),
+        (192, 256): (33.702, 18.154, 14.220, 19.082),
+        (256, 512): (85.809, 48.590, 34.306, 60.003),
+    },
+    16: {
+        (3, 32): (0.111, 0.235, 0.153, 0.283),
+        (32, 64): (2.592, 1.191, 0.723, 1.051),
+        (128, 192): (20.845, 12.158, 7.551, 10.002),
+        (192, 256): (42.362, 23.147, 14.310, 19.263),
+        (256, 512): (109.943, 57.083, 34.190, 60.504),
+    },
+    18: {
+        (3, 32): (0.169, 0.281, 0.263, 0.281),
+        (32, 64): (3.315, 1.379, 1.133, 1.031),
+        (128, 192): (26.785, 15.125, 12.159, 9.961),
+        (192, 256): (55.085, 29.292, 23.178, 19.476),
+        (256, 512): (142.460, 75.505, 63.799, 60.987),
+    },
+    20: {
+        (3, 32): (0.184, 0.325, 0.249, 0.400),
+        (32, 64): (3.416, 1.695, 1.131, 1.728),
+        (128, 192): (32.851, 18.450, 12.115, 15.108),
+        (192, 256): (67.300, 35.276, 23.274, 27.723),
+        (256, 512): (173.488, 90.041, 65.349, 67.923),
+    },
+    22: {
+        (3, 32): (0.210, 0.398, 0.331, 0.410),
+        (32, 64): (4.164, 2.070, 1.506, 1.690),
+        (128, 192): (40.245, 22.207, 16.010, 15.114),
+        (192, 256): (82.028, 43.166, 30.697, 27.781),
+        (256, 512): (213.326, 110.160, 82.434, 67.228),
+    },
+    24: {
+        (3, 32): (0.247, 0.452, 0.324, 0.409),
+        (32, 64): (4.783, 2.453, 1.498, 1.729),
+        (128, 192): (47.961, 26.600, 16.126, 15.035),
+        (192, 256): (97.706, 51.064, 30.954, 27.923),
+        (256, 512): (251.771, 125.604, 83.167, 67.047),
+    },
+}
+
+
+def figure7_latency(out_width: int, in_channels: int, out_channels: int, algorithm: str) -> float:
+    """Published A73 FP32 latency in ms for one measured configuration."""
+    try:
+        block = _RAW[out_width][(in_channels, out_channels)]
+    except KeyError:
+        raise KeyError(
+            f"({out_width}, {in_channels}->{out_channels}) not in the published grid"
+        ) from None
+    try:
+        return block[FIGURE7_ALGORITHMS.index(algorithm)]
+    except ValueError:
+        raise KeyError(f"algorithm {algorithm!r} not in {FIGURE7_ALGORITHMS}") from None
+
+
+def figure7_grid() -> Dict[Tuple[int, int, int, str], float]:
+    """Flatten the grid: {(outW, inCh, outCh, algorithm): latency_ms}."""
+    flat: Dict[Tuple[int, int, int, str], float] = {}
+    for out_w, blocks in _RAW.items():
+        for (cin, cout), values in blocks.items():
+            for algo, ms in zip(FIGURE7_ALGORITHMS, values):
+                flat[(out_w, cin, cout, algo)] = ms
+    return flat

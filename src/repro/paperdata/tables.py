@@ -1,0 +1,182 @@
+"""Published numbers from the paper's tables and remaining figures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+# --------------------------------------------------------------------------
+# Table 1 — post-training swap of ResNet-18/CIFAR-10 convolutions.
+# accuracy[method][bits]
+# --------------------------------------------------------------------------
+TABLE1_ACCURACY: Dict[str, Dict[int, float]] = {
+    "direct": {32: 93.16, 16: 93.60, 8: 93.22},
+    "F2": {32: 93.16, 16: 93.48, 8: 93.21},
+    "F4": {32: 93.14, 16: 19.25, 8: 17.36},
+    "F6": {32: 93.11, 16: 11.41, 8: 10.95},
+}
+
+# --------------------------------------------------------------------------
+# Table 2 — core specifications (HiKey 960).
+# --------------------------------------------------------------------------
+TABLE2_CORES: Dict[str, Dict[str, float]] = {
+    "A73": {"clock_ghz": 2.4, "l1_kb": 64, "l2_kb": 2048},
+    "A53": {"clock_ghz": 1.8, "l1_kb": 32, "l2_kb": 512},
+}
+
+# --------------------------------------------------------------------------
+# Table 3 — ResNet-18 accuracy & latency per conv algorithm.
+# rows: (conv, bits, acc_c10, acc_c100, lat_a53_ms, lat_a73_ms)
+# For wiNAS rows with dataset-dependent latency, (CIFAR-10, CIFAR-100).
+# --------------------------------------------------------------------------
+TABLE3_ROWS: List[dict] = [
+    dict(conv="im2row", bits=32, acc_c10=93.16, acc_c100=74.62, a53=118.0, a73=85.0),
+    dict(conv="im2col", bits=32, acc_c10=93.16, acc_c100=74.62, a53=156.0, a73=102.0),
+    dict(conv="WF2", bits=32, acc_c10=93.16, acc_c100=74.60, a53=126.0, a73=56.0),
+    dict(conv="WF4", bits=32, acc_c10=93.14, acc_c100=74.53, a53=97.0, a73=46.0),
+    dict(conv="WAF2", bits=32, acc_c10=93.46, acc_c100=74.69, a53=126.0, a73=56.0),
+    dict(conv="WAF4", bits=32, acc_c10=93.54, acc_c100=74.98, a53=122.0, a73=54.0, dense=True),
+    dict(conv="wiNAS-WA", bits=32, acc_c10=93.35, acc_c100=74.71, a53=123.0, a73=56.0, dense=True),
+    dict(conv="im2row", bits=8, acc_c10=93.20, acc_c100=74.11, a53=117.0, a73=54.0),
+    dict(conv="im2col", bits=8, acc_c10=93.20, acc_c100=74.11, a53=124.0, a73=59.0),
+    dict(conv="WAF2", bits=8, acc_c10=93.72, acc_c100=73.71, a53=91.0, a73=38.0),
+    dict(conv="WAF4", bits=8, acc_c10=92.46, acc_c100=72.38, a53=82.0, a73=35.0, dense=True),
+    dict(
+        conv="wiNAS-WA",
+        bits=8,
+        acc_c10=92.71,
+        acc_c100=73.42,
+        a53=(88.0, 91.0),
+        a73=(35.0, 36.0),
+        dense=True,
+    ),
+    dict(
+        conv="wiNAS-WA-Q",
+        bits="auto",
+        acc_c10=92.89,
+        acc_c100=73.88,
+        a53=(74.0, 97.0),
+        a73=(32.0, 43.0),
+        dense=True,
+    ),
+]
+
+#: Baseline for Table 3 speedup columns: im2row FP32.
+TABLE3_BASELINE = {"A53": 118.0, "A73": 85.0}
+
+# --------------------------------------------------------------------------
+# Table 4 — SqueezeNet; Table 5 — ResNeXt-20 (8×16).
+# rows: (conv, bits, transforms, acc_c10, acc_c100)
+# --------------------------------------------------------------------------
+TABLE4_SQUEEZENET: List[Tuple[str, int, str, float, float]] = [
+    ("im2row", 32, "-", 91.13, 69.06),
+    ("WAF2", 32, "static", 91.31, 69.42),
+    ("WAF2", 32, "flex", 91.25, 69.36),
+    ("WAF4", 32, "static", 91.23, 69.14),
+    ("WAF4", 32, "flex", 91.41, 69.32),
+    ("im2row", 8, "-", 91.15, 69.34),
+    ("WAF2", 8, "static", 90.88, 70.06),
+    ("WAF2", 8, "flex", 91.03, 70.18),
+    ("WAF4", 8, "static", 79.28, 55.84),
+    ("WAF4", 8, "flex", 90.72, 69.73),
+]
+
+TABLE5_RESNEXT: List[Tuple[str, int, str, float, float]] = [
+    ("im2row", 32, "-", 93.17, 74.54),
+    ("WAF2", 32, "static", 93.19, 74.66),
+    ("WAF2", 32, "flex", 93.08, 74.58),
+    ("WAF4", 32, "static", 93.24, 74.47),
+    ("WAF4", 32, "flex", 93.15, 74.62),
+    ("im2row", 8, "-", 93.40, 74.89),
+    ("WAF2", 8, "static", 92.93, 75.32),
+    ("WAF2", 8, "flex", 93.11, 75.80),
+    ("WAF4", 8, "static", 76.73, 51.20),
+    ("WAF4", 8, "flex", 93.29, 75.35),
+]
+
+# --------------------------------------------------------------------------
+# Figure 5 — INT8 LeNet on MNIST (final accuracies, %).
+# Static F4/F6 collapse; flex recovers; FP32 all reach 99.25 ± 0.1.
+# --------------------------------------------------------------------------
+FIGURE5_LENET: Dict[str, float] = {
+    "im2row": 99.1,
+    "F2": 98.9,
+    "F2-flex": 99.1,
+    "F4": 73.0,
+    "F4-flex": 98.3,
+    "F6": 51.0,
+    "F6-flex": 97.7,  # "difference is almost 47%" vs static
+    "fp32_all": 99.25,
+}
+
+# --------------------------------------------------------------------------
+# Figure 9 — per-layer architectures chosen by wiNAS (20 conv layers,
+# stem first; FC excluded).  Entries are (algorithm, precision).
+# --------------------------------------------------------------------------
+FIGURE9_ARCHITECTURES: Dict[str, List[Tuple[str, str]]] = {
+    "wiNAS-WA/CIFAR-100": [
+        ("im2row", "fp32"),
+        ("im2row", "int8"),
+        ("im2row", "int8"),
+        ("im2row", "int8"),
+        ("im2row", "int8"),
+        ("im2row", "int8"),
+        ("im2row", "int8"),
+        ("F4", "int8"),
+        ("F4", "int8"),
+        ("im2row", "int8"),
+        ("F4", "int8"),
+        ("F4", "int8"),
+        ("im2row", "int8"),
+        ("F4", "int8"),
+        ("F2", "int8"),
+        ("F2", "int8"),
+        ("F2", "int8"),
+        ("im2row", "int8"),
+        ("im2row", "int8"),
+        ("im2row", "int8"),
+    ],
+    "wiNAS-WA-Q/CIFAR-10": [
+        ("im2row", "fp32"),
+        ("F4", "fp32"),
+        ("F4", "int16"),
+        ("F4", "int16"),
+        ("F4", "int16"),
+        ("F4", "int8"),
+        ("F4", "int8"),
+        ("F4", "int8"),
+        ("F4", "int8"),
+        ("im2row", "int8"),
+        ("F4", "int8"),
+        ("F4", "int8"),
+        ("im2row", "int8"),
+        ("F4", "int8"),
+        ("F2", "int8"),
+        ("F2", "int8"),
+        ("F2", "int8"),
+        ("im2row", "int8"),
+        ("F2", "int8"),
+        ("F2", "int8"),
+    ],
+    "wiNAS-WA-Q/CIFAR-100": [
+        ("im2row", "fp32"),
+        ("im2row", "fp32"),
+        ("im2row", "fp32"),
+        ("F2", "fp32"),
+        ("F2", "fp32"),
+        ("F2", "fp32"),
+        ("F4", "fp32"),
+        ("F4", "int8"),
+        ("F4", "int8"),
+        ("im2row", "fp32"),
+        ("F4", "int8"),
+        ("F4", "int8"),
+        ("im2row", "int8"),
+        ("F4", "int8"),
+        ("F2", "int8"),
+        ("F2", "int8"),
+        ("F2", "int8"),
+        ("im2row", "int8"),
+        ("im2row", "int8"),
+        ("im2row", "int8"),
+    ],
+}

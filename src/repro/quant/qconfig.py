@@ -1,0 +1,100 @@
+"""Quantization configuration.
+
+The Winograd-aware pipeline (paper Fig. 2) has six quantization points —
+the ``Qx`` boxes: raw input, raw weights, transformed weights ``GgGᵀ``,
+transformed input ``BᵀdB``, the Hadamard/summation output, and the final
+output ``AᵀyA``.  "In its default configuration, each intermediate output
+throughout the pipeline is quantized to the same level as the input and
+weights"; the *quantization diversity* bullet allows per-stage overrides,
+which :class:`QConfig` supports via ``stage_bits``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+#: Stage names, in pipeline order (Fig. 2).
+STAGES: Tuple[str, ...] = (
+    "input",
+    "weight",
+    "weight_transformed",
+    "input_transformed",
+    "hadamard",
+    "output",
+)
+
+
+@dataclass(frozen=True)
+class QConfig:
+    """Bit-width assignment for a quantized layer.
+
+    ``bits=None`` means full precision (the FP32 rows of the paper's
+    tables).  ``stage_bits`` overrides individual pipeline stages.
+    """
+
+    bits: Optional[int] = None
+    stage_bits: Dict[str, int] = field(default_factory=dict)
+    ema_momentum: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.bits is not None and not (2 <= self.bits <= 32):
+            raise ValueError(f"bits must be in [2, 32], got {self.bits}")
+        for stage, bits in self.stage_bits.items():
+            if stage not in STAGES:
+                raise ValueError(f"unknown stage {stage!r}; expected one of {STAGES}")
+            if not (2 <= bits <= 32):
+                raise ValueError(f"bits for {stage} must be in [2, 32], got {bits}")
+        if not (0.0 <= self.ema_momentum < 1.0):
+            raise ValueError(f"ema_momentum must be in [0, 1), got {self.ema_momentum}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.bits is not None or bool(self.stage_bits)
+
+    def bits_for(self, stage: str) -> Optional[int]:
+        if stage not in STAGES:
+            raise ValueError(f"unknown stage {stage!r}")
+        return self.stage_bits.get(stage, self.bits)
+
+    def with_stage(self, stage: str, bits: int) -> "QConfig":
+        merged = dict(self.stage_bits)
+        merged[stage] = bits
+        return replace(self, stage_bits=merged)
+
+    @property
+    def name(self) -> str:
+        if not self.enabled:
+            return "fp32"
+        base = f"int{self.bits}" if self.bits is not None else "mixed"
+        return base + ("*" if self.stage_bits else "")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def fp32() -> QConfig:
+    """Full precision (quantization disabled)."""
+    return QConfig(bits=None)
+
+
+def int16() -> QConfig:
+    return QConfig(bits=16)
+
+
+def int10() -> QConfig:
+    return QConfig(bits=10)
+
+
+def int8() -> QConfig:
+    return QConfig(bits=8)
+
+
+def from_name(name: str) -> QConfig:
+    """Parse "fp32" / "int8" / "int10" / "int16" / "intN"."""
+    name = name.lower()
+    if name in ("fp32", "float", "none"):
+        return fp32()
+    if name.startswith("int"):
+        return QConfig(bits=int(name[3:]))
+    raise ValueError(f"unknown quantization name {name!r}")

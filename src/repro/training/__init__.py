@@ -1,0 +1,17 @@
+"""Training loops, metrics, calibration and the Figure-6 adaptation recipe."""
+
+from repro.training.metrics import accuracy, Meter
+from repro.training.trainer import Trainer, TrainConfig, EpochResult
+from repro.training.calibrate import calibrate, set_calibrating
+from repro.training.adaptation import adapt_to_winograd
+
+__all__ = [
+    "accuracy",
+    "Meter",
+    "Trainer",
+    "TrainConfig",
+    "EpochResult",
+    "calibrate",
+    "set_calibrating",
+    "adapt_to_winograd",
+]

@@ -1,0 +1,80 @@
+"""Fast adaptation of pre-trained standard models to Winograd-aware form.
+
+Figure 6 of the paper: an INT8 ResNet-18 F4 can be obtained from a model
+trained end-to-end with standard convolutions in ~20 epochs of retraining
+(a 2.8× training-time reduction), *provided the transforms are learnable*.
+The mechanism is: build the Winograd-aware twin of the architecture, copy
+every weight that still exists (filters, BN parameters and statistics, the
+classifier), leave the Winograd transforms at their Cook–Toom
+initialisation, then fine-tune.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+
+#: wrapper attribute segments that do not change what the parameter *is*.
+_WRAPPER_SEGMENTS = re.compile(r"\.(conv|linear)(?=\.|$)")
+
+
+def canonical_state_dict(model: Module) -> Dict[str, np.ndarray]:
+    """State dict with quantization-wrapper path segments normalised away.
+
+    ``blocks.0.conv1.conv.weight`` (a :class:`QuantConv2d`) and
+    ``blocks.0.conv1.weight`` (a plain conv or Winograd layer) both map to
+    ``blocks.0.conv1.weight``, so weights transfer across algorithm and
+    precision changes.
+    """
+    out: Dict[str, np.ndarray] = {}
+    for name, value in model.state_dict().items():
+        canon = _WRAPPER_SEGMENTS.sub("", name)
+        if canon in out:
+            raise KeyError(f"canonical name collision: {canon} (from {name})")
+        out[canon] = value
+    return out
+
+
+def transfer_weights(source: Module, target: Module) -> Tuple[int, int]:
+    """Copy every canonically-matching, shape-matching tensor.
+
+    Returns ``(copied, skipped)`` counts.  Winograd transforms and
+    quantizer observers have no counterpart in a standard model and are
+    left at initialisation, as the paper's adaptation protocol requires.
+    """
+    src = canonical_state_dict(source)
+    copied = skipped = params_copied = 0
+    params = list(target.named_parameters())
+    param_names = {name for name, _ in params}
+    for name, buf in params + list(target.named_buffers()):
+        canon = _WRAPPER_SEGMENTS.sub("", name)
+        if canon in src and src[canon].shape == buf.shape:
+            buf.data = src[canon].astype(buf.dtype).copy()
+            copied += 1
+            if name in param_names:
+                params_copied += 1
+        else:
+            skipped += 1
+    if params_copied < max(1, len(params) // 2):
+        # A handful of coincidentally shape-matched tensors (classifier
+        # bias, observer scalars) does not make two models the same
+        # architecture.
+        raise ValueError(
+            f"only {params_copied}/{len(params)} parameters transferred — "
+            "architectures do not align"
+        )
+    return copied, skipped
+
+
+def adapt_to_winograd(source: Module, target: Module) -> Module:
+    """Initialise ``target`` (Winograd-aware) from ``source`` (standard).
+
+    The two models must share a macro-architecture (same factory, same
+    width).  Returns ``target`` for chaining.
+    """
+    transfer_weights(source, target)
+    return target

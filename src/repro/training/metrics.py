@@ -1,0 +1,36 @@
+"""Classification metrics and running meters."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def accuracy(logits: Union[Tensor, np.ndarray], labels: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1]."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    preds = data.argmax(axis=1)
+    return float((preds == np.asarray(labels)).mean())
+
+
+class Meter:
+    """Weighted running average (e.g. of batch loss or accuracy)."""
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.weight = 0.0
+
+    def update(self, value: float, weight: float = 1.0) -> None:
+        self.total += float(value) * weight
+        self.weight += weight
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.weight if self.weight else 0.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.weight = 0.0

@@ -1,0 +1,46 @@
+"""Winograd convolution: exact transform construction, reference kernels,
+and the Winograd-aware (quantized, optionally learnable-transform) layer.
+
+The public surface:
+
+* :func:`~repro.winograd.cook_toom.cook_toom` — exact F(m, r) transform
+  matrices built with rational arithmetic via the Cook–Toom algorithm.
+* :func:`~repro.winograd.transforms.get_transform` — cached float transforms
+  for the canonical point sets (F2/F4/F6 for 3x3, and 5x5 variants).
+* :func:`~repro.winograd.functional.winograd_conv2d` — pure-NumPy reference
+  forward, used to validate the layer.
+* :class:`~repro.winograd.layer.WinogradConv2d` — the paper's contribution:
+  a Winograd-aware, quantization-aware, optionally ``flex`` layer.
+"""
+
+from repro.winograd.cook_toom import (
+    INFINITY,
+    CookToomMatrices,
+    cook_toom,
+    cook_toom_1d_exact,
+    default_points,
+)
+from repro.winograd.transforms import WinogradTransform, get_transform, tile_size
+from repro.winograd.functional import (
+    winograd_conv2d,
+    winograd_output_shape,
+    transform_filter,
+    transform_input_tiles,
+)
+from repro.winograd.layer import WinogradConv2d
+
+__all__ = [
+    "INFINITY",
+    "CookToomMatrices",
+    "cook_toom",
+    "cook_toom_1d_exact",
+    "default_points",
+    "WinogradTransform",
+    "get_transform",
+    "tile_size",
+    "winograd_conv2d",
+    "winograd_output_shape",
+    "transform_filter",
+    "transform_input_tiles",
+    "WinogradConv2d",
+]

@@ -1,0 +1,236 @@
+"""Exact Cook–Toom construction of Winograd transform matrices.
+
+Given output size ``m`` and filter size ``r``, the minimal 1-D algorithm
+F(m, r) uses ``n = m + r - 1`` multiplications.  Following the classical
+evaluation/interpolation derivation (L. Toom 1963; Winograd 1980) combined
+with the transposition principle (Blahut 2010, §5.2):
+
+* linear convolution of ``g`` (length r) with ``v`` (length m) factors as
+  ``g * v = Vn^{-1} [(Vr g) ⊙ (Vm v)]`` where ``Vk`` evaluates a degree-(k-1)
+  polynomial at ``n`` chosen points (the last point being ∞, whose
+  "evaluation" is the leading coefficient), and
+* the *correlation* F(m, r) — what CNN layers compute — is the transpose of
+  the convolution map, giving ``corr(d, g) = Aᵀ[(G g) ⊙ (Bᵀ d)]`` with
+
+  - ``Aᵀ = Vmᵀ``                 (m × n, output transform)
+  - ``G  = Vr``                  (n × r, filter transform)
+  - ``Bᵀ = (Vnᵀ)^{-1}``          (n × n, input transform)
+
+All arithmetic uses :class:`fractions.Fraction`, so the defining identity
+holds *exactly*; the float matrices handed to layers are rounded once at the
+end.  A normalization pass rescales rows so that ``Bᵀ`` is integer-valued
+whenever the points permit, matching the scaling convention of Lavin & Gray
+(2016) — e.g. the canonical F(4, 3) matrices are recovered exactly up to
+per-row sign.
+
+The choice of evaluation points controls the numerical error (Barabasz et
+al. 2018); :func:`default_points` yields the consensus sequence
+``0, 1, -1, 2, -2, 1/2, -1/2, ...``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+
+class _Infinity:
+    """Sentinel for the projective point at infinity."""
+
+    _instance: Optional["_Infinity"] = None
+
+    def __new__(cls) -> "_Infinity":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "∞"
+
+
+INFINITY = _Infinity()
+
+Point = Union[Fraction, int, _Infinity]
+ExactMatrix = List[List[Fraction]]
+
+
+def default_points(count: int) -> Tuple[Point, ...]:
+    """Return ``count`` finite points followed by the point at infinity.
+
+    The sequence interleaves reciprocals with integers —
+    ``0, 1, -1, 2, -2, 1/2, -1/2, 4, -4, 1/4, -1/4, 3, -3, ...`` — which is
+    the widely used "good points" ordering for Winograd kernels (it keeps
+    the dynamic range of the transforms small; see Barabasz et al. 2018).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    seq: List[Fraction] = [Fraction(0)]
+    magnitudes = [Fraction(1), Fraction(2), Fraction(1, 2), Fraction(4),
+                  Fraction(1, 4), Fraction(3), Fraction(1, 3), Fraction(8),
+                  Fraction(1, 8), Fraction(5), Fraction(1, 5), Fraction(6),
+                  Fraction(1, 6), Fraction(7), Fraction(1, 7)]
+    for mag in magnitudes:
+        seq.append(mag)
+        seq.append(-mag)
+    if count > len(seq):
+        raise ValueError(f"no default point table beyond {len(seq)} points")
+    return tuple(seq[:count]) + (INFINITY,)
+
+
+def _as_point(p: Point) -> Point:
+    if isinstance(p, _Infinity):
+        return p
+    return Fraction(p)
+
+
+def _vandermonde(points: Sequence[Point], cols: int) -> ExactMatrix:
+    """Evaluation matrix: row i evaluates a degree-(cols-1) polynomial at
+    point i; the ∞ row selects the leading coefficient."""
+    rows: ExactMatrix = []
+    for p in points:
+        if isinstance(p, _Infinity):
+            rows.append([Fraction(0)] * (cols - 1) + [Fraction(1)])
+        else:
+            rows.append([p**j for j in range(cols)])
+    return rows
+
+
+def _transpose(mat: ExactMatrix) -> ExactMatrix:
+    return [list(row) for row in zip(*mat)]
+
+
+def _invert(mat: ExactMatrix) -> ExactMatrix:
+    """Exact Gauss–Jordan inversion over the rationals."""
+    n = len(mat)
+    aug = [list(row) + [Fraction(int(i == j)) for j in range(n)] for i, row in enumerate(mat)]
+    for col in range(n):
+        pivot = next((row for row in range(col, n) if aug[row][col] != 0), None)
+        if pivot is None:
+            raise ValueError("singular Vandermonde matrix: duplicate points?")
+        aug[col], aug[pivot] = aug[pivot], aug[col]
+        inv_p = Fraction(1) / aug[col][col]
+        aug[col] = [v * inv_p for v in aug[col]]
+        for row in range(n):
+            if row != col and aug[row][col] != 0:
+                factor = aug[row][col]
+                aug[row] = [a - factor * b for a, b in zip(aug[row], aug[col])]
+    return [row[n:] for row in aug]
+
+
+def _matmul_exact(a: ExactMatrix, b: ExactMatrix) -> ExactMatrix:
+    return [
+        [sum((x * y for x, y in zip(row, col)), Fraction(0)) for col in zip(*b)]
+        for row in a
+    ]
+
+
+@dataclass(frozen=True)
+class CookToomMatrices:
+    """Exact F(m, r) transform matrices plus metadata."""
+
+    m: int
+    r: int
+    points: Tuple[Point, ...]
+    BT: Tuple[Tuple[Fraction, ...], ...]  # (n, n) input transform
+    G: Tuple[Tuple[Fraction, ...], ...]  # (n, r) filter transform
+    AT: Tuple[Tuple[Fraction, ...], ...]  # (m, n) output transform
+
+    @property
+    def n(self) -> int:
+        return self.m + self.r - 1
+
+    def as_float(self, dtype=np.float64) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        to_arr = lambda mat: np.array([[float(v) for v in row] for row in mat], dtype=dtype)
+        return to_arr(self.BT), to_arr(self.G), to_arr(self.AT)
+
+    def apply_1d_exact(self, d: Sequence, g: Sequence) -> List[Fraction]:
+        """Exact 1-D Winograd correlation — used by property tests."""
+        d = [Fraction(x) for x in d]
+        g = [Fraction(x) for x in g]
+        if len(d) != self.n or len(g) != self.r:
+            raise ValueError(f"expected |d|={self.n}, |g|={self.r}")
+        u = [sum((gv * gx for gv, gx in zip(row, g)), Fraction(0)) for row in self.G]
+        v = [sum((bv * dx for bv, dx in zip(row, d)), Fraction(0)) for row in self.BT]
+        h = [ui * vi for ui, vi in zip(u, v)]
+        return [sum((av * hx for av, hx in zip(row, h)), Fraction(0)) for row in self.AT]
+
+
+def _normalize_rows(
+    BT: ExactMatrix, G: ExactMatrix
+) -> Tuple[ExactMatrix, ExactMatrix]:
+    """Rescale Hadamard components so ``Bᵀ`` rows become integral.
+
+    Multiplying row ``i`` of ``Bᵀ`` by ``s`` and dividing row ``i`` of ``G``
+    by ``s`` leaves the algorithm's output unchanged (the Hadamard product
+    is componentwise).  Lavin & Gray publish transforms in this style, and
+    integer ``Bᵀ`` keeps the input transform cheap and exact.
+    """
+    new_BT: ExactMatrix = []
+    new_G: ExactMatrix = []
+    for bt_row, g_row in zip(BT, G):
+        denoms = [v.denominator for v in bt_row if v != 0]
+        scale = Fraction(math.lcm(*denoms)) if denoms else Fraction(1)
+        numers = [int(v * scale) for v in bt_row if v != 0]
+        if numers:
+            common = math.gcd(*[abs(x) for x in numers])
+            if common > 1:
+                scale /= common
+        new_BT.append([v * scale for v in bt_row])
+        new_G.append([v / scale for v in g_row])
+    return new_BT, new_G
+
+
+def cook_toom_1d_exact(
+    m: int,
+    r: int,
+    points: Optional[Sequence[Point]] = None,
+    normalize: bool = True,
+) -> CookToomMatrices:
+    """Build exact F(m, r) transforms.
+
+    Parameters
+    ----------
+    m, r:
+        Output length and filter length of the 1-D algorithm.
+    points:
+        ``m + r - 1`` evaluation points (``INFINITY`` allowed once, by
+        convention last).  Defaults to :func:`default_points`.
+    normalize:
+        Rescale rows so ``Bᵀ`` is integral where possible (Lavin-style).
+    """
+    if m < 1 or r < 1:
+        raise ValueError(f"m and r must be positive, got m={m} r={r}")
+    n = m + r - 1
+    if points is None:
+        points = default_points(n - 1)
+    points = tuple(_as_point(p) for p in points)
+    if len(points) != n:
+        raise ValueError(f"F({m},{r}) needs {n} points, got {len(points)}")
+    finite = [p for p in points if not isinstance(p, _Infinity)]
+    if len(set(finite)) != len(finite):
+        raise ValueError("evaluation points must be distinct")
+    if sum(isinstance(p, _Infinity) for p in points) > 1:
+        raise ValueError("at most one point at infinity")
+
+    G = _vandermonde(points, r)
+    AT = _transpose(_vandermonde(points, m))
+    BT = _invert(_transpose(_vandermonde(points, n)))
+    if normalize:
+        BT, G = _normalize_rows(BT, G)
+    freeze = lambda mat: tuple(tuple(row) for row in mat)
+    return CookToomMatrices(m=m, r=r, points=points, BT=freeze(BT), G=freeze(G), AT=freeze(AT))
+
+
+def cook_toom(
+    m: int,
+    r: int,
+    points: Optional[Sequence[Point]] = None,
+    dtype=np.float64,
+    normalize: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Float (BT, G, AT) transform matrices for F(m, r)."""
+    return cook_toom_1d_exact(m, r, points=points, normalize=normalize).as_float(dtype)

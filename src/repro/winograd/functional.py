@@ -1,0 +1,171 @@
+"""Pure-NumPy reference implementation of 2-D Winograd convolution.
+
+This is the *specification* the autograd layer is tested against: a direct
+transliteration of Eq. (1) of the paper,
+
+    Y = Aᵀ [ (G g Gᵀ) ⊙ (Bᵀ d B) ] A
+
+applied to every (m + r - 1)² input tile.  It supports an optional
+per-stage quantization hook so the numerical-collapse experiments
+(Table 1) can be reproduced without the training machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.winograd.transforms import WinogradTransform
+
+QuantHook = Optional[Callable[[np.ndarray, str], np.ndarray]]
+
+
+def winograd_output_shape(
+    h: int, w: int, r: int, padding: int
+) -> Tuple[int, int]:
+    """Spatial output shape of a stride-1 r×r convolution with ``padding``."""
+    return h + 2 * padding - r + 1, w + 2 * padding - r + 1
+
+
+def _tile_counts(out_h: int, out_w: int, m: int) -> Tuple[int, int]:
+    return -(-out_h // m), -(-out_w // m)
+
+
+def transform_filter(
+    weight: np.ndarray, transform: WinogradTransform, quant: QuantHook = None
+) -> np.ndarray:
+    """``G g Gᵀ`` for every (out, in) filter pair: (K, C, r, r) → (K, C, t, t)."""
+    G = transform.G.astype(weight.dtype)
+    u = np.einsum("ir,kcrs,js->kcij", G, weight, G, optimize=True)
+    if quant is not None:
+        u = quant(u, "weight_transformed")
+    return u
+
+
+def transform_input_tiles(
+    x: np.ndarray,
+    transform: WinogradTransform,
+    padding: int,
+    quant: QuantHook = None,
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Extract tiles and apply ``Bᵀ d B``.
+
+    Returns ``(V, (th, tw))`` where ``V`` has shape (N, C, th, tw, t, t).
+    """
+    n, c, h, w = x.shape
+    m, r, t = transform.m, transform.r, transform.t
+    out_h, out_w = winograd_output_shape(h, w, r, padding)
+    th, tw = _tile_counts(out_h, out_w, m)
+    need_h = th * m + r - 1
+    need_w = tw * m + r - 1
+    xp = np.pad(
+        x,
+        (
+            (0, 0),
+            (0, 0),
+            (padding, need_h - h - padding),
+            (padding, need_w - w - padding),
+        ),
+    )
+    sn, sc, sh, sw = xp.strides
+    tiles = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, c, th, tw, t, t),
+        strides=(sn, sc, sh * m, sw * m, sh, sw),
+    )
+    BT = transform.BT.astype(x.dtype)
+    v = np.einsum("ij,ncpqjk,lk->ncpqil", BT, tiles, BT, optimize=True)
+    if quant is not None:
+        v = quant(v, "input_transformed")
+    return v, (th, tw)
+
+
+def winograd_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    transform: WinogradTransform,
+    bias: Optional[np.ndarray] = None,
+    padding: int = 1,
+    quant: QuantHook = None,
+) -> np.ndarray:
+    """Reference Winograd convolution (stride 1).
+
+    Parameters
+    ----------
+    x:
+        Input activations, shape (N, C, H, W).
+    weight:
+        Filters, shape (K, C, r, r) with r == transform.r.
+    transform:
+        The F(m×m, r×r) transform to use.
+    bias:
+        Optional (K,) bias added after the output transform.
+    padding:
+        Symmetric zero padding (the usual "same" for odd r is (r-1)//2).
+    quant:
+        Optional hook ``f(array, stage_name) -> array`` applied after each
+        stage — "weight", "input", "weight_transformed",
+        "input_transformed", "hadamard", "output".  Passing a fake-quant
+        function reproduces the post-training quantized-swap experiment
+        (Table 1).
+    """
+    if weight.shape[2] != transform.r or weight.shape[3] != transform.r:
+        raise ValueError(
+            f"filter is {weight.shape[2]}x{weight.shape[3]} but transform expects "
+            f"r={transform.r}"
+        )
+    if x.shape[1] != weight.shape[1]:
+        raise ValueError(f"channel mismatch: input {x.shape[1]} vs weight {weight.shape[1]}")
+    if quant is not None:
+        x = quant(x, "input")
+        weight = quant(weight, "weight")
+    n, c, h, w = x.shape
+    k = weight.shape[0]
+    m, r = transform.m, transform.r
+    out_h, out_w = winograd_output_shape(h, w, r, padding)
+
+    u = transform_filter(weight, transform, quant)  # (K, C, t, t)
+    v, (th, tw) = transform_input_tiles(x, transform, padding, quant)  # (N,C,th,tw,t,t)
+
+    # Hadamard product + channel summation: t² GEMMs of (K×C)·(C×P).
+    hadamard = np.einsum("kcij,ncpqij->nkpqij", u, v, optimize=True)
+    if quant is not None:
+        hadamard = quant(hadamard, "hadamard")
+
+    AT = transform.AT.astype(x.dtype)
+    y = np.einsum("ij,nkpqjl,ml->nkpqim", AT, hadamard, AT, optimize=True)
+    if quant is not None:
+        y = quant(y, "output")
+
+    # Non-overlapping m×m output tiles reassemble by transpose+reshape.
+    y = y.transpose(0, 1, 2, 4, 3, 5).reshape(n, k, th * m, tw * m)
+    y = y[:, :, :out_h, :out_w]
+    if bias is not None:
+        y = y + bias.reshape(1, k, 1, 1)
+    return y
+
+
+def direct_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    padding: int = 1,
+    stride: int = 1,
+) -> np.ndarray:
+    """Naive direct convolution (cross-correlation) — ground truth for tests."""
+    n, c, h, w = x.shape
+    k, _, r, s = weight.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (h + 2 * padding - r) // stride + 1
+    out_w = (w + 2 * padding - s) // stride + 1
+    sn, sc, sh, sw = xp.strides
+    patches = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(n, c, out_h, out_w, r, s),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+    )
+    y = np.einsum("ncpqrs,kcrs->nkpq", patches, weight, optimize=True)
+    if bias is not None:
+        y = y + bias.reshape(1, k, 1, 1)
+    return y

@@ -1,0 +1,262 @@
+"""The Winograd-aware convolution layer (paper §3.2, Figure 2).
+
+The forward pass explicitly materialises every stage of
+
+    Y = Aᵀ [ (G g Gᵀ) ⊙ (Bᵀ d B) ] A
+
+as autograd operations, with a fake-quantizer (``Qx`` in Fig. 2) after each
+stage.  Because the whole pipeline is differentiable:
+
+* the *filters* learn to compensate the numerical error of the Winograd
+  transforms ("learn better filters"), and
+* when ``flex=True`` the transform matrices ``G``, ``Bᵀ``, ``Aᵀ`` are
+  themselves :class:`~repro.nn.module.Parameter`s initialised via
+  Cook–Toom and updated by backprop ("learn the transforms").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.nn import init
+from repro.nn.module import Buffer, Module, Parameter
+from repro.quant.qconfig import QConfig, fp32
+from repro.quant.quantizer import Quantizer
+from repro.winograd.transforms import WinogradTransform, get_transform
+
+
+class WinogradConv2d(Module):
+    """Winograd-aware 2-D convolution F(m×m, r×r), stride 1.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts; must be divisible by ``groups``.
+    kernel_size:
+        Filter size ``r`` (square).
+    m:
+        Output-tile size of the Winograd algorithm (2/4/6 ↔ the paper's
+        F2/F4/F6 when ``r == 3``).
+    padding:
+        Symmetric zero padding; defaults to "same" ``(r - 1) // 2``.
+    flex:
+        Learn the transform matrices (the paper's ``-flex`` suffix).
+    qconfig:
+        Bit-width configuration; ``None``/:func:`~repro.quant.qconfig.fp32`
+        disables all ``Qx`` stages.
+    points:
+        Override Cook–Toom evaluation points (polynomial-point ablation).
+
+    Notes
+    -----
+    Strided Winograd convolution has no known formulation (paper §5.1); the
+    layer enforces stride 1.  Networks replace strided convs with pooling +
+    dense conv, as the paper does.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        m: int = 2,
+        padding: Optional[int] = None,
+        groups: int = 1,
+        bias: bool = True,
+        flex: bool = False,
+        qconfig: Optional[QConfig] = None,
+        points: Optional[Sequence] = None,
+        rng=None,
+    ):
+        super().__init__()
+        r = int(kernel_size)
+        if in_channels % groups or out_channels % groups:
+            raise ValueError(f"groups={groups} must divide {in_channels}->{out_channels}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = r
+        self.m = int(m)
+        self.padding = (r - 1) // 2 if padding is None else int(padding)
+        self.groups = groups
+        self.flex = bool(flex)
+        self.qconfig = qconfig if qconfig is not None else fp32()
+
+        transform = get_transform(self.m, r, points=points)
+        self._reference_transform = transform
+        bt, g, at = transform.copies(np.float32)
+        wrap = Parameter if self.flex else Buffer
+        self.BT = wrap(bt)
+        self.G = wrap(g)
+        self.AT = wrap(at)
+
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels // groups, r, r), rng=rng)
+        )
+        fan_in = (in_channels // groups) * r * r
+        self.bias = Parameter(init.uniform_bias((out_channels,), fan_in, rng=rng)) if bias else None
+
+        mom = self.qconfig.ema_momentum
+        self.q_input = Quantizer(self.qconfig.bits_for("input"), mom, "input")
+        self.q_weight = Quantizer(self.qconfig.bits_for("weight"), mom, "weight")
+        self.q_weight_t = Quantizer(
+            self.qconfig.bits_for("weight_transformed"), mom, "weight_transformed"
+        )
+        self.q_input_t = Quantizer(
+            self.qconfig.bits_for("input_transformed"), mom, "input_transformed"
+        )
+        self.q_hadamard = Quantizer(self.qconfig.bits_for("hadamard"), mom, "hadamard")
+        self.q_output = Quantizer(self.qconfig.bits_for("output"), mom, "output")
+
+    # -- properties -----------------------------------------------------------
+    @property
+    def t(self) -> int:
+        """Input tile edge m + r - 1."""
+        return self.m + self.kernel_size - 1
+
+    @property
+    def reference_transform(self) -> WinogradTransform:
+        """The Cook–Toom initialisation (before any flex training)."""
+        return self._reference_transform
+
+    def current_transform(self) -> WinogradTransform:
+        """The transforms as currently held (may differ after flex training)."""
+        return WinogradTransform(
+            m=self.m,
+            r=self.kernel_size,
+            BT=self.BT.data.astype(np.float64).copy(),
+            G=self.G.data.astype(np.float64).copy(),
+            AT=self.AT.data.astype(np.float64).copy(),
+            points=self._reference_transform.points,
+        )
+
+    def transform_drift(self) -> float:
+        """Max |current − Cook–Toom| across the three transforms (flex diagnostics)."""
+        ref = self._reference_transform
+        return max(
+            float(np.abs(self.BT.data - ref.BT).max()),
+            float(np.abs(self.G.data - ref.G).max()),
+            float(np.abs(self.AT.data - ref.AT).max()),
+        )
+
+    def set_calibrating(self, flag: bool) -> None:
+        """Toggle observer warm-up mode on every quantizer (Table 1 footnote)."""
+        for module in self.modules():
+            if isinstance(module, Quantizer):
+                module.calibrating = flag
+
+    # -- forward ---------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if x.ndim != 4:
+            raise ValueError(f"expected NCHW input, got shape {x.shape}")
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        self.last_input_hw = (h, w)  # consumed by repro.hardware
+        r, m, t, g = self.kernel_size, self.m, self.t, self.groups
+        k = self.out_channels
+        pad = self.padding
+        out_h = h + 2 * pad - r + 1
+        out_w = w + 2 * pad - r + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(f"input {h}x{w} too small for r={r} pad={pad}")
+        th = -(-out_h // m)
+        tw = -(-out_w // m)
+
+        x = self.q_input(x)
+        weight = self.q_weight(self.weight)
+
+        # --- filter transform: U = G g Gᵀ ------------------------------- (K, C/g, t, t)
+        u = ops.matmul(ops.matmul(self.G, weight), self.G.transpose())
+        u = self.q_weight_t(u)
+
+        # --- input transform: V = Bᵀ d B --------------------------- (N, C, th, tw, t, t)
+        need_h = th * m + r - 1
+        need_w = tw * m + r - 1
+        xp = ops.pad2d(x, (pad, need_h - h - pad, pad, need_w - w - pad))
+        tiles = ops.extract_patches(xp, (t, t), (m, m))
+        v = ops.matmul(ops.matmul(self.BT, tiles), self.BT.transpose())
+        v = self.q_input_t(v)
+
+        # --- Hadamard product + summation over channels -----------------------
+        # Lowered to t² GEMMs of (K/g × C/g)·(C/g × N·th·tw) per group — the
+        # GEMM formulation of Maji et al. (2019) used for deployment.
+        p = n * th * tw
+        u2 = u.reshape(g, k // g, c // g, t, t).permute(3, 4, 0, 1, 2)  # (t,t,g,K/g,C/g)
+        v2 = (
+            v.reshape(n, g, c // g, th, tw, t, t)
+            .permute(5, 6, 1, 2, 0, 3, 4)  # (t,t,g,C/g,N,th,tw)
+            .reshape(t, t, g, c // g, p)
+        )
+        had = ops.matmul(u2, v2)  # (t, t, g, K/g, P)
+        had = self.q_hadamard(had)
+
+        # --- output transform: Y = Aᵀ y A ----------------------------------
+        y = had.reshape(t, t, k, p).permute(2, 3, 0, 1)  # (K, P, t, t)
+        y = ops.matmul(ops.matmul(self.AT, y), self.AT.transpose())  # (K, P, m, m)
+        y = self.q_output(y)
+
+        # --- reassemble non-overlapping output tiles, crop the ragged edge ---
+        y = (
+            y.reshape(k, n, th, tw, m, m)
+            .permute(1, 0, 2, 4, 3, 5)
+            .reshape(n, k, th * m, tw * m)
+        )
+        if th * m != out_h:
+            y = ops.slice_axis(y, 2, 0, out_h)
+        if tw * m != out_w:
+            y = ops.slice_axis(y, 3, 0, out_w)
+        if self.bias is not None:
+            y = y + self.bias.reshape(1, k, 1, 1)
+        return y
+
+    # -- adaptation -------------------------------------------------------------
+    @classmethod
+    def from_conv2d(
+        cls,
+        conv,
+        m: int,
+        flex: bool = False,
+        qconfig: Optional[QConfig] = None,
+        points: Optional[Sequence] = None,
+    ) -> "WinogradConv2d":
+        """Build a Winograd-aware layer from a trained standard conv.
+
+        Copies weights/bias; this is the mechanism behind the post-training
+        swap study (Table 1) and the fast adaptation experiment (Figure 6).
+        """
+        if conv.kernel_size[0] != conv.kernel_size[1]:
+            raise ValueError("Winograd layer requires square kernels")
+        stride = conv.stride if isinstance(conv.stride, tuple) else (conv.stride, conv.stride)
+        if stride != (1, 1):
+            raise ValueError("no known strided Winograd formulation (paper §5.1)")
+        pad = conv.padding if isinstance(conv.padding, int) else conv.padding[0]
+        layer = cls(
+            conv.in_channels,
+            conv.out_channels,
+            kernel_size=conv.kernel_size[0],
+            m=m,
+            padding=pad,
+            groups=conv.groups,
+            bias=conv.bias is not None,
+            flex=flex,
+            qconfig=qconfig,
+            points=points,
+        )
+        layer.weight.data = conv.weight.data.copy()
+        if conv.bias is not None:
+            layer.bias.data = conv.bias.data.copy()
+        return layer
+
+    def __repr__(self) -> str:
+        flex = "-flex" if self.flex else ""
+        return (
+            f"WinogradConv2d(F({self.m}x{self.m},{self.kernel_size}x{self.kernel_size})"
+            f"{flex}, {self.in_channels}->{self.out_channels}, groups={self.groups}, "
+            f"q={self.qconfig.name})"
+        )

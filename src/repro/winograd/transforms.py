@@ -1,0 +1,110 @@
+"""Canonical Winograd transforms used throughout the reproduction.
+
+The paper's configurations (its §3.1 naming, for 3×3 filters):
+
+========  =============  ==========  ==================
+name      algorithm      input tile  mult. per output
+========  =============  ==========  ==================
+``F2``    F(2×2, 3×3)    4×4         4
+``F4``    F(4×4, 3×3)    6×6         2.25
+``F6``    F(6×6, 3×3)    8×8         ≈1.78
+========  =============  ==========  ==================
+
+plus the 5×5-filter variants used for LeNet (Figure 5).  All matrices come
+from :mod:`repro.winograd.cook_toom` with the consensus point sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.winograd.cook_toom import (
+    CookToomMatrices,
+    Point,
+    cook_toom_1d_exact,
+    default_points,
+)
+
+
+def tile_size(m: int, r: int) -> int:
+    """Input tile edge for F(m×m, r×r): ``m + r - 1``."""
+    return m + r - 1
+
+
+@dataclass(frozen=True)
+class WinogradTransform:
+    """Float transform matrices for F(m×m, r×r) plus provenance metadata."""
+
+    m: int
+    r: int
+    BT: np.ndarray  # (t, t)
+    G: np.ndarray  # (t, r)
+    AT: np.ndarray  # (m, t)
+    points: Tuple[Point, ...]
+
+    @property
+    def t(self) -> int:
+        """Input tile edge."""
+        return self.m + self.r - 1
+
+    @property
+    def multiplications_per_output(self) -> float:
+        """Hadamard multiplies per output pixel: t²/m²."""
+        return (self.t / self.m) ** 2
+
+    def sparsity(self) -> Tuple[float, float, float]:
+        """Fraction of zero entries in (BT, G, AT) — drives transform cost
+        in the hardware model (§A.2: learned transforms become dense)."""
+        frac0 = lambda a: float((a == 0).mean())
+        return frac0(self.BT), frac0(self.G), frac0(self.AT)
+
+    def copies(self, dtype=np.float32) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fresh (BT, G, AT) arrays, e.g. to seed learnable parameters."""
+        return (
+            self.BT.astype(dtype).copy(),
+            self.G.astype(dtype).copy(),
+            self.AT.astype(dtype).copy(),
+        )
+
+
+@lru_cache(maxsize=None)
+def _cached_exact(m: int, r: int, points: Optional[Tuple[Point, ...]]) -> CookToomMatrices:
+    return cook_toom_1d_exact(m, r, points=points)
+
+
+def get_transform(
+    m: int,
+    r: int = 3,
+    points: Optional[Sequence[Point]] = None,
+    dtype=np.float64,
+) -> WinogradTransform:
+    """Return the canonical F(m×m, r×r) transform.
+
+    ``points`` overrides the default Cook–Toom evaluation points, which is
+    how the polynomial-point ablation (paper §7) selects alternatives.
+    """
+    key = tuple(points) if points is not None else None
+    exact = _cached_exact(int(m), int(r), key)
+    BT, G, AT = exact.as_float(dtype)
+    return WinogradTransform(m=int(m), r=int(r), BT=BT, G=G, AT=AT, points=exact.points)
+
+
+#: The paper's shorthand: F2/F4/F6 for 3×3 filters.
+PAPER_CONFIGS = {
+    "F2": (2, 3),
+    "F4": (4, 3),
+    "F6": (6, 3),
+}
+
+
+def get_paper_transform(name: str, dtype=np.float64) -> WinogradTransform:
+    """Look up a transform by the paper's name (``F2``, ``F4``, ``F6``)."""
+    try:
+        m, r = PAPER_CONFIGS[name]
+    except KeyError:
+        raise KeyError(f"unknown config {name!r}; expected one of {sorted(PAPER_CONFIGS)}")
+    return get_transform(m, r, dtype=dtype)

@@ -1,0 +1,130 @@
+"""Forward semantics of primitives vs plain NumPy, plus property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autograd import Tensor, ops
+
+
+def small_arrays(max_dims=3, max_side=5):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=st.floats(-10, 10, allow_nan=False, width=32),
+    )
+
+
+class TestForwardValues:
+    def test_log_softmax_rows_normalise(self, rng):
+        x = Tensor(rng.standard_normal((4, 7)).astype(np.float32))
+        ls = ops.log_softmax(x, axis=1)
+        sums = np.exp(ls.data).sum(axis=1)
+        np.testing.assert_allclose(sums, 1.0, rtol=1e-5)
+
+    def test_log_softmax_stable_for_large_logits(self):
+        x = Tensor(np.array([[1000.0, 1000.0]], dtype=np.float32))
+        ls = ops.log_softmax(x, axis=1)
+        assert np.isfinite(ls.data).all()
+        np.testing.assert_allclose(np.exp(ls.data), [[0.5, 0.5]], rtol=1e-5)
+
+    def test_pad2d_zero_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((1, 1, 3, 3)).astype(np.float32))
+        assert ops.pad2d(x, 0).data is x.data
+
+    def test_pad2d_values(self):
+        x = Tensor(np.ones((1, 1, 2, 2), dtype=np.float32))
+        padded = ops.pad2d(x, (1, 0, 0, 2))
+        assert padded.shape == (1, 1, 3, 4)
+        assert padded.data[0, 0, 0].sum() == 0  # top row zero
+        assert padded.data[0, 0, :, -1].sum() == 0  # right col zero
+
+    def test_pad2d_negative_raises(self):
+        with pytest.raises(ValueError):
+            ops.pad2d(Tensor(np.ones((1, 1, 2, 2))), (-1, 0, 0, 0))
+
+    def test_slice_axis_matches_numpy(self, rng):
+        x = rng.standard_normal((2, 5, 3)).astype(np.float32)
+        out = ops.slice_axis(Tensor(x), 1, 1, 4)
+        np.testing.assert_array_equal(out.data, x[:, 1:4])
+
+    def test_concat_matches_numpy(self, rng):
+        a = rng.standard_normal((2, 3)).astype(np.float32)
+        b = rng.standard_normal((2, 4)).astype(np.float32)
+        out = ops.concat([Tensor(a), Tensor(b)], axis=1)
+        np.testing.assert_array_equal(out.data, np.concatenate([a, b], axis=1))
+
+    def test_max_ties_split_gradient(self):
+        x = Tensor(np.array([[2.0, 2.0, 1.0]], dtype=np.float32), requires_grad=True)
+        ops.max(x, axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5, 0.0]])
+
+    def test_extract_patches_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        patches = ops.extract_patches(Tensor(x), (2, 2), (2, 2))
+        assert patches.shape == (1, 1, 2, 2, 2, 2)
+        np.testing.assert_array_equal(patches.data[0, 0, 0, 0], [[0, 1], [4, 5]])
+        np.testing.assert_array_equal(patches.data[0, 0, 1, 1], [[10, 11], [14, 15]])
+
+    def test_extract_patches_too_small_raises(self):
+        with pytest.raises(ValueError):
+            ops.extract_patches(Tensor(np.zeros((1, 1, 2, 2))), (3, 3), (1, 1))
+
+    def test_matmul_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            ops.matmul(Tensor(np.zeros((2, 3))), Tensor(np.zeros((2, 3))))
+
+
+class TestAdjointProperty:
+    """extract_patches and fold_patches must be adjoint linear maps:
+    <extract(x), p> == <x, fold(p)> for all x, p."""
+
+    @pytest.mark.parametrize("kernel,stride,size", [(4, 2, 8), (3, 1, 5), (2, 2, 6), (5, 3, 11)])
+    def test_dot_product_identity(self, kernel, stride, size, rng):
+        x = rng.standard_normal((2, 3, size, size))
+        n_tiles = (size - kernel) // stride + 1
+        p = rng.standard_normal((2, 3, n_tiles, n_tiles, kernel, kernel))
+        ex = ops.extract_patches(Tensor(x), kernel, stride).data
+        fo = ops.fold_patches(Tensor(p), (size, size), stride).data
+        lhs = float((ex * p).sum())
+        rhs = float((x * fo).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-5)
+
+
+class TestBroadcastingProperties:
+    @given(small_arrays())
+    def test_add_identity(self, arr):
+        out = ops.add(Tensor(arr), Tensor(np.zeros_like(arr)))
+        np.testing.assert_allclose(out.data, arr)
+
+    @given(small_arrays())
+    def test_mul_by_one(self, arr):
+        out = ops.mul(Tensor(arr), Tensor(np.ones(1)))
+        np.testing.assert_allclose(out.data, arr)
+
+    @given(small_arrays())
+    def test_exp_log_roundtrip(self, arr):
+        pos = np.abs(arr) + 1.0
+        out = ops.log(ops.exp(Tensor(pos)))
+        np.testing.assert_allclose(out.data, pos, rtol=1e-5, atol=1e-6)
+
+    @given(small_arrays())
+    def test_sum_matches_numpy(self, arr):
+        assert ops.sum(Tensor(arr)).item() == pytest.approx(float(arr.sum()), rel=1e-5, abs=1e-6)
+
+    @given(small_arrays(max_dims=2))
+    def test_relu_idempotent(self, arr):
+        once = ops.relu(Tensor(arr)).data
+        twice = ops.relu(Tensor(once)).data
+        np.testing.assert_array_equal(once, twice)
+
+    @given(small_arrays(max_dims=2))
+    def test_broadcast_grad_shape_matches_input(self, arr):
+        a = Tensor(arr, requires_grad=True)
+        b = Tensor(np.float64(2.0), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == a.shape
+        assert b.grad.shape == b.shape
+        assert b.grad == pytest.approx(float(arr.sum()), rel=1e-5, abs=1e-6)

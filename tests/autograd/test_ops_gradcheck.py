@@ -1,0 +1,194 @@
+"""Finite-difference verification of every primitive's backward rule."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck, ops
+
+
+def t64(arr, requires_grad=True):
+    return Tensor(np.asarray(arr, dtype=np.float64), requires_grad=requires_grad)
+
+
+class TestElementwise:
+    def test_add(self, rng64):
+        a = t64(rng64.standard_normal((3, 4)))
+        b = t64(rng64.standard_normal((3, 4)))
+        gradcheck(ops.add, [a, b])
+
+    def test_add_broadcast(self, rng64):
+        a = t64(rng64.standard_normal((3, 4)))
+        b = t64(rng64.standard_normal((4,)))
+        gradcheck(ops.add, [a, b])
+
+    def test_sub_broadcast_leading(self, rng64):
+        a = t64(rng64.standard_normal((2, 3, 4)))
+        b = t64(rng64.standard_normal((1, 3, 1)))
+        gradcheck(ops.sub, [a, b])
+
+    def test_mul(self, rng64):
+        a = t64(rng64.standard_normal((3, 4)))
+        b = t64(rng64.standard_normal((3, 4)))
+        gradcheck(ops.mul, [a, b])
+
+    def test_mul_scalar_broadcast(self, rng64):
+        a = t64(rng64.standard_normal((3, 4)))
+        b = t64(rng64.standard_normal(()))
+        gradcheck(ops.mul, [a, b])
+
+    def test_div(self, rng64):
+        a = t64(rng64.standard_normal((3, 4)))
+        b = t64(rng64.standard_normal((3, 4)) + 3.0)  # bounded away from 0
+        gradcheck(ops.div, [a, b])
+
+    def test_neg(self, rng64):
+        gradcheck(ops.neg, [t64(rng64.standard_normal((5,)))])
+
+    def test_pow(self, rng64):
+        a = t64(np.abs(rng64.standard_normal((4,))) + 0.5)
+        gradcheck(lambda x: ops.pow(x, 3.0), [a])
+
+    def test_exp(self, rng64):
+        gradcheck(ops.exp, [t64(rng64.standard_normal((4,)))])
+
+    def test_log(self, rng64):
+        gradcheck(ops.log, [t64(np.abs(rng64.standard_normal((4,))) + 0.5)])
+
+    def test_sqrt(self, rng64):
+        gradcheck(ops.sqrt, [t64(np.abs(rng64.standard_normal((4,))) + 0.5)])
+
+    def test_relu(self, rng64):
+        # keep values away from the kink
+        vals = rng64.standard_normal((4, 4))
+        vals[np.abs(vals) < 0.1] += 0.3
+        gradcheck(ops.relu, [t64(vals)])
+
+    def test_sigmoid(self, rng64):
+        gradcheck(ops.sigmoid, [t64(rng64.standard_normal((4,)))])
+
+    def test_tanh(self, rng64):
+        gradcheck(ops.tanh, [t64(rng64.standard_normal((4,)))])
+
+    def test_maximum(self, rng64):
+        a = t64(rng64.standard_normal((4, 4)))
+        b = t64(rng64.standard_normal((4, 4)))
+        # separate ties
+        b.data[np.abs(a.data - b.data) < 0.1] += 0.5
+        gradcheck(ops.maximum, [a, b])
+
+
+class TestLinalg:
+    def test_matmul_2d(self, rng64):
+        a = t64(rng64.standard_normal((3, 4)))
+        b = t64(rng64.standard_normal((4, 5)))
+        gradcheck(ops.matmul, [a, b])
+
+    def test_matmul_batched(self, rng64):
+        a = t64(rng64.standard_normal((2, 3, 4)))
+        b = t64(rng64.standard_normal((2, 4, 5)))
+        gradcheck(ops.matmul, [a, b])
+
+    def test_matmul_broadcast_small_lhs(self, rng64):
+        # (t, t) @ (N, C, t, t): the Winograd transform pattern — the small
+        # matrix's gradient must sum over all broadcast batches.
+        a = t64(rng64.standard_normal((3, 3)))
+        b = t64(rng64.standard_normal((2, 4, 3, 3)))
+        gradcheck(ops.matmul, [a, b])
+
+    def test_matmul_broadcast_small_rhs(self, rng64):
+        a = t64(rng64.standard_normal((2, 4, 3, 3)))
+        b = t64(rng64.standard_normal((3, 3)))
+        gradcheck(ops.matmul, [a, b])
+
+
+class TestShapeOps:
+    def test_reshape(self, rng64):
+        a = t64(rng64.standard_normal((3, 4)))
+        gradcheck(lambda x: ops.reshape(x, (2, 6)), [a])
+
+    def test_permute(self, rng64):
+        a = t64(rng64.standard_normal((2, 3, 4)))
+        gradcheck(lambda x: ops.permute(x, (2, 0, 1)), [a])
+
+    def test_sum_all(self, rng64):
+        gradcheck(lambda x: ops.sum(x), [t64(rng64.standard_normal((3, 4)))])
+
+    def test_sum_axis_keepdims(self, rng64):
+        a = t64(rng64.standard_normal((3, 4, 2)))
+        gradcheck(lambda x: ops.sum(x, axis=(0, 2), keepdims=True), [a])
+
+    def test_sum_axis_squeeze(self, rng64):
+        a = t64(rng64.standard_normal((3, 4)))
+        gradcheck(lambda x: ops.sum(x, axis=1), [a])
+
+    def test_mean(self, rng64):
+        a = t64(rng64.standard_normal((3, 4)))
+        gradcheck(lambda x: ops.mean(x, axis=0), [a])
+
+    def test_max_axis(self, rng64):
+        vals = rng64.standard_normal((3, 5))
+        gradcheck(lambda x: ops.max(x, axis=1), [t64(vals)])
+
+    def test_max_all(self, rng64):
+        gradcheck(lambda x: ops.max(x), [t64(rng64.standard_normal((3, 4)))])
+
+    def test_log_softmax(self, rng64):
+        a = t64(rng64.standard_normal((4, 6)))
+        gradcheck(lambda x: ops.log_softmax(x, axis=1), [a])
+
+    def test_pad2d(self, rng64):
+        a = t64(rng64.standard_normal((2, 3, 4, 4)))
+        gradcheck(lambda x: ops.pad2d(x, (1, 2, 0, 1)), [a])
+
+    def test_slice_axis(self, rng64):
+        a = t64(rng64.standard_normal((2, 3, 6, 6)))
+        gradcheck(lambda x: ops.slice_axis(x, 2, 1, 4), [a])
+
+    def test_concat(self, rng64):
+        a = t64(rng64.standard_normal((2, 3)))
+        b = t64(rng64.standard_normal((2, 2)))
+        gradcheck(lambda x, y: ops.concat([x, y], axis=1), [a, b])
+
+
+class TestPatchOps:
+    def test_extract_patches_overlapping(self, rng64):
+        # stride < kernel: the Winograd tiling case; backward is overlap-add
+        a = t64(rng64.standard_normal((1, 2, 6, 6)))
+        gradcheck(lambda x: ops.extract_patches(x, (4, 4), (2, 2)), [a])
+
+    def test_extract_patches_non_overlapping(self, rng64):
+        a = t64(rng64.standard_normal((1, 2, 6, 6)))
+        gradcheck(lambda x: ops.extract_patches(x, (2, 2), (2, 2)), [a])
+
+    def test_extract_patches_stride_one(self, rng64):
+        a = t64(rng64.standard_normal((1, 1, 5, 5)))
+        gradcheck(lambda x: ops.extract_patches(x, (3, 3), (1, 1)), [a])
+
+    def test_fold_patches(self, rng64):
+        patches = t64(rng64.standard_normal((1, 2, 2, 2, 3, 3)))
+        gradcheck(lambda p: ops.fold_patches(p, (5, 5), (2, 2)), [patches])
+
+
+class TestCompositeGraphs:
+    def test_winograd_like_composition(self, rng64):
+        """The exact op pattern of the Winograd layer, end to end."""
+        bt = t64(rng64.standard_normal((4, 4)))
+        x = t64(rng64.standard_normal((1, 2, 6, 6)))
+
+        def fn(bt_, x_):
+            tiles = ops.extract_patches(x_, (4, 4), (2, 2))
+            v = ops.matmul(ops.matmul(bt_, tiles), bt_.transpose())
+            return ops.sum(v * v)
+
+        gradcheck(fn, [bt, x])
+
+    def test_bn_like_composition(self, rng64):
+        x = t64(rng64.standard_normal((4, 3, 2, 2)))
+
+        def fn(x_):
+            mu = ops.mean(x_, axis=(0, 2, 3), keepdims=True)
+            c = x_ - mu
+            var = ops.mean(c * c, axis=(0, 2, 3), keepdims=True)
+            return c * ((var + 1e-5) ** -0.5)
+
+        gradcheck(fn, [x])

@@ -1,0 +1,156 @@
+"""Tensor construction, protocol, and backward-graph mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, as_tensor, no_grad
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float32
+
+    def test_integer_input_promoted_to_float(self):
+        t = Tensor(np.arange(4))
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_float64_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float64
+
+    def test_from_tensor_shares_data(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert b.data is a.data
+
+    def test_as_tensor_passthrough(self):
+        a = Tensor([1.0])
+        assert as_tensor(a) is a
+
+    def test_scalar_item(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+        assert t.ndim == 2
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+
+class TestBackward:
+    def test_scalar_backward_seeds_ones(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 4.0])
+
+    def test_nonscalar_backward_requires_grad_argument(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(RuntimeError):
+            y.backward()
+        y.backward(np.array([1.0, 1.0], dtype=np.float32))
+        np.testing.assert_allclose(x.grad, [2.0, 2.0])
+
+    def test_backward_without_requires_grad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = Tensor([3.0], requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_zero_grad(self):
+        x = Tensor([3.0], requires_grad=True)
+        (x * x).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 3.0
+        z = (y + y).sum()  # two paths through y
+        z.backward()
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_branch_not_reaching_output_gets_no_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = Tensor([1.0], requires_grad=True)
+        _unused = y * 5.0
+        (x * 2.0).sum().backward()
+        assert y.grad is None
+
+    def test_deep_graph_does_not_recurse(self):
+        # iterative DFS must survive graphs deeper than the recursion limit
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * x).detach()
+        assert not y.requires_grad
+        z = Tensor(y.data, requires_grad=True)
+        (z * 1.0).sum().backward()
+        assert x.grad is None
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert y._ctx is None
+
+    def test_no_grad_restores_state(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            pass
+        y = x * 2.0
+        assert y.requires_grad
+
+    def test_no_grad_nested(self):
+        with no_grad():
+            with no_grad():
+                pass
+            x = Tensor([1.0], requires_grad=True)
+            assert not (x * 1.0).requires_grad
+
+
+class TestOperators:
+    def test_radd_rsub_rmul_rtruediv(self):
+        x = Tensor([2.0])
+        np.testing.assert_allclose((1.0 + x).data, [3.0])
+        np.testing.assert_allclose((1.0 - x).data, [-1.0])
+        np.testing.assert_allclose((3.0 * x).data, [6.0])
+        np.testing.assert_allclose((4.0 / x).data, [2.0])
+
+    def test_neg_and_pow(self):
+        x = Tensor([2.0])
+        np.testing.assert_allclose((-x).data, [-2.0])
+        np.testing.assert_allclose((x**3).data, [8.0])
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(2, dtype=np.float32))
+        b = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32))
+        np.testing.assert_allclose((a @ b).data, b.data)
+
+    def test_fluent_helpers_match_ops(self):
+        x = Tensor(np.array([[1.0, -2.0], [3.0, 4.0]], dtype=np.float32))
+        np.testing.assert_allclose(x.relu().data, [[1.0, 0.0], [3.0, 4.0]])
+        np.testing.assert_allclose(x.transpose().data, x.data.T)
+        np.testing.assert_allclose(x.reshape(4).data, x.data.reshape(4))
+        assert x.sum().item() == pytest.approx(6.0)
+        assert x.mean().item() == pytest.approx(1.5)
+        assert x.max().item() == pytest.approx(4.0)

@@ -1,0 +1,38 @@
+"""Shared fixtures and hypothesis configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Deterministic, CI-friendly hypothesis profile: these tests exercise
+# numerical kernels where each example is comparatively expensive.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_init():
+    """Reseed the module-level initialiser RNG before every test so model
+    construction is independent of test execution order."""
+    from repro.nn import init
+
+    init.set_default_rng(0)
+    yield
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def rng64() -> np.random.Generator:
+    """Generator dedicated to float64 gradcheck inputs."""
+    return np.random.default_rng(1234)

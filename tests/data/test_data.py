@@ -1,0 +1,140 @@
+"""Synthetic datasets, loaders, augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DataLoader,
+    augment_batch,
+    make_cifar10_like,
+    make_cifar100_like,
+    make_mnist_like,
+    random_crop,
+    random_flip,
+    synthetic_images,
+)
+
+
+class TestSyntheticImages:
+    def test_shapes_and_dtypes(self):
+        ds = synthetic_images(30, 10, channels=3, size=16)
+        assert ds.images.shape == (30, 3, 16, 16)
+        assert ds.images.dtype == np.float32
+        assert ds.labels.shape == (30,)
+        assert ds.num_classes == 10
+
+    def test_deterministic(self):
+        a = synthetic_images(20, 5, size=12, seed=7)
+        b = synthetic_images(20, 5, size=12, seed=7)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_seed_changes_samples(self):
+        a = synthetic_images(20, 5, size=12, seed=1)
+        b = synthetic_images(20, 5, size=12, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_labels_interleaved_balanced(self):
+        ds = synthetic_images(40, 10, size=8)
+        counts = np.bincount(ds.labels, minlength=10)
+        assert (counts == 4).all()
+
+    def test_prefix_subset_balanced(self):
+        ds = synthetic_images(40, 10, size=8).subset(20)
+        counts = np.bincount(ds.labels, minlength=10)
+        assert (counts == 2).all()
+
+    def test_standardised(self):
+        ds = synthetic_images(100, 10, size=16)
+        assert abs(ds.images.mean()) < 0.05
+        assert abs(ds.images.std() - 1.0) < 0.1
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_images(0, 10)
+        with pytest.raises(ValueError):
+            synthetic_images(10, 0)
+
+    def test_split(self):
+        ds = synthetic_images(40, 10, size=8)
+        a, b = ds.split(0.5)
+        assert len(a) == len(b) == 20
+
+
+class TestTaskConsistency:
+    """Train and test splits must share class prototypes (same task)."""
+
+    def test_cifar10_like_class_means_correlate(self):
+        train, test = make_cifar10_like(200, 200, size=16)
+        for cls in range(3):
+            tr = train.images[train.labels == cls].mean(axis=0).ravel()
+            te = test.images[test.labels == cls].mean(axis=0).ravel()
+            corr = np.corrcoef(tr, te)[0, 1]
+            assert corr > 0.5, f"class {cls} prototypes differ between splits"
+
+    def test_train_test_samples_differ(self):
+        train, test = make_cifar10_like(50, 50, size=16)
+        assert not np.array_equal(train.images[:10], test.images[:10])
+
+    def test_mnist_like_single_channel(self):
+        train, test = make_mnist_like(30, 10, size=20)
+        assert train.images.shape[1] == 1
+        assert test.images.shape[1] == 1
+
+    def test_cifar100_like_class_count(self):
+        train, _ = make_cifar100_like(60, 30, size=16, num_classes=20)
+        assert train.num_classes == 20
+        assert train.labels.max() == 19
+
+
+class TestDataLoader:
+    def test_batching_covers_dataset(self):
+        ds = synthetic_images(25, 5, size=8)
+        loader = DataLoader(ds, batch_size=10, shuffle=False)
+        batches = list(loader)
+        assert len(loader) == 3
+        assert [len(b[1]) for b in batches] == [10, 10, 5]
+
+    def test_shuffle_changes_order_across_epochs(self):
+        ds = synthetic_images(30, 5, size=8)
+        loader = DataLoader(ds, batch_size=30, shuffle=True, seed=0)
+        first = next(iter(loader))[1].copy()
+        second = next(iter(loader))[1].copy()
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_preserves_order(self):
+        ds = synthetic_images(20, 5, size=8)
+        loader = DataLoader(ds, batch_size=20, shuffle=False)
+        _, labels = next(iter(loader))
+        np.testing.assert_array_equal(labels, ds.labels)
+
+    def test_augment_applied(self):
+        ds = synthetic_images(10, 5, size=8)
+        marker = lambda imgs, rng: imgs * 0.0
+        loader = DataLoader(ds, batch_size=10, augment=marker)
+        images, _ = next(iter(loader))
+        assert images.sum() == 0
+
+    def test_invalid_batch_size(self):
+        ds = synthetic_images(10, 5, size=8)
+        with pytest.raises(ValueError):
+            DataLoader(ds, batch_size=0)
+
+
+class TestAugmentation:
+    def test_random_crop_preserves_shape(self, rng):
+        x = rng.standard_normal((4, 3, 16, 16)).astype(np.float32)
+        out = random_crop(x, rng)
+        assert out.shape == x.shape
+
+    def test_random_flip_probability_extremes(self, rng):
+        x = rng.standard_normal((4, 3, 8, 8)).astype(np.float32)
+        never = random_flip(x, rng, p=0.0)
+        np.testing.assert_array_equal(never, x)
+        always = random_flip(x, rng, p=1.0)
+        np.testing.assert_array_equal(always, x[:, :, :, ::-1])
+
+    def test_augment_batch_changes_images(self, rng):
+        x = rng.standard_normal((8, 3, 16, 16)).astype(np.float32)
+        out = augment_batch(x, rng)
+        assert out.shape == x.shape
+        assert not np.array_equal(out, x)

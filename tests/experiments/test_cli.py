@@ -1,0 +1,47 @@
+"""The `python -m repro.cli` entry point."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "figure7"])
+        assert args.experiment == "figure7"
+        assert args.scale == "smoke"
+        assert args.seed == 0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table1", "--scale", "huge"])
+
+    def test_every_experiment_module_importable(self):
+        import importlib
+
+        for name in EXPERIMENTS:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            assert callable(module.run)
+
+
+class TestMain:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_fast_experiment(self, capsys, tmp_path):
+        out_file = tmp_path / "fig8.txt"
+        assert main(["run", "figure8", "--out", str(out_file)]) == 0
+        assert "figure8_layer_breakdown" in capsys.readouterr().out
+        assert out_file.exists()
+        assert "im2row" in out_file.read_text()

@@ -1,0 +1,109 @@
+"""Experiment harness: scales, reports, and the training-free experiments.
+
+Training-heavy experiments (Tables 1/3/4/5, Figures 4/5/6/9) are exercised
+end-to-end by the benchmark suite (`pytest benchmarks/ --benchmark-only`);
+here we cover the harness plumbing and the analysis-only experiments.
+"""
+
+import pytest
+
+from repro.experiments import ablation_dense_transforms, ablation_points
+from repro.experiments import ablation_quant_stages, figure7, figure8
+from repro.experiments.common import (
+    ExperimentReport,
+    format_table,
+    get_scale,
+)
+
+
+class TestScales:
+    def test_known_scales(self):
+        for name in ("smoke", "quick", "paper"):
+            cfg = get_scale(name)
+            assert cfg.name == name
+            assert cfg.train_size > 0
+
+    def test_paper_scale_matches_protocol(self):
+        cfg = get_scale("paper")
+        assert cfg.epochs == 120  # §5.1
+        assert cfg.batch_size == 64  # §5.2
+        assert cfg.width_multiplier == 1.0
+        assert cfg.train_size == 50000
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_scale("galactic")
+
+    def test_loaders_cifar10(self):
+        cfg = get_scale("smoke")
+        train_loader, test_loader, train, test = cfg.loaders("cifar10", seed=0)
+        assert train.num_classes == 10
+        assert train.images.shape[1] == 3
+        assert len(train_loader) > 0
+
+    def test_loaders_mnist_single_channel(self):
+        cfg = get_scale("smoke")
+        _, _, train, _ = cfg.loaders("mnist", seed=0)
+        assert train.images.shape[1] == 1
+
+    def test_loaders_cifar100_classes(self):
+        cfg = get_scale("smoke")
+        _, _, train, _ = cfg.loaders("cifar100", seed=0)
+        assert train.num_classes == cfg.num_classes_c100
+
+    def test_loaders_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            get_scale("smoke").loaders("imagenet")
+
+
+class TestReport:
+    def test_add_find_column(self):
+        rep = ExperimentReport("x", "smoke")
+        rep.add(a=1, b="one")
+        rep.add(a=2, b="two")
+        assert rep.column("a") == [1, 2]
+        assert rep.find(a=2)["b"] == "two"
+        with pytest.raises(KeyError):
+            rep.find(a=3)
+
+    def test_format_contains_rows_and_notes(self):
+        rep = ExperimentReport("demo", "smoke")
+        rep.add(metric=0.5)
+        rep.notes.append("hello")
+        text = rep.format()
+        assert "demo" in text and "0.500" in text and "hello" in text
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty)"
+
+    def test_format_table_ragged_rows(self):
+        text = format_table([{"a": 1}, {"b": 2.5}])
+        assert "a" in text and "b" in text
+
+
+class TestAnalysisExperiments:
+    """The training-free experiments must run end to end in seconds."""
+
+    def test_figure7_report(self):
+        rep = figure7.run()
+        assert len(rep.rows) == 60  # 12 widths × 5 channel configs
+        assert any("winner agreement" in n for n in rep.notes)
+
+    def test_figure8_report(self):
+        rep = figure8.run()
+        assert len(rep.rows) == 2 * 3 * 5  # cores × layers × algorithms
+        im2row_rows = [r for r in rep.rows if r["algorithm"] == "im2row"]
+        assert all(r["ratio"] == pytest.approx(1.0) for r in im2row_rows)
+
+    def test_ablation_points_report(self):
+        rep = ablation_points.run()
+        assert {r["points"] for r in rep.rows} == {"default", "integers", "reciprocals"}
+
+    def test_ablation_dense_report(self):
+        rep = ablation_dense_transforms.run()
+        assert len(rep.rows) == 4  # 2 cores × 2 dtypes
+
+    def test_ablation_quant_stages_report(self):
+        rep = ablation_quant_stages.run()
+        stage_rows = [r for r in rep.rows if "→" in str(r["stages"])]
+        assert len(stage_rows) == 6

@@ -1,0 +1,165 @@
+"""End-to-end behavioural reproduction at micro scale.
+
+These tests check the paper's *claims* hold in miniature: training works
+across every layer type, Winograd-aware INT8 training rescues what a
+post-training swap destroys (Table 1 → Table 3), adaptation from a
+pretrained model massively outperforms from-scratch retraining (Figure 6),
+and flex transforms actually move while static ones stay put.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.data import DataLoader
+from repro.data.synthetic import synthetic_images
+from repro.experiments.common import train_and_evaluate
+from repro.models import ConvSpec, LayerPlan, lenet, resnet18, squeezenet, resnext20
+from repro.quant.qconfig import int8
+from repro.training.adaptation import transfer_weights
+from repro.training.calibrate import calibrate
+from repro.training.trainer import evaluate
+
+
+def _easy_task(n_train=200, n_test=60, size=16, channels=3, seed=11):
+    """A low-noise, small-jitter task that micro nets solve in ~3 epochs."""
+    train = synthetic_images(
+        n_train, 10, channels, size, noise=0.1, max_shift=1, seed=0, proto_seed=seed
+    )
+    test = synthetic_images(
+        n_test, 10, channels, size, noise=0.1, max_shift=1, seed=99, proto_seed=seed
+    )
+    return (
+        DataLoader(train, batch_size=25, seed=0),
+        DataLoader(test, batch_size=30, shuffle=False),
+        train,
+    )
+
+
+@pytest.fixture(scope="module")
+def task():
+    return _easy_task()
+
+
+@pytest.fixture(scope="module")
+def big_task():
+    # The swap-vs-QAT comparison needs enough data for INT8 F4 training
+    # to average out quantization noise.
+    return _easy_task(n_train=400, n_test=100)
+
+
+@pytest.fixture(scope="module")
+def trained_source(big_task):
+    train_loader, test_loader, _ = big_task
+    source = resnet18(width_multiplier=0.125)
+    acc, _ = train_and_evaluate(source, train_loader, test_loader, 3, lr=2e-3)
+    return source, acc
+
+
+def _train(model, task, epochs=3, lr=2e-3):
+    train_loader, test_loader, _ = task
+    acc, _ = train_and_evaluate(model, train_loader, test_loader, epochs, lr=lr)
+    return acc
+
+
+class TestTrainingWorksForEveryLayerType:
+    def test_im2row_learns_above_chance(self, task):
+        assert _train(resnet18(width_multiplier=0.125), task) > 0.3
+
+    def test_winograd_f2_learns_above_chance(self, task):
+        model = resnet18(width_multiplier=0.125, spec=ConvSpec("F2"))
+        assert _train(model, task) > 0.3
+
+    def test_winograd_f2_int8_learns_above_chance(self, task):
+        model = resnet18(width_multiplier=0.125, spec=ConvSpec("F2", int8()))
+        assert _train(model, task, epochs=4) > 0.3
+
+    def test_squeezenet_learns(self, task):
+        model = squeezenet(width_multiplier=0.25, spec=ConvSpec("F2", int8()))
+        assert _train(model, task, epochs=4) > 0.25
+
+    def test_resnext_grouped_winograd_learns(self, task):
+        model = resnext20(width_multiplier=0.25, spec=ConvSpec("F2"))
+        assert _train(model, task, epochs=4) > 0.25
+
+    def test_lenet_5x5_winograd_learns(self):
+        tl, vl, _ = _easy_task(size=20, channels=1, seed=7)
+        model = lenet(spec=ConvSpec("F2", int8(), flex=True), image_size=20)
+        acc, _ = train_and_evaluate(model, tl, vl, 5, lr=2e-3)
+        assert acc > 0.4
+
+
+class TestPaperClaims:
+    def test_posttraining_int8_f4_swap_collapses_but_qat_rescues(
+        self, big_task, trained_source
+    ):
+        """The central claim of the paper, in miniature."""
+        train_loader, test_loader, _ = big_task
+        source, src_acc = trained_source
+        assert src_acc > 0.6, "source model must be competent"
+
+        # (a) post-training swap → near chance (Table 1)
+        swapped = resnet18(
+            width_multiplier=0.125, plan=LayerPlan(ConvSpec("F4", int8()))
+        )
+        transfer_weights(source, swapped)
+        calibrate(swapped, train_loader, num_batches=3)
+        swap_acc = evaluate(swapped, test_loader)
+
+        # (b) Winograd-aware QAT from scratch recovers most of it (Table 3)
+        aware = resnet18(width_multiplier=0.125, spec=ConvSpec("F4", int8(), flex=True))
+        aware_acc = _train(aware, big_task, epochs=6)
+
+        assert swap_acc < 0.2, "post-training INT8 F4 swap should collapse"
+        assert aware_acc > swap_acc + 0.25, "Winograd-aware QAT must rescue it"
+
+    def test_fp32_swap_is_lossless(self, big_task, trained_source):
+        """Table 1's FP32 column: swapping is free without quantization."""
+        _, test_loader, _ = big_task
+        source, src_acc = trained_source
+        swapped = resnet18(width_multiplier=0.125, plan=LayerPlan(ConvSpec("F4")))
+        transfer_weights(source, swapped)
+        swap_acc = evaluate(swapped, test_loader)
+        assert abs(swap_acc - src_acc) < 0.05
+
+    def test_fp32_adaptation_in_one_epoch(self, big_task, trained_source):
+        """Figure 6 / §6.1: 'Adapting FP32 models can be done in a single
+        epoch' — and it crushes from-scratch training at equal budget."""
+        train_loader, test_loader, _ = big_task
+        source, src_acc = trained_source
+
+        adapted = resnet18(width_multiplier=0.125, spec=ConvSpec("F4", flex=True))
+        transfer_weights(source, adapted)
+        adapted_acc, _ = train_and_evaluate(
+            adapted, train_loader, test_loader, 1, lr=5e-4
+        )
+        scratch = resnet18(width_multiplier=0.125, spec=ConvSpec("F4", flex=True))
+        scratch_acc, _ = train_and_evaluate(
+            scratch, train_loader, test_loader, 1, lr=5e-4
+        )
+        assert adapted_acc > scratch_acc + 0.2
+        assert adapted_acc > src_acc - 0.1
+
+    def test_flex_transforms_drift_during_training(self, task):
+        model = resnet18(width_multiplier=0.125, spec=ConvSpec("F4", int8(), flex=True))
+        _train(model, task, epochs=1)
+        drifts = [conv.transform_drift() for conv in model.conv3x3_modules()]
+        assert max(drifts) > 1e-4
+
+    def test_static_transforms_do_not_drift(self, task):
+        model = resnet18(width_multiplier=0.125, spec=ConvSpec("F4", int8(), flex=False))
+        _train(model, task, epochs=1)
+        drifts = [conv.transform_drift() for conv in model.conv3x3_modules()]
+        # float32 storage of exact rational transforms costs ~1e-8
+        assert max(drifts) < 1e-6
+
+    def test_model_size_preserved_by_winograd_awareness(self):
+        """§3.2: Winograd-aware layers don't change model size (flex adds
+        only the tiny transform matrices, <0.1% for the paper's net)."""
+        base = resnet18(width_multiplier=0.5).num_parameters()
+        static = resnet18(width_multiplier=0.5, spec=ConvSpec("F4")).num_parameters()
+        flex = resnet18(
+            width_multiplier=0.5, spec=ConvSpec("F4", flex=True)
+        ).num_parameters()
+        assert static == base
+        assert base < flex < base * 1.01

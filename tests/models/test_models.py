@@ -1,0 +1,200 @@
+"""Model zoo: shapes, parameter counts, plan mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.models import (
+    ConvSpec,
+    LayerPlan,
+    lenet,
+    resnet18,
+    resnext20,
+    spec_from_name,
+    squeezenet,
+    uniform_plan,
+)
+from repro.models.resnet import NUM_SEARCHABLE_LAYERS, TAIL_F2_LAYERS
+from repro.nn.qlayers import QuantConv2d
+from repro.quant.qconfig import fp32, int8
+from repro.winograd.layer import WinogradConv2d
+
+
+class TestConvSpec:
+    def test_winograd_properties(self):
+        spec = ConvSpec("F4", int8(), flex=True)
+        assert spec.is_winograd
+        assert spec.m == 4
+        assert spec.name == "F4-flex@int8"
+
+    def test_im2row_has_no_m(self):
+        with pytest.raises(ValueError):
+            ConvSpec("im2row").m
+
+    def test_flex_on_im2row_rejected(self):
+        with pytest.raises(ValueError):
+            ConvSpec("im2row", flex=True)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            ConvSpec("fft")
+
+    def test_build_dispatches_to_layer_types(self):
+        assert isinstance(ConvSpec("F2").build(4, 4), WinogradConv2d)
+        assert isinstance(ConvSpec("im2row", int8()).build(4, 4), QuantConv2d)
+        from repro.nn.layers import Conv2d
+
+        assert isinstance(ConvSpec("im2row").build(4, 4), Conv2d)
+
+    @pytest.mark.parametrize(
+        "name,algo,flex",
+        [
+            ("F2", "F2", False),
+            ("F4-flex", "F4", True),
+            ("WAF4", "F4", False),
+            ("WAF2-flex", "F2", True),
+            ("im2row", "im2row", False),
+            ("im2col", "im2col", False),
+        ],
+    )
+    def test_spec_from_name(self, name, algo, flex):
+        spec = spec_from_name(name)
+        assert spec.algorithm == algo
+        assert spec.flex == flex
+
+    def test_spec_from_name_rejects_flex_im2row(self):
+        with pytest.raises(ValueError):
+            spec_from_name("im2row-flex")
+
+
+class TestUniformPlan:
+    def test_tail_pinned_to_f2_for_large_tiles(self):
+        plan = uniform_plan(ConvSpec("F4"), 16, TAIL_F2_LAYERS)
+        assert plan.spec_for(0).algorithm == "F4"
+        for idx in TAIL_F2_LAYERS:
+            assert plan.spec_for(idx).algorithm == "F2"
+
+    def test_f2_plan_not_modified(self):
+        plan = uniform_plan(ConvSpec("F2"), 16, TAIL_F2_LAYERS)
+        assert not plan.overrides
+
+    def test_im2row_plan_not_modified(self):
+        plan = uniform_plan(ConvSpec("im2row"), 16, TAIL_F2_LAYERS)
+        assert not plan.overrides
+
+    def test_out_of_range_tail_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_plan(ConvSpec("F4"), 4, (10,))
+
+
+class TestResNet18:
+    def test_output_shape(self, rng):
+        model = resnet18(width_multiplier=0.125)
+        x = Tensor(rng.standard_normal((2, 3, 16, 16)).astype(np.float32))
+        assert model(x).shape == (2, 10)
+
+    def test_full_width_param_count_near_11m(self):
+        """The paper quotes ~11M parameters at multiplier 1.0."""
+        n = resnet18(width_multiplier=1.0).num_parameters()
+        assert 10.5e6 < n < 11.8e6
+
+    def test_smallest_width_param_count_near_paper(self):
+        """Paper: models range from ~215K (×0.125) to 11M (×1.0)."""
+        n = resnet18(width_multiplier=0.125).num_parameters()
+        assert 1.2e5 < n < 3e5
+
+    def test_width_scales_params_monotonically(self):
+        counts = [
+            resnet18(width_multiplier=w).num_parameters() for w in (0.125, 0.25, 0.5)
+        ]
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_has_16_searchable_layers(self):
+        model = resnet18(width_multiplier=0.125, spec=ConvSpec("F2"))
+        assert len(model.conv3x3_modules()) == NUM_SEARCHABLE_LAYERS
+
+    def test_stem_is_standard_conv_even_in_winograd_plan(self):
+        model = resnet18(width_multiplier=0.125, spec=ConvSpec("F4"))
+        assert not isinstance(model.stem, WinogradConv2d)
+
+    def test_f4_plan_pins_tail_blocks_to_f2(self):
+        model = resnet18(width_multiplier=0.125, spec=ConvSpec("F4"))
+        convs = model.conv3x3_modules()
+        assert all(isinstance(c, WinogradConv2d) for c in convs)
+        assert convs[0].m == 4
+        for idx in TAIL_F2_LAYERS:
+            assert convs[idx].m == 2
+
+    def test_num_classes(self, rng):
+        model = resnet18(num_classes=100, width_multiplier=0.125)
+        x = Tensor(rng.standard_normal((1, 3, 16, 16)).astype(np.float32))
+        assert model(x).shape == (1, 100)
+
+    def test_downsampling_halves_resolution_three_times(self, rng):
+        model = resnet18(width_multiplier=0.125)
+        x = Tensor(rng.standard_normal((1, 3, 32, 32)).astype(np.float32))
+        model(x)
+        # stage-4 convs saw 4×4 inputs (32 → 16 → 8 → 4)
+        assert model.conv3x3_modules()[-1].last_input_hw == (4, 4)
+
+    def test_int8_plan_forward_finite(self, rng):
+        model = resnet18(width_multiplier=0.125, spec=ConvSpec("F4", int8(), flex=True))
+        x = Tensor(rng.standard_normal((2, 3, 16, 16)).astype(np.float32))
+        assert np.isfinite(model(x).data).all()
+
+
+class TestLeNet:
+    def test_output_shape(self, rng):
+        model = lenet()
+        x = Tensor(rng.standard_normal((2, 1, 28, 28)).astype(np.float32))
+        assert model(x).shape == (2, 10)
+
+    def test_uses_5x5_kernels(self):
+        model = lenet(spec=ConvSpec("F2"))
+        assert model.conv1.kernel_size == 5
+        assert model.conv1.t == 6  # F(2x2, 5x5) → 6x6 tiles
+
+    def test_f6_uses_10x10_tiles(self):
+        """The hardest case in Figure 5: F(6×6, 5×5) on 10×10 tiles."""
+        model = lenet(spec=ConvSpec("F6"))
+        assert model.conv1.t == 10
+
+    def test_custom_image_size(self, rng):
+        model = lenet(image_size=20)
+        x = Tensor(rng.standard_normal((1, 1, 20, 20)).astype(np.float32))
+        assert model(x).shape == (1, 10)
+
+
+class TestSqueezeNet:
+    def test_output_shape(self, rng):
+        model = squeezenet(width_multiplier=0.25)
+        x = Tensor(rng.standard_normal((2, 3, 32, 32)).astype(np.float32))
+        assert model(x).shape == (2, 10)
+
+    def test_has_8_searchable_layers(self):
+        model = squeezenet(width_multiplier=0.25, spec=ConvSpec("F2"))
+        winograd = [m for m in model.modules() if isinstance(m, WinogradConv2d)]
+        assert len(winograd) == 8
+
+    def test_fire_concat_doubles_expand_channels(self, rng):
+        model = squeezenet(width_multiplier=0.25)
+        x = Tensor(rng.standard_normal((1, 3, 16, 16)).astype(np.float32))
+        assert np.isfinite(model(x).data).all()
+
+
+class TestResNeXt:
+    def test_output_shape(self, rng):
+        model = resnext20(width_multiplier=0.25)
+        x = Tensor(rng.standard_normal((2, 3, 16, 16)).astype(np.float32))
+        assert model(x).shape == (2, 10)
+
+    def test_has_6_searchable_grouped_layers(self):
+        model = resnext20(width_multiplier=0.25, spec=ConvSpec("F4"))
+        winograd = [m for m in model.modules() if isinstance(m, WinogradConv2d)]
+        assert len(winograd) == 6
+        assert all(m.groups == 8 for m in winograd)
+
+    def test_cardinality_divides_widths(self):
+        model = resnext20(width_multiplier=0.5)
+        for block in model.blocks:
+            assert block.conv3.in_channels % 8 == 0

@@ -1,0 +1,217 @@
+"""wiNAS: search spaces, mixed op mechanics, and search behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.data import DataLoader, make_cifar10_like
+from repro.hardware.model import ConvShape
+from repro.models import resnet18
+from repro.nas import Candidate, MixedConv2d, SearchConfig, WiNAS, wa_space, waq_space
+from repro.nn.losses import cross_entropy
+from repro.optim import Adam
+
+
+class TestSearchSpace:
+    def test_wa_space_has_4_candidates(self):
+        space = wa_space("int8")
+        assert len(space) == 4
+        assert {c.algorithm for c in space} == {"im2row", "F2", "F4", "F6"}
+        assert all(c.precision == "int8" for c in space)
+
+    def test_waq_space_is_product(self):
+        space = waq_space()
+        assert len(space) == 12
+        assert {(c.algorithm, c.precision) for c in space} == {
+            (a, p)
+            for a in ("im2row", "F2", "F4", "F6")
+            for p in ("fp32", "int16", "int8")
+        }
+
+    def test_candidate_validation(self):
+        with pytest.raises(ValueError):
+            Candidate("fft")
+        with pytest.raises(ValueError):
+            Candidate("F2", "int4")
+
+    def test_candidate_to_spec(self):
+        spec = Candidate("F4", "int8").to_spec()
+        assert spec.algorithm == "F4"
+        assert spec.qconfig.bits == 8
+        assert spec.flex
+
+    def test_im2row_candidate_never_flex(self):
+        spec = Candidate("im2row", "int8", flex=True).to_spec()
+        assert not spec.flex
+
+
+class TestMixedOp:
+    def _op(self, candidates=None, seed=0):
+        return MixedConv2d(4, 6, candidates or wa_space("fp32"), seed=seed)
+
+    def test_shared_weights_across_paths(self):
+        op = self._op()
+        weights = set()
+        for path in op.paths:
+            target = path.conv if hasattr(path, "conv") else path
+            weights.add(id(target.weight))
+        assert weights == {id(op.weight)}
+
+    def test_parameters_deduplicated(self):
+        op = self._op()
+        weight_count = sum(1 for p in op.parameters() if p.data.shape == op.weight.shape)
+        assert weight_count == 1
+
+    def test_probabilities_normalised(self):
+        op = self._op()
+        probs = op.probabilities()
+        assert probs.shape == (4,)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_weight_mode_samples_single_path(self, rng):
+        op = self._op()
+        op.mode = "weight"
+        op(Tensor(rng.standard_normal((1, 4, 8, 8)).astype(np.float32)))
+        assert len(op._last_sampled) == 1
+
+    def test_arch_mode_samples_two_paths(self, rng):
+        op = self._op()
+        op.mode = "arch"
+        op(Tensor(rng.standard_normal((1, 4, 8, 8)).astype(np.float32)))
+        assert len(op._last_sampled) == 2
+        assert op._last_sampled[0] != op._last_sampled[1]
+
+    def test_eval_uses_argmax_path(self, rng):
+        op = self._op()
+        op.alpha.data[2] = 5.0
+        op.eval()
+        out = op(Tensor(rng.standard_normal((1, 4, 8, 8)).astype(np.float32)))
+        assert out.shape == (1, 6, 8, 8)
+        assert op.chosen() is op.candidates[2]
+
+    def test_arch_mode_gradients_reach_alpha(self, rng):
+        # Candidates share weights, so at init only *numerically different*
+        # paths (e.g. fp32 vs int8) can create a preference for alpha.
+        op = MixedConv2d(
+            4, 6, [Candidate("im2row", "fp32"), Candidate("im2row", "int8")], seed=0
+        )
+        op.mode = "arch"
+        x = Tensor(rng.standard_normal((2, 4, 8, 8)).astype(np.float32))
+        out = op(x)
+        (out * out).mean().backward()
+        assert op.alpha.grad is not None
+        assert np.abs(op.alpha.grad).sum() > 0
+
+    def test_arch_mode_identical_paths_give_zero_alpha_grad(self, rng):
+        """With shared weights and no quantization, all candidates compute
+        the same function — alpha must receive (numerically) no gradient."""
+        op = self._op()
+        op.mode = "arch"
+        x = Tensor(rng.standard_normal((2, 4, 8, 8)).astype(np.float32))
+        (op(x) * 1.0).mean().backward()
+        assert op.alpha.grad is not None
+        assert np.abs(op.alpha.grad).max() < 1e-3
+
+    def test_alpha_gradient_only_on_sampled_pair(self, rng):
+        op = self._op()
+        op.mode = "arch"
+        x = Tensor(rng.standard_normal((1, 4, 8, 8)).astype(np.float32))
+        (op(x) * 1.0).sum().backward()
+        nonzero = np.nonzero(op.alpha.grad)[0]
+        assert set(nonzero) <= set(op._last_sampled)
+
+    def test_expected_latency_differentiable(self):
+        op = self._op()
+        op.set_latencies([1.0, 2.0, 3.0, 4.0])
+        lat = op.expected_latency()
+        assert lat.item() == pytest.approx(2.5)  # uniform alpha
+        lat.backward()
+        assert op.alpha.grad is not None
+
+    def test_expected_latency_requires_population(self):
+        with pytest.raises(RuntimeError):
+            self._op().expected_latency()
+
+    def test_set_latencies_validates_length(self):
+        with pytest.raises(ValueError):
+            self._op().set_latencies([1.0, 2.0])
+
+    def test_latency_gradient_points_to_faster_ops(self):
+        """Gradient descent on E[lat] must shift probability to fast ops."""
+        op = self._op()
+        op.set_latencies([1.0, 10.0, 10.0, 10.0])
+        opt = Adam([op.alpha], lr=0.5)
+        for _ in range(30):
+            opt.zero_grad()
+            op.expected_latency().backward()
+            opt.step()
+        assert op.argmax_index() == 0
+
+
+class TestWiNAS:
+    def _setup(self, candidates, lambda2=0.05, epochs=1):
+        train, _ = make_cifar10_like(80, 40, size=16, seed=0)
+        tr, val = train.split(0.5)
+        plan = WiNAS.make_plan(candidates)
+        model = resnet18(width_multiplier=0.125, plan=plan)
+        nas = WiNAS(model, SearchConfig(epochs=epochs, lambda2=lambda2))
+        nas.populate_latencies(train.images[:2])
+        loaders = (
+            DataLoader(tr, batch_size=20, seed=0),
+            DataLoader(val, batch_size=20, seed=1),
+        )
+        return nas, loaders
+
+    def test_requires_mixed_ops(self):
+        model = resnet18(width_multiplier=0.125)
+        with pytest.raises(ValueError):
+            WiNAS(model)
+
+    def test_model_has_16_mixed_ops(self):
+        nas, _ = self._setup(wa_space("fp32"))
+        assert len(nas.mixed_ops) == 16
+
+    def test_populate_latencies_fills_all_ops(self):
+        nas, _ = self._setup(wa_space("int8"))
+        assert all(op.latencies_ms is not None for op in nas.mixed_ops)
+        assert all(len(op.latencies_ms) == 4 for op in nas.mixed_ops)
+        assert all((op.latencies_ms > 0).all() for op in nas.mixed_ops)
+        assert nas.expected_latency_ms() > 0
+
+    def test_arch_and_weight_params_disjoint(self):
+        nas, _ = self._setup(wa_space("fp32"))
+        arch_ids = {id(p) for p in nas.arch_params}
+        weight_ids = {id(p) for p in nas.weight_params}
+        assert not arch_ids & weight_ids
+
+    def test_search_returns_plan_with_16_choices(self):
+        nas, (tr, val) = self._setup(wa_space("int8"))
+        result = nas.search(tr, val, epochs=1)
+        assert len(result.chosen) == 16
+        assert result.expected_latency_ms > 0
+        assert len(result.history) == 1
+        assert len(result.describe()) == 16
+
+    def test_high_lambda2_prefers_faster_plans(self):
+        """The paper's λ₂ knob: more latency pressure → faster networks."""
+        fast_nas, (tr, val) = self._setup(wa_space("int8"), lambda2=50.0)
+        fast = fast_nas.search(tr, val, epochs=1)
+        slow_nas, (tr2, val2) = self._setup(wa_space("int8"), lambda2=0.0)
+        slow = slow_nas.search(tr2, val2, epochs=1)
+        assert fast.expected_latency_ms <= slow.expected_latency_ms * 1.05
+
+    def test_derived_plan_builds_trainable_model(self, rng):
+        nas, (tr, val) = self._setup(wa_space("int8"))
+        result = nas.search(tr, val, epochs=1)
+        final = resnet18(width_multiplier=0.125, plan=result.plan)
+        x = Tensor(rng.standard_normal((2, 3, 16, 16)).astype(np.float32))
+        logits = final(x)
+        cross_entropy(logits, np.array([0, 1])).backward()
+        grads = [p for p in final.parameters() if p.grad is not None]
+        assert grads
+
+    def test_waq_space_search_runs(self):
+        nas, (tr, val) = self._setup(waq_space())
+        result = nas.search(tr, val, epochs=1)
+        precisions = {c.precision for c in result.chosen}
+        assert precisions <= {"fp32", "int16", "int8"}

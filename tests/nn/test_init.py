@@ -1,0 +1,66 @@
+"""Weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFans:
+    def test_linear_fans(self):
+        assert init._fan((10, 20)) == (20, 10)
+
+    def test_conv_fans(self):
+        fan_in, fan_out = init._fan((8, 4, 3, 3))
+        assert fan_in == 4 * 9
+        assert fan_out == 8 * 9
+
+    def test_unsupported_shape(self):
+        with pytest.raises(ValueError):
+            init._fan((3,))
+
+
+class TestDistributions:
+    def test_kaiming_normal_std(self):
+        w = init.kaiming_normal((256, 128, 3, 3), rng=np.random.default_rng(0))
+        expected = np.sqrt(2.0 / (128 * 9))
+        assert abs(w.std() - expected) / expected < 0.05
+        assert w.dtype == np.float32
+
+    def test_kaiming_uniform_bound(self):
+        w = init.kaiming_uniform((64, 64), rng=np.random.default_rng(0))
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 64)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_xavier_uniform_bound(self):
+        w = init.xavier_uniform((32, 48), rng=np.random.default_rng(0))
+        bound = np.sqrt(6.0 / (48 + 32))
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_uniform_bias_bound(self):
+        b = init.uniform_bias((100,), fan_in=25, rng=np.random.default_rng(0))
+        assert np.abs(b).max() <= 0.2 + 1e-6
+
+    def test_uniform_bias_zero_fan(self):
+        b = init.uniform_bias((4,), fan_in=0)
+        np.testing.assert_array_equal(b, 0.0)
+
+    def test_zeros_ones(self):
+        assert init.zeros((2, 2)).sum() == 0
+        assert init.ones((2, 2)).sum() == 4
+
+
+class TestDefaultRNG:
+    def test_set_default_rng_reproducible(self):
+        init.set_default_rng(42)
+        a = init.kaiming_normal((4, 4))
+        init.set_default_rng(42)
+        b = init.kaiming_normal((4, 4))
+        np.testing.assert_array_equal(a, b)
+
+    def test_explicit_rng_ignores_default(self):
+        init.set_default_rng(0)
+        a = init.kaiming_normal((4, 4), rng=np.random.default_rng(7))
+        init.set_default_rng(1)
+        b = init.kaiming_normal((4, 4), rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)

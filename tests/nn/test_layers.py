@@ -1,0 +1,172 @@
+"""Layer modules vs reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.nn import functional as F
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.winograd.functional import direct_conv2d
+
+
+class TestLinear:
+    def test_forward_matches_numpy(self, rng):
+        layer = Linear(4, 3)
+        x = rng.standard_normal((5, 4)).astype(np.float32)
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected, rtol=1e-5)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, bias=False)
+        assert layer.bias is None
+        x = rng.standard_normal((2, 4)).astype(np.float32)
+        np.testing.assert_allclose(layer(Tensor(x)).data, x @ layer.weight.data.T, rtol=1e-5)
+
+    def test_gradcheck(self, rng64):
+        layer = Linear(3, 2)
+        layer.weight.data = layer.weight.data.astype(np.float64)
+        layer.bias.data = layer.bias.data.astype(np.float64)
+        x = Tensor(rng64.standard_normal((4, 3)), requires_grad=True)
+        gradcheck(lambda x_: layer(x_), [x])
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 1), (2, 1), (1, 0), (2, 0)])
+    def test_matches_direct(self, stride, padding, rng):
+        conv = Conv2d(3, 5, 3, stride=stride, padding=padding)
+        x = rng.standard_normal((2, 3, 9, 9)).astype(np.float32)
+        expected = direct_conv2d(
+            x.astype(np.float64),
+            conv.weight.data.astype(np.float64),
+            bias=conv.bias.data.astype(np.float64),
+            padding=padding,
+            stride=stride,
+        )
+        np.testing.assert_allclose(conv(Tensor(x)).data, expected, atol=1e-4)
+
+    def test_1x1_conv(self, rng):
+        conv = Conv2d(4, 2, 1)
+        x = rng.standard_normal((1, 4, 5, 5)).astype(np.float32)
+        y = conv(Tensor(x))
+        assert y.shape == (1, 2, 5, 5)
+        expected = np.einsum("nchw,kc->nkhw", x, conv.weight.data[:, :, 0, 0]) + \
+            conv.bias.data.reshape(1, 2, 1, 1)
+        np.testing.assert_allclose(y.data, expected, atol=1e-5)
+
+    def test_grouped_equals_blockwise(self, rng):
+        conv = Conv2d(4, 6, 3, padding=1, groups=2)
+        x = rng.standard_normal((1, 4, 6, 6)).astype(np.float32)
+        y = conv(Tensor(x)).data
+        # compute each group separately with direct conv
+        for g in range(2):
+            xg = x[:, 2 * g : 2 * g + 2].astype(np.float64)
+            wg = conv.weight.data[3 * g : 3 * g + 3].astype(np.float64)
+            bg = conv.bias.data[3 * g : 3 * g + 3].astype(np.float64)
+            expected = direct_conv2d(xg, wg, bias=bg, padding=1)
+            np.testing.assert_allclose(y[:, 3 * g : 3 * g + 3], expected, atol=1e-4)
+
+    def test_invalid_groups_raises(self):
+        with pytest.raises(ValueError):
+            Conv2d(3, 4, 3, groups=2)
+
+    def test_invalid_method_raises(self):
+        with pytest.raises(ValueError):
+            Conv2d(3, 4, 3, method="winograd")
+
+    def test_records_last_input_hw(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1)
+        conv(Tensor(rng.standard_normal((1, 3, 7, 9)).astype(np.float32)))
+        assert conv.last_input_hw == (7, 9)
+
+    def test_gradcheck_grouped(self, rng64):
+        conv = Conv2d(4, 4, 3, padding=1, groups=2)
+        conv.weight.data = conv.weight.data.astype(np.float64)
+        conv.bias.data = conv.bias.data.astype(np.float64)
+        x = Tensor(rng64.standard_normal((1, 4, 5, 5)), requires_grad=True)
+        gradcheck(lambda x_: conv(x_), [x])
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = MaxPool2d(2, 2)(Tensor(x))
+        np.testing.assert_array_equal(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_default_stride_is_kernel(self, rng):
+        x = Tensor(rng.standard_normal((1, 2, 6, 6)).astype(np.float32))
+        assert MaxPool2d(3)(x).shape == (1, 2, 2, 2)
+
+    def test_avgpool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = AvgPool2d(2, 2)(Tensor(x))
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((2, 3, 4, 5)).astype(np.float32)
+        out = GlobalAvgPool2d()(Tensor(x))
+        np.testing.assert_allclose(out.data, x.mean(axis=(2, 3)), rtol=1e-5)
+
+    def test_maxpool_gradient_routes_to_argmax(self):
+        x = Tensor(
+            np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32), requires_grad=True
+        )
+        MaxPool2d(2, 2)(x).sum().backward()
+        np.testing.assert_array_equal(x.grad[0, 0], [[0, 0], [0, 1]])
+
+
+class TestBatchNorm:
+    def test_train_normalises_batch(self, rng):
+        bn = BatchNorm2d(3)
+        x = Tensor((rng.standard_normal((8, 3, 4, 4)) * 5 + 2).astype(np.float32))
+        out = bn(x).data
+        assert abs(out.mean()) < 1e-4
+        assert abs(out.std() - 1.0) < 1e-2
+
+    def test_running_stats_updated_in_train_only(self, rng):
+        bn = BatchNorm2d(2)
+        x = Tensor((rng.standard_normal((4, 2, 3, 3)) + 10).astype(np.float32))
+        bn(x)
+        after_train = bn.running_mean.data.copy()
+        assert after_train.sum() != 0
+        bn.eval()
+        bn(x)
+        np.testing.assert_array_equal(bn.running_mean.data, after_train)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2, momentum=1.0)  # running stats = last batch stats
+        x = (rng.standard_normal((16, 2, 4, 4)) * 3 + 1).astype(np.float32)
+        bn(Tensor(x))
+        bn.eval()
+        out = bn(Tensor(x)).data
+        assert abs(out.mean()) < 0.1
+
+    def test_affine_params_learn(self, rng):
+        bn = BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((4, 2, 3, 3)).astype(np.float32))
+        (bn(x) * 2.0).sum().backward()
+        assert bn.weight.grad is not None
+        assert bn.bias.grad is not None
+
+
+class TestSmallModules:
+    def test_relu_module(self):
+        out = ReLU()(Tensor([-1.0, 2.0]))
+        np.testing.assert_array_equal(out.data, [0.0, 2.0])
+
+    def test_flatten(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 4, 5)).astype(np.float32))
+        assert Flatten()(x).shape == (2, 60)
+
+    def test_identity(self):
+        x = Tensor([1.0])
+        assert Identity()(x) is x

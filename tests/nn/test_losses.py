@@ -1,0 +1,73 @@
+"""Loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.nn.losses import cross_entropy, mse_loss, nll_loss
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_c(self):
+        logits = Tensor(np.zeros((4, 10), dtype=np.float32))
+        loss = cross_entropy(logits, np.zeros(4, dtype=np.int64))
+        assert loss.item() == pytest.approx(np.log(10), rel=1e-5)
+
+    def test_confident_correct_prediction_near_zero(self):
+        logits = np.full((2, 3), -20.0, dtype=np.float32)
+        logits[:, 1] = 20.0
+        loss = cross_entropy(Tensor(logits), np.array([1, 1]))
+        assert loss.item() < 1e-4
+
+    def test_matches_manual_computation(self, rng):
+        logits = rng.standard_normal((5, 4)).astype(np.float32)
+        targets = rng.integers(0, 4, 5)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -logp[np.arange(5), targets].mean()
+        loss = cross_entropy(Tensor(logits), targets)
+        assert loss.item() == pytest.approx(expected, rel=1e-5)
+
+    def test_gradcheck(self, rng64):
+        logits = Tensor(rng64.standard_normal((3, 4)), requires_grad=True)
+        targets = np.array([0, 2, 1])
+        gradcheck(lambda l: cross_entropy(l, targets), [logits])
+
+    def test_gradient_sums_to_zero_per_row(self, rng):
+        logits = Tensor(rng.standard_normal((3, 5)).astype(np.float32), requires_grad=True)
+        cross_entropy(logits, np.array([0, 1, 2])).backward()
+        np.testing.assert_allclose(logits.grad.sum(axis=1), 0.0, atol=1e-6)
+
+    def test_out_of_range_target_raises(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 3]))
+
+    def test_wrong_target_ndim_raises(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.zeros((2, 3)))
+
+
+class TestNLL:
+    def test_consistency_with_cross_entropy(self, rng):
+        from repro.autograd import ops
+
+        logits = rng.standard_normal((4, 6)).astype(np.float32)
+        targets = rng.integers(0, 6, 4)
+        ce = cross_entropy(Tensor(logits), targets).item()
+        nll = nll_loss(ops.log_softmax(Tensor(logits), axis=1), targets).item()
+        assert ce == pytest.approx(nll, rel=1e-6)
+
+
+class TestMSE:
+    def test_zero_for_identical(self, rng):
+        x = rng.standard_normal(5).astype(np.float32)
+        assert mse_loss(Tensor(x), x).item() == 0.0
+
+    def test_value(self):
+        loss = mse_loss(Tensor([1.0, 2.0]), np.array([0.0, 0.0], dtype=np.float32))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_gradcheck(self, rng64):
+        pred = Tensor(rng64.standard_normal(6), requires_grad=True)
+        target = rng64.standard_normal(6)
+        gradcheck(lambda p: mse_loss(p, target), [pred])

@@ -1,0 +1,141 @@
+"""Module registration, iteration, state, and parameter sharing."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn.module import Buffer, Module, ModuleList, Parameter, Sequential
+
+
+class Leaf(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones(3, dtype=np.float32))
+        self.register_buffer("stat", np.zeros(2, dtype=np.float32))
+
+    def forward(self, x):
+        return x * self.weight.data.sum()
+
+
+class Tree(Module):
+    def __init__(self):
+        super().__init__()
+        self.a = Leaf()
+        self.b = Leaf()
+        self.top = Parameter(np.zeros(1, dtype=np.float32))
+
+    def forward(self, x):
+        return self.b(self.a(x))
+
+
+class TestRegistration:
+    def test_parameters_discovered_recursively(self):
+        t = Tree()
+        names = {n for n, _ in t.named_parameters()}
+        assert names == {"top", "a.weight", "b.weight"}
+
+    def test_buffers_discovered(self):
+        t = Tree()
+        names = {n for n, _ in t.named_buffers()}
+        assert names == {"a.stat", "b.stat"}
+
+    def test_reassignment_moves_between_registries(self):
+        leaf = Leaf()
+        leaf.weight = Buffer(np.zeros(3))
+        assert "weight" not in leaf._parameters
+        assert "weight" in leaf._buffers
+
+    def test_num_parameters(self):
+        assert Tree().num_parameters() == 7
+
+    def test_named_modules(self):
+        t = Tree()
+        names = {n for n, _ in t.named_modules()}
+        assert names == {"", "a", "b"}
+
+    def test_shared_parameters_deduplicated(self):
+        t = Tree()
+        t.b.weight = t.a.weight  # share
+        params = t.parameters()
+        assert len(params) == 2  # top + shared weight
+        assert sum(1 for _ in t.named_parameters()) == 3  # names keep both
+
+
+class TestTrainEval:
+    def test_mode_propagates(self):
+        t = Tree()
+        t.eval()
+        assert not t.training and not t.a.training
+        t.train()
+        assert t.training and t.b.training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        t1, t2 = Tree(), Tree()
+        t1.a.weight.data[:] = 7.0
+        t1.a.stat.data[:] = 3.0
+        t2.load_state_dict(t1.state_dict())
+        np.testing.assert_array_equal(t2.a.weight.data, t1.a.weight.data)
+        np.testing.assert_array_equal(t2.a.stat.data, t1.a.stat.data)
+
+    def test_state_dict_copies(self):
+        t = Tree()
+        sd = t.state_dict()
+        sd["a.weight"][:] = -1
+        assert t.a.weight.data[0] == 1.0
+
+    def test_strict_missing_raises(self):
+        t = Tree()
+        sd = t.state_dict()
+        del sd["a.weight"]
+        with pytest.raises(KeyError):
+            t.load_state_dict(sd)
+
+    def test_non_strict_ignores_extras(self):
+        t = Tree()
+        sd = t.state_dict()
+        sd["bogus"] = np.zeros(1)
+        t.load_state_dict(sd, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        t = Tree()
+        sd = t.state_dict()
+        sd["a.weight"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            t.load_state_dict(sd)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        class AddOne(Module):
+            def forward(self, x):
+                return x + 1.0
+
+        class Double(Module):
+            def forward(self, x):
+                return x * 2.0
+
+        seq = Sequential(AddOne(), Double())
+        out = seq(Tensor([1.0]))
+        np.testing.assert_allclose(out.data, [4.0])
+        assert len(seq) == 2
+        assert isinstance(seq[0], AddOne)
+
+    def test_module_list_registration(self):
+        ml = ModuleList([Leaf(), Leaf()])
+        assert len(ml) == 2
+        assert len(list(ml)) == 2
+        names = {n for n, _ in ml.named_parameters()}
+        assert names == {"0.weight", "1.weight"}
+
+    def test_module_list_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ModuleList([Leaf()])(Tensor([1.0]))
+
+    def test_zero_grad_clears_all(self):
+        t = Tree()
+        for p in t.parameters():
+            p.grad = np.ones_like(p.data)
+        t.zero_grad()
+        assert all(p.grad is None for p in t.parameters())

@@ -1,0 +1,81 @@
+"""Quantized wrappers for standard layers (the tables' INT8 baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.qlayers import QuantConv2d, QuantLinear
+from repro.quant.qconfig import QConfig, fp32, int8
+
+
+class TestQuantConv2d:
+    def test_fp32_config_matches_plain_conv(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1)
+        wrapped = QuantConv2d(conv, fp32())
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        np.testing.assert_allclose(wrapped(x).data, conv(x).data, atol=1e-6)
+
+    def test_int8_output_close_but_not_identical(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1)
+        wrapped = QuantConv2d(conv, int8())
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        q = wrapped(x).data
+        full = conv(x).data
+        err = np.abs(q - full).mean() / np.abs(full).mean()
+        assert 0 < err < 0.2
+
+    def test_lower_bits_increase_error(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1)
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        full = conv(x).data
+        errors = []
+        for bits in (16, 8, 4):
+            wrapped = QuantConv2d(conv, QConfig(bits=bits))
+            errors.append(float(np.abs(wrapped(x).data - full).mean()))
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_gradients_flow_to_conv_params(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1)
+        wrapped = QuantConv2d(conv, int8())
+        x = Tensor(rng.standard_normal((1, 3, 8, 8)).astype(np.float32))
+        wrapped(x).sum().backward()
+        assert conv.weight.grad is not None
+        assert np.abs(conv.weight.grad).sum() > 0
+
+    def test_method_passthrough(self):
+        conv = Conv2d(3, 4, 3, method="im2col")
+        assert QuantConv2d(conv, int8()).method == "im2col"
+
+    def test_records_shape_for_hardware_model(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1)
+        wrapped = QuantConv2d(conv, int8())
+        wrapped(Tensor(rng.standard_normal((1, 3, 9, 7)).astype(np.float32)))
+        assert conv.last_input_hw == (9, 7)
+
+    def test_grouped_conv_supported(self, rng):
+        conv = Conv2d(4, 4, 3, padding=1, groups=2)
+        wrapped = QuantConv2d(conv, int8())
+        out = wrapped(Tensor(rng.standard_normal((1, 4, 6, 6)).astype(np.float32)))
+        assert out.shape == (1, 4, 6, 6)
+
+
+class TestQuantLinear:
+    def test_fp32_matches_plain(self, rng):
+        linear = Linear(6, 3)
+        wrapped = QuantLinear(linear, fp32())
+        x = Tensor(rng.standard_normal((4, 6)).astype(np.float32))
+        np.testing.assert_allclose(wrapped(x).data, linear(x).data, atol=1e-6)
+
+    def test_int8_quantizes(self, rng):
+        linear = Linear(6, 3)
+        wrapped = QuantLinear(linear, int8())
+        x = Tensor(rng.standard_normal((4, 6)).astype(np.float32))
+        out = wrapped(x)
+        assert out.shape == (4, 3)
+        assert not np.allclose(out.data, linear(x).data)
+
+    def test_eval_mode_propagates_to_quantizers(self):
+        wrapped = QuantLinear(Linear(4, 2), int8())
+        wrapped.eval()
+        assert not wrapped.q_input.training

@@ -1,0 +1,145 @@
+"""Optimizers: convergence and update rules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, ConstantLR, CosineAnnealingLR, StepLR
+
+
+def quadratic_loss(p: Parameter) -> Tensor:
+    """f(w) = ||w - 3||², minimised at 3."""
+    diff = p - 3.0
+    return (diff * diff).sum()
+
+
+def run_steps(opt, p, n=200):
+    for _ in range(n):
+        opt.zero_grad()
+        quadratic_loss(p).backward()
+        opt.step()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3, dtype=np.float32))
+        run_steps(SGD([p], lr=0.1), p)
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-3)
+
+    def test_momentum_converges(self):
+        p = Parameter(np.zeros(3, dtype=np.float32))
+        run_steps(SGD([p], lr=0.05, momentum=0.9), p)
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-3)
+
+    def test_nesterov_converges(self):
+        p = Parameter(np.zeros(3, dtype=np.float32))
+        run_steps(SGD([p], lr=0.05, momentum=0.9, nesterov=True), p)
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-3)
+
+    def test_plain_sgd_update_rule(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        p.grad = np.array([2.0], dtype=np.float32)
+        SGD([p], lr=0.5).step()
+        np.testing.assert_allclose(p.data, [0.0])
+
+    def test_weight_decay_pulls_toward_zero(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_nesterov_without_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_missing_grad_treated_as_zero(self):
+        p = Parameter(np.array([5.0], dtype=np.float32))
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [5.0])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3, dtype=np.float32))
+        run_steps(Adam([p], lr=0.1), p, n=300)
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-2)
+
+    def test_first_step_magnitude_is_lr(self):
+        # bias correction makes the first Adam step ≈ lr in magnitude
+        p = Parameter(np.array([0.0], dtype=np.float32))
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([123.0], dtype=np.float32)
+        opt.step()
+        assert abs(p.data[0] + 0.01) < 1e-4
+
+    def test_beta1_zero_leaves_ungradiented_params_still(self):
+        """wiNAS relies on β₁=0: a parameter with zero grad this step
+        receives no update even if it had gradients before."""
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = Adam([p], lr=0.1, betas=(0.0, 0.999))
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        moved = p.data.copy()
+        p.grad = np.array([0.0], dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(p.data, moved)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.9))
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([Parameter(np.zeros(1))], lr=1.0)
+
+    def test_cosine_endpoints(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=10)
+        assert opt.lr == 1.0
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.5, abs=1e-6)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-6)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=20)
+        lrs = []
+        for _ in range(20):
+            sched.step()
+            lrs.append(opt.lr)
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_clamps_after_t_max(self):
+        opt = self._opt()
+        sched = CosineAnnealingLR(opt, t_max=5, eta_min=0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_constant_lr(self):
+        opt = self._opt()
+        sched = ConstantLR(opt)
+        sched.step()
+        assert opt.lr == 1.0
+
+    def test_invalid_t_max(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self._opt(), t_max=0)

@@ -1,0 +1,97 @@
+"""Integrity of the embedded paper data."""
+
+import pytest
+
+from repro.paperdata import (
+    FIGURE7_ALGORITHMS,
+    FIGURE7_CHANNEL_CONFIGS,
+    FIGURE7_OUTPUT_WIDTHS,
+    FIGURE5_LENET,
+    FIGURE9_ARCHITECTURES,
+    TABLE1_ACCURACY,
+    TABLE2_CORES,
+    TABLE3_ROWS,
+    TABLE4_SQUEEZENET,
+    TABLE5_RESNEXT,
+    figure7_grid,
+    figure7_latency,
+)
+
+
+class TestFigure7:
+    def test_grid_is_complete(self):
+        grid = figure7_grid()
+        assert len(grid) == 12 * 5 * 4  # widths × channel configs × algorithms
+
+    def test_lookup_matches_grid(self):
+        assert figure7_latency(24, 256, 512, "im2row") == 251.771
+        assert figure7_latency(2, 3, 32, "F2") == 0.008
+
+    def test_unknown_cell_raises(self):
+        with pytest.raises(KeyError):
+            figure7_latency(3, 3, 32, "im2row")
+        with pytest.raises(KeyError):
+            figure7_latency(2, 3, 32, "fft")
+
+    def test_all_latencies_positive(self):
+        assert all(v > 0 for v in figure7_grid().values())
+
+    def test_known_shape_claims(self):
+        """The three §6.2 observations hold in the raw published data."""
+        grid = figure7_grid()
+        # (1) im2row wins the 3→32 input column everywhere
+        for w in FIGURE7_OUTPUT_WIDTHS:
+            best = min(FIGURE7_ALGORITHMS, key=lambda a: grid[(w, 3, 32, a)])
+            assert best == "im2row"
+        # (2) F6 is fastest for wide outputs in deep columns
+        for cin, cout in ((128, 192), (192, 256), (256, 512)):
+            best = min(FIGURE7_ALGORITHMS, key=lambda a: grid[(24, cin, cout, a)])
+            assert best == "F6"
+        # (3) F4 beats F6 at width 16 (tiling alternation)
+        assert grid[(16, 128, 192, "F4")] < grid[(16, 128, 192, "F6")]
+
+
+class TestTables:
+    def test_table1_structure(self):
+        assert set(TABLE1_ACCURACY) == {"direct", "F2", "F4", "F6"}
+        for row in TABLE1_ACCURACY.values():
+            assert set(row) == {32, 16, 8}
+
+    def test_table1_collapse_encoded(self):
+        assert TABLE1_ACCURACY["F4"][8] < 20
+        assert TABLE1_ACCURACY["F2"][8] > 90
+
+    def test_table2_matches_cores_module(self):
+        from repro.hardware import get_core
+
+        for name, spec in TABLE2_CORES.items():
+            core = get_core(name)
+            assert core.clock_ghz == spec["clock_ghz"]
+            assert core.l1_kb == spec["l1_kb"]
+            assert core.l2_kb == spec["l2_kb"]
+
+    def test_table3_speedup_consistency(self):
+        """Published speedups: WAF4 INT8 = 2.43× on A73 (35 ms vs 85 ms)."""
+        row = next(r for r in TABLE3_ROWS if r["conv"] == "WAF4" and r["bits"] == 8)
+        assert 85.0 / row["a73"] == pytest.approx(2.43, abs=0.01)
+
+    def test_table4_and_5_encode_the_collapse(self):
+        t4 = {(r[0], r[1], r[2]): r[3] for r in TABLE4_SQUEEZENET}
+        t5 = {(r[0], r[1], r[2]): r[3] for r in TABLE5_RESNEXT}
+        for table in (t4, t5):
+            assert table[("WAF4", 8, "static")] < table[("WAF4", 8, "flex")] - 10
+
+    def test_figure5_flex_dominates_static(self):
+        assert FIGURE5_LENET["F4-flex"] > FIGURE5_LENET["F4"]
+        assert FIGURE5_LENET["F6-flex"] > FIGURE5_LENET["F6"]
+
+    def test_figure9_architectures_have_20_layers(self):
+        for name, layers in FIGURE9_ARCHITECTURES.items():
+            assert len(layers) == 20, name
+            for algo, prec in layers:
+                assert algo in ("im2row", "F2", "F4", "F6")
+                assert prec in ("fp32", "int16", "int8")
+
+    def test_figure9_waq_keeps_first_layer_high_precision(self):
+        for name, layers in FIGURE9_ARCHITECTURES.items():
+            assert layers[0][1] == "fp32"

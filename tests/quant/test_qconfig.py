@@ -1,0 +1,85 @@
+"""QConfig validation and stage-wise bit assignment."""
+
+import pytest
+
+from repro.quant.qconfig import STAGES, QConfig, fp32, from_name, int8, int10, int16
+
+
+class TestFactories:
+    def test_fp32_disabled(self):
+        qc = fp32()
+        assert not qc.enabled
+        assert qc.bits is None
+        assert qc.name == "fp32"
+
+    @pytest.mark.parametrize("factory,bits", [(int8, 8), (int10, 10), (int16, 16)])
+    def test_int_factories(self, factory, bits):
+        qc = factory()
+        assert qc.enabled
+        assert qc.bits == bits
+        assert qc.name == f"int{bits}"
+
+    def test_from_name(self):
+        assert from_name("fp32").bits is None
+        assert from_name("int8").bits == 8
+        assert from_name("INT16").bits == 16
+        with pytest.raises(ValueError):
+            from_name("bf16")
+
+
+class TestValidation:
+    def test_bits_out_of_range(self):
+        with pytest.raises(ValueError):
+            QConfig(bits=1)
+        with pytest.raises(ValueError):
+            QConfig(bits=64)
+
+    def test_unknown_stage(self):
+        with pytest.raises(ValueError):
+            QConfig(bits=8, stage_bits={"nonexistent": 8})
+
+    def test_stage_bits_out_of_range(self):
+        with pytest.raises(ValueError):
+            QConfig(bits=8, stage_bits={"hadamard": 1})
+
+    def test_bad_momentum(self):
+        with pytest.raises(ValueError):
+            QConfig(bits=8, ema_momentum=1.0)
+
+
+class TestStageBits:
+    def test_default_applies_everywhere(self):
+        qc = int8()
+        for stage in STAGES:
+            assert qc.bits_for(stage) == 8
+
+    def test_override_single_stage(self):
+        qc = int8().with_stage("hadamard", 16)
+        assert qc.bits_for("hadamard") == 16
+        assert qc.bits_for("input") == 8
+        assert qc.name == "int8*"
+
+    def test_with_stage_is_pure(self):
+        base = int8()
+        _ = base.with_stage("hadamard", 16)
+        assert base.stage_bits == {}
+
+    def test_stage_only_config_enabled(self):
+        qc = QConfig(bits=None, stage_bits={"hadamard": 8})
+        assert qc.enabled
+        assert qc.bits_for("input") is None
+        assert qc.name == "mixed*"
+
+    def test_bits_for_unknown_stage_raises(self):
+        with pytest.raises(ValueError):
+            int8().bits_for("bogus")
+
+    def test_stages_cover_figure2_pipeline(self):
+        assert STAGES == (
+            "input",
+            "weight",
+            "weight_transformed",
+            "input_transformed",
+            "hadamard",
+            "output",
+        )

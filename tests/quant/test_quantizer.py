@@ -1,0 +1,136 @@
+"""Fake-quantization: grids, STE, EMA observers, calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor
+from repro.quant.quantizer import (
+    FakeQuant,
+    Quantizer,
+    fake_quant_array,
+    quantization_scale,
+)
+
+
+class TestScale:
+    def test_int8_scale(self):
+        assert quantization_scale(1.27, 8) == pytest.approx(0.01)
+
+    def test_degenerate_range_safe(self):
+        assert quantization_scale(0.0, 8) > 0
+        assert np.isfinite(quantization_scale(np.inf, 8))
+
+    @given(st.floats(1e-3, 1e3), st.integers(2, 16))
+    def test_scale_covers_range(self, max_abs, bits):
+        scale = quantization_scale(max_abs, bits)
+        qmax = 2 ** (bits - 1) - 1
+        assert scale * qmax == pytest.approx(max_abs, rel=1e-6)
+
+
+class TestFakeQuantArray:
+    def test_int8_produces_at_most_255_levels(self, rng):
+        x = rng.standard_normal(10000).astype(np.float32)
+        q = fake_quant_array(x, 8)
+        assert len(np.unique(q)) <= 255
+
+    def test_values_on_grid(self, rng):
+        x = rng.standard_normal(100).astype(np.float32)
+        max_abs = float(np.abs(x).max())
+        q = fake_quant_array(x, 8, max_abs)
+        scale = quantization_scale(max_abs, 8)
+        np.testing.assert_allclose(q / scale, np.round(q / scale), atol=1e-4)
+
+    def test_symmetric(self, rng):
+        x = rng.standard_normal(1000).astype(np.float32)
+        q_pos = fake_quant_array(x, 8, 3.0)
+        q_neg = fake_quant_array(-x, 8, 3.0)
+        np.testing.assert_allclose(q_pos, -q_neg, atol=1e-6)
+
+    def test_clipping_at_max(self):
+        q = fake_quant_array(np.array([10.0], dtype=np.float32), 8, max_abs=1.0)
+        assert q[0] == pytest.approx(1.0, rel=0.02)
+
+    def test_error_shrinks_with_bits(self, rng):
+        x = rng.standard_normal(5000).astype(np.float32)
+        errors = [np.abs(fake_quant_array(x, b) - x).mean() for b in (4, 8, 16)]
+        assert errors[0] > errors[1] > errors[2]
+
+
+class TestSTE:
+    def test_gradient_passes_inside_range(self):
+        x = Tensor(np.array([0.1, -0.2, 0.3], dtype=np.float32), requires_grad=True)
+        out = FakeQuant.apply(x, scale=0.01, bits=8)
+        out.sum().backward()
+        np.testing.assert_array_equal(x.grad, [1.0, 1.0, 1.0])
+
+    def test_gradient_zero_outside_range(self):
+        # qmax for 8 bits is 127; scale 0.01 → clip at ±1.27
+        x = Tensor(np.array([0.5, 5.0, -5.0], dtype=np.float32), requires_grad=True)
+        out = FakeQuant.apply(x, scale=0.01, bits=8)
+        out.sum().backward()
+        np.testing.assert_array_equal(x.grad, [1.0, 0.0, 0.0])
+
+
+class TestQuantizerModule:
+    def test_disabled_is_identity(self, rng):
+        q = Quantizer(None)
+        x = Tensor(rng.standard_normal(10).astype(np.float32))
+        assert q(x).data is x.data
+        assert not q.enabled
+
+    def test_scale_raises_when_disabled(self):
+        with pytest.raises(RuntimeError):
+            Quantizer(None).scale
+
+    def test_training_updates_ema(self, rng):
+        q = Quantizer(8, ema_momentum=0.5)
+        q(Tensor(np.ones(4, dtype=np.float32)))
+        first = q.running_max_abs.data[0]
+        assert first == pytest.approx(1.0)
+        q(Tensor(3 * np.ones(4, dtype=np.float32)))
+        assert q.running_max_abs.data[0] == pytest.approx(0.5 * 1.0 + 0.5 * 3.0)
+
+    def test_eval_freezes_ema(self):
+        q = Quantizer(8)
+        q(Tensor(np.ones(4, dtype=np.float32)))
+        frozen = q.running_max_abs.data[0]
+        q.eval()
+        q(Tensor(100 * np.ones(4, dtype=np.float32)))
+        assert q.running_max_abs.data[0] == frozen
+
+    def test_calibration_updates_ema_in_eval(self):
+        q = Quantizer(8, ema_momentum=0.0)  # no smoothing: track last batch
+        q.eval()
+        q.calibrating = True
+        q(Tensor(2 * np.ones(4, dtype=np.float32)))
+        assert q.running_max_abs.data[0] == pytest.approx(2.0)
+
+    def test_eval_before_observation_falls_back_to_batch(self, rng):
+        q = Quantizer(8)
+        q.eval()
+        x = Tensor(rng.standard_normal(16).astype(np.float32))
+        out = q(x)
+        assert np.isfinite(out.data).all()
+        assert q.initialized.data[0] == 1.0
+
+    def test_output_on_quant_grid(self, rng):
+        q = Quantizer(8)
+        x = Tensor(rng.standard_normal(100).astype(np.float32))
+        out = q(x)
+        scale = q.scale
+        np.testing.assert_allclose(
+            out.data / scale, np.round(out.data / scale), atol=1e-4
+        )
+
+    def test_state_survives_state_dict_roundtrip(self):
+        q1 = Quantizer(8)
+        q1(Tensor(np.ones(4, dtype=np.float32) * 5))
+        q2 = Quantizer(8)
+        q2.load_state_dict(q1.state_dict())
+        assert q2.running_max_abs.data[0] == q1.running_max_abs.data[0]
+
+    def test_repr(self):
+        assert "bits=8" in repr(Quantizer(8, name="input"))
+        assert "off" in repr(Quantizer(None))

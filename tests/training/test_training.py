@@ -1,0 +1,170 @@
+"""Trainer, metrics, calibration, adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.data import DataLoader, make_cifar10_like
+from repro.models import ConvSpec, LayerPlan, lenet, resnet18
+from repro.quant.qconfig import int8
+from repro.quant.quantizer import Quantizer
+from repro.training import (
+    Meter,
+    TrainConfig,
+    Trainer,
+    accuracy,
+    adapt_to_winograd,
+    calibrate,
+    set_calibrating,
+)
+from repro.training.adaptation import canonical_state_dict, transfer_weights
+from repro.training.trainer import evaluate
+
+
+@pytest.fixture(scope="module")
+def tiny_task():
+    train, test = make_cifar10_like(80, 40, size=16, seed=3)
+    return (
+        DataLoader(train, batch_size=20, seed=0),
+        DataLoader(test, batch_size=20, shuffle=False),
+        train,
+    )
+
+
+class TestMetrics:
+    def test_accuracy_perfect(self):
+        logits = np.eye(4, dtype=np.float32)
+        assert accuracy(logits, np.arange(4)) == 1.0
+
+    def test_accuracy_zero(self):
+        logits = np.eye(2, dtype=np.float32)
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+
+    def test_accuracy_accepts_tensor(self):
+        assert accuracy(Tensor(np.eye(3, dtype=np.float32)), np.arange(3)) == 1.0
+
+    def test_meter_weighted_mean(self):
+        m = Meter()
+        m.update(1.0, weight=1)
+        m.update(0.0, weight=3)
+        assert m.mean == pytest.approx(0.25)
+        m.reset()
+        assert m.mean == 0.0
+
+
+class TestTrainer:
+    def test_loss_decreases(self, tiny_task):
+        train_loader, test_loader, _ = tiny_task
+        model = resnet18(width_multiplier=0.125)
+        trainer = Trainer(model, train_loader, test_loader, TrainConfig(epochs=2, lr=2e-3))
+        history = trainer.fit()
+        assert len(history) == 2
+        assert history[-1].train_loss < history[0].train_loss
+
+    def test_history_tracks_val_accuracy(self, tiny_task):
+        train_loader, test_loader, _ = tiny_task
+        model = resnet18(width_multiplier=0.125)
+        trainer = Trainer(model, train_loader, test_loader, TrainConfig(epochs=1))
+        trainer.fit()
+        assert trainer.history[0].val_accuracy is not None
+
+    def test_sgd_option(self, tiny_task):
+        train_loader, _, _ = tiny_task
+        model = resnet18(width_multiplier=0.125)
+        trainer = Trainer(
+            model, train_loader, config=TrainConfig(epochs=1, optimizer="sgd", lr=0.01)
+        )
+        trainer.fit()
+
+    def test_unknown_optimizer_rejected(self, tiny_task):
+        train_loader, _, _ = tiny_task
+        with pytest.raises(ValueError):
+            Trainer(
+                resnet18(width_multiplier=0.125),
+                train_loader,
+                config=TrainConfig(optimizer="lamb"),
+            )
+
+    def test_evaluate_requires_loader(self, tiny_task):
+        train_loader, _, _ = tiny_task
+        trainer = Trainer(resnet18(width_multiplier=0.125), train_loader)
+        with pytest.raises(ValueError):
+            trainer.evaluate()
+
+    def test_evaluate_restores_train_mode(self, tiny_task):
+        _, test_loader, _ = tiny_task
+        model = resnet18(width_multiplier=0.125)
+        evaluate(model, test_loader)
+        assert model.training
+
+
+class TestCalibration:
+    def test_set_calibrating_counts_quantizers(self):
+        model = lenet(spec=ConvSpec("F2", int8()))
+        n = set_calibrating(model, True)
+        assert n > 0
+        assert all(q.calibrating for q in model.modules() if isinstance(q, Quantizer))
+        set_calibrating(model, False)
+
+    def test_calibrate_updates_ranges_not_weights(self, tiny_task):
+        train_loader, _, _ = tiny_task
+        model = resnet18(width_multiplier=0.125, spec=ConvSpec("F2", int8()))
+        weights_before = {
+            name: p.data.copy() for name, p in model.named_parameters()
+        }
+        calibrate(model, train_loader, num_batches=2)
+        for name, p in model.named_parameters():
+            np.testing.assert_array_equal(p.data, weights_before[name])
+        quantizers = [q for q in model.modules() if isinstance(q, Quantizer) if q.enabled]
+        assert any(q.initialized.data[0] for q in quantizers)
+
+    def test_calibrate_leaves_calibration_mode_off(self):
+        from repro.data import make_mnist_like
+
+        train, _ = make_mnist_like(40, 20, size=20, seed=0)
+        loader = DataLoader(train, batch_size=20, seed=0)
+        model = lenet(spec=ConvSpec("F2", int8()), image_size=20)
+        calibrate(model, loader, num_batches=1)
+        assert not any(
+            q.calibrating for q in model.modules() if isinstance(q, Quantizer)
+        )
+
+
+class TestAdaptation:
+    def test_canonical_names_strip_wrappers(self):
+        model = resnet18(width_multiplier=0.125, spec=ConvSpec("im2row", int8()))
+        canon = canonical_state_dict(model)
+        assert any(k.endswith("conv1.weight") for k in canon)
+        assert not any(".conv.weight" in k for k in canon)
+
+    def test_transfer_im2row_to_winograd(self, rng):
+        src = resnet18(width_multiplier=0.125, spec=ConvSpec("im2row"))
+        dst = resnet18(width_multiplier=0.125, spec=ConvSpec("F4", int8(), flex=True))
+        copied, skipped = transfer_weights(src, dst)
+        assert copied > 50
+        np.testing.assert_array_equal(
+            dst.blocks[0].conv1.weight.data, src.blocks[0].conv1.weight.data
+        )
+        # transforms are NOT transferred — they stay at Cook–Toom init
+        assert dst.blocks[0].conv1.transform_drift() < 1e-6
+
+    def test_transfer_preserves_fp32_predictions_for_f2(self, rng, tiny_task):
+        """FP32 post-training swap to F2 must be accuracy-neutral (Table 1)."""
+        _, test_loader, _ = tiny_task
+        src = resnet18(width_multiplier=0.125, spec=ConvSpec("im2row"))
+        dst = resnet18(width_multiplier=0.125, spec=ConvSpec("F2"))
+        transfer_weights(src, dst)
+        x = Tensor(rng.standard_normal((4, 3, 16, 16)).astype(np.float32))
+        src.eval(), dst.eval()
+        np.testing.assert_allclose(src(x).data, dst(x).data, atol=1e-3)
+
+    def test_transfer_mismatched_widths_raises(self):
+        src = resnet18(width_multiplier=0.125)
+        dst = resnet18(width_multiplier=0.25)
+        with pytest.raises(ValueError):
+            transfer_weights(src, dst)
+
+    def test_adapt_returns_target(self):
+        src = resnet18(width_multiplier=0.125)
+        dst = resnet18(width_multiplier=0.125, spec=ConvSpec("F4", flex=True))
+        assert adapt_to_winograd(src, dst) is dst

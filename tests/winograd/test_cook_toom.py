@@ -1,0 +1,131 @@
+"""Exactness and structure of the Cook–Toom construction."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.winograd.cook_toom import (
+    INFINITY,
+    cook_toom,
+    cook_toom_1d_exact,
+    default_points,
+)
+
+
+class TestExactIdentity:
+    """Aᵀ[(Gg) ⊙ (Bᵀd)] must equal correlation *exactly* over ℚ."""
+
+    @pytest.mark.parametrize("m,r", [(1, 3), (2, 2), (2, 3), (3, 3), (4, 3), (6, 3),
+                                     (2, 5), (4, 5), (6, 5), (8, 3)])
+    def test_matches_correlation(self, m, r):
+        ct = cook_toom_1d_exact(m, r)
+        rng = np.random.default_rng(m * 100 + r)
+        d = [Fraction(int(v)) for v in rng.integers(-50, 50, ct.n)]
+        g = [Fraction(int(v)) for v in rng.integers(-50, 50, r)]
+        expected = [sum(d[j + k] * g[k] for k in range(r)) for j in range(m)]
+        assert ct.apply_1d_exact(d, g) == expected
+
+    @given(
+        m=st.integers(1, 5),
+        r=st.integers(2, 5),
+        data=st.data(),
+    )
+    def test_property_random_rationals(self, m, r, data):
+        ct = cook_toom_1d_exact(m, r)
+        rationals = st.fractions(
+            min_value=-10, max_value=10, max_denominator=8
+        )
+        d = data.draw(st.lists(rationals, min_size=ct.n, max_size=ct.n))
+        g = data.draw(st.lists(rationals, min_size=r, max_size=r))
+        expected = [sum(d[j + k] * g[k] for k in range(r)) for j in range(m)]
+        assert ct.apply_1d_exact(d, g) == expected
+
+    def test_custom_points_still_exact(self):
+        points = (0, 1, -1, Fraction(1, 3), Fraction(-1, 3), INFINITY)
+        ct = cook_toom_1d_exact(4, 3, points=points)
+        d = [Fraction(i) for i in (1, -2, 3, 0, 5, -1)]
+        g = [Fraction(i) for i in (2, 1, -1)]
+        expected = [sum(d[j + k] * g[k] for k in range(3)) for j in range(4)]
+        assert ct.apply_1d_exact(d, g) == expected
+
+
+class TestCanonicalMatrices:
+    def test_f23_recovers_standard_matrices(self):
+        """F(2,3) with points [0,1,-1,∞] must match Lavin & Gray up to
+        per-row sign conventions."""
+        BT, G, AT = cook_toom(2, 3)
+        # |BT| of the published F(2,3) transform
+        expected_abs_bt = np.array(
+            [[1, 0, 1, 0], [0, 1, 1, 0], [0, 1, 1, 0], [0, 1, 0, 1]], dtype=float
+        )
+        np.testing.assert_allclose(np.abs(BT), expected_abs_bt)
+        np.testing.assert_allclose(np.abs(G[0]), [1, 0, 0])
+        np.testing.assert_allclose(np.abs(G[1]), [0.5, 0.5, 0.5])
+        np.testing.assert_allclose(np.abs(G[3]), [0, 0, 1])
+        assert AT.shape == (2, 4)
+
+    def test_f43_recovers_standard_matrices(self):
+        BT, G, AT = cook_toom(4, 3)
+        np.testing.assert_allclose(np.abs(BT[0]), [4, 0, 5, 0, 1, 0])
+        np.testing.assert_allclose(np.abs(BT[5]), [0, 4, 0, 5, 0, 1])
+        np.testing.assert_allclose(np.abs(G[1]), [1 / 6, 1 / 6, 1 / 6], rtol=1e-12)
+        np.testing.assert_allclose(np.abs(AT[0]), [1, 1, 1, 1, 1, 0])
+
+    def test_bt_is_integral_for_default_points(self):
+        for m, r in [(2, 3), (4, 3), (6, 3)]:
+            BT, _, _ = cook_toom(m, r)
+            np.testing.assert_allclose(BT, np.round(BT), atol=1e-12)
+
+    def test_dynamic_range_grows_with_tile_size(self):
+        """The root cause of the paper's numerical collapse."""
+        ranges = []
+        for m in (2, 4, 6):
+            BT, _, AT = cook_toom(m, 3)
+            ranges.append(max(np.abs(BT).max(), np.abs(AT).max()))
+        assert ranges[0] < ranges[1] < ranges[2]
+
+
+class TestValidation:
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            cook_toom_1d_exact(2, 3, points=(0, 1, 1, INFINITY))
+
+    def test_two_infinities_rejected(self):
+        with pytest.raises(ValueError, match="infinity"):
+            cook_toom_1d_exact(2, 3, points=(0, INFINITY, 1, INFINITY))
+
+    def test_wrong_point_count_rejected(self):
+        with pytest.raises(ValueError, match="needs"):
+            cook_toom_1d_exact(2, 3, points=(0, 1, INFINITY))
+
+    def test_nonpositive_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            cook_toom_1d_exact(0, 3)
+        with pytest.raises(ValueError):
+            cook_toom_1d_exact(2, 0)
+
+    def test_default_points_structure(self):
+        pts = default_points(5)
+        assert len(pts) == 6
+        assert pts[-1] is INFINITY
+        assert pts[0] == 0
+        assert len(set(pts[:-1])) == 5
+
+    def test_default_points_exhaustion(self):
+        with pytest.raises(ValueError, match="no default point table"):
+            default_points(100)
+
+    def test_as_float_dtype(self):
+        ct = cook_toom_1d_exact(2, 3)
+        bt32, g32, at32 = ct.as_float(np.float32)
+        assert bt32.dtype == np.float32
+        assert g32.shape == (4, 3)
+        assert at32.shape == (2, 4)
+
+    def test_apply_validates_lengths(self):
+        ct = cook_toom_1d_exact(2, 3)
+        with pytest.raises(ValueError):
+            ct.apply_1d_exact([1, 2, 3], [1, 2, 3])

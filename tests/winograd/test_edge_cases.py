@@ -1,0 +1,123 @@
+"""Edge cases across the Winograd stack."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.quant.qconfig import QConfig, int8
+from repro.winograd.functional import direct_conv2d
+from repro.winograd.layer import WinogradConv2d
+from repro.winograd.transforms import get_transform
+
+
+class TestMinimalSpatialSizes:
+    def test_input_exactly_one_tile(self, rng):
+        """4×4 input with F2 'same' padding: exactly (4/2)² tiles."""
+        layer = WinogradConv2d(2, 2, 3, m=2)
+        x = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+        y = layer(Tensor(x))
+        ref = direct_conv2d(
+            x.astype(np.float64),
+            layer.weight.data.astype(np.float64),
+            bias=layer.bias.data.astype(np.float64),
+            padding=1,
+        )
+        np.testing.assert_allclose(y.data, ref, atol=1e-4)
+
+    def test_output_smaller_than_one_tile(self, rng):
+        """2×2 output with m=6: one ragged tile, heavy cropping."""
+        layer = WinogradConv2d(2, 2, 3, m=6)
+        x = rng.standard_normal((1, 2, 2, 2)).astype(np.float32)
+        y = layer(Tensor(x))
+        assert y.shape == (1, 2, 2, 2)
+        ref = direct_conv2d(
+            x.astype(np.float64),
+            layer.weight.data.astype(np.float64),
+            bias=layer.bias.data.astype(np.float64),
+            padding=1,
+        )
+        np.testing.assert_allclose(y.data, ref, atol=1e-4)
+
+    def test_non_square_input(self, rng):
+        layer = WinogradConv2d(1, 1, 3, m=4)
+        x = rng.standard_normal((1, 1, 5, 17)).astype(np.float32)
+        y = layer(Tensor(x))
+        assert y.shape == (1, 1, 5, 17)
+        ref = direct_conv2d(
+            x.astype(np.float64),
+            layer.weight.data.astype(np.float64),
+            bias=layer.bias.data.astype(np.float64),
+            padding=1,
+        )
+        np.testing.assert_allclose(y.data, ref, atol=1e-4)
+
+    def test_too_small_input_raises(self, rng):
+        layer = WinogradConv2d(1, 1, 5, m=2, padding=0)
+        with pytest.raises(ValueError, match="too small"):
+            layer(Tensor(rng.standard_normal((1, 1, 3, 3)).astype(np.float32)))
+
+
+class TestBatchAndChannelExtremes:
+    def test_batch_of_one(self, rng):
+        layer = WinogradConv2d(3, 4, 3, m=2)
+        y = layer(Tensor(rng.standard_normal((1, 3, 6, 6)).astype(np.float32)))
+        assert y.shape == (1, 4, 6, 6)
+
+    def test_single_channel_in_and_out(self, rng):
+        layer = WinogradConv2d(1, 1, 3, m=4)
+        x = rng.standard_normal((3, 1, 8, 8)).astype(np.float32)
+        ref = direct_conv2d(
+            x.astype(np.float64),
+            layer.weight.data.astype(np.float64),
+            bias=layer.bias.data.astype(np.float64),
+            padding=1,
+        )
+        np.testing.assert_allclose(layer(Tensor(x)).data, ref, atol=1e-4)
+
+    def test_depthwise_style_groups(self, rng):
+        """groups == channels: each filter sees exactly one channel."""
+        layer = WinogradConv2d(4, 4, 3, m=2, groups=4)
+        x = Tensor(rng.standard_normal((1, 4, 6, 6)).astype(np.float32))
+        assert layer(x).shape == (1, 4, 6, 6)
+
+
+class TestQuantizedEdges:
+    def test_zero_input_is_stable(self):
+        layer = WinogradConv2d(2, 2, 3, m=4, qconfig=int8())
+        y = layer(Tensor(np.zeros((1, 2, 8, 8), dtype=np.float32)))
+        assert np.isfinite(y.data).all()
+
+    def test_large_magnitude_input_is_finite(self, rng):
+        layer = WinogradConv2d(2, 2, 3, m=6, qconfig=int8())
+        x = Tensor((1e4 * rng.standard_normal((1, 2, 10, 10))).astype(np.float32))
+        assert np.isfinite(layer(x).data).all()
+
+    def test_two_bit_extreme_quantization(self, rng):
+        layer = WinogradConv2d(2, 2, 3, m=2, qconfig=QConfig(bits=2))
+        y = layer(Tensor(rng.standard_normal((1, 2, 6, 6)).astype(np.float32)))
+        assert np.isfinite(y.data).all()
+
+    def test_mixed_stage_config_runs(self, rng):
+        qc = QConfig(bits=8, stage_bits={"hadamard": 16, "input_transformed": 12})
+        layer = WinogradConv2d(2, 2, 3, m=4, qconfig=qc)
+        y = layer(Tensor(rng.standard_normal((1, 2, 8, 8)).astype(np.float32)))
+        assert np.isfinite(y.data).all()
+        assert layer.q_hadamard.bits == 16
+        assert layer.q_input_t.bits == 12
+        assert layer.q_weight.bits == 8
+
+
+class TestTransformEdgeCases:
+    def test_f1_is_direct_convolution(self, rng):
+        """F(1, r) degenerates to a plain dot product per output."""
+        tr = get_transform(1, 3)
+        assert tr.t == 3
+        assert tr.multiplications_per_output == pytest.approx(9.0)
+
+    def test_rect_kernel_rejected(self):
+        from repro.nn.layers import Conv2d
+        from repro.winograd.layer import WinogradConv2d
+
+        conv = Conv2d(2, 2, (3, 5), padding=1)
+        with pytest.raises(ValueError, match="square"):
+            WinogradConv2d.from_conv2d(conv, m=2)

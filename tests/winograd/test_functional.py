@@ -1,0 +1,140 @@
+"""Reference Winograd convolution vs direct convolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.quantizer import fake_quant_array
+from repro.winograd.functional import (
+    direct_conv2d,
+    winograd_conv2d,
+    winograd_output_shape,
+)
+from repro.winograd.transforms import get_transform
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("m,r,pad", [(2, 3, 1), (4, 3, 1), (6, 3, 1), (2, 5, 2), (4, 5, 2)])
+    def test_matches_direct(self, m, r, pad, rng):
+        tr = get_transform(m, r)
+        x = rng.standard_normal((2, 3, 14, 10))
+        w = rng.standard_normal((4, 3, r, r))
+        b = rng.standard_normal(4)
+        yw = winograd_conv2d(x, w, tr, bias=b, padding=pad)
+        yd = direct_conv2d(x, w, bias=b, padding=pad)
+        np.testing.assert_allclose(yw, yd, atol=1e-9)
+
+    def test_no_padding(self, rng):
+        tr = get_transform(2, 3)
+        x = rng.standard_normal((1, 2, 8, 8))
+        w = rng.standard_normal((3, 2, 3, 3))
+        yw = winograd_conv2d(x, w, tr, padding=0)
+        yd = direct_conv2d(x, w, padding=0)
+        assert yw.shape == (1, 3, 6, 6)
+        np.testing.assert_allclose(yw, yd, atol=1e-9)
+
+    @given(
+        h=st.integers(5, 16),
+        w_=st.integers(5, 16),
+        cin=st.integers(1, 4),
+        cout=st.integers(1, 4),
+        m=st.sampled_from([2, 4, 6]),
+    )
+    @settings(max_examples=15)
+    def test_property_arbitrary_shapes(self, h, w_, cin, cout, m):
+        rng = np.random.default_rng(h * 1000 + w_ * 10 + cin + cout)
+        tr = get_transform(m, 3)
+        x = rng.standard_normal((1, cin, h, w_))
+        wt = rng.standard_normal((cout, cin, 3, 3))
+        yw = winograd_conv2d(x, wt, tr, padding=1)
+        yd = direct_conv2d(x, wt, padding=1)
+        assert yw.shape == yd.shape == (1, cout, h, w_)
+        np.testing.assert_allclose(yw, yd, atol=1e-8)
+
+    def test_output_shape_helper(self):
+        assert winograd_output_shape(32, 32, 3, 1) == (32, 32)
+        assert winograd_output_shape(10, 8, 5, 0) == (6, 4)
+
+
+class TestNumericalError:
+    """FP32 error must grow with tile size — the paper's core observation."""
+
+    def _error(self, m, dtype):
+        rng = np.random.default_rng(0)
+        tr = get_transform(m, 3, dtype=np.float64)
+        x = rng.standard_normal((1, 16, 16, 16)).astype(dtype)
+        w = (rng.standard_normal((16, 16, 3, 3)) / 3).astype(dtype)
+        ref = direct_conv2d(x.astype(np.float64), w.astype(np.float64), padding=1)
+        y = winograd_conv2d(x, w, tr, padding=1)
+        return float(np.abs(y.astype(np.float64) - ref).mean())
+
+    def test_fp32_error_grows_with_tile(self):
+        errors = [self._error(m, np.float32) for m in (2, 4, 6)]
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_fp64_error_negligible(self):
+        assert self._error(6, np.float64) < 1e-10
+
+
+class TestQuantHook:
+    def test_hook_sees_all_stages(self, rng):
+        tr = get_transform(4, 3)
+        seen = []
+        hook = lambda a, stage: (seen.append(stage), a)[1]
+        x = rng.standard_normal((1, 2, 8, 8))
+        w = rng.standard_normal((2, 2, 3, 3))
+        winograd_conv2d(x, w, tr, padding=1, quant=hook)
+        assert seen == [
+            "input",
+            "weight",
+            "weight_transformed",
+            "input_transformed",
+            "hadamard",
+            "output",
+        ]
+
+    def test_int8_hook_collapses_f6_but_not_f2(self, rng):
+        x = rng.standard_normal((1, 8, 12, 12))
+        w = rng.standard_normal((8, 8, 3, 3)) / 3
+        ref = direct_conv2d(x, w, padding=1)
+        quant = lambda a, stage: fake_quant_array(a, 8)
+        errors = {}
+        for m in (2, 6):
+            tr = get_transform(m, 3)
+            y = winograd_conv2d(x, w, tr, padding=1, quant=quant)
+            errors[m] = float(np.abs(y - ref).mean() / np.abs(ref).mean())
+        assert errors[2] < 0.2  # F2 survives INT8
+        assert errors[6] > 1.0  # F6 output is garbage — Table 1's collapse
+
+    def test_validates_filter_size(self, rng):
+        tr = get_transform(2, 3)
+        with pytest.raises(ValueError, match="transform expects"):
+            winograd_conv2d(
+                rng.standard_normal((1, 1, 8, 8)), rng.standard_normal((1, 1, 5, 5)), tr
+            )
+
+    def test_validates_channel_match(self, rng):
+        tr = get_transform(2, 3)
+        with pytest.raises(ValueError, match="channel mismatch"):
+            winograd_conv2d(
+                rng.standard_normal((1, 2, 8, 8)), rng.standard_normal((1, 3, 3, 3)), tr
+            )
+
+
+class TestDirectConv:
+    def test_stride_two(self, rng):
+        x = rng.standard_normal((1, 2, 8, 8))
+        w = rng.standard_normal((3, 2, 3, 3))
+        y = direct_conv2d(x, w, padding=1, stride=2)
+        assert y.shape == (1, 3, 4, 4)
+
+    def test_is_cross_correlation(self):
+        # kernel with a single 1 at position (0, 0) shifts the image
+        x = np.zeros((1, 1, 4, 4))
+        x[0, 0, 1, 1] = 1.0
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 0, 0] = 1.0
+        y = direct_conv2d(x, w, padding=1)
+        assert y[0, 0, 2, 2] == 1.0
+        assert y.sum() == 1.0

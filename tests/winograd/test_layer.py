@@ -1,0 +1,220 @@
+"""WinogradConv2d: the paper's Figure 2 pipeline as a trainable layer."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.nn.layers import Conv2d
+from repro.nn.module import Buffer, Parameter
+from repro.quant.qconfig import QConfig, int8
+from repro.winograd.functional import direct_conv2d
+from repro.winograd.layer import WinogradConv2d
+
+
+class TestForwardEquivalence:
+    @pytest.mark.parametrize("m,r", [(2, 3), (4, 3), (6, 3), (2, 5)])
+    def test_matches_direct_conv(self, m, r, rng):
+        layer = WinogradConv2d(3, 5, kernel_size=r, m=m)
+        x = rng.standard_normal((2, 3, 11, 9)).astype(np.float32)
+        y = layer(Tensor(x))
+        ref = direct_conv2d(
+            x.astype(np.float64),
+            layer.weight.data.astype(np.float64),
+            bias=layer.bias.data.astype(np.float64),
+            padding=(r - 1) // 2,
+        )
+        assert y.shape == ref.shape
+        np.testing.assert_allclose(y.data, ref, atol=1e-4)
+
+    def test_matches_im2row_conv_with_same_weights(self, rng):
+        conv = Conv2d(4, 6, 3, padding=1)
+        wlayer = WinogradConv2d(4, 6, 3, m=4)
+        wlayer.weight.data = conv.weight.data.copy()
+        wlayer.bias.data = conv.bias.data.copy()
+        x = Tensor(rng.standard_normal((2, 4, 8, 8)).astype(np.float32))
+        np.testing.assert_allclose(conv(x).data, wlayer(x).data, atol=1e-4)
+
+    def test_grouped_matches_grouped_im2row(self, rng):
+        conv = Conv2d(6, 9, 3, padding=1, groups=3)
+        wlayer = WinogradConv2d(6, 9, 3, m=2, groups=3)
+        wlayer.weight.data = conv.weight.data.copy()
+        wlayer.bias.data = conv.bias.data.copy()
+        x = Tensor(rng.standard_normal((2, 6, 8, 8)).astype(np.float32))
+        np.testing.assert_allclose(conv(x).data, wlayer(x).data, atol=1e-4)
+
+    def test_ragged_tiling_cropped_correctly(self, rng):
+        # 7x7 output with m=4 needs ceil(7/4)=2 tiles → 8x8, cropped to 7
+        layer = WinogradConv2d(2, 2, 3, m=4)
+        x = rng.standard_normal((1, 2, 7, 7)).astype(np.float32)
+        y = layer(Tensor(x))
+        assert y.shape == (1, 2, 7, 7)
+        ref = direct_conv2d(
+            x.astype(np.float64),
+            layer.weight.data.astype(np.float64),
+            bias=layer.bias.data.astype(np.float64),
+            padding=1,
+        )
+        np.testing.assert_allclose(y.data, ref, atol=1e-4)
+
+    def test_no_bias(self, rng):
+        layer = WinogradConv2d(2, 3, 3, m=2, bias=False)
+        assert layer.bias is None
+        y = layer(Tensor(rng.standard_normal((1, 2, 6, 6)).astype(np.float32)))
+        assert y.shape == (1, 3, 6, 6)
+
+
+class TestGradients:
+    def test_gradcheck_weights_and_input(self, rng64):
+        layer = WinogradConv2d(2, 2, 3, m=2, bias=True)
+        # promote to float64 for finite differences
+        layer.weight.data = layer.weight.data.astype(np.float64)
+        layer.bias.data = layer.bias.data.astype(np.float64)
+        layer.BT.data = layer.BT.data.astype(np.float64)
+        layer.G.data = layer.G.data.astype(np.float64)
+        layer.AT.data = layer.AT.data.astype(np.float64)
+        x = Tensor(rng64.standard_normal((1, 2, 6, 6)), requires_grad=True)
+        gradcheck(lambda x_: layer(x_), [x])
+
+    def test_gradcheck_flex_transforms(self, rng64):
+        layer = WinogradConv2d(2, 2, 3, m=2, flex=True, bias=False)
+        for p in (layer.weight, layer.BT, layer.G, layer.AT):
+            p.data = p.data.astype(np.float64)
+        x = Tensor(rng64.standard_normal((1, 2, 4, 4)))
+
+        def fn(bt, g, at):
+            layer.BT.data = bt.data
+            layer.G.data = g.data
+            layer.AT.data = at.data
+            return layer(x)
+
+        # finite differences directly on the transform parameters
+        bt = Tensor(layer.BT.data.copy(), requires_grad=True)
+        g = Tensor(layer.G.data.copy(), requires_grad=True)
+        at = Tensor(layer.AT.data.copy(), requires_grad=True)
+        out = layer(x)
+        out.sum().backward()
+        analytic = {
+            "BT": layer.BT.grad.copy(),
+            "G": layer.G.grad.copy(),
+            "AT": layer.AT.grad.copy(),
+        }
+        from repro.autograd.gradcheck import numerical_gradient
+
+        for name, param, tensor in (("BT", layer.BT, bt), ("G", layer.G, g), ("AT", layer.AT, at)):
+            def probe(t=tensor, p=param):
+                old = p.data
+                p.data = t.data
+                try:
+                    return layer(x)
+                finally:
+                    p.data = old
+
+            numeric = numerical_gradient(lambda t: probe(t), [tensor], 0)
+            np.testing.assert_allclose(analytic[name], numeric, atol=2e-3, rtol=1e-2)
+
+    def test_static_transforms_get_no_grad(self, rng):
+        layer = WinogradConv2d(2, 2, 3, m=2, flex=False)
+        x = Tensor(rng.standard_normal((1, 2, 4, 4)).astype(np.float32))
+        layer(x).sum().backward()
+        assert isinstance(layer.BT, Buffer)
+        assert layer.BT.grad is None
+        assert layer.weight.grad is not None
+
+    def test_flex_transforms_are_parameters(self):
+        layer = WinogradConv2d(2, 2, 3, m=2, flex=True)
+        names = {name for name, _ in layer.named_parameters()}
+        assert {"BT", "G", "AT", "weight", "bias"} <= names
+
+    def test_quantized_backward_flows_ste(self, rng):
+        layer = WinogradConv2d(2, 3, 3, m=4, qconfig=int8(), flex=True)
+        x = Tensor(rng.standard_normal((1, 2, 8, 8)).astype(np.float32), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None
+        assert np.abs(layer.weight.grad).sum() > 0
+        assert np.abs(layer.G.grad).sum() > 0
+
+
+class TestQuantizedBehaviour:
+    def test_int8_static_f6_error_much_larger_than_f2(self, rng):
+        """The layer-level version of Table 1's collapse."""
+        x = rng.standard_normal((1, 8, 12, 12)).astype(np.float32)
+        errors = {}
+        for m in (2, 6):
+            layer = WinogradConv2d(8, 8, 3, m=m, qconfig=int8(), bias=False)
+            ref = direct_conv2d(
+                x.astype(np.float64), layer.weight.data.astype(np.float64), padding=1
+            )
+            y = layer(Tensor(x))
+            errors[m] = float(np.abs(y.data - ref).mean() / np.abs(ref).mean())
+        assert errors[6] > 5 * errors[2]
+
+    def test_calibration_mode_toggles_all_quantizers(self):
+        layer = WinogradConv2d(2, 2, 3, m=2, qconfig=int8())
+        layer.set_calibrating(True)
+        from repro.quant.quantizer import Quantizer
+
+        assert all(q.calibrating for q in layer.modules() if isinstance(q, Quantizer))
+        layer.set_calibrating(False)
+        assert not any(q.calibrating for q in layer.modules() if isinstance(q, Quantizer))
+
+    def test_eval_uses_frozen_ranges(self, rng):
+        layer = WinogradConv2d(2, 2, 3, m=2, qconfig=int8())
+        x = Tensor(rng.standard_normal((1, 2, 6, 6)).astype(np.float32))
+        layer.train()
+        layer(x)
+        frozen = layer.q_input.running_max_abs.data.copy()
+        layer.eval()
+        big = Tensor(100 * rng.standard_normal((1, 2, 6, 6)).astype(np.float32))
+        layer(big)
+        np.testing.assert_array_equal(layer.q_input.running_max_abs.data, frozen)
+
+
+class TestConstructionAndAdaptation:
+    def test_rejects_bad_groups(self):
+        with pytest.raises(ValueError, match="groups"):
+            WinogradConv2d(3, 4, 3, m=2, groups=2)
+
+    def test_rejects_non_nchw(self, rng):
+        layer = WinogradConv2d(2, 2, 3, m=2)
+        with pytest.raises(ValueError, match="NCHW"):
+            layer(Tensor(rng.standard_normal((2, 6, 6)).astype(np.float32)))
+
+    def test_rejects_wrong_channels(self, rng):
+        layer = WinogradConv2d(2, 2, 3, m=2)
+        with pytest.raises(ValueError, match="channels"):
+            layer(Tensor(rng.standard_normal((1, 3, 6, 6)).astype(np.float32)))
+
+    def test_from_conv2d_copies_weights(self, rng):
+        conv = Conv2d(3, 4, 3, padding=1)
+        layer = WinogradConv2d.from_conv2d(conv, m=4)
+        np.testing.assert_array_equal(layer.weight.data, conv.weight.data)
+        np.testing.assert_array_equal(layer.bias.data, conv.bias.data)
+        x = Tensor(rng.standard_normal((1, 3, 8, 8)).astype(np.float32))
+        np.testing.assert_allclose(conv(x).data, layer(x).data, atol=1e-4)
+
+    def test_from_conv2d_rejects_stride(self):
+        conv = Conv2d(3, 4, 3, stride=2, padding=1)
+        with pytest.raises(ValueError, match="strided"):
+            WinogradConv2d.from_conv2d(conv, m=2)
+
+    def test_transform_drift_zero_at_init(self):
+        layer = WinogradConv2d(2, 2, 3, m=4, flex=True)
+        assert layer.transform_drift() < 1e-6
+
+    def test_transform_drift_after_training_step(self, rng):
+        layer = WinogradConv2d(2, 2, 3, m=4, flex=True)
+        x = Tensor(rng.standard_normal((1, 2, 8, 8)).astype(np.float32))
+        layer(x).sum().backward()
+        for p in (layer.BT, layer.G, layer.AT):
+            p.data -= 0.01 * p.grad
+        assert layer.transform_drift() > 0
+
+    def test_repr(self):
+        layer = WinogradConv2d(3, 4, 3, m=4, flex=True, qconfig=int8())
+        text = repr(layer)
+        assert "F(4x4,3x3)" in text and "-flex" in text and "int8" in text
+
+    def test_mults_per_output_property(self):
+        layer = WinogradConv2d(3, 4, 3, m=2)
+        assert layer.t == 4
+        assert layer.reference_transform.multiplications_per_output == pytest.approx(4.0)

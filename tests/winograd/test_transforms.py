@@ -1,0 +1,80 @@
+"""Transform registry and metadata."""
+
+import numpy as np
+import pytest
+
+from repro.winograd.cook_toom import INFINITY
+from repro.winograd.transforms import (
+    PAPER_CONFIGS,
+    WinogradTransform,
+    get_paper_transform,
+    get_transform,
+    tile_size,
+)
+
+
+class TestTileSize:
+    @pytest.mark.parametrize("m,r,t", [(2, 3, 4), (4, 3, 6), (6, 3, 8), (2, 5, 6), (6, 5, 10)])
+    def test_values(self, m, r, t):
+        assert tile_size(m, r) == t
+        assert get_transform(m, r).t == t
+
+
+class TestMultiplicationsPerOutput:
+    def test_paper_values_for_3x3(self):
+        """§3.1: direct 9 mpo, F2 → 4 mpo, F4 → 2.25 mpo."""
+        assert get_transform(2, 3).multiplications_per_output == pytest.approx(4.0)
+        assert get_transform(4, 3).multiplications_per_output == pytest.approx(2.25)
+        assert get_transform(6, 3).multiplications_per_output == pytest.approx((8 / 6) ** 2)
+
+    def test_savings_grow_with_m(self):
+        mpos = [get_transform(m, 3).multiplications_per_output for m in (2, 4, 6)]
+        assert mpos[0] > mpos[1] > mpos[2]
+
+
+class TestSparsity:
+    def test_f2_sparsity_matches_paper(self):
+        """§A.2: F2 ratios are 50%, 33%, 25% for BT, G, AT."""
+        bt, g, at = get_transform(2, 3).sparsity()
+        assert bt == pytest.approx(0.50)
+        assert g == pytest.approx(1 / 3, abs=0.01)
+        assert at == pytest.approx(0.25)
+
+    def test_larger_tiles_are_denser(self):
+        """§A.2 expects lower sparsity for larger transforms."""
+        bt2 = get_transform(2, 3).sparsity()[0]
+        bt6 = get_transform(6, 3).sparsity()[0]
+        assert bt6 < bt2
+
+
+class TestRegistry:
+    def test_paper_names(self):
+        assert set(PAPER_CONFIGS) == {"F2", "F4", "F6"}
+        tr = get_paper_transform("F4")
+        assert (tr.m, tr.r) == (4, 3)
+
+    def test_unknown_paper_name(self):
+        with pytest.raises(KeyError):
+            get_paper_transform("F8")
+
+    def test_caching_returns_equal_matrices(self):
+        a = get_transform(4, 3)
+        b = get_transform(4, 3)
+        np.testing.assert_array_equal(a.BT, b.BT)
+
+    def test_custom_points_produce_different_transform(self):
+        default = get_transform(4, 3)
+        custom = get_transform(4, 3, points=(0, 1, -1, 3, -3, INFINITY))
+        assert not np.allclose(default.BT, custom.BT)
+
+    def test_copies_are_fresh(self):
+        tr = get_transform(2, 3)
+        bt, g, at = tr.copies(np.float32)
+        bt[0, 0] = 999
+        assert tr.BT[0, 0] != 999
+        assert bt.dtype == np.float32
+
+    def test_points_recorded(self):
+        tr = get_transform(2, 3)
+        assert tr.points[-1] is INFINITY
+        assert len(tr.points) == 4
