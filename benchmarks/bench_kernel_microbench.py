@@ -4,13 +4,23 @@ Not a paper table — this measures *this implementation's* kernels with
 pytest-benchmark statistics, documenting that the Winograd algorithm's
 multiplication savings are real in the reference kernels too (the GEMM
 formulation does t²·K·C·P MACs vs 9·C·K·W² for im2row).
+
+The ``engine-vs-eager`` group compares the compiled inference engine
+(:mod:`repro.engine`) against the eager autograd forward on batched
+smoke models, and persists the speedup summary to ``BENCH_engine.json``
+at the repo root so the perf trajectory is tracked across PRs.
 """
+
+import json
+import pathlib
 
 import numpy as np
 import pytest
 
 from repro.winograd.functional import direct_conv2d, winograd_conv2d
 from repro.winograd.transforms import get_transform
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(scope="module")
@@ -47,3 +57,113 @@ def test_kernel_winograd_layer_forward(benchmark, workload):
     with no_grad():
         result = benchmark(layer, Tensor(x))
     assert result.shape == (1, 64, 32, 32)
+
+
+# ---------------------------------------------------------------------------
+# Compiled engine vs eager forward
+# ---------------------------------------------------------------------------
+
+
+def _engine_workloads():
+    """The smoke models the engine-vs-eager comparison covers."""
+    from repro.models.common import ConvSpec
+    from repro.models.lenet import lenet
+    from repro.models.resnet import resnet18
+    from repro.quant.qconfig import int8
+
+    rng = np.random.default_rng(0)
+    return {
+        "lenet-F2": (
+            lenet(spec=ConvSpec("F2")),
+            rng.standard_normal((16, 1, 28, 28)).astype(np.float32),
+        ),
+        "resnet18-w0.25-F4": (
+            resnet18(width_multiplier=0.25, spec=ConvSpec("F4")),
+            rng.standard_normal((8, 3, 32, 32)).astype(np.float32),
+        ),
+        "resnet18-w0.25-F4-int8": (
+            resnet18(width_multiplier=0.25, spec=ConvSpec("F4", int8())),
+            rng.standard_normal((8, 3, 32, 32)).astype(np.float32),
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def engine_workloads():
+    from repro.autograd import Tensor, no_grad
+
+    workloads = _engine_workloads()
+    for model, x in workloads.values():
+        model.eval()
+        with no_grad():  # warm quantizer observers so plans freeze ranges
+            model(Tensor(x))
+    return workloads
+
+
+@pytest.mark.parametrize("name", ["lenet-F2", "resnet18-w0.25-F4", "resnet18-w0.25-F4-int8"])
+def test_engine_compiled_forward(benchmark, engine_workloads, name):
+    from repro.engine import compile_model
+
+    model, x = engine_workloads[name]
+    plan = compile_model(model, backend="fast")
+    result = benchmark(plan.run, x)
+    assert result.shape[0] == x.shape[0]
+
+
+@pytest.mark.parametrize("name", ["resnet18-w0.25-F4"])
+def test_eager_forward(benchmark, engine_workloads, name):
+    from repro.autograd import Tensor, no_grad
+
+    model, x = engine_workloads[name]
+
+    def eager():
+        with no_grad():
+            return model(Tensor(x))
+
+    result = benchmark(eager)
+    assert result.shape[0] == x.shape[0]
+
+
+def test_bench_engine_vs_eager(benchmark, engine_workloads):
+    """Engine-vs-eager speedups, persisted to BENCH_engine.json.
+
+    The batched ResNet smoke workload is the acceptance gate: the
+    compiled fast plan must beat the eager forward by a clear margin.
+    """
+    from repro.autograd import Tensor, no_grad
+    from repro.engine import compile_model, measure_callable_ms
+
+    summary = []
+    for name, (model, x) in engine_workloads.items():
+        fast = compile_model(model, backend="fast")
+        reference = compile_model(model, backend="reference")
+
+        def eager():
+            with no_grad():
+                return model(Tensor(x))
+
+        eager_ms = measure_callable_ms(eager, repeats=5, warmup=2)
+        fast_ms = measure_callable_ms(fast.run, x, repeats=5, warmup=2)
+        reference_ms = measure_callable_ms(reference.run, x, repeats=5, warmup=2)
+        summary.append(
+            {
+                "workload": name,
+                "batch": int(x.shape[0]),
+                "eager_ms": round(eager_ms, 3),
+                "engine_fast_ms": round(fast_ms, 3),
+                "engine_reference_ms": round(reference_ms, 3),
+                "speedup_fast": round(eager_ms / fast_ms, 3),
+                "speedup_reference": round(eager_ms / reference_ms, 3),
+            }
+        )
+
+    (REPO_ROOT / "BENCH_engine.json").write_text(
+        json.dumps({"benchmark": "bench_engine_vs_eager", "results": summary}, indent=2)
+        + "\n"
+    )
+
+    resnet = next(r for r in summary if r["workload"] == "resnet18-w0.25-F4")
+    model, x = engine_workloads["resnet18-w0.25-F4"]
+    plan = compile_model(model, backend="fast")
+    benchmark(plan.run, x)
+    assert resnet["speedup_fast"] >= 1.2, f"engine regressed vs eager: {resnet}"

@@ -2,14 +2,20 @@
 
 Prints, for a chosen layer shape, each convolution algorithm's latency
 breakdown on both cores — the tool you'd use to answer "should this layer
-be F4 or F6?" before reaching for the full wiNAS search.
+be F4 or F6?" before reaching for the full wiNAS search — and then
+cross-checks the model against *this host*: each algorithm is compiled
+into a single-layer inference plan (repro.engine) and wall-clocked.
 
 Run:  python examples/latency_explorer.py [inCh] [outCh] [outWidth]
 """
 
 import sys
 
+import numpy as np
+
+from repro.engine import compile_model, measure_plan_ms
 from repro.hardware import ConvShape, get_calibrated_model
+from repro.models.common import spec_from_name
 from repro.paperdata import figure7_grid
 
 cin = int(sys.argv[1]) if len(sys.argv) > 1 else 128
@@ -46,3 +52,19 @@ for core in ("A73", "A53"):
     sparse = cal.conv_latency(shape, "F4", core=core).total_ms
     dense = cal.conv_latency(shape, "F4", core=core, dense_transforms=True).total_ms
     print(f"  {core}: {sparse:.3f} → {dense:.3f} ms (+{100 * (dense / sparse - 1):.0f}%)")
+
+print("\n--- this host: compiled single-layer plans (repro.engine, fast) ---")
+x = np.random.default_rng(0).standard_normal((1, cin, width, width)).astype(np.float32)
+
+
+def _host_ms(algo: str) -> float:
+    layer = spec_from_name(algo).build(cin, cout, kernel_size=3)
+    layer.eval()
+    return measure_plan_ms(compile_model(layer, backend="fast"), x, repeats=5, warmup=2)
+
+
+base_ms = _host_ms("im2row")
+print(f"  im2row  {base_ms:8.3f} ms  (1.00x vs im2row)")
+for algo in ("F2", "F4", "F6"):
+    ms = _host_ms(algo)
+    print(f"  {algo:7s} {ms:8.3f} ms  ({base_ms / ms:4.2f}x vs im2row)")

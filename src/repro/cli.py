@@ -6,9 +6,12 @@ Usage::
     python -m repro.cli run table1 --scale smoke --seed 0
     python -m repro.cli run figure7
     python -m repro.cli run figure4 --scale quick --out figure4.txt
+    python -m repro.cli infer --model resnet18 --algorithm F4 --compare
 
-Each experiment prints (and optionally writes) its measured-vs-published
-report; see EXPERIMENTS.md for how to read them.
+``run`` prints (and optionally writes) each experiment's
+measured-vs-published report; see EXPERIMENTS.md for how to read them.
+``infer`` compiles a smoke model with :mod:`repro.engine` and reports
+compiled-plan wall-clock (optionally against the eager forward).
 """
 
 from __future__ import annotations
@@ -49,11 +52,121 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--verbose", action="store_true")
     run.add_argument("--out", default=None, help="also write the report to this file")
+
+    infer = sub.add_parser(
+        "infer", help="run compiled-engine inference on a smoke model"
+    )
+    infer.add_argument(
+        "--model",
+        default="resnet18",
+        choices=("lenet", "resnet18", "squeezenet", "resnext20"),
+    )
+    infer.add_argument(
+        "--algorithm",
+        default="F4",
+        help="conv spec name: im2row, F2, F4, F6, F4-flex, ... (default F4)",
+    )
+    infer.add_argument("--quant", default="fp32", help="fp32 / int8 / int10 / int16")
+    infer.add_argument(
+        "--width",
+        type=float,
+        default=None,
+        help="width multiplier (default: 0.25 for resnet18, 0.5 for "
+        "squeezenet/resnext20; ignored by lenet)",
+    )
+    infer.add_argument("--batch", type=int, default=8)
+    infer.add_argument("--backend", default="fast", choices=("fast", "reference"))
+    infer.add_argument("--repeats", type=int, default=5)
+    infer.add_argument("--seed", type=int, default=0)
+    infer.add_argument(
+        "--compare", action="store_true", help="also time the eager forward"
+    )
+    infer.add_argument(
+        "--describe", action="store_true", help="print the compiled plan's steps"
+    )
     return parser
+
+
+def _build_infer_model(name: str, spec, width, rng):
+    """Instantiate one of the smoke models with a uniform conv spec."""
+    if name == "lenet":
+        from repro.models.lenet import lenet
+
+        return lenet(spec=spec, rng=rng), (1, 28)
+    if name == "resnet18":
+        from repro.models.resnet import resnet18
+
+        wm = 0.25 if width is None else width
+        return resnet18(width_multiplier=wm, spec=spec, rng=rng), (3, 32)
+    if name == "squeezenet":
+        from repro.models.squeezenet import squeezenet
+
+        wm = 0.5 if width is None else width
+        return squeezenet(width_multiplier=wm, spec=spec, rng=rng), (3, 32)
+    if name == "resnext20":
+        from repro.models.resnext import resnext20
+
+        wm = 0.5 if width is None else width
+        return resnext20(width_multiplier=wm, spec=spec, rng=rng), (3, 32)
+    raise ValueError(f"unknown model {name!r}")
+
+
+def run_infer(args) -> int:
+    """The ``repro infer`` subcommand: compile, execute, report latency."""
+    import numpy as np
+
+    from repro.engine import get_cached_plan, measure_callable_ms, measure_plan_ms
+    from repro.models.common import spec_from_name
+    from repro.quant.qconfig import from_name
+
+    rng = np.random.default_rng(args.seed)
+    try:
+        spec = spec_from_name(args.algorithm, from_name(args.quant))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    model, (channels, image_size) = _build_infer_model(args.model, spec, args.width, rng)
+    model.eval()
+    x = rng.standard_normal((args.batch, channels, image_size, image_size)).astype(
+        np.float32
+    )
+
+    plan = get_cached_plan(model, x.shape, backend=args.backend)
+    out = plan.run(x)
+    engine_ms = measure_plan_ms(plan, x, repeats=args.repeats, warmup=2)
+    print(
+        f"{args.model} ({spec.name}) batch={args.batch} {image_size}x{image_size} "
+        f"-> output {out.shape}"
+    )
+    print(
+        f"engine[{args.backend}]: {engine_ms:8.2f} ms/batch "
+        f"({1e3 * args.batch / engine_ms:7.1f} img/s), {len(plan)} steps"
+    )
+    if args.compare:
+        from repro.autograd import Tensor, no_grad
+
+        def eager():
+            with no_grad():
+                return model(Tensor(x))
+
+        eager_out = eager().data
+        eager_ms = measure_callable_ms(eager, repeats=args.repeats, warmup=2)
+        diff = float(np.abs(out - eager_out).max())
+        print(
+            f"eager:          {eager_ms:8.2f} ms/batch "
+            f"({1e3 * args.batch / eager_ms:7.1f} img/s)"
+        )
+        print(f"speedup: {eager_ms / engine_ms:.2f}x   max|engine - eager| = {diff:.3g}")
+    if args.describe:
+        print()
+        print("\n".join(plan.describe()))
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "infer":
+        return run_infer(args)
     if args.command == "list":
         for name in EXPERIMENTS:
             module = importlib.import_module(f"repro.experiments.{name}")

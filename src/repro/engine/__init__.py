@@ -1,0 +1,53 @@
+"""Autograd-free inference engine.
+
+Compiles a trained :class:`~repro.nn.module.Module` into a flat execution
+plan of NumPy inference kernels:
+
+* :mod:`repro.engine.registry` — the kernel registry, mapping op types to
+  ``reference`` (bit-faithful to eager) and ``fast`` (optimised) backends;
+* :mod:`repro.engine.compile` — the compile pass: walks the module tree,
+  freezes parameters, precomputes and caches Winograd-transformed filters
+  (``G g Gᵀ``) and quantized weights once per plan, and fuses
+  Conv→BatchNorm→ReLU chains by folding BN into the weights;
+* :mod:`repro.engine.plan` — the batched executor (`CompiledPlan`);
+* :mod:`repro.engine.cache` — the LRU plan cache keyed by
+  (architecture signature, input shape, quant config).
+
+Typical use::
+
+    from repro.engine import compile_model
+
+    model.eval()
+    plan = compile_model(model)          # backend="fast"
+    logits = plan.run(batch)             # batch: np.ndarray, NCHW
+
+The ``reference`` backend replays exactly the operation sequence of the
+eager eval-mode forward (including every fake-quantization stage with
+frozen observer ranges), so its outputs match eager bit-for-bit; the
+``fast`` backend trades that for speed (folded BN, fused ReLU, strided
+tile extraction, 1×1-conv shortcuts) and matches to float tolerance.
+"""
+
+from repro.engine.cache import PlanCache, get_cached_plan, plan_cache
+from repro.engine.compile import CompileError, compile_model
+from repro.engine.plan import CompiledPlan, Step
+from repro.engine.registry import KernelRegistry, register_kernel, registry
+from repro.engine.timing import measure_callable_ms, measure_plan_ms
+
+# Importing the kernels module registers every built-in kernel.
+from repro.engine import kernels as _kernels  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "CompileError",
+    "CompiledPlan",
+    "KernelRegistry",
+    "PlanCache",
+    "Step",
+    "compile_model",
+    "get_cached_plan",
+    "measure_callable_ms",
+    "measure_plan_ms",
+    "plan_cache",
+    "register_kernel",
+    "registry",
+]

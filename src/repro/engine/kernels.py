@@ -1,0 +1,428 @@
+"""Built-in inference kernels.
+
+Two backends per op where it matters:
+
+* ``reference`` kernels replay the eager eval-mode forward operation for
+  operation — same NumPy calls, same order, same intermediate layouts —
+  so outputs are bit-identical to the autograd path (including every
+  fake-quantization stage, using the observer ranges frozen at compile
+  time);
+* ``fast`` kernels compute the same function with deployment-oriented
+  shortcuts: pre-folded BatchNorm, fused ReLU/bias epilogues, zero-copy
+  strided tile extraction, a dedicated 1×1-convolution GEMM, and cached
+  (pre-transformed, pre-laid-out) Winograd filters.
+
+Kernel signature: ``kernel(inputs, attrs) -> np.ndarray``.  ``attrs`` is
+the step's frozen attribute dict; quantization stages appear as
+``q_<stage>`` entries of the form ``{"scale": s, "qmax": q}`` (frozen
+observer) or ``{"dynamic_bits": b}`` (uncalibrated observer: range taken
+from the batch, mirroring the eager fallback), or ``None`` when disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.engine.registry import register_kernel
+from repro.quant.quantizer import quantization_scale
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+def fake_quant(x: np.ndarray, q: Optional[Dict]) -> np.ndarray:
+    """Apply one frozen fake-quantization stage (mirrors ``FakeQuant``).
+
+    A stage compiled from an unwarmed activation observer starts as
+    ``{"dynamic_bits": b}``; like eager's eval-before-observation
+    fallback it takes the range from the first batch it sees — and then
+    freezes it into the stage dict, exactly as eager's observer
+    initialises once and keeps that range for every later batch.  (The
+    plan's frozen copy does not write back to the model's observer
+    buffers; recompile after calibrating the model to pick them up.)
+    """
+    if q is None:
+        return x
+    if "scale" in q:
+        scale, qmax = q["scale"], q["qmax"]
+    else:
+        bits = q["dynamic_bits"]
+        qmax = float(2 ** (bits - 1) - 1)
+        batch_max = float(np.abs(x).max()) if x.size else 0.0
+        scale = quantization_scale(batch_max, bits)
+        q["scale"], q["qmax"] = scale, qmax  # freeze, mirroring the observer
+    r = np.rint(x / scale)
+    return (np.clip(r, -qmax, qmax) * scale).astype(x.dtype)
+
+
+def _strided_patches(x: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
+    """(N, C, nH, nW, kh, kw) sliding-window *view* (no copy)."""
+    n, c, h, w = x.shape
+    nh = (h - kh) // sh + 1
+    nw = (w - kw) // sw + 1
+    sn, sc, shh, sww = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x, shape=(n, c, nh, nw, kh, kw), strides=(sn, sc, shh * sh, sww * sw, shh, sww)
+    )
+
+
+def _epilogue(y: np.ndarray, attrs: Dict, k: int, quantize_output: bool = True) -> np.ndarray:
+    """Fast-path conv epilogue: bias, output quant, fused ReLU.
+
+    Folded BN lives entirely in the step's weights/bias by the time the
+    kernel runs (see ``_fold_bn``), so no affine remains here.  The
+    Winograd kernel quantizes its output *before* the bias (matching the
+    eager pipeline order) and passes ``quantize_output=False``; the
+    standard conv quantizes after the bias, matching ``QuantConv2d``.
+    """
+    bias = attrs.get("bias")
+    if bias is not None:
+        y = y + bias.reshape(1, k, 1, 1)
+    if quantize_output:
+        y = fake_quant(y, attrs.get("q_output"))
+    if attrs.get("fuse_relu"):
+        y = np.maximum(y, 0.0)
+    return y
+
+
+# ---------------------------------------------------------------------------
+# Elementwise / shape ops (shared by both backends)
+# ---------------------------------------------------------------------------
+
+
+@register_kernel("relu")
+def relu_kernel(inputs, attrs):
+    (x,) = inputs
+    mask = x > 0
+    return np.where(mask, x, 0.0).astype(x.dtype)
+
+
+@register_kernel("relu", "fast")
+def relu_fast(inputs, attrs):
+    (x,) = inputs
+    return np.maximum(x, 0.0)
+
+
+@register_kernel("add")
+def add_kernel(inputs, attrs):
+    a, b = inputs
+    y = a + b
+    if attrs.get("fuse_relu"):
+        y = np.maximum(y, 0.0)
+    return y
+
+
+@register_kernel("concat")
+def concat_kernel(inputs, attrs):
+    return np.concatenate(inputs, axis=attrs.get("axis", 1))
+
+
+@register_kernel("flatten")
+def flatten_kernel(inputs, attrs):
+    (x,) = inputs
+    return x.reshape(x.shape[0], int(np.prod(x.shape[1:])))
+
+
+@register_kernel("record_hw")
+def record_hw_kernel(inputs, attrs):
+    """Record the incoming spatial shape on the source module.
+
+    This keeps ``repro.hardware`` consumers (the latency table) working
+    when a model is probed through a compiled plan instead of an eager
+    forward: the plan writes ``last_input_hw`` exactly like the eager
+    layers do.
+    """
+    (x,) = inputs
+    for module in attrs["modules"]:
+        module.last_input_hw = (x.shape[2], x.shape[3])
+    return x
+
+
+@register_kernel("eager_module")
+def eager_module_kernel(inputs, attrs):
+    """Fallback for module types with no lowering rule: call eager forward."""
+    from repro.autograd.function import no_grad
+    from repro.autograd.tensor import Tensor
+
+    (x,) = inputs
+    with no_grad():
+        out = attrs["module"](Tensor(x))
+    return out.data
+
+
+# ---------------------------------------------------------------------------
+# Pooling
+# ---------------------------------------------------------------------------
+
+
+@register_kernel("max_pool")
+def max_pool_kernel(inputs, attrs):
+    (x,) = inputs
+    kh, kw = attrs["kernel"]
+    sh, sw = attrs["stride"]
+    patches = _strided_patches(x, kh, kw, sh, sw)
+    return patches.max(axis=(4, 5))
+
+
+@register_kernel("avg_pool")
+def avg_pool_kernel(inputs, attrs):
+    (x,) = inputs
+    kh, kw = attrs["kernel"]
+    sh, sw = attrs["stride"]
+    patches = _strided_patches(x, kh, kw, sh, sw)
+    # Mirror eager ops.mean: sum * (1/count) in float32.
+    return patches.sum(axis=(4, 5)) * np.float32(1.0 / (kh * kw))
+
+
+@register_kernel("global_avg_pool")
+def global_avg_pool_kernel(inputs, attrs):
+    (x,) = inputs
+    count = x.shape[2] * x.shape[3]
+    return x.sum(axis=(2, 3)) * np.float32(1.0 / count)
+
+
+# ---------------------------------------------------------------------------
+# BatchNorm (inference affine)
+# ---------------------------------------------------------------------------
+
+
+@register_kernel("affine")
+def affine_kernel(inputs, attrs):
+    """Eval-mode BatchNorm, mirroring ``F.batch_norm2d`` op for op."""
+    (x,) = inputs
+    c = x.shape[1]
+    mean = attrs["mean"].reshape(1, c, 1, 1)
+    inv_std = attrs["inv_std"].reshape(1, c, 1, 1)
+    gamma = attrs["gamma"].reshape(1, c, 1, 1)
+    beta = attrs["beta"].reshape(1, c, 1, 1)
+    y = ((x - mean) * inv_std) * gamma + beta
+    if attrs.get("fuse_relu"):
+        y = np.maximum(y, 0.0)
+    return y
+
+
+@register_kernel("affine", "fast")
+def affine_fast(inputs, attrs):
+    (x,) = inputs
+    c = x.shape[1]
+    y = x * attrs["scale"].reshape(1, c, 1, 1) + attrs["shift"].reshape(1, c, 1, 1)
+    if attrs.get("fuse_relu"):
+        np.maximum(y, 0.0, out=y)
+    return y
+
+
+# ---------------------------------------------------------------------------
+# Linear
+# ---------------------------------------------------------------------------
+
+
+@register_kernel("linear")
+def linear_kernel(inputs, attrs):
+    (x,) = inputs
+    x = fake_quant(x, attrs.get("q_input"))
+    out = np.matmul(x, attrs["weight"].transpose())
+    bias = attrs.get("bias")
+    if bias is not None:
+        out = out + bias
+    out = fake_quant(out, attrs.get("q_output"))
+    if attrs.get("fuse_relu"):
+        out = np.maximum(out, 0.0)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Standard convolution (im2row GEMM)
+# ---------------------------------------------------------------------------
+
+
+@register_kernel("conv2d")
+def conv2d_reference(inputs, attrs):
+    """Bit-faithful mirror of ``F.conv2d_im2row`` (plus quant stages)."""
+    (x,) = inputs
+    weight = attrs["weight"]
+    bias = attrs.get("bias")
+    sh, sw = attrs["stride"]
+    ph, pw = attrs["padding"]
+    groups = attrs["groups"]
+    x = fake_quant(x, attrs.get("q_input"))
+    n, c, h, w = x.shape
+    k, cg, kh, kw = weight.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    patches = np.ascontiguousarray(_strided_patches(xp, kh, kw, sh, sw))
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    if groups == 1:
+        rows = np.transpose(patches, (0, 2, 3, 1, 4, 5)).reshape(n * oh * ow, c * kh * kw)
+        wmat = weight.reshape(k, c * kh * kw).transpose()
+        out = np.transpose(np.matmul(rows, wmat).reshape(n, oh, ow, k), (0, 3, 1, 2))
+    else:
+        g = groups
+        rows = np.transpose(
+            patches.reshape(n, g, c // g, oh, ow, kh, kw), (1, 0, 3, 4, 2, 5, 6)
+        ).reshape(g, n * oh * ow, (c // g) * kh * kw)
+        wmat = np.transpose(weight.reshape(g, k // g, (c // g) * kh * kw), (0, 2, 1))
+        out = np.transpose(
+            np.matmul(rows, wmat).reshape(g, n, oh, ow, k // g), (1, 0, 4, 2, 3)
+        ).reshape(n, k, oh, ow)
+    if bias is not None:
+        out = out + bias.reshape(1, k, 1, 1)
+    out = fake_quant(out, attrs.get("q_output"))
+    if attrs.get("fuse_relu"):
+        out = np.maximum(out, 0.0)
+    return out
+
+
+@register_kernel("conv2d", "fast")
+def conv2d_fast(inputs, attrs):
+    """im2row GEMM with a 1×1 shortcut and fused epilogue.
+
+    ``attrs["weight"]`` may already carry folded BatchNorm scales; any
+    remaining affine lives in ``attrs["scale"]/["shift"]`` (quantized
+    convs keep BN separate to preserve the quantization grid).
+    """
+    (x,) = inputs
+    weight = attrs["weight"]
+    sh, sw = attrs["stride"]
+    ph, pw = attrs["padding"]
+    groups = attrs["groups"]
+    x = fake_quant(x, attrs.get("q_input"))
+    n, c, h, w = x.shape
+    k, cg, kh, kw = weight.shape
+
+    if kh == 1 and kw == 1 and (sh, sw) == (1, 1) and (ph, pw) == (0, 0) and groups == 1:
+        # 1×1 convolution is a plain channel GEMM: (K, C) @ (C, H·W).
+        wmat = attrs["wmat"]  # (K, C), contiguous, precomputed
+        out = np.matmul(wmat[None], x.reshape(n, c, h * w)).reshape(n, k, h, w)
+        return _epilogue(out, attrs, k)
+
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else x
+    patches = _strided_patches(xp, kh, kw, sh, sw)
+    oh, ow = patches.shape[2], patches.shape[3]
+    if groups == 1:
+        rows = np.transpose(patches, (0, 2, 3, 1, 4, 5)).reshape(n * oh * ow, c * kh * kw)
+        out = np.transpose(
+            np.matmul(rows, attrs["wmat"]).reshape(n, oh, ow, k), (0, 3, 1, 2)
+        )
+    else:
+        g = groups
+        rows = np.transpose(
+            patches.reshape(n, g, c // g, oh, ow, kh, kw), (1, 0, 3, 4, 2, 5, 6)
+        ).reshape(g, n * oh * ow, (c // g) * kh * kw)
+        out = np.transpose(
+            np.matmul(rows, attrs["wmat"]).reshape(g, n, oh, ow, k // g), (1, 0, 4, 2, 3)
+        ).reshape(n, k, oh, ow)
+    return _epilogue(out, attrs, k)
+
+
+# ---------------------------------------------------------------------------
+# Winograd convolution with cached filter transforms
+# ---------------------------------------------------------------------------
+
+
+def _winograd_geometry(h, w, m, r, pad):
+    out_h = h + 2 * pad - r + 1
+    out_w = w + 2 * pad - r + 1
+    th = -(-out_h // m)
+    tw = -(-out_w // m)
+    return out_h, out_w, th, tw
+
+
+@register_kernel("winograd_conv2d")
+def winograd_reference(inputs, attrs):
+    """Bit-faithful mirror of ``WinogradConv2d.forward`` in eval mode.
+
+    The filter transform ``U = Qwt(G · Qw(g) · Gᵀ)`` was computed once at
+    compile time (``attrs["u"]``) — identical values to what the eager
+    layer recomputes every forward.
+    """
+    (x,) = inputs
+    u = attrs["u"]  # (K, C/g, t, t)
+    BT, AT = attrs["BT"], attrs["AT"]
+    bias = attrs.get("bias")
+    m, r, t, g = attrs["m"], attrs["r"], attrs["t"], attrs["groups"]
+    k, pad = attrs["out_channels"], attrs["pad"]
+
+    x = fake_quant(x, attrs.get("q_input"))
+    n, c, h, w = x.shape
+    out_h, out_w, th, tw = _winograd_geometry(h, w, m, r, pad)
+
+    need_h = th * m + r - 1
+    need_w = tw * m + r - 1
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, need_h - h - pad), (pad, need_w - w - pad)))
+    tiles = np.ascontiguousarray(_strided_patches(xp, t, t, m, m))
+    v = np.matmul(np.matmul(BT, tiles), BT.transpose())
+    v = fake_quant(v, attrs.get("q_input_t"))
+
+    p = n * th * tw
+    u2 = np.transpose(u.reshape(g, k // g, c // g, t, t), (3, 4, 0, 1, 2))
+    v2 = np.transpose(
+        v.reshape(n, g, c // g, th, tw, t, t), (5, 6, 1, 2, 0, 3, 4)
+    ).reshape(t, t, g, c // g, p)
+    had = np.matmul(u2, v2)  # (t, t, g, K/g, P)
+    had = fake_quant(had, attrs.get("q_hadamard"))
+
+    y = np.transpose(had.reshape(t, t, k, p), (2, 3, 0, 1))
+    y = np.matmul(np.matmul(AT, y), AT.transpose())  # (K, P, m, m)
+    y = fake_quant(y, attrs.get("q_output"))
+
+    y = np.transpose(y.reshape(k, n, th, tw, m, m), (1, 0, 2, 4, 3, 5)).reshape(
+        n, k, th * m, tw * m
+    )
+    if th * m != out_h:
+        y = y[:, :, :out_h, :]
+    if tw * m != out_w:
+        y = y[:, :, :, :out_w]
+    if bias is not None:
+        y = y + bias.reshape(1, k, 1, 1)
+    if attrs.get("fuse_relu"):
+        y = np.maximum(y, 0.0)
+    return y
+
+
+@register_kernel("winograd_conv2d", "fast")
+def winograd_fast(inputs, attrs):
+    """Deployment Winograd path: cached pre-permuted U, batched t² GEMMs.
+
+    The input-tile transform ``Bᵀ d B`` runs once over *all* N·th·tw tiles
+    of the batch (tile reuse across the batch), the Hadamard stage is t²
+    GEMMs of (K/g × C/g)·(C/g × P) per group, and bias / folded BN / ReLU
+    are applied in a single epilogue.
+    """
+    (x,) = inputs
+    u2 = attrs["u2"]  # (t, t, g, K/g, C/g), contiguous, cached at compile
+    BT, AT = attrs["BT"], attrs["AT"]
+    m, r, t, g = attrs["m"], attrs["r"], attrs["t"], attrs["groups"]
+    k, pad = attrs["out_channels"], attrs["pad"]
+
+    x = fake_quant(x, attrs.get("q_input"))
+    n, c, h, w = x.shape
+    out_h, out_w, th, tw = _winograd_geometry(h, w, m, r, pad)
+
+    need_h = th * m + r - 1
+    need_w = tw * m + r - 1
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, need_h - h - pad), (pad, need_w - w - pad)))
+    tiles = _strided_patches(xp, t, t, m, m)  # view, no copy
+    v = np.matmul(np.matmul(BT, tiles), BT.transpose())
+    v = fake_quant(v, attrs.get("q_input_t"))
+
+    p = n * th * tw
+    v2 = np.transpose(
+        v.reshape(n, g, c // g, th, tw, t, t), (5, 6, 1, 2, 0, 3, 4)
+    ).reshape(t, t, g, c // g, p)
+    had = np.matmul(u2, v2)  # (t, t, g, K/g, P)
+    had = fake_quant(had, attrs.get("q_hadamard"))
+
+    y = np.transpose(had.reshape(t, t, k, p), (2, 3, 0, 1))
+    y = np.matmul(np.matmul(AT, y), AT.transpose())  # (K, P, m, m)
+    y = fake_quant(y, attrs.get("q_output"))
+
+    y = np.transpose(y.reshape(k, n, th, tw, m, m), (1, 0, 2, 4, 3, 5)).reshape(
+        n, k, th * m, tw * m
+    )
+    if th * m != out_h or tw * m != out_w:
+        y = y[:, :, :out_h, :out_w]
+    return _epilogue(y, attrs, k, quantize_output=False)

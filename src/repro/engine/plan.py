@@ -1,0 +1,135 @@
+"""The execution plan IR and its batched executor.
+
+A compiled plan is a flat list of :class:`Step`s over a register file:
+each step reads input registers, calls its kernel, and writes one output
+register.  No autograd graph is built; every array is a plain
+``np.ndarray`` and parameters were frozen (and pre-transformed) at
+compile time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Step:
+    """One kernel invocation in a compiled plan."""
+
+    op: str
+    inputs: Tuple[int, ...]
+    output: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+    fn: Optional[Callable] = None  # resolved kernel, bound at compile time
+    frees: Tuple[int, ...] = ()  # registers whose last use is this step
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" [{self.label}]" if self.label else ""
+        return f"Step({self.op}{label}: r{self.inputs} -> r{self.output})"
+
+
+class CompiledPlan:
+    """A flat, autograd-free inference program.
+
+    Built by :func:`repro.engine.compile.compile_model`; run with
+    :meth:`run` (single NCHW batch) or :meth:`run_many` (list of equal
+    shape inputs, stacked into one batch so per-plan overheads and the
+    Winograd input-tile transforms are shared across the whole batch).
+    """
+
+    def __init__(
+        self,
+        steps: List[Step],
+        num_regs: int,
+        input_reg: int,
+        output_reg: int,
+        backend: str,
+        signature: str,
+        source: str = "",
+    ):
+        self.steps = steps
+        self.num_regs = num_regs
+        self.input_reg = input_reg
+        self.output_reg = output_reg
+        self.backend = backend
+        self.signature = signature
+        self.source = source  # class name of the compiled module
+        self._finalize()
+
+    # -- liveness ----------------------------------------------------------
+    def _finalize(self) -> None:
+        """Compute per-step register death so the executor frees memory."""
+        last_use: Dict[int, int] = {self.input_reg: -1}
+        for i, step in enumerate(self.steps):
+            for reg in step.inputs:
+                last_use[reg] = i
+        # The plan output must survive the whole run.
+        last_use[self.output_reg] = len(self.steps)
+        for i, step in enumerate(self.steps):
+            step.frees = tuple(
+                reg for reg in set(step.inputs) if last_use.get(reg) == i
+            )
+
+    # -- execution ------------------------------------------------------------
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Execute the plan on one input batch (NCHW ``np.ndarray``)."""
+        x = np.ascontiguousarray(np.asarray(x, dtype=np.float32))
+        regs: List[Optional[np.ndarray]] = [None] * self.num_regs
+        regs[self.input_reg] = x
+        for step in self.steps:
+            args = tuple(regs[i] for i in step.inputs)
+            regs[step.output] = step.fn(args, step.attrs)
+            for reg in step.frees:
+                if reg != step.output:
+                    regs[reg] = None
+        out = regs[self.output_reg]
+        assert out is not None, "plan produced no output"
+        return out
+
+    def run_many(self, inputs: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Run several same-shape inputs as one fused batch.
+
+        Stacks along the batch axis, executes once (so the filter
+        transforms, plan dispatch, and tile transforms are amortised over
+        the whole group) and splits the result back per input.
+        """
+        if not inputs:
+            return []
+        arrays = [np.asarray(a, dtype=np.float32) for a in inputs]
+        if any(a.shape != arrays[0].shape for a in arrays):
+            raise ValueError("run_many requires equal input shapes")
+        sizes = [a.shape[0] for a in arrays]
+        out = self.run(np.concatenate(arrays, axis=0))
+        splits = np.cumsum(sizes)[:-1]
+        return [np.ascontiguousarray(part) for part in np.split(out, splits, axis=0)]
+
+    def __call__(self, x) -> np.ndarray:
+        data = x.data if hasattr(x, "data") else x
+        return self.run(data)
+
+    # -- introspection -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def ops_used(self) -> Tuple[str, ...]:
+        return tuple(sorted({s.op for s in self.steps}))
+
+    def describe(self) -> List[str]:
+        """Human-readable step listing (used by ``repro infer --describe``)."""
+        lines = [f"CompiledPlan({self.source}, backend={self.backend}, {len(self.steps)} steps)"]
+        for i, step in enumerate(self.steps):
+            tag = " +relu" if step.attrs.get("fuse_relu") else ""
+            label = f" [{step.label}]" if step.label else ""
+            ins = ",".join(f"r{r}" for r in step.inputs)
+            lines.append(f"  {i:3d}: {step.op}{tag}{label} ({ins}) -> r{step.output}")
+        return lines
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledPlan(source={self.source!r}, backend={self.backend!r}, "
+            f"steps={len(self.steps)})"
+        )

@@ -1,0 +1,65 @@
+"""The inference-kernel registry.
+
+Every plan step names an *op type* ("conv2d", "winograd_conv2d", ...);
+the registry maps ``(op, backend)`` to the callable that executes it.
+Two backends ship with the engine:
+
+* ``reference`` — mirrors the eager eval-mode computation operation for
+  operation (the correctness oracle);
+* ``fast`` — the optimised deployment path.
+
+Ops registered only under ``reference`` are shared by both backends (the
+fast backend falls back), so a new op needs one kernel to be usable and a
+second only where a faster implementation exists.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+#: Kernel signature: ``kernel(inputs, attrs) -> np.ndarray`` where
+#: ``inputs`` is a tuple of input arrays and ``attrs`` the step's frozen
+#: attribute dict (weights, scales, fusion flags, ...).
+Kernel = Callable[[tuple, dict], object]
+
+BACKENDS = ("reference", "fast")
+
+
+class KernelRegistry:
+    """Maps ``(op type, backend)`` to an inference kernel."""
+
+    def __init__(self) -> None:
+        self._kernels: Dict[Tuple[str, str], Kernel] = {}
+
+    def register(self, op: str, backend: str = "reference") -> Callable[[Kernel], Kernel]:
+        """Decorator: register ``fn`` as the ``backend`` kernel for ``op``."""
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+
+        def decorator(fn: Kernel) -> Kernel:
+            self._kernels[(op, backend)] = fn
+            return fn
+
+        return decorator
+
+    def get(self, op: str, backend: str = "fast") -> Kernel:
+        """Resolve a kernel, falling back from ``fast`` to ``reference``."""
+        if backend not in BACKENDS:
+            raise KeyError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        fn = self._kernels.get((op, backend))
+        if fn is None and backend != "reference":
+            fn = self._kernels.get((op, "reference"))
+        if fn is None:
+            raise KeyError(f"no kernel registered for op {op!r} (backend {backend!r})")
+        return fn
+
+    def ops(self) -> Tuple[str, ...]:
+        return tuple(sorted({op for op, _ in self._kernels}))
+
+    def backends_for(self, op: str) -> Tuple[str, ...]:
+        return tuple(b for b in BACKENDS if (op, b) in self._kernels)
+
+
+#: The process-wide registry all built-in kernels register into.
+registry = KernelRegistry()
+register_kernel = registry.register

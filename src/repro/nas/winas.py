@@ -45,6 +45,10 @@ class SearchConfig:
     lambda1: float = 1e-3  # Eq. 3 decay on architecture params
     lambda2: float = 0.01  # Eq. 3 latency weight
     core: str = "A73"
+    #: Where candidate latencies come from: "table" (calibrated Arm-CPU
+    #: model) or "measured" (wall-clock of compiled per-candidate plans
+    #: on this host, via repro.engine).
+    latency_source: str = "table"
     verbose: bool = False
 
 
@@ -108,18 +112,40 @@ class WiNAS:
         return LayerPlan(ConvSpec("im2row"), factory=factory)
 
     # -- latency ---------------------------------------------------------------
-    def populate_latencies(self, example_input: np.ndarray) -> None:
-        """Shape-probe forward, then fill each mixed op's candidate latencies."""
-        from repro.autograd.function import no_grad
+    def populate_latencies(
+        self, example_input: np.ndarray, source: Optional[str] = None
+    ) -> None:
+        """Fill each mixed op's candidate latencies.
 
+        The shape probe runs through a compiled inference plan
+        (:mod:`repro.engine`) rather than an eager autograd forward —
+        the plan's ``record_hw`` steps leave the same ``last_input_hw``
+        metadata behind, without building a graph.
+
+        ``source`` (default :attr:`SearchConfig.latency_source`):
+
+        * ``"table"`` — the calibrated Arm-CPU latency model (the
+          paper's deployment target);
+        * ``"measured"`` — wall-clock of a compiled single-layer plan
+          per candidate on *this* host, so the search optimises what the
+          engine will actually execute.
+        """
+        from repro.engine import compile_model
+
+        source = source or self.config.latency_source
+        if source not in ("table", "measured"):
+            raise ValueError(f"unknown latency source {source!r}")
         self.model.eval()
-        with no_grad():
-            self.model(Tensor(example_input))
+        probe = np.ascontiguousarray(np.asarray(example_input, dtype=np.float32))
+        compile_model(self.model, backend="fast").run(probe)
         self.model.train()
         for op in self.mixed_ops:
             if not hasattr(op, "last_input_hw"):
                 raise RuntimeError("mixed op did not see the probe input")
-            h, _ = op.last_input_hw
+            h, w = op.last_input_hw
+            if source == "measured":
+                op.set_latencies(self._measure_candidates(op, h, w))
+                continue
             out_w = h + 2 * ((op.kernel_size - 1) // 2) - op.kernel_size + 1
             shape = ConvShape(
                 op.in_channels, op.out_channels, out_w,
@@ -135,6 +161,18 @@ class WiNAS:
                 for cand in op.candidates
             ]
             op.set_latencies(lat)
+
+    @staticmethod
+    def _measure_candidates(op: MixedConv2d, h: int, w: int) -> List[float]:
+        """Wall-clock each candidate as a compiled single-layer plan."""
+        from repro.engine import compile_model, measure_plan_ms
+
+        x = np.zeros((1, op.in_channels, h, w), dtype=np.float32)
+        latencies = []
+        for path in op.paths:
+            plan = compile_model(path, backend="fast")
+            latencies.append(measure_plan_ms(plan, x, repeats=3, warmup=1))
+        return latencies
 
     def expected_latency_ms(self) -> float:
         """Current E{latency} over searchable layers (argmax-free, in ms)."""

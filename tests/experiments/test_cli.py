@@ -39,9 +39,34 @@ class TestMain:
         for name in EXPERIMENTS:
             assert name in out
 
+    @pytest.mark.slow
     def test_run_fast_experiment(self, capsys, tmp_path):
         out_file = tmp_path / "fig8.txt"
         assert main(["run", "figure8", "--out", str(out_file)]) == 0
         assert "figure8_layer_breakdown" in capsys.readouterr().out
         assert out_file.exists()
         assert "im2row" in out_file.read_text()
+
+    def test_infer_compiles_and_reports(self, capsys):
+        assert (
+            main(
+                [
+                    "infer",
+                    "--model",
+                    "lenet",
+                    "--algorithm",
+                    "F2",
+                    "--batch",
+                    "2",
+                    "--repeats",
+                    "1",
+                    "--compare",
+                    "--describe",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "engine[fast]" in out
+        assert "speedup" in out
+        assert "winograd_conv2d" in out  # --describe lists the plan steps

@@ -11,6 +11,11 @@ import numpy as np
 import pytest
 
 from repro.autograd import Tensor
+
+# Training-heavy: every test here runs real optimisation loops.  CI's
+# quick lane deselects them with -m "not slow"; the full tier-1 suite
+# (and the full-tests CI job) still runs everything.
+pytestmark = pytest.mark.slow
 from repro.data import DataLoader
 from repro.data.synthetic import synthetic_images
 from repro.experiments.common import train_and_evaluate

@@ -148,6 +148,7 @@ class TestMixedOp:
         assert op.argmax_index() == 0
 
 
+@pytest.mark.slow
 class TestWiNAS:
     def _setup(self, candidates, lambda2=0.05, epochs=1):
         train, _ = make_cifar10_like(80, 40, size=16, seed=0)
