@@ -1,0 +1,108 @@
+"""Serving throughput benchmark: dynamic batching vs batch-1 serving.
+
+Not a paper table — this measures the :mod:`repro.serve` stack on this
+host.  For each batching policy (batch-1 control vs dynamic micro-batching)
+it starts an in-process server over the ResNet-18 w0.25 F4 int8 smoke
+model, sweeps closed-loop client concurrency, and persists the result to
+``BENCH_serve.json`` at the repo root so the serving-perf trajectory is
+tracked across PRs.
+
+Two gates make this a regression test as well as a benchmark (run by the
+CI ``serve-smoke`` job, ``--quick`` there):
+
+* served responses must be **bit-identical** to direct
+  ``CompiledPlan.run`` on the reference backend, under concurrency;
+* dynamic batching must reach **>= 1.5x** the batch-1 throughput at
+  concurrency >= 16.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+SPEEDUP_GATE = 1.5
+GATE_CONCURRENCY = 16
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    # The throughput variant serves the numerics-relaxed ``turbo`` backend
+    # (production int8 numerics); the bit-identity gate always checks a
+    # ``reference``-backend variant of the same model against direct
+    # CompiledPlan.run.
+    parser.add_argument("--model", default="resnet18-w0.25-F4-int8@turbo")
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sweep for CI smoke"
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=256)
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=2,
+        help="trials per (policy, concurrency) cell; best throughput kept "
+        "(interference on a shared host only lowers closed-loop throughput)",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_serve.json"), help="report path"
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="measure and write the report without failing on the gates",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.serve import benchmark_serving
+
+    report = benchmark_serving(
+        model_name=args.model,
+        requests_per_level=args.requests,
+        workers=args.workers,
+        out_path=args.out,
+        quick=args.quick,
+        trials=args.trials,
+    )
+
+    failures = []
+    if not report["bit_identical_reference"]:
+        failures.append(
+            "served responses are NOT bit-identical to direct plan.run "
+            "on the reference backend"
+        )
+    if not args.quick:
+        # The throughput gate is calibrated for the single-core reference
+        # host this repo's BENCH_serve.json is generated on; --quick (CI
+        # smoke on shared multi-core runners) checks correctness only and
+        # just reports the measured speedups.
+        gated = {
+            int(c): s
+            for c, s in report["speedup_dynamic_over_batch1"].items()
+            if int(c) >= GATE_CONCURRENCY
+        }
+        if not gated:
+            failures.append(f"no sweep point at concurrency >= {GATE_CONCURRENCY}")
+        elif max(gated.values()) < SPEEDUP_GATE:
+            failures.append(
+                f"dynamic batching speedup {max(gated.values()):.2f}x "
+                f"< {SPEEDUP_GATE}x at concurrency >= {GATE_CONCURRENCY}"
+            )
+    if failures and not args.no_gate:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("serving gates passed" if not failures else "gates skipped (--no-gate)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

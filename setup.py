@@ -17,6 +17,7 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
     python_requires=">=3.10",
     install_requires=["numpy"],
     extras_require={

@@ -7,11 +7,20 @@ Usage::
     python -m repro.cli run figure7
     python -m repro.cli run figure4 --scale quick --out figure4.txt
     python -m repro.cli infer --model resnet18 --algorithm F4 --compare
+    python -m repro.cli serve --model resnet18-w0.25-F4-int8 --port 8100
+    python -m repro.cli loadgen --url http://127.0.0.1:8100 --concurrency 16
+
+(Installed via the ``repro`` console script: ``repro serve ...``.)
 
 ``run`` prints (and optionally writes) each experiment's
 measured-vs-published report; see EXPERIMENTS.md for how to read them.
 ``infer`` compiles a smoke model with :mod:`repro.engine` and reports
 compiled-plan wall-clock (optionally against the eager forward).
+``serve`` starts the dynamic-batching inference server
+(:mod:`repro.serve`) over one or more compiled variants; ``loadgen``
+drives a running server with concurrent closed-loop clients, or with
+``--sweep`` runs the full self-contained policy benchmark that writes
+``BENCH_serve.json``.
 """
 
 from __future__ import annotations
@@ -75,7 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
         "squeezenet/resnext20; ignored by lenet)",
     )
     infer.add_argument("--batch", type=int, default=8)
-    infer.add_argument("--backend", default="fast", choices=("fast", "reference"))
+    infer.add_argument(
+        "--backend", default="fast", choices=("fast", "reference", "turbo")
+    )
     infer.add_argument("--repeats", type=int, default=5)
     infer.add_argument("--seed", type=int, default=0)
     infer.add_argument(
@@ -84,31 +95,60 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument(
         "--describe", action="store_true", help="print the compiled plan's steps"
     )
+
+    serve = sub.add_parser(
+        "serve", help="start the dynamic-batching inference server (repro.serve)"
+    )
+    serve.add_argument(
+        "--model",
+        action="append",
+        dest="models",
+        metavar="NAME",
+        help="served variant, e.g. resnet18-w0.25-F4-int8 or "
+        "lenet-F2-fp32@reference; repeat for several (default: "
+        "resnet18-w0.25-F4-int8)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8100, help="0 = ephemeral")
+    serve.add_argument(
+        "--workers", type=int, default=None, help="plan-execution threads"
+    )
+    serve.add_argument("--max-batch-size", type=int, default=8)
+    serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve.add_argument("--max-queue", type=int, default=128)
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=2000.0,
+        help="default per-request deadline (<= 0 disables)",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a running server, or --sweep the policy benchmark"
+    )
+    loadgen.add_argument("--url", default=None, help="base URL of a running server")
+    loadgen.add_argument(
+        "--model",
+        default=None,
+        help="model name (default: the server's only loaded model; "
+        "for --sweep: resnet18-w0.25-F4-int8)",
+    )
+    loadgen.add_argument("--concurrency", type=int, default=16)
+    loadgen.add_argument("--requests", type=int, default=256)
+    loadgen.add_argument("--deadline-ms", type=float, default=None)
+    loadgen.add_argument(
+        "--sweep",
+        action="store_true",
+        help="self-contained concurrency x policy benchmark (no --url needed)",
+    )
+    loadgen.add_argument(
+        "--quick", action="store_true", help="smaller --sweep for CI smoke"
+    )
+    loadgen.add_argument("--workers", type=int, default=4, help="--sweep server workers")
+    loadgen.add_argument(
+        "--out", default=None, help="--sweep report path (default BENCH_serve.json)"
+    )
     return parser
-
-
-def _build_infer_model(name: str, spec, width, rng):
-    """Instantiate one of the smoke models with a uniform conv spec."""
-    if name == "lenet":
-        from repro.models.lenet import lenet
-
-        return lenet(spec=spec, rng=rng), (1, 28)
-    if name == "resnet18":
-        from repro.models.resnet import resnet18
-
-        wm = 0.25 if width is None else width
-        return resnet18(width_multiplier=wm, spec=spec, rng=rng), (3, 32)
-    if name == "squeezenet":
-        from repro.models.squeezenet import squeezenet
-
-        wm = 0.5 if width is None else width
-        return squeezenet(width_multiplier=wm, spec=spec, rng=rng), (3, 32)
-    if name == "resnext20":
-        from repro.models.resnext import resnext20
-
-        wm = 0.5 if width is None else width
-        return resnext20(width_multiplier=wm, spec=spec, rng=rng), (3, 32)
-    raise ValueError(f"unknown model {name!r}")
 
 
 def run_infer(args) -> int:
@@ -116,17 +156,22 @@ def run_infer(args) -> int:
     import numpy as np
 
     from repro.engine import get_cached_plan, measure_callable_ms, measure_plan_ms
-    from repro.models.common import spec_from_name
-    from repro.quant.qconfig import from_name
+    from repro.serve.registry import ModelSpec, build_model
 
-    rng = np.random.default_rng(args.seed)
     try:
-        spec = spec_from_name(args.algorithm, from_name(args.quant))
+        model_spec = ModelSpec(
+            architecture=args.model,
+            width=args.width,
+            algorithm=args.algorithm,
+            precision=args.quant,
+            backend=args.backend,
+            seed=args.seed,
+        )
+        model, (channels, image_size) = build_model(model_spec)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    model, (channels, image_size) = _build_infer_model(args.model, spec, args.width, rng)
-    model.eval()
+    rng = np.random.default_rng(args.seed)
     x = rng.standard_normal((args.batch, channels, image_size, image_size)).astype(
         np.float32
     )
@@ -135,7 +180,7 @@ def run_infer(args) -> int:
     out = plan.run(x)
     engine_ms = measure_plan_ms(plan, x, repeats=args.repeats, warmup=2)
     print(
-        f"{args.model} ({spec.name}) batch={args.batch} {image_size}x{image_size} "
+        f"{model_spec.name} batch={args.batch} {image_size}x{image_size} "
         f"-> output {out.shape}"
     )
     print(
@@ -163,10 +208,114 @@ def run_infer(args) -> int:
     return 0
 
 
+def run_serve(args) -> int:
+    """The ``repro serve`` subcommand: load variants, serve until ^C."""
+    import asyncio
+
+    from repro.engine import CompileError
+    from repro.serve import BatchPolicy, InferenceServer, ModelRegistry
+
+    policy = BatchPolicy(
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+        default_deadline_ms=args.deadline_ms,
+    )
+    registry = ModelRegistry()
+    for name in args.models or ["resnet18-w0.25-F4-int8"]:
+        try:
+            served = registry.load(name)
+        except (ValueError, CompileError) as exc:  # bad name or @backend
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        plan = served.plan
+        print(f"loaded {served.name}: {len(plan)} steps, backend={plan.backend}")
+    server = InferenceServer(
+        registry,
+        policy=policy,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"serving on http://{server.host}:{server.port} "
+            f"(max_batch_size={policy.max_batch_size}, "
+            f"max_wait_ms={policy.max_wait_ms:g}, workers={server.workers})"
+        )
+        print("endpoints: POST /predict  GET /models /healthz /metrics")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def run_loadgen(args) -> int:
+    """The ``repro loadgen`` subcommand: load test a server (or --sweep)."""
+    import json
+
+    import numpy as np
+
+    from repro.serve import ServeClient, benchmark_serving, run_load
+
+    if args.sweep:
+        report = benchmark_serving(
+            model_name=args.model or "resnet18-w0.25-F4-int8@turbo",
+            requests_per_level=args.requests,
+            workers=args.workers,
+            out_path=args.out or "BENCH_serve.json",
+            quick=args.quick,
+        )
+        return 0 if report["bit_identical_reference"] else 1
+
+    if not args.url:
+        print("error: --url is required (or use --sweep)", file=sys.stderr)
+        return 2
+    with ServeClient(args.url) as client:
+        info = client.models()["models"]
+        if args.model:
+            matches = [m for m in info if m["name"] == args.model]
+            if not matches:
+                loaded = [m["name"] for m in info]
+                print(f"error: {args.model!r} not loaded ({loaded})", file=sys.stderr)
+                return 2
+            target = matches[0]
+        elif len(info) == 1:
+            target = info[0]
+        else:
+            loaded = [m["name"] for m in info]
+            print(f"error: choose --model from {loaded}", file=sys.stderr)
+            return 2
+    samples = (
+        np.random.default_rng(0)
+        .standard_normal((32, *target["sample_shape"]))
+        .astype(np.float32)
+    )
+    stats = run_load(
+        args.url,
+        target["name"],
+        samples,
+        concurrency=args.concurrency,
+        total_requests=args.requests,
+        deadline_ms=args.deadline_ms,
+    )
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "infer":
         return run_infer(args)
+    if args.command == "serve":
+        return run_serve(args)
+    if args.command == "loadgen":
+        return run_loadgen(args)
     if args.command == "list":
         for name in EXPERIMENTS:
             module = importlib.import_module(f"repro.experiments.{name}")

@@ -12,6 +12,7 @@ the signature moves and the stale plan simply ages out of the LRU.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Optional, Tuple
 
@@ -59,41 +60,65 @@ def model_signature(model: Module) -> str:
 
 
 class PlanCache:
-    """A small LRU cache of compiled plans."""
+    """A small LRU cache of compiled plans.
+
+    Thread-safe: the inference server hits one shared cache from its
+    worker pool, so lookup, insertion, eviction and the hit/miss counters
+    are all guarded by one lock.  (OrderedDict.move_to_end is not atomic
+    with respect to the surrounding bookkeeping.)
+    """
 
     def __init__(self, maxsize: int = 32):
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
         self._plans: "OrderedDict[tuple, object]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def get(self, key: tuple):
-        plan = self._plans.get(key)
-        if plan is None:
-            self.misses += 1
-            return None
-        self._plans.move_to_end(key)
-        self.hits += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return plan
 
     def put(self, key: tuple, plan) -> None:
-        self._plans[key] = plan
-        self._plans.move_to_end(key)
-        while len(self._plans) > self.maxsize:
-            self._plans.popitem(last=False)
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
 
     def clear(self) -> None:
-        self._plans.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
 
     def keys(self):
-        return list(self._plans.keys())
+        with self._lock:
+            return list(self._plans.keys())
+
+    def stats(self) -> dict:
+        """Counters snapshot (served verbatim by the ``/metrics`` endpoint)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "size": len(self._plans),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+            }
 
 
 #: Process-wide default cache.

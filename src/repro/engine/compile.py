@@ -420,7 +420,7 @@ def _lower_resnext20(lw, module, reg):
 
 
 # ---------------------------------------------------------------------------
-# Fusion (fast backend only)
+# Fusion (fast / turbo backends)
 # ---------------------------------------------------------------------------
 
 _FOLDABLE = ("conv2d", "winograd_conv2d")
@@ -449,7 +449,7 @@ def _fold_bn(producer: Step, affine: Step) -> None:
 
 
 def _fuse(steps: List[Step], output_reg: int, backend: str) -> List[Step]:
-    if backend != "fast":
+    if backend == "reference":
         return steps
     producers: Dict[int, Step] = {}
 
@@ -496,7 +496,7 @@ def _fuse(steps: List[Step], output_reg: int, backend: str) -> List[Step]:
     return out
 
 
-def _finalize_fast(steps: List[Step]) -> None:
+def _finalize_fast(steps: List[Step], backend: str = "fast") -> None:
     """Precompute the fast kernels' GEMM-ready weight layouts."""
     for step in steps:
         if step.op == "conv2d":
@@ -528,6 +528,25 @@ def _finalize_fast(steps: List[Step]) -> None:
             step.attrs["u2"] = np.ascontiguousarray(
                 np.transpose(u.reshape(g, k // g, cg, t, t), (3, 4, 0, 1, 2))
             )
+            # Kronecker forms of the tile transforms: Bᵀ d B over a t×t
+            # tile is one (t², t²) matrix applied to the flattened tile,
+            # so the whole batch's input/output transforms each become a
+            # single large GEMM instead of per-tile t×t matmuls.  Two
+            # exclusions keep the nested form instead:
+            # * t > 8 (F(6, 5)) — the one-shot t² product sum loses too
+            #   much precision against the ill-conditioned large-tile
+            #   Cook–Toom transforms;
+            # * quantized steps on the ``fast`` backend — a fake-quant
+            #   stage snaps the transformed tiles to a grid, and the kron
+            #   reassociation can flip values sitting on bin boundaries;
+            #   through a deep int8 network one flip avalanches, so
+            #   ``fast`` keeps eager's exact operation order there.
+            #   ``turbo`` opts into the reassociated grid decisions for
+            #   throughput (see repro.engine.registry docs).
+            if t <= 8 and (backend == "turbo" or not step.attrs.get("quantized")):
+                BT, AT = step.attrs["BT"], step.attrs["AT"]
+                step.attrs["btk"] = np.ascontiguousarray(np.kron(BT, BT).transpose())
+                step.attrs["atk"] = np.ascontiguousarray(np.kron(AT, AT).transpose())
 
 
 # ---------------------------------------------------------------------------
@@ -554,8 +573,8 @@ def compile_model(model: Module, backend: str = "fast") -> CompiledPlan:
     if not lowerer.steps:
         raise CompileError(f"{type(model).__name__} lowered to an empty plan")
     steps = _fuse(lowerer.steps, output_reg, backend)
-    if backend == "fast":
-        _finalize_fast(steps)
+    if backend in ("fast", "turbo"):
+        _finalize_fast(steps, backend)
     for step in steps:
         step.fn = registry.get(step.op, backend)
     return CompiledPlan(

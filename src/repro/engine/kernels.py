@@ -55,8 +55,13 @@ def fake_quant(x: np.ndarray, q: Optional[Dict]) -> np.ndarray:
         batch_max = float(np.abs(x).max()) if x.size else 0.0
         scale = quantization_scale(batch_max, bits)
         q["scale"], q["qmax"] = scale, qmax  # freeze, mirroring the observer
-    r = np.rint(x / scale)
-    return (np.clip(r, -qmax, qmax) * scale).astype(x.dtype)
+    # One allocation, then in-place: same elementwise operations (and the
+    # same roundings) as rint(x / scale) -> clip -> * scale -> astype.
+    r = x / scale
+    np.rint(r, out=r)
+    np.clip(r, -qmax, qmax, out=r)
+    r *= scale
+    return r if r.dtype == x.dtype else r.astype(x.dtype)
 
 
 def _strided_patches(x: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
@@ -166,6 +171,27 @@ def max_pool_kernel(inputs, attrs):
     sh, sw = attrs["stride"]
     patches = _strided_patches(x, kh, kw, sh, sw)
     return patches.max(axis=(4, 5))
+
+
+@register_kernel("max_pool", "fast")
+def max_pool_fast(inputs, attrs):
+    """Window max as kh·kw strided-slice maximums (bit-equal to reference:
+    max is exactly associative, only the reduction order differs)."""
+    (x,) = inputs
+    kh, kw = attrs["kernel"]
+    sh, sw = attrs["stride"]
+    n, c, h, w = x.shape
+    nh = (h - kh) // sh + 1
+    nw = (w - kw) // sw + 1
+    out = None
+    for i in range(kh):
+        for j in range(kw):
+            window = x[:, :, i : i + sh * nh : sh, j : j + sw * nw : sw]
+            if out is None:
+                out = np.ascontiguousarray(window)
+            else:
+                np.maximum(out, window, out=out)
+    return out
 
 
 @register_kernel("avg_pool")
@@ -385,39 +411,57 @@ def winograd_reference(inputs, attrs):
 
 @register_kernel("winograd_conv2d", "fast")
 def winograd_fast(inputs, attrs):
-    """Deployment Winograd path: cached pre-permuted U, batched t² GEMMs.
+    """Deployment Winograd path: Kronecker tile transforms + batched GEMMs.
 
-    The input-tile transform ``Bᵀ d B`` runs once over *all* N·th·tw tiles
-    of the batch (tile reuse across the batch), the Hadamard stage is t²
-    GEMMs of (K/g × C/g)·(C/g × P) per group, and bias / folded BN / ReLU
-    are applied in a single epilogue.
+    ``Bᵀ d B`` over a t×t tile is linear in the flattened tile, so the
+    input transform for *all* N·C·th·tw tiles of the batch is one
+    ``(N·C·th·tw, t²) × (t², t²)`` GEMM against the cached Kronecker
+    matrix ``kron(Bᵀ, Bᵀ)ᵀ`` (``attrs["btk"]``), and likewise the output
+    transform against ``kron(Aᵀ, Aᵀ)ᵀ``.  The Hadamard stage is t² GEMMs
+    of (K/g × C/g)·(C/g × P) per group.  GEMM row counts scale with the
+    batch, so per-sample cost *drops* as the dynamic batcher coalesces
+    requests — deep layers (few tiles per sample) amortise hardest.
+    Bias / folded BN / fused ReLU are applied in a single epilogue.
     """
     (x,) = inputs
     u2 = attrs["u2"]  # (t, t, g, K/g, C/g), contiguous, cached at compile
-    BT, AT = attrs["BT"], attrs["AT"]
+    btk, atk = attrs.get("btk"), attrs.get("atk")  # (t², t²), (t², m²)
     m, r, t, g = attrs["m"], attrs["r"], attrs["t"], attrs["groups"]
     k, pad = attrs["out_channels"], attrs["pad"]
 
     x = fake_quant(x, attrs.get("q_input"))
     n, c, h, w = x.shape
     out_h, out_w, th, tw = _winograd_geometry(h, w, m, r, pad)
+    tt, p = t * t, n * th * tw
 
     need_h = th * m + r - 1
     need_w = tw * m + r - 1
     xp = np.pad(x, ((0, 0), (0, 0), (pad, need_h - h - pad), (pad, need_w - w - pad)))
     tiles = _strided_patches(xp, t, t, m, m)  # view, no copy
-    v = np.matmul(np.matmul(BT, tiles), BT.transpose())
-    v = fake_quant(v, attrs.get("q_input_t"))
-
-    p = n * th * tw
-    v2 = np.transpose(
-        v.reshape(n, g, c // g, th, tw, t, t), (5, 6, 1, 2, 0, 3, 4)
-    ).reshape(t, t, g, c // g, p)
+    if btk is None:  # large tiles: nested two-stage transform (precision)
+        BT = attrs["BT"]
+        v = np.matmul(np.matmul(BT, tiles), BT.transpose())
+        v = fake_quant(v, attrs.get("q_input_t"))
+        v2 = np.transpose(
+            v.reshape(n, g, c // g, th, tw, t, t), (5, 6, 1, 2, 0, 3, 4)
+        ).reshape(t, t, g, c // g, p)
+    else:
+        v = np.ascontiguousarray(tiles).reshape(n * c * th * tw, tt) @ btk
+        v = fake_quant(v, attrs.get("q_input_t"))
+        v2 = np.ascontiguousarray(
+            np.transpose(
+                v.reshape(n, g, c // g, th * tw, tt), (4, 1, 2, 0, 3)
+            ).reshape(t, t, g, c // g, p)
+        )
     had = np.matmul(u2, v2)  # (t, t, g, K/g, P)
     had = fake_quant(had, attrs.get("q_hadamard"))
 
-    y = np.transpose(had.reshape(t, t, k, p), (2, 3, 0, 1))
-    y = np.matmul(np.matmul(AT, y), AT.transpose())  # (K, P, m, m)
+    if atk is None:
+        AT = attrs["AT"]
+        y = np.transpose(had.reshape(t, t, k, p), (2, 3, 0, 1))
+        y = np.matmul(np.matmul(AT, y), AT.transpose())  # (K, P, m, m)
+    else:
+        y = np.ascontiguousarray(np.transpose(had.reshape(tt, k * p), (1, 0))) @ atk
     y = fake_quant(y, attrs.get("q_output"))
 
     y = np.transpose(y.reshape(k, n, th, tw, m, m), (1, 0, 2, 4, 3, 5)).reshape(

@@ -14,6 +14,33 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+#: Ops that are row-independent along the batch axis (every input and the
+#: output carry the batch on axis 0), so the executor may split a step
+#: into sub-batches without changing per-sample results.
+_CHUNKABLE_OPS = frozenset(
+    {
+        "add",
+        "affine",
+        "avg_pool",
+        "concat",
+        "conv2d",
+        "flatten",
+        "global_avg_pool",
+        "linear",
+        "max_pool",
+        "relu",
+        "winograd_conv2d",
+    }
+)
+
+#: Working-set budget per step execution (~the L2 slice of one core).
+#: A step whose inputs for the whole batch exceed this is executed in
+#: batch chunks: large early-layer activations stay cache-resident while
+#: small deep-layer steps keep the full batch (their GEMMs amortise
+#: per-call overhead with batch).  Override via CompiledPlan.chunk_bytes
+#: (0 disables chunking).
+DEFAULT_CHUNK_BYTES = 1 << 19
+
 
 @dataclass
 class Step:
@@ -58,6 +85,7 @@ class CompiledPlan:
         self.backend = backend
         self.signature = signature
         self.source = source  # class name of the compiled module
+        self.chunk_bytes = DEFAULT_CHUNK_BYTES
         self._finalize()
 
     # -- liveness ----------------------------------------------------------
@@ -75,14 +103,58 @@ class CompiledPlan:
             )
 
     # -- execution ------------------------------------------------------------
+    @staticmethod
+    def _run_chunked(step: Step, args: Tuple[np.ndarray, ...], n: int, chunk: int):
+        """Execute one row-independent step in batch chunks of ``chunk``.
+
+        Every chunkable kernel computes each batch row independently
+        (GEMM rows, elementwise ops), so chunking preserves per-sample
+        results — bit-exactly for the reference kernels, and to float
+        tolerance for the fast backend's fused GEMMs (BLAS may block a
+        different M differently at the last ulp).  The same property
+        makes serving-time dynamic micro-batching transparent.
+        """
+        parts = [
+            step.fn(tuple(a[i : i + chunk] for a in args), step.attrs)
+            for i in range(0, n, chunk)
+        ]
+        return np.concatenate(parts, axis=0)
+
+    @staticmethod
+    def _has_cold_observer(step: Step) -> bool:
+        """True if a fake-quant stage of ``step`` has not frozen its range
+        yet.  Such a stage takes its scale from the first array it sees,
+        so the step must see the *whole* batch, not a chunk — otherwise
+        the frozen scale (and every later result) would depend on
+        ``chunk_bytes``, breaking the reference backend's exactness."""
+        return any(
+            isinstance(v, dict) and "dynamic_bits" in v and "scale" not in v
+            for v in step.attrs.values()
+        )
+
     def run(self, x: np.ndarray) -> np.ndarray:
         """Execute the plan on one input batch (NCHW ``np.ndarray``)."""
         x = np.ascontiguousarray(np.asarray(x, dtype=np.float32))
+        n = x.shape[0]
+        chunk_bytes = self.chunk_bytes
         regs: List[Optional[np.ndarray]] = [None] * self.num_regs
         regs[self.input_reg] = x
         for step in self.steps:
             args = tuple(regs[i] for i in step.inputs)
-            regs[step.output] = step.fn(args, step.attrs)
+            chunk = n
+            if n > 1 and chunk_bytes and step.op in _CHUNKABLE_OPS:
+                in_bytes = sum(a.nbytes for a in args)
+                if (
+                    in_bytes > chunk_bytes
+                    and all(a.shape[0] == n for a in args)
+                    and not self._has_cold_observer(step)
+                ):
+                    # Largest sub-batch whose working set fits the budget.
+                    chunk = max(1, n * chunk_bytes // in_bytes)
+            if chunk < n:
+                regs[step.output] = self._run_chunked(step, args, n, chunk)
+            else:
+                regs[step.output] = step.fn(args, step.attrs)
             for reg in step.frees:
                 if reg != step.output:
                     regs[reg] = None

@@ -6,23 +6,36 @@ Two backends ship with the engine:
 
 * ``reference`` — mirrors the eager eval-mode computation operation for
   operation (the correctness oracle);
-* ``fast`` — the optimised deployment path.
+* ``fast`` — the optimised deployment path, still faithful to eager's
+  quantization-grid decisions (quantized Winograd keeps eager's nested
+  transform order);
+* ``turbo`` — ``fast`` plus numerics-relaxed quantized Winograd: the
+  Kronecker-form tile transforms apply to quantized steps too, so values
+  sitting exactly on a quantization-bin boundary may snap differently
+  than eager.  The quantized pipeline structure (every stage, frozen
+  ranges) is unchanged — the grid decisions are equally valid
+  quantizations, just not bit-matched to the training-time fake-quant,
+  the same trade production int8 engines make against their training
+  frameworks.
 
-Ops registered only under ``reference`` are shared by both backends (the
-fast backend falls back), so a new op needs one kernel to be usable and a
-second only where a faster implementation exists.
+Kernel resolution falls back ``turbo`` → ``fast`` → ``reference``, so an
+op needs one kernel to be usable and more only where a faster
+implementation exists.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 #: Kernel signature: ``kernel(inputs, attrs) -> np.ndarray`` where
 #: ``inputs`` is a tuple of input arrays and ``attrs`` the step's frozen
 #: attribute dict (weights, scales, fusion flags, ...).
 Kernel = Callable[[tuple, dict], object]
 
-BACKENDS = ("reference", "fast")
+BACKENDS = ("reference", "fast", "turbo")
+
+#: Kernel-resolution fallback chain per backend.
+_FALLBACK = {"turbo": "fast", "fast": "reference"}
 
 
 class KernelRegistry:
@@ -43,15 +56,17 @@ class KernelRegistry:
         return decorator
 
     def get(self, op: str, backend: str = "fast") -> Kernel:
-        """Resolve a kernel, falling back from ``fast`` to ``reference``."""
+        """Resolve a kernel along the ``turbo`` → ``fast`` → ``reference``
+        fallback chain."""
         if backend not in BACKENDS:
             raise KeyError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
-        fn = self._kernels.get((op, backend))
-        if fn is None and backend != "reference":
-            fn = self._kernels.get((op, "reference"))
-        if fn is None:
-            raise KeyError(f"no kernel registered for op {op!r} (backend {backend!r})")
-        return fn
+        probe: Optional[str] = backend
+        while probe is not None:
+            fn = self._kernels.get((op, probe))
+            if fn is not None:
+                return fn
+            probe = _FALLBACK.get(probe)
+        raise KeyError(f"no kernel registered for op {op!r} (backend {backend!r})")
 
     def ops(self) -> Tuple[str, ...]:
         return tuple(sorted({op for op, _ in self._kernels}))

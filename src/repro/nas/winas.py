@@ -46,9 +46,13 @@ class SearchConfig:
     lambda2: float = 0.01  # Eq. 3 latency weight
     core: str = "A73"
     #: Where candidate latencies come from: "table" (calibrated Arm-CPU
-    #: model) or "measured" (wall-clock of compiled per-candidate plans
-    #: on this host, via repro.engine).
+    #: model), "measured" (wall-clock of compiled per-candidate plans on
+    #: this host, via repro.engine) or "served" (per-request latency of
+    #: each candidate under concurrent dynamic-batched load, via
+    #: repro.serve — the regime a deployed model actually sees).
     latency_source: str = "table"
+    #: Closed-loop clients used by the "served" source.
+    served_concurrency: int = 8
     verbose: bool = False
 
 
@@ -128,12 +132,17 @@ class WiNAS:
           paper's deployment target);
         * ``"measured"`` — wall-clock of a compiled single-layer plan
           per candidate on *this* host, so the search optimises what the
-          engine will actually execute.
+          engine will actually execute;
+        * ``"served"`` — mean per-request latency of each candidate
+          behind a dynamic micro-batcher under
+          :attr:`SearchConfig.served_concurrency` concurrent clients
+          (:func:`repro.serve.served_latency_ms`), so the search
+          optimises latency under serving load, queueing included.
         """
         from repro.engine import compile_model
 
         source = source or self.config.latency_source
-        if source not in ("table", "measured"):
+        if source not in ("table", "measured", "served"):
             raise ValueError(f"unknown latency source {source!r}")
         self.model.eval()
         probe = np.ascontiguousarray(np.asarray(example_input, dtype=np.float32))
@@ -145,6 +154,13 @@ class WiNAS:
             h, w = op.last_input_hw
             if source == "measured":
                 op.set_latencies(self._measure_candidates(op, h, w))
+                continue
+            if source == "served":
+                op.set_latencies(
+                    self._measure_candidates_served(
+                        op, h, w, self.config.served_concurrency
+                    )
+                )
                 continue
             out_w = h + 2 * ((op.kernel_size - 1) // 2) - op.kernel_size + 1
             shape = ConvShape(
@@ -173,6 +189,22 @@ class WiNAS:
             plan = compile_model(path, backend="fast")
             latencies.append(measure_plan_ms(plan, x, repeats=3, warmup=1))
         return latencies
+
+    @staticmethod
+    def _measure_candidates_served(
+        op: MixedConv2d, h: int, w: int, concurrency: int
+    ) -> List[float]:
+        """Per-request latency of each candidate under batched serving load."""
+        from repro.engine import compile_model
+        from repro.serve.probe import served_latency_ms
+
+        x = np.zeros((1, op.in_channels, h, w), dtype=np.float32)
+        return [
+            served_latency_ms(
+                compile_model(path, backend="fast"), x, concurrency=concurrency
+            )
+            for path in op.paths
+        ]
 
     def expected_latency_ms(self) -> float:
         """Current E{latency} over searchable layers (argmax-free, in ms)."""

@@ -1,0 +1,69 @@
+"""Dynamic-batching inference serving over compiled Winograd plans.
+
+The serving stack, bottom to top:
+
+* :mod:`repro.serve.registry` — named model variants (architecture ×
+  width × F(m, r) × precision × backend) compiled through the shared
+  LRU plan cache;
+* :mod:`repro.serve.batcher` — per-model dynamic micro-batcher with a
+  max-batch-size / max-wait-ms policy, per-request deadlines and bounded-
+  queue backpressure;
+* :mod:`repro.serve.metrics` — throughput, latency percentiles and
+  batch-size histograms behind ``/metrics``;
+* :mod:`repro.serve.server` — the asyncio HTTP frontend (``/predict``,
+  ``/models``, ``/healthz``, ``/metrics``), stdlib only;
+* :mod:`repro.serve.client` / :mod:`repro.serve.loadgen` — client and
+  closed-loop load generator (``repro loadgen``, ``BENCH_serve.json``);
+* :mod:`repro.serve.probe` — served-latency measurement for WiNAS's
+  ``latency_source="served"``.
+
+Quickstart::
+
+    from repro.serve import ModelRegistry, InferenceServer, BatchPolicy
+
+    registry = ModelRegistry()
+    registry.load("resnet18-w0.25-F4-int8")
+    server = InferenceServer(registry, policy=BatchPolicy(max_batch_size=16))
+    # asyncio.run(server.serve_forever()), or: repro serve --model ...
+"""
+
+from repro.serve.batcher import (
+    BatchedResult,
+    BatchPolicy,
+    DeadlineExceeded,
+    DynamicBatcher,
+    ExecutionFailed,
+    QueueSaturated,
+)
+from repro.serve.client import ServeClient, ServeError, wait_until_ready
+from repro.serve.loadgen import benchmark_serving, check_bit_identity, run_load
+from repro.serve.metrics import LatencyWindow, ModelMetrics, ServerMetrics
+from repro.serve.probe import served_latency_ms
+from repro.serve.registry import ModelRegistry, ModelSpec, ServedModel, build_model
+from repro.serve.server import InferenceServer, ServerHandle, start_in_background
+
+__all__ = [
+    "BatchPolicy",
+    "BatchedResult",
+    "DeadlineExceeded",
+    "DynamicBatcher",
+    "ExecutionFailed",
+    "InferenceServer",
+    "LatencyWindow",
+    "ModelMetrics",
+    "ModelRegistry",
+    "ModelSpec",
+    "QueueSaturated",
+    "ServeClient",
+    "ServeError",
+    "ServedModel",
+    "ServerHandle",
+    "ServerMetrics",
+    "benchmark_serving",
+    "build_model",
+    "check_bit_identity",
+    "run_load",
+    "served_latency_ms",
+    "start_in_background",
+    "wait_until_ready",
+]

@@ -1,0 +1,297 @@
+"""The dynamic micro-batcher: concurrent requests → engine batches.
+
+One :class:`DynamicBatcher` runs per served model.  Requests arrive as
+single samples ``(1, C, H, W)`` on a bounded asyncio queue; a collector
+coroutine pulls the first request, then keeps absorbing more until either
+``max_batch_size`` is reached or ``max_wait_ms`` has elapsed, stacks the
+group into one array, and executes the compiled plan **once** on a worker
+thread (NumPy kernels release the GIL inside BLAS, so plan execution off
+the event loop gives real parallelism).  Per-sample outputs are then
+sliced back to each request's future.  Every engine kernel is
+row-independent along the batch axis, so coalescing is invisible to the
+caller: bit-exactly on the ``reference`` backend (fixed-size per-tile
+kernels), and to float tolerance on ``fast`` (large fused GEMMs, whose
+BLAS blocking — and hence last-ulp rounding — can vary with batch shape).
+
+Failure policy:
+
+* queue full → :class:`QueueSaturated` (the server maps it to HTTP 429);
+* request older than its deadline at dispatch time → never executed,
+  :class:`DeadlineExceeded` (HTTP 504);
+* kernel failure → the whole batch gets :class:`ExecutionFailed` (HTTP 500).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.serve.metrics import ModelMetrics
+
+
+class QueueSaturated(RuntimeError):
+    """The model's request queue is full (backpressure — retry later)."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request expired in the queue before a batch picked it up."""
+
+
+class ExecutionFailed(RuntimeError):
+    """Plan execution raised; carries the original error message."""
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Coalescing policy knobs.
+
+    ``max_batch_size=1`` degenerates to batch-1 serving (the loadgen
+    baseline); ``max_wait_ms`` bounds the latency cost a request can pay
+    waiting for co-riders.
+    """
+
+    max_batch_size: int = 8
+    max_wait_ms: float = 2.0
+    max_queue: int = 128
+    default_deadline_ms: float = 2000.0
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {
+            "max_batch_size": self.max_batch_size,
+            "max_wait_ms": self.max_wait_ms,
+            "max_queue": self.max_queue,
+            "default_deadline_ms": self.default_deadline_ms,
+        }
+
+
+@dataclass
+class BatchedResult:
+    """What a request's future resolves to."""
+
+    output: np.ndarray  # (1, ...) — this request's slice of the batch output
+    batch_size: int
+    queue_ms: float
+    run_ms: float
+
+
+class _Pending:
+    __slots__ = ("x", "future", "deadline", "t_enqueue")
+
+    def __init__(self, x, future, deadline, t_enqueue):
+        self.x = x
+        self.future = future
+        self.deadline = deadline  # absolute time.monotonic(), or None
+        self.t_enqueue = t_enqueue
+
+
+class DynamicBatcher:
+    """Coalesces submitted samples into engine batches for one plan."""
+
+    def __init__(
+        self,
+        plan,
+        policy: Optional[BatchPolicy] = None,
+        executor: Optional[ThreadPoolExecutor] = None,
+        metrics: Optional[ModelMetrics] = None,
+        name: str = "",
+        max_inflight: int = 2,
+    ):
+        self.plan = plan
+        self.policy = policy or BatchPolicy()
+        self.metrics = metrics or ModelMetrics()
+        self.name = name
+        self.max_inflight = max(1, max_inflight)
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._queue: Optional[asyncio.Queue] = None
+        self._task: Optional[asyncio.Task] = None
+        self._inflight: Optional[asyncio.Semaphore] = None
+        self._pending_runs: set = set()
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> None:
+        if self._task is not None:
+            return
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=2, thread_name_prefix=f"serve-{self.name or 'model'}"
+            )
+        self._queue = asyncio.Queue(maxsize=self.policy.max_queue)
+        self._inflight = asyncio.Semaphore(self.max_inflight)
+        self._task = asyncio.get_running_loop().create_task(self._collector())
+
+    async def stop(self) -> None:
+        if self._task is None:
+            return
+        task, self._task = self._task, None
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+        if self._pending_runs:  # let in-flight batches finish delivering
+            await asyncio.gather(*self._pending_runs, return_exceptions=True)
+        # Fail anything still queued so no submitter hangs forever.
+        while self._queue is not None and not self._queue.empty():
+            pending = self._queue.get_nowait()
+            if not pending.future.done():
+                pending.future.set_exception(RuntimeError("batcher stopped"))
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None
+
+    def qsize(self) -> int:
+        return self._queue.qsize() if self._queue is not None else 0
+
+    # -- submission ---------------------------------------------------------
+    async def submit(
+        self, x: np.ndarray, deadline_ms: Optional[float] = None
+    ) -> BatchedResult:
+        """Queue one ``(1, C, H, W)`` sample; resolves when its batch ran.
+
+        ``deadline_ms`` counts from submission; ``None`` uses the policy
+        default and any value <= 0 disables the deadline.
+        """
+        if self._queue is None:
+            raise RuntimeError("batcher not started")
+        now = time.monotonic()
+        if deadline_ms is None:
+            deadline_ms = self.policy.default_deadline_ms
+        deadline = now + deadline_ms / 1e3 if deadline_ms and deadline_ms > 0 else None
+        future = asyncio.get_running_loop().create_future()
+        pending = _Pending(x, future, deadline, now)
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            self.metrics.on_reject()
+            raise QueueSaturated(
+                f"model {self.name!r}: queue full "
+                f"({self.policy.max_queue} requests waiting)"
+            ) from None
+        self.metrics.on_enqueue()
+        return await future
+
+    # -- collector loop -----------------------------------------------------
+    async def _collect_batch(self) -> List[_Pending]:
+        """First request blocks; then absorb until full or the wait expires."""
+        batch = [await self._queue.get()]
+        budget_s = self.policy.max_wait_ms / 1e3
+        start = time.monotonic()
+        while len(batch) < self.policy.max_batch_size:
+            # Greedily drain whatever is already queued — free coalescing
+            # even with max_wait_ms=0.
+            try:
+                batch.append(self._queue.get_nowait())
+                continue
+            except asyncio.QueueEmpty:
+                pass
+            remaining = budget_s - (time.monotonic() - start)
+            if remaining <= 0:
+                break
+            try:
+                batch.append(
+                    await asyncio.wait_for(self._queue.get(), timeout=remaining)
+                )
+            except asyncio.TimeoutError:
+                break
+        return batch
+
+    async def _collector(self) -> None:
+        """Collect batches and dispatch them; up to ``max_inflight``
+        batches execute concurrently on the worker pool (pipelining: the
+        next batch coalesces while the previous one runs — on multi-core
+        hosts batches also overlap inside the executor)."""
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await self._collect_batch()
+            await self._inflight.acquire()
+            task = loop.create_task(self._execute(batch))
+            self._pending_runs.add(task)
+            task.add_done_callback(self._pending_runs.discard)
+
+    async def _execute(self, batch: List[_Pending]) -> None:
+        """Run one coalesced batch and distribute per-request slices.
+
+        Deadlines are judged here — actual dispatch time, i.e. after any
+        wait for an in-flight execution slot — so a request that aged out
+        while earlier batches ran is rejected without ever executing.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            t_dispatch = time.monotonic()
+            live: List[_Pending] = []
+            for pending in batch:
+                if pending.future.done():  # client gave up / was cancelled
+                    continue
+                if pending.deadline is not None and t_dispatch > pending.deadline:
+                    self.metrics.on_deadline_exceeded()
+                    pending.future.set_exception(
+                        DeadlineExceeded(
+                            f"model {self.name!r}: request waited "
+                            f"{(t_dispatch - pending.t_enqueue) * 1e3:.1f} ms, "
+                            "past its deadline"
+                        )
+                    )
+                    continue
+                live.append(pending)
+            if not live:
+                return
+            stacked = (
+                live[0].x
+                if len(live) == 1
+                else np.concatenate([p.x for p in live], axis=0)
+            )
+            try:
+                out = await loop.run_in_executor(
+                    self._executor, self.plan.run, stacked
+                )
+            except BaseException as exc:  # kernel failure / teardown cancel:
+                # fail the whole batch so no submitter is left hanging.
+                self.metrics.on_error(len(live))
+                failure = (
+                    RuntimeError("batcher stopped")
+                    if isinstance(exc, asyncio.CancelledError)
+                    else ExecutionFailed(f"plan execution failed: {exc}")
+                )
+                for pending in live:
+                    if not pending.future.done():
+                        pending.future.set_exception(failure)
+                return
+        finally:
+            self._inflight.release()
+        t_done = time.monotonic()
+        run_ms = (t_done - t_dispatch) * 1e3
+        self.metrics.on_batch(len(live), run_ms)
+        offset = 0
+        for pending in live:
+            n = pending.x.shape[0]
+            result = BatchedResult(
+                output=out[offset : offset + n],
+                batch_size=len(live),
+                queue_ms=(t_dispatch - pending.t_enqueue) * 1e3,
+                run_ms=run_ms,
+            )
+            offset += n
+            if not pending.future.done():
+                pending.future.set_result(result)
+            self.metrics.on_response(
+                latency_ms=(t_done - pending.t_enqueue) * 1e3,
+                queue_ms=result.queue_ms,
+            )

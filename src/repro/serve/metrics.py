@@ -1,0 +1,176 @@
+"""Serving metrics: counters, latency percentiles, batch-size histogram.
+
+Everything here is updated from the batcher loop and the worker pool and
+read from the ``/metrics`` handler, so every structure takes a lock.
+Latencies go into a fixed-size ring (:class:`LatencyWindow`): percentiles
+are computed over the most recent ``capacity`` observations, which keeps
+``/metrics`` O(window) regardless of server uptime.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+class LatencyWindow:
+    """Ring buffer of the last ``capacity`` latency observations (ms)."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._buf = np.zeros(capacity, dtype=np.float64)
+        self._count = 0  # total observations ever
+        self._lock = threading.Lock()
+
+    def observe(self, value_ms: float) -> None:
+        with self._lock:
+            self._buf[self._count % self.capacity] = value_ms
+            self._count += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return min(self._count, self.capacity)
+
+    def values(self) -> np.ndarray:
+        with self._lock:
+            n = min(self._count, self.capacity)
+            return self._buf[:n].copy()
+
+    def summary(self) -> dict:
+        values = self.values()
+        if values.size == 0:
+            return {"count": 0}
+        p50, p95, p99 = np.percentile(values, [50, 95, 99])
+        return {
+            "count": int(values.size),
+            "mean_ms": float(values.mean()),
+            "p50_ms": float(p50),
+            "p95_ms": float(p95),
+            "p99_ms": float(p99),
+            "max_ms": float(values.max()),
+        }
+
+
+class ModelMetrics:
+    """Per-model serving counters + latency windows."""
+
+    def __init__(self, window: int = 4096):
+        self._lock = threading.Lock()
+        self.requests_total = 0  # accepted into the queue
+        self.responses_total = 0  # completed successfully
+        self.rejected_total = 0  # backpressure (429)
+        self.deadline_exceeded_total = 0  # expired before execution (504)
+        self.errors_total = 0  # kernel / internal failures (500)
+        self.batches_total = 0
+        self.batched_samples_total = 0
+        self.batch_size_hist: Dict[int, int] = {}
+        self.latency = LatencyWindow(window)  # end-to-end, enqueue → reply
+        self.queue = LatencyWindow(window)  # enqueue → batch dispatch
+        self.run = LatencyWindow(window)  # plan execution per batch
+
+    # -- writers ------------------------------------------------------------
+    def on_enqueue(self) -> None:
+        with self._lock:
+            self.requests_total += 1
+
+    def on_reject(self) -> None:
+        with self._lock:
+            self.rejected_total += 1
+
+    def on_deadline_exceeded(self, n: int = 1) -> None:
+        with self._lock:
+            self.deadline_exceeded_total += n
+
+    def on_error(self, n: int = 1) -> None:
+        with self._lock:
+            self.errors_total += n
+
+    def on_batch(self, size: int, run_ms: float) -> None:
+        with self._lock:
+            self.batches_total += 1
+            self.batched_samples_total += size
+            self.batch_size_hist[size] = self.batch_size_hist.get(size, 0) + 1
+        self.run.observe(run_ms)
+
+    def on_response(self, latency_ms: float, queue_ms: float) -> None:
+        with self._lock:
+            self.responses_total += 1
+        self.latency.observe(latency_ms)
+        self.queue.observe(queue_ms)
+
+    # -- readers ------------------------------------------------------------
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            if self.batches_total == 0:
+                return 0.0
+            return self.batched_samples_total / self.batches_total
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counters = {
+                "requests_total": self.requests_total,
+                "responses_total": self.responses_total,
+                "rejected_total": self.rejected_total,
+                "deadline_exceeded_total": self.deadline_exceeded_total,
+                "errors_total": self.errors_total,
+                "batches_total": self.batches_total,
+                "batched_samples_total": self.batched_samples_total,
+                "batch_size_hist": {
+                    str(k): v for k, v in sorted(self.batch_size_hist.items())
+                },
+            }
+        counters["mean_batch_size"] = (
+            counters["batched_samples_total"] / counters["batches_total"]
+            if counters["batches_total"]
+            else 0.0
+        )
+        counters["latency"] = self.latency.summary()
+        counters["queue"] = self.queue.summary()
+        counters["run"] = self.run.summary()
+        return counters
+
+
+class ServerMetrics:
+    """Whole-server view: per-model metrics + uptime + plan-cache stats."""
+
+    def __init__(self, window: int = 4096):
+        self._lock = threading.Lock()
+        self._window = window
+        self._models: Dict[str, ModelMetrics] = {}
+        self.started = time.monotonic()
+
+    def for_model(self, name: str) -> ModelMetrics:
+        with self._lock:
+            metrics = self._models.get(name)
+            if metrics is None:
+                metrics = self._models[name] = ModelMetrics(self._window)
+            return metrics
+
+    def model_names(self) -> List[str]:
+        with self._lock:
+            return list(self._models)
+
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started
+
+    def snapshot(self, plan_cache_stats: Optional[dict] = None) -> dict:
+        uptime = self.uptime_s()
+        with self._lock:
+            models = {name: m.snapshot() for name, m in self._models.items()}
+        responses = sum(m["responses_total"] for m in models.values())
+        requests = sum(m["requests_total"] for m in models.values())
+        snap = {
+            "uptime_s": uptime,
+            "requests_total": requests,
+            "responses_total": responses,
+            "throughput_rps": responses / uptime if uptime > 0 else 0.0,
+            "models": models,
+        }
+        if plan_cache_stats is not None:
+            snap["plan_cache"] = plan_cache_stats
+        return snap

@@ -1,0 +1,262 @@
+"""The serving model registry: named variants → compiled plans.
+
+A served variant is fully described by a :class:`ModelSpec` — architecture
+× width multiplier × conv algorithm ``F(m, r)`` × precision × engine
+backend — and addressed by its canonical name, e.g.
+``resnet18-w0.25-F4-int8``.  :class:`ModelRegistry` builds the model,
+compiles it through the process-wide :data:`~repro.engine.cache.plan_cache`
+(so repeated loads and signature-identical variants share plans) and hands
+the server a :class:`ServedModel` with everything the batcher needs:
+the plan, the per-sample input shape, and the spec metadata for
+``/models``.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine import get_cached_plan
+from repro.engine.cache import PlanCache
+
+#: architecture → (input channels, image size, default width multiplier).
+ARCHITECTURES: Dict[str, Tuple[int, int, Optional[float]]] = {
+    "lenet": (1, 28, None),
+    "resnet18": (3, 32, 0.25),
+    "squeezenet": (3, 32, 0.5),
+    "resnext20": (3, 32, 0.5),
+}
+
+_NAME_RE = re.compile(
+    r"^(?P<arch>[a-z0-9]+)"
+    r"(?:-w(?P<width>\d+(?:\.\d+)?))?"
+    r"-(?P<algorithm>[A-Za-z0-9]+(?:-flex)?)"
+    r"-(?P<precision>[a-z0-9]+)"
+    r"(?:@(?P<backend>[a-z]+))?$"
+)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One served variant: architecture × width × algorithm × precision."""
+
+    architecture: str = "resnet18"
+    width: Optional[float] = None  # None → architecture default
+    algorithm: str = "F4"
+    precision: str = "fp32"
+    backend: str = "fast"
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.architecture not in ARCHITECTURES:
+            raise ValueError(
+                f"unknown architecture {self.architecture!r}; "
+                f"expected one of {sorted(ARCHITECTURES)}"
+            )
+
+    @property
+    def effective_width(self) -> Optional[float]:
+        default = ARCHITECTURES[self.architecture][2]
+        return default if self.width is None else self.width
+
+    @property
+    def sample_shape(self) -> Tuple[int, int, int]:
+        """Per-sample (C, H, W) this variant accepts."""
+        channels, size, _ = ARCHITECTURES[self.architecture]
+        return (channels, size, size)
+
+    @property
+    def name(self) -> str:
+        """Canonical name, e.g. ``resnet18-w0.25-F4-int8``."""
+        parts = [self.architecture]
+        width = self.effective_width
+        if width is not None:
+            parts.append(f"w{width:g}")
+        parts.append(self.algorithm)
+        parts.append(self.precision)
+        name = "-".join(parts)
+        if self.backend != "fast":
+            name += f"@{self.backend}"
+        return name
+
+    @classmethod
+    def parse(cls, name: str) -> "ModelSpec":
+        """Parse a canonical name (``arch[-wW]-ALGO-prec[@backend]``)."""
+        match = _NAME_RE.match(name.strip())
+        if match is None:
+            raise ValueError(
+                f"cannot parse model name {name!r}; expected e.g. "
+                "'resnet18-w0.25-F4-int8' or 'lenet-F2-fp32@reference'"
+            )
+        width = match.group("width")
+        return cls(
+            architecture=match.group("arch"),
+            width=float(width) if width is not None else None,
+            algorithm=match.group("algorithm"),
+            precision=match.group("precision"),
+            backend=match.group("backend") or "fast",
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "architecture": self.architecture,
+            "width": self.effective_width,
+            "algorithm": self.algorithm,
+            "precision": self.precision,
+            "backend": self.backend,
+            "sample_shape": list(self.sample_shape),
+        }
+
+
+def build_model(spec: ModelSpec):
+    """Instantiate the smoke model a spec describes.
+
+    Returns ``(model, (channels, image_size))`` — also used by the
+    ``repro infer`` CLI so the two entry points cannot drift apart.
+    """
+    from repro.models.common import spec_from_name
+    from repro.quant.qconfig import from_name
+
+    rng = np.random.default_rng(spec.seed)
+    conv_spec = spec_from_name(spec.algorithm, from_name(spec.precision))
+    channels, image_size, _ = ARCHITECTURES[spec.architecture]
+    width = spec.effective_width
+    if spec.architecture == "lenet":
+        from repro.models.lenet import lenet
+
+        model = lenet(spec=conv_spec, rng=rng)
+    elif spec.architecture == "resnet18":
+        from repro.models.resnet import resnet18
+
+        model = resnet18(width_multiplier=width, spec=conv_spec, rng=rng)
+    elif spec.architecture == "squeezenet":
+        from repro.models.squeezenet import squeezenet
+
+        model = squeezenet(width_multiplier=width, spec=conv_spec, rng=rng)
+    else:  # resnext20 — __post_init__ already validated the name
+        from repro.models.resnext import resnext20
+
+        model = resnext20(width_multiplier=width, spec=conv_spec, rng=rng)
+    model.eval()
+    return model, (channels, image_size)
+
+
+@dataclass
+class ServedModel:
+    """A loaded variant: spec + compiled plan, ready for the batcher."""
+
+    spec: ModelSpec
+    plan: object  # CompiledPlan (duck-typed: tests serve stubs with .run)
+    sample_shape: Tuple[int, int, int] = (3, 32, 32)
+    model: object = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def describe(self) -> dict:
+        info = self.spec.to_dict()
+        info["sample_shape"] = list(self.sample_shape)
+        if hasattr(self.plan, "steps"):
+            info["plan_steps"] = len(self.plan.steps)
+            info["plan_ops"] = list(self.plan.ops_used())
+        return info
+
+    def validate_input(self, x: np.ndarray) -> np.ndarray:
+        """Coerce one sample to float32 NCHW with batch dim 1."""
+        arr = np.asarray(x, dtype=np.float32)
+        if arr.shape == self.sample_shape:
+            arr = arr[None]
+        if arr.ndim != 4 or arr.shape[0] != 1 or arr.shape[1:] != self.sample_shape:
+            raise ValueError(
+                f"model {self.name!r} expects one sample of shape "
+                f"{self.sample_shape}, got {tuple(np.shape(x))}"
+            )
+        return np.ascontiguousarray(arr)
+
+
+class ModelRegistry:
+    """Loads and holds served variants side by side.
+
+    Compilation goes through :func:`repro.engine.get_cached_plan`, so the
+    LRU plan cache (and its hit/miss accounting, exposed on ``/metrics``)
+    is shared with every other engine consumer in the process.
+    """
+
+    def __init__(self, cache: Optional[PlanCache] = None):
+        self._cache = cache
+        self._lock = threading.RLock()
+        self._models: Dict[str, ServedModel] = {}
+
+    def load(self, spec_or_name) -> ServedModel:
+        """Build + compile a variant (idempotent per canonical name)."""
+        spec = (
+            ModelSpec.parse(spec_or_name)
+            if isinstance(spec_or_name, str)
+            else spec_or_name
+        )
+        with self._lock:
+            existing = self._models.get(spec.name)
+            if existing is not None:
+                return existing
+            model, (channels, image_size) = build_model(spec)
+            plan = get_cached_plan(
+                model,
+                (1, channels, image_size, image_size),
+                backend=spec.backend,
+                cache=self._cache,
+            )
+            # Deterministic calibration run: freezes any cold activation
+            # quantizer range into the plan *before* it sees traffic, so
+            # concurrent first requests cannot race the one-shot range
+            # observation and responses are reproducible per spec seed.
+            calib_rng = np.random.default_rng(spec.seed)
+            plan.run(
+                calib_rng.standard_normal(
+                    (4, channels, image_size, image_size)
+                ).astype(np.float32)
+            )
+            served = ServedModel(
+                spec=spec,
+                plan=plan,
+                sample_shape=(channels, image_size, image_size),
+                model=model,
+            )
+            self._models[spec.name] = served
+            return served
+
+    def add(self, served: ServedModel) -> ServedModel:
+        """Register an externally built :class:`ServedModel` (tests, probes)."""
+        with self._lock:
+            self._models[served.name] = served
+            return served
+
+    def get(self, name: str) -> ServedModel:
+        with self._lock:
+            served = self._models.get(name)
+        if served is None:
+            raise KeyError(
+                f"unknown model {name!r}; loaded: {self.names() or '(none)'}"
+            )
+        return served
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._models)
+
+    def describe(self) -> List[dict]:
+        with self._lock:
+            return [m.describe() for m in self._models.values()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._models

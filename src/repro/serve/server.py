@@ -1,0 +1,440 @@
+"""Asyncio HTTP/1.1 inference server over compiled Winograd plans.
+
+Stdlib only (``asyncio`` + ``json``): a hand-rolled HTTP/1.1 handler with
+keep-alive, four routes, one :class:`~repro.serve.batcher.DynamicBatcher`
+per served model, and one shared worker :class:`ThreadPoolExecutor` that
+runs plan execution off the event loop.
+
+Routes::
+
+    POST /predict   {"model": name, "input": [C][H][W], "deadline_ms"?: f}
+                    → {"model", "output", "batch_size", "queue_ms", "run_ms"}
+                    (or "inputs": [sample, ...] → "outputs" + "meta")
+    GET  /models    loaded variants with spec + plan metadata
+    GET  /healthz   {"status": "ok", "models": [...], "uptime_s": ...}
+    GET  /metrics   throughput, p50/p95/p99 latency, batch-size histogram,
+                    plan-cache hit rate (see README "Serving")
+
+Failure mapping: bad request → 400, unknown model/route → 404, queue
+saturated → 429 (with ``Retry-After``), kernel failure → 500, deadline
+expired in queue → 504.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import binascii
+import json
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.engine.cache import PlanCache, plan_cache
+from repro.serve.batcher import (
+    BatchPolicy,
+    DeadlineExceeded,
+    DynamicBatcher,
+    ExecutionFailed,
+    QueueSaturated,
+)
+from repro.serve.metrics import ServerMetrics
+from repro.serve.registry import ModelRegistry
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+#: Upper bound on accepted request bodies (a 3×32×32 sample serialises to
+#: ~100 kB of JSON; 32 MiB leaves room for large multi-sample requests).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str, retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+def default_workers() -> int:
+    return max(2, min(8, os.cpu_count() or 2))
+
+
+class InferenceServer:
+    """The serving frontend: registry + batchers + HTTP listener."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        policy: Optional[BatchPolicy] = None,
+        host: str = "127.0.0.1",
+        port: int = 8100,
+        workers: Optional[int] = None,
+        metrics: Optional[ServerMetrics] = None,
+        cache: Optional[PlanCache] = None,
+    ):
+        self.registry = registry
+        self.policy = policy or BatchPolicy()
+        self.host = host
+        self.port = port  # updated to the bound port after start()
+        self.workers = workers or default_workers()
+        self.metrics = metrics or ServerMetrics()
+        self.cache = cache if cache is not None else plan_cache
+        self._batchers: Dict[str, DynamicBatcher] = {}
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> None:
+        if self._server is not None:
+            return
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="serve-worker"
+        )
+        for name in self.registry.names():
+            await self._ensure_batcher(name)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for batcher in self._batchers.values():
+            await batcher.stop()
+        self._batchers.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def _ensure_batcher(self, name: str) -> DynamicBatcher:
+        batcher = self._batchers.get(name)
+        if batcher is None:
+            served = self.registry.get(name)
+            batcher = DynamicBatcher(
+                served.plan,
+                policy=self.policy,
+                executor=self._executor,
+                metrics=self.metrics.for_model(name),
+                name=name,
+                # Concurrent batches only pay off with real parallelism:
+                # on a single-core host one full batch beats two
+                # interleaved half-batches (cache + fixed costs).
+                max_inflight=max(1, min(self.workers, os.cpu_count() or 1)),
+            )
+            await batcher.start()
+            self._batchers[name] = batcher
+        return batcher
+
+    # -- HTTP plumbing ------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                try:
+                    method, target, _version = request_line.decode("latin1").split()
+                except ValueError:
+                    await self._write_json(
+                        writer, 400, {"error": "malformed request line"}, close=True
+                    )
+                    break
+                headers: Dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    key, _, value = line.decode("latin1").partition(":")
+                    headers[key.strip().lower()] = value.strip()
+                length = int(headers.get("content-length", "0") or 0)
+                if length > MAX_BODY_BYTES:
+                    await self._write_json(
+                        writer,
+                        413,
+                        {"error": f"body exceeds {MAX_BODY_BYTES} bytes"},
+                        close=True,
+                    )
+                    break
+                body = await reader.readexactly(length) if length else b""
+                close = headers.get("connection", "").lower() == "close"
+                path = target.split("?", 1)[0]
+                try:
+                    status, payload, retry_after = 200, await self._route(
+                        method, path, body
+                    ), None
+                except _HttpError as exc:
+                    status, payload, retry_after = (
+                        exc.status,
+                        {"error": exc.message, "status": exc.status},
+                        exc.retry_after,
+                    )
+                await self._write_json(
+                    writer, status, payload, close=close, retry_after=retry_after
+                )
+                if close:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,  # loop teardown with the connection open
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    async def _write_json(
+        writer,
+        status: int,
+        payload: dict,
+        close: bool = False,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        body = json.dumps(payload).encode()
+        headers = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        if retry_after is not None:
+            headers.append(f"Retry-After: {retry_after:g}")
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
+    # -- routing ------------------------------------------------------------
+    async def _route(self, method: str, path: str, body: bytes) -> dict:
+        if path == "/predict":
+            if method != "POST":
+                raise _HttpError(405, "/predict requires POST")
+            return await self._predict(body)
+        if method not in ("GET", "HEAD"):
+            raise _HttpError(405, f"{path} requires GET")
+        if path == "/healthz":
+            return {
+                "status": "ok",
+                "models": self.registry.names(),
+                "uptime_s": self.metrics.uptime_s(),
+            }
+        if path == "/models":
+            return {"models": self.registry.describe(), "policy": self.policy.to_dict()}
+        if path == "/metrics":
+            snap = self.metrics.snapshot(plan_cache_stats=self.cache.stats())
+            snap["policy"] = self.policy.to_dict()
+            snap["workers"] = self.workers
+            return snap
+        raise _HttpError(404, f"no route {path!r}")
+
+    @staticmethod
+    def _cancel_all(tasks) -> None:
+        """Cancel a failed multi-sample request's sibling submissions.
+
+        A cancelled future is skipped at batch dispatch, so accepted
+        siblings neither burn engine time nor inflate the response
+        metrics after the client has already received the error."""
+        for task in tasks:
+            if not task.done():
+                task.cancel()
+
+    @staticmethod
+    def _decode_b64(sample, served) -> np.ndarray:
+        """Decode one ``encoding: "b64"`` sample: base64 of raw little-
+        endian float32 bytes in C order, shaped like the model's sample."""
+        if not isinstance(sample, str):
+            raise _HttpError(400, "b64 encoding expects base64 strings")
+        try:
+            raw = base64.b64decode(sample.encode("ascii"), validate=True)
+        except (binascii.Error, UnicodeEncodeError) as exc:
+            raise _HttpError(400, f"invalid base64 sample: {exc}")
+        expected = int(np.prod(served.sample_shape)) * 4
+        if len(raw) != expected:
+            raise _HttpError(
+                400,
+                f"b64 sample has {len(raw)} bytes; model {served.name!r} "
+                f"expects {expected} (float32 {served.sample_shape})",
+            )
+        return np.frombuffer(raw, dtype="<f4").reshape(served.sample_shape)
+
+    async def _predict(self, body: bytes) -> dict:
+        try:
+            request = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}")
+        if not isinstance(request, dict):
+            raise _HttpError(400, "body must be a JSON object")
+        names = self.registry.names()
+        name = request.get("model")
+        if name is None:
+            if len(names) != 1:
+                raise _HttpError(
+                    400, f"'model' is required when {len(names)} models are loaded"
+                )
+            name = names[0]
+        try:
+            served = self.registry.get(name)
+        except KeyError as exc:
+            raise _HttpError(404, str(exc))
+        deadline_ms = request.get("deadline_ms")
+        if deadline_ms is not None and not isinstance(deadline_ms, (int, float)):
+            raise _HttpError(400, "'deadline_ms' must be a number")
+        encoding = request.get("encoding", "json")
+        if encoding not in ("json", "b64"):
+            raise _HttpError(400, f"unknown encoding {encoding!r} (json or b64)")
+
+        if "inputs" in request:
+            raw_samples = request["inputs"]
+            if not isinstance(raw_samples, list) or not raw_samples:
+                raise _HttpError(400, "'inputs' must be a non-empty list of samples")
+            single = False
+        elif "input" in request:
+            raw_samples = [request["input"]]
+            single = True
+        else:
+            raise _HttpError(400, "missing 'input' (one sample) or 'inputs' (list)")
+
+        try:
+            if encoding == "b64":
+                raw_samples = [self._decode_b64(s, served) for s in raw_samples]
+            samples = [served.validate_input(s) for s in raw_samples]
+        except (ValueError, TypeError) as exc:
+            raise _HttpError(400, str(exc))
+
+        batcher = await self._ensure_batcher(name)
+        tasks = []
+        try:
+            if len(samples) == 1:  # hot path: no gather/task machinery
+                results = [await batcher.submit(samples[0], deadline_ms=deadline_ms)]
+            else:
+                tasks = [
+                    asyncio.ensure_future(batcher.submit(s, deadline_ms=deadline_ms))
+                    for s in samples
+                ]
+                results = await asyncio.gather(*tasks)
+        except QueueSaturated as exc:
+            self._cancel_all(tasks)
+            raise _HttpError(429, str(exc), retry_after=0.05)
+        except DeadlineExceeded as exc:
+            self._cancel_all(tasks)
+            raise _HttpError(504, str(exc))
+        except ExecutionFailed as exc:
+            self._cancel_all(tasks)
+            raise _HttpError(500, str(exc))
+
+        if single:
+            result = results[0]
+            return {
+                "model": name,
+                "output": result.output[0].tolist(),
+                "batch_size": result.batch_size,
+                "queue_ms": result.queue_ms,
+                "run_ms": result.run_ms,
+            }
+        return {
+            "model": name,
+            "outputs": [r.output[0].tolist() for r in results],
+            "meta": [
+                {"batch_size": r.batch_size, "queue_ms": r.queue_ms, "run_ms": r.run_ms}
+                for r in results
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Background runner (tests, benchmarks, examples)
+# ---------------------------------------------------------------------------
+
+
+class ServerHandle:
+    """A server running on a daemon thread with its own event loop."""
+
+    def __init__(self, server: InferenceServer):
+        self.server = server
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def start(self, timeout: float = 30.0) -> "ServerHandle":
+        if not self._thread.is_alive() and not self._ready.is_set():
+            self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server did not become ready in time")
+        if self._failure is not None:
+            raise RuntimeError("server failed to start") from self._failure
+        return self
+
+    def _run(self) -> None:
+        async def main():
+            self._stop_event = asyncio.Event()
+            try:
+                await self.server.start()
+            except BaseException as exc:
+                self._failure = exc
+                self._ready.set()
+                return
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            try:
+                await self._stop_event.wait()
+            finally:
+                await self.server.stop()
+
+        asyncio.run(main())
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_in_background(
+    registry: ModelRegistry,
+    policy: Optional[BatchPolicy] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: Optional[int] = None,
+) -> ServerHandle:
+    """Start an :class:`InferenceServer` on a daemon thread (ephemeral port
+    by default) and block until it accepts connections."""
+    server = InferenceServer(
+        registry, policy=policy, host=host, port=port, workers=workers
+    )
+    return ServerHandle(server).start()

@@ -99,7 +99,7 @@ class TestFallback:
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(CompileError):
-            compile_model(Conv2d(3, 4, 3), backend="turbo")
+            compile_model(Conv2d(3, 4, 3), backend="warp")
 
 
 class TestRegistry:

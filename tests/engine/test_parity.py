@@ -5,9 +5,10 @@ The contract (ISSUE 1 acceptance criteria):
 * ``reference`` backend — *exact* equality with eager, float and
   quantized paths alike: it replays the same NumPy operations in the
   same order with observer ranges frozen at compile time;
-* ``fast`` backend — allclose on the float path (BN folding and fused
-  epilogues reassociate float arithmetic), and grid-exact or allclose on
-  quantized paths.
+* ``fast`` backend — allclose on the float path (BN folding, fused
+  epilogues and the Kronecker-form tile transforms reassociate float
+  arithmetic), and grid-exact or allclose on quantized paths (which keep
+  eager's nested transform order so quantization-bin decisions match).
 
 Covered: LeNet (5×5 filters), a ResNet-18-like net, SqueezeNet and
 grouped ResNeXt smoke configs, with and without quantization, plus every
@@ -51,6 +52,8 @@ def assert_parity(model, x: np.ndarray, quantized: bool):
     if quantized:
         # Fake-quant snapping absorbs reassociation noise almost always;
         # allow a fraction of the coarsest visible grid step otherwise.
+        # (Quantized Winograd steps deliberately keep eager's nested
+        # transform order — see _finalize_fast — so grid decisions match.)
         tol = max(1e-6, float(np.abs(expected).max()) * 1e-4)
         np.testing.assert_allclose(fast, expected, rtol=0, atol=tol)
     else:

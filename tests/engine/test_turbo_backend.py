@@ -1,0 +1,55 @@
+"""The ``turbo`` backend: numerics-relaxed quantized Winograd.
+
+Contract: identical to ``fast`` on float paths (both use the Kronecker
+tile transforms there), and on quantized paths it applies the Kronecker
+transforms too — same pipeline structure and frozen ranges, but grid
+decisions may differ from eager at bin boundaries, so parity is judged
+against the quantization step, not bitwise.
+"""
+
+import numpy as np
+
+from repro.engine import compile_model
+from repro.engine.registry import registry
+from repro.models.common import ConvSpec
+from repro.models.resnet import resnet18
+from repro.quant.qconfig import fp32, int8
+
+
+def test_turbo_equals_fast_on_float_models(rng):
+    model = resnet18(width_multiplier=0.125, spec=ConvSpec("F4", fp32()))
+    model.eval()
+    x = rng.standard_normal((2, 3, 32, 32)).astype(np.float32)
+    fast = compile_model(model, backend="fast").run(x)
+    turbo = compile_model(model, backend="turbo").run(x)
+    np.testing.assert_array_equal(turbo, fast)
+
+
+def test_turbo_uses_kron_on_quantized_steps(rng):
+    model = resnet18(width_multiplier=0.125, spec=ConvSpec("F4", int8()))
+    model.eval()
+    x = rng.standard_normal((2, 3, 32, 32)).astype(np.float32)
+
+    fast_plan = compile_model(model, backend="fast")
+    turbo_plan = compile_model(model, backend="turbo")
+    fast_steps = [s for s in fast_plan.steps if s.op == "winograd_conv2d"]
+    turbo_steps = [s for s in turbo_plan.steps if s.op == "winograd_conv2d"]
+    assert all("btk" not in s.attrs for s in fast_steps)  # eager grid order
+    assert all("btk" in s.attrs for s in turbo_steps)  # kron everywhere
+
+    # Same pipeline, same frozen ranges: outputs agree to within a few
+    # quantization steps of the final stage (not bitwise).
+    fast_out = fast_plan.run(x)
+    turbo_out = turbo_plan.run(x)
+    assert turbo_out.shape == fast_out.shape
+    scale = float(np.abs(fast_out).max())
+    assert np.median(np.abs(turbo_out - fast_out)) <= 0.05 * scale
+
+
+def test_turbo_kernel_resolution_falls_back():
+    # No kernel registers under "turbo" today: every op must resolve
+    # through the turbo → fast → reference chain.
+    assert registry.get("winograd_conv2d", "turbo") is registry.get(
+        "winograd_conv2d", "fast"
+    )
+    assert registry.get("concat", "turbo") is registry.get("concat", "reference")

@@ -1,0 +1,257 @@
+"""DynamicBatcher: coalescing, policy limits, deadlines, backpressure.
+
+These tests drive the batcher directly on a private event loop with stub
+plans (no HTTP, no compilation), so each scenario controls timing
+precisely.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.batcher import (
+    BatchPolicy,
+    DeadlineExceeded,
+    DynamicBatcher,
+    ExecutionFailed,
+    QueueSaturated,
+)
+
+
+class EchoPlan:
+    """Returns its input; records the batch sizes it saw."""
+
+    def __init__(self, delay_s: float = 0.0):
+        self.delay_s = delay_s
+        self.batch_sizes = []
+
+    def run(self, x):
+        self.batch_sizes.append(x.shape[0])
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return np.asarray(x) * 2.0
+
+
+class FailingPlan:
+    def run(self, x):
+        raise RuntimeError("kaboom")
+
+
+def sample(value: float) -> np.ndarray:
+    return np.full((1, 2, 2, 2), value, dtype=np.float32)
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_concurrent_submissions_share_one_batch(self):
+        async def scenario():
+            plan = EchoPlan(delay_s=0.01)
+            batcher = DynamicBatcher(
+                plan, BatchPolicy(max_batch_size=8, max_wait_ms=50, max_queue=64)
+            )
+            await batcher.start()
+            try:
+                results = await asyncio.gather(
+                    *(batcher.submit(sample(i)) for i in range(8))
+                )
+            finally:
+                await batcher.stop()
+            return plan, results
+
+        plan, results = run_async(scenario())
+        assert 8 in plan.batch_sizes
+        assert all(r.batch_size == 8 for r in results)
+        # Each request got exactly its own slice, in order.
+        for i, r in enumerate(results):
+            np.testing.assert_array_equal(r.output, sample(i) * 2.0)
+        hist = {
+            int(k): v
+            for k, v in (
+                (size, plan.batch_sizes.count(size)) for size in set(plan.batch_sizes)
+            )
+        }
+        assert hist.get(8) == 1
+
+    def test_max_batch_size_is_honoured(self):
+        async def scenario():
+            plan = EchoPlan(delay_s=0.005)
+            batcher = DynamicBatcher(
+                plan,
+                BatchPolicy(max_batch_size=4, max_wait_ms=50, max_queue=64),
+                max_inflight=1,
+            )
+            await batcher.start()
+            try:
+                await asyncio.gather(*(batcher.submit(sample(i)) for i in range(10)))
+            finally:
+                await batcher.stop()
+            return plan
+
+        plan = run_async(scenario())
+        assert max(plan.batch_sizes) <= 4
+        assert sum(plan.batch_sizes) == 10
+
+    def test_single_request_runs_alone_after_wait(self):
+        async def scenario():
+            plan = EchoPlan()
+            batcher = DynamicBatcher(
+                plan, BatchPolicy(max_batch_size=8, max_wait_ms=1, max_queue=8)
+            )
+            await batcher.start()
+            try:
+                result = await batcher.submit(sample(3.0))
+            finally:
+                await batcher.stop()
+            return result
+
+        result = run_async(scenario())
+        assert result.batch_size == 1
+        np.testing.assert_array_equal(result.output, sample(3.0) * 2.0)
+
+    def test_metrics_batch_histogram(self):
+        async def scenario():
+            plan = EchoPlan(delay_s=0.01)
+            batcher = DynamicBatcher(
+                plan, BatchPolicy(max_batch_size=8, max_wait_ms=50, max_queue=64)
+            )
+            await batcher.start()
+            try:
+                await asyncio.gather(*(batcher.submit(sample(i)) for i in range(8)))
+            finally:
+                await batcher.stop()
+            return batcher.metrics.snapshot()
+
+        snap = run_async(scenario())
+        assert snap["requests_total"] == 8
+        assert snap["responses_total"] == 8
+        assert snap["batch_size_hist"].get("8") == 1
+        assert snap["mean_batch_size"] == 8.0
+        assert snap["latency"]["count"] == 8
+
+
+class TestFailureModes:
+    def test_backpressure_raises_queue_saturated(self):
+        async def scenario():
+            plan = EchoPlan(delay_s=0.05)
+            batcher = DynamicBatcher(
+                plan,
+                BatchPolicy(max_batch_size=1, max_wait_ms=0, max_queue=2),
+                max_inflight=1,
+            )
+            await batcher.start()
+            rejected = 0
+            tasks = []
+            try:
+                for i in range(12):
+                    try:
+                        tasks.append(
+                            asyncio.ensure_future(batcher.submit(sample(i)))
+                        )
+                        await asyncio.sleep(0)  # let the queue fill
+                    except QueueSaturated:
+                        rejected += 1
+                results = await asyncio.gather(*tasks, return_exceptions=True)
+            finally:
+                await batcher.stop()
+            rejected += sum(isinstance(r, QueueSaturated) for r in results)
+            return rejected, batcher.metrics.snapshot()
+
+        rejected, snap = run_async(scenario())
+        assert rejected > 0
+        assert snap["rejected_total"] == rejected
+
+    def test_expired_request_never_executes(self):
+        async def scenario():
+            plan = EchoPlan(delay_s=0.08)
+            batcher = DynamicBatcher(
+                plan,
+                BatchPolicy(max_batch_size=1, max_wait_ms=0, max_queue=16),
+                max_inflight=1,
+            )
+            await batcher.start()
+            try:
+                first = asyncio.ensure_future(batcher.submit(sample(0)))
+                await asyncio.sleep(0.005)  # first is now running (80 ms)
+                # The second request can only dispatch after ~80 ms, far
+                # past its 20 ms deadline: it must fail without running.
+                with pytest.raises(DeadlineExceeded):
+                    await batcher.submit(sample(1), deadline_ms=20)
+                await first
+            finally:
+                await batcher.stop()
+            return plan, batcher.metrics.snapshot()
+
+        plan, snap = run_async(scenario())
+        assert sum(plan.batch_sizes) == 1  # the expired sample never ran
+        assert snap["deadline_exceeded_total"] == 1
+
+    def test_kernel_failure_maps_to_execution_failed(self):
+        async def scenario():
+            batcher = DynamicBatcher(
+                FailingPlan(), BatchPolicy(max_batch_size=4, max_wait_ms=1)
+            )
+            await batcher.start()
+            try:
+                with pytest.raises(ExecutionFailed, match="kaboom"):
+                    await batcher.submit(sample(0))
+            finally:
+                await batcher.stop()
+            return batcher.metrics.snapshot()
+
+        snap = run_async(scenario())
+        assert snap["errors_total"] == 1
+
+    def test_submit_before_start_raises(self):
+        async def scenario():
+            batcher = DynamicBatcher(EchoPlan())
+            with pytest.raises(RuntimeError, match="not started"):
+                await batcher.submit(sample(0))
+
+        run_async(scenario())
+
+    def test_zero_deadline_disables_expiry(self):
+        async def scenario():
+            plan = EchoPlan(delay_s=0.03)
+            batcher = DynamicBatcher(
+                plan,
+                BatchPolicy(
+                    max_batch_size=1, max_wait_ms=0, max_queue=16,
+                    default_deadline_ms=0,
+                ),
+                max_inflight=1,
+            )
+            await batcher.start()
+            try:
+                results = await asyncio.gather(
+                    *(batcher.submit(sample(i)) for i in range(3))
+                )
+            finally:
+                await batcher.stop()
+            return results
+
+        results = run_async(scenario())
+        assert len(results) == 3
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_batch_size": 0},
+            {"max_wait_ms": -1},
+            {"max_queue": 0},
+        ],
+    )
+    def test_invalid_policy_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BatchPolicy(**kwargs)
+
+    def test_policy_to_dict(self):
+        policy = BatchPolicy(max_batch_size=4, max_wait_ms=2.5)
+        assert policy.to_dict()["max_batch_size"] == 4
+        assert policy.to_dict()["max_wait_ms"] == 2.5

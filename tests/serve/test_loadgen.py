@@ -1,0 +1,44 @@
+"""Load generator: closed-loop stats and the bit-identity checker."""
+
+import numpy as np
+
+from repro.engine import PlanCache
+from repro.serve import (
+    BatchPolicy,
+    ModelRegistry,
+    check_bit_identity,
+    run_load,
+    start_in_background,
+)
+
+MODEL = "lenet-F2-int8@reference"
+
+
+def test_run_load_and_identity_against_reference():
+    registry = ModelRegistry(cache=PlanCache())
+    served = registry.load(MODEL)
+    samples = np.random.default_rng(0).standard_normal((8, 1, 28, 28)).astype(
+        np.float32
+    )
+    with start_in_background(
+        registry,
+        policy=BatchPolicy(max_batch_size=8, max_wait_ms=2, max_queue=64),
+        workers=2,
+    ) as handle:
+        assert check_bit_identity(
+            handle.base_url, served.name, served.plan, samples, concurrency=4
+        )
+        stats = run_load(
+            handle.base_url,
+            served.name,
+            samples,
+            concurrency=4,
+            total_requests=24,
+            warmup_requests=2,
+        )
+    assert stats["completed"] == 24
+    assert stats["failed_by_status"] == {}
+    assert stats["throughput_rps"] > 0
+    assert stats["p50_ms"] > 0 and stats["p99_ms"] >= stats["p50_ms"]
+    assert stats["batches"] > 0
+    assert 1.0 <= stats["mean_batch_size"] <= 8.0

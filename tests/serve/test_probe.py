@@ -1,0 +1,82 @@
+"""Served-latency probe and the WiNAS ``latency_source="served"`` hookup."""
+
+import numpy as np
+import pytest
+
+from repro.serve.batcher import BatchPolicy
+from repro.serve.probe import served_latency_ms
+
+
+class SleepyPlan:
+    def __init__(self, delay_s: float):
+        self.delay_s = delay_s
+        self.calls = 0
+
+    def run(self, x):
+        import time
+
+        self.calls += 1
+        time.sleep(self.delay_s)
+        return np.zeros((x.shape[0], 2), dtype=np.float32)
+
+
+def test_served_latency_reflects_plan_cost():
+    x = np.zeros((1, 2, 4, 4), dtype=np.float32)
+    slow = served_latency_ms(SleepyPlan(0.02), x, concurrency=2, requests_per_client=2)
+    fast = served_latency_ms(SleepyPlan(0.0), x, concurrency=2, requests_per_client=2)
+    assert slow > fast
+    assert slow >= 20.0  # at least one 20 ms run per request batch
+
+    # Batching amortises the sleep across concurrent clients: mean
+    # per-request latency stays near one run, not concurrency × run.
+    assert slow < 4 * 20.0 * 2
+
+
+def test_probe_batches_concurrent_clients():
+    plan = SleepyPlan(0.005)
+    x = np.zeros((1, 2, 4, 4), dtype=np.float32)
+    served_latency_ms(plan, x, concurrency=8, requests_per_client=2)
+    # 1 warmup + 16 requests; coalescing means far fewer than 17 runs.
+    assert plan.calls < 17
+
+
+def test_probe_policy_override():
+    plan = SleepyPlan(0.0)
+    x = np.zeros((1, 2, 4, 4), dtype=np.float32)
+    policy = BatchPolicy(max_batch_size=1, max_wait_ms=0, max_queue=64)
+    served_latency_ms(plan, x, concurrency=4, requests_per_client=1, policy=policy)
+    assert plan.calls == 5  # warmup + one run per request: no batching
+
+
+@pytest.mark.slow
+def test_winas_served_source_populates_latencies():
+    from repro.models.resnet import resnet18
+    from repro.nas.search_space import Candidate
+    from repro.nas.winas import SearchConfig, WiNAS
+
+    candidates = [Candidate("im2row", "fp32", False), Candidate("F4", "fp32", False)]
+    plan = WiNAS.make_plan(candidates)
+    model = resnet18(width_multiplier=0.125, plan=plan)
+    nas = WiNAS(
+        model,
+        SearchConfig(latency_source="served", served_concurrency=2),
+    )
+    x = np.zeros((1, 3, 16, 16), dtype=np.float32)
+    nas.populate_latencies(x)
+    assert all(op.latencies_ms is not None for op in nas.mixed_ops)
+    assert all(len(op.latencies_ms) == 2 for op in nas.mixed_ops)
+    assert all((op.latencies_ms > 0).all() for op in nas.mixed_ops)
+
+
+def test_unknown_latency_source_rejected():
+    from repro.models.resnet import resnet18
+    from repro.nas.search_space import Candidate
+    from repro.nas.winas import WiNAS
+
+    candidates = [Candidate("im2row", "fp32", False)]
+    model = resnet18(width_multiplier=0.125, plan=WiNAS.make_plan(candidates))
+    nas = WiNAS(model)
+    with pytest.raises(ValueError, match="latency source"):
+        nas.populate_latencies(
+            np.zeros((1, 3, 16, 16), dtype=np.float32), source="wishful"
+        )

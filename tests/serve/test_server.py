@@ -1,0 +1,296 @@
+"""End-to-end HTTP serving tests over a live asyncio server.
+
+One module-scoped server (LeNet F2 int8, both backends) backs the happy
+paths; failure-mode tests spin dedicated servers with stub models so
+saturation and kernel failures are deterministic.  The concurrency test
+doubles as the CI smoke contract: N parallel clients, responses
+bit-identical to direct ``CompiledPlan.run``, every response within its
+deadline.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import PlanCache
+from repro.serve import (
+    BatchPolicy,
+    ModelRegistry,
+    ServeClient,
+    ServeError,
+    start_in_background,
+    wait_until_ready,
+)
+from repro.serve.registry import ModelSpec, ServedModel
+
+MODEL = "lenet-F2-int8"
+REF_MODEL = "lenet-F2-int8@reference"
+
+
+@pytest.fixture(scope="module")
+def server():
+    registry = ModelRegistry(cache=PlanCache())
+    registry.load(MODEL)
+    registry.load(REF_MODEL)
+    handle = start_in_background(
+        registry,
+        policy=BatchPolicy(max_batch_size=8, max_wait_ms=2.0, max_queue=64),
+        workers=2,
+    )
+    try:
+        wait_until_ready(handle.base_url)
+        yield handle, registry
+    finally:
+        handle.stop()
+
+
+@pytest.fixture
+def client(server):
+    handle, _ = server
+    with ServeClient(handle.base_url) as c:
+        yield c
+
+
+def _samples(n):
+    return np.random.default_rng(3).standard_normal((n, 1, 28, 28)).astype(
+        np.float32
+    )
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert MODEL in health["models"]
+
+    def test_models_lists_specs_and_policy(self, client):
+        info = client.models()
+        names = {m["name"] for m in info["models"]}
+        assert {MODEL, REF_MODEL} <= names
+        entry = next(m for m in info["models"] if m["name"] == MODEL)
+        assert entry["sample_shape"] == [1, 28, 28]
+        assert entry["plan_steps"] > 0
+        assert info["policy"]["max_batch_size"] == 8
+
+    def test_metrics_shape(self, client):
+        client.predict(_samples(1)[0], model=MODEL)
+        metrics = client.metrics()
+        assert metrics["uptime_s"] > 0
+        assert "plan_cache" in metrics and "hit_rate" in metrics["plan_cache"]
+        model_metrics = metrics["models"][MODEL]
+        for key in (
+            "requests_total",
+            "responses_total",
+            "rejected_total",
+            "deadline_exceeded_total",
+            "batches_total",
+            "batch_size_hist",
+            "latency",
+            "queue",
+            "run",
+        ):
+            assert key in model_metrics
+        assert model_metrics["responses_total"] >= 1
+        assert model_metrics["latency"]["p99_ms"] >= model_metrics["latency"]["p50_ms"]
+
+    def test_unknown_route_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_unknown_model_404(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.predict_raw(_samples(1)[0], model="resnet18-w0.25-F4-int8")
+        assert excinfo.value.status == 404
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"model": MODEL},  # no input
+            {"model": MODEL, "input": [[1.0, 2.0]]},  # wrong shape
+            {"model": MODEL, "inputs": []},  # empty batch
+            {"model": MODEL, "input": "zzz", "encoding": "b64"},  # bad b64
+            {"model": MODEL, "input": [[0.0]], "encoding": "nope"},
+        ],
+    )
+    def test_bad_requests_400(self, client, payload):
+        with pytest.raises(ServeError) as excinfo:
+            client.request("POST", "/predict", payload)
+        assert excinfo.value.status == 400
+
+    def test_model_optional_when_ambiguous_is_400(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.request("POST", "/predict", {"input": _samples(1)[0].tolist()})
+        assert excinfo.value.status == 400  # two models are loaded
+
+
+class TestPredictions:
+    def test_single_predict_matches_plan_bitwise(self, server, client):
+        _, registry = server
+        x = _samples(1)[0]
+        for name in (MODEL, REF_MODEL):
+            out = client.predict(x, model=name)
+            expected = registry.get(name).plan.run(x[None])[0]
+            np.testing.assert_array_equal(out, expected)
+
+    def test_b64_encoding_matches_json(self, client):
+        x = _samples(1)[0]
+        json_out = client.predict(x, model=MODEL, encoding="json")
+        b64_out = client.predict(x, model=MODEL, encoding="b64")
+        np.testing.assert_array_equal(json_out, b64_out)
+
+    def test_multi_sample_request(self, server, client):
+        # Reference backend: per-sample results are exact regardless of
+        # how the server coalesced the five samples.
+        _, registry = server
+        xs = _samples(5)
+        outputs, meta = client.predict_many(list(xs), model=REF_MODEL)
+        plan = registry.get(REF_MODEL).plan
+        assert len(outputs) == 5 and len(meta) == 5
+        for x, out in zip(xs, outputs):
+            np.testing.assert_array_equal(out, plan.run(x[None])[0])
+        assert all(m["batch_size"] >= 1 for m in meta)
+
+    def test_concurrent_clients_identical_and_within_deadline(self, server):
+        """The CI smoke contract: 16 threads × 4 requests, bit-identical
+        to direct plan.run on both backends, p99 within the deadline."""
+        handle, registry = server
+        xs = _samples(8)
+        deadline_ms = 5000.0
+        errors, latencies = [], []
+        lock = threading.Lock()
+
+        def worker(worker_id: int):
+            # Bit-identity under arbitrary coalescing is the reference
+            # backend's contract (fast-backend GEMM blocking can round
+            # differently per batch shape), so all workers pin it.
+            name = REF_MODEL
+            plan = registry.get(name).plan
+            try:
+                with ServeClient(handle.base_url) as c:
+                    for j in range(4):
+                        x = xs[(worker_id + j) % len(xs)]
+                        t0 = time.perf_counter()
+                        out = c.predict(x, model=name, deadline_ms=deadline_ms)
+                        dt_ms = (time.perf_counter() - t0) * 1e3
+                        expected = plan.run(x[None])[0]
+                        if not np.array_equal(out, expected):
+                            raise AssertionError(f"mismatch on {name}")
+                        with lock:
+                            latencies.append(dt_ms)
+            except Exception as exc:  # noqa: BLE001 — reported below
+                with lock:
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        assert len(latencies) == 64
+        p99 = float(np.percentile(latencies, 99))
+        assert p99 < deadline_ms
+
+    def test_responses_report_batching_metadata(self, client):
+        response = client.predict_raw(_samples(1)[0], model=MODEL)
+        assert response["batch_size"] >= 1
+        assert response["queue_ms"] >= 0
+        assert response["run_ms"] > 0
+
+
+class TestFailureModes:
+    def _stub_registry(self, delay_s: float):
+        class SlowPlan:
+            backend = "fast"
+
+            def run(self, x):
+                time.sleep(delay_s)
+                return np.zeros((x.shape[0], 4), dtype=np.float32)
+
+        registry = ModelRegistry(cache=PlanCache())
+        registry.add(
+            ServedModel(
+                spec=ModelSpec.parse("lenet-F2-fp32"),
+                plan=SlowPlan(),
+                sample_shape=(1, 28, 28),
+            )
+        )
+        return registry
+
+    def test_saturated_queue_returns_429_with_retry_after(self):
+        registry = self._stub_registry(delay_s=0.2)
+        with start_in_background(
+            registry,
+            policy=BatchPolicy(max_batch_size=1, max_wait_ms=0, max_queue=1),
+            workers=1,
+        ) as handle:
+            statuses, lock = [], threading.Lock()
+            x = np.zeros((1, 28, 28), dtype=np.float32)
+
+            def fire():
+                try:
+                    with ServeClient(handle.base_url) as c:
+                        c.predict(x)
+                except ServeError as exc:
+                    with lock:
+                        statuses.append(exc.status)
+
+            threads = [threading.Thread(target=fire) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert 429 in statuses
+            with ServeClient(handle.base_url) as c:
+                assert c.metrics()["models"]["lenet-F2-fp32"]["rejected_total"] > 0
+
+    def test_expired_deadline_returns_504(self):
+        registry = self._stub_registry(delay_s=0.15)
+        with start_in_background(
+            registry,
+            policy=BatchPolicy(max_batch_size=1, max_wait_ms=0, max_queue=16),
+            workers=1,
+        ) as handle:
+            x = np.zeros((1, 28, 28), dtype=np.float32)
+            statuses, lock = [], threading.Lock()
+
+            def fire():
+                try:
+                    with ServeClient(handle.base_url) as c:
+                        c.predict(x, deadline_ms=50)
+                except ServeError as exc:
+                    with lock:
+                        statuses.append(exc.status)
+
+            # First request occupies the worker ~150 ms; followers with
+            # 50 ms deadlines expire in the queue.
+            threads = [threading.Thread(target=fire) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert 504 in statuses
+
+    def test_kernel_failure_returns_500(self):
+        class BrokenPlan:
+            backend = "fast"
+
+            def run(self, x):
+                raise ValueError("bad kernel")
+
+        registry = ModelRegistry(cache=PlanCache())
+        registry.add(
+            ServedModel(
+                spec=ModelSpec.parse("lenet-F2-fp32"),
+                plan=BrokenPlan(),
+                sample_shape=(1, 28, 28),
+            )
+        )
+        with start_in_background(registry, workers=1) as handle:
+            with ServeClient(handle.base_url) as c:
+                with pytest.raises(ServeError) as excinfo:
+                    c.predict(np.zeros((1, 28, 28), dtype=np.float32))
+                assert excinfo.value.status == 500
