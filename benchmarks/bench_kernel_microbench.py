@@ -11,7 +11,6 @@ smoke models, and persists the speedup summary to ``BENCH_engine.json``
 at the repo root so the perf trajectory is tracked across PRs.
 """
 
-import json
 import pathlib
 
 import numpy as np
@@ -66,26 +65,9 @@ def test_kernel_winograd_layer_forward(benchmark, workload):
 
 def _engine_workloads():
     """The smoke models the engine-vs-eager comparison covers."""
-    from repro.models.common import ConvSpec
-    from repro.models.lenet import lenet
-    from repro.models.resnet import resnet18
-    from repro.quant.qconfig import int8
+    from repro.bench import _engine_workloads as build
 
-    rng = np.random.default_rng(0)
-    return {
-        "lenet-F2": (
-            lenet(spec=ConvSpec("F2")),
-            rng.standard_normal((16, 1, 28, 28)).astype(np.float32),
-        ),
-        "resnet18-w0.25-F4": (
-            resnet18(width_multiplier=0.25, spec=ConvSpec("F4")),
-            rng.standard_normal((8, 3, 32, 32)).astype(np.float32),
-        ),
-        "resnet18-w0.25-F4-int8": (
-            resnet18(width_multiplier=0.25, spec=ConvSpec("F4", int8())),
-            rng.standard_normal((8, 3, 32, 32)).astype(np.float32),
-        ),
-    }
+    return build(seed=0)
 
 
 @pytest.fixture(scope="module")
@@ -124,46 +106,45 @@ def test_eager_forward(benchmark, engine_workloads, name):
     assert result.shape[0] == x.shape[0]
 
 
+@pytest.mark.parametrize("name", ["resnet18-w0.25-F4-int8"])
+def test_engine_int8_backend_forward(benchmark, engine_workloads, name):
+    from repro.engine import compile_model
+
+    model, x = engine_workloads[name]
+    plan = compile_model(model, backend="int8")
+    result = benchmark(plan.run, x)
+    assert result.shape[0] == x.shape[0]
+
+
 def test_bench_engine_vs_eager(benchmark, engine_workloads):
     """Engine-vs-eager speedups, persisted to BENCH_engine.json.
 
-    The batched ResNet smoke workload is the acceptance gate: the
-    compiled fast plan must beat the eager forward by a clear margin.
+    Two acceptance gates ride on this report (see repro.bench for the
+    measurement itself, shared with the ``repro bench engine`` CLI):
+
+    * the compiled fast plan must beat the eager forward by a clear
+      margin on the batched ResNet smoke workload;
+    * the int8 anomaly must stay inverted — the quantized model on its
+      native int8 backend at least matches fp32 on the fast backend,
+      instead of being ~2x slower like int8@fast.
     """
-    from repro.autograd import Tensor, no_grad
-    from repro.engine import compile_model, measure_callable_ms
+    from repro.bench import run_engine_benchmark
+    from repro.engine import compile_model
 
-    summary = []
-    for name, (model, x) in engine_workloads.items():
-        fast = compile_model(model, backend="fast")
-        reference = compile_model(model, backend="reference")
-
-        def eager():
-            with no_grad():
-                return model(Tensor(x))
-
-        eager_ms = measure_callable_ms(eager, repeats=5, warmup=2)
-        fast_ms = measure_callable_ms(fast.run, x, repeats=5, warmup=2)
-        reference_ms = measure_callable_ms(reference.run, x, repeats=5, warmup=2)
-        summary.append(
-            {
-                "workload": name,
-                "batch": int(x.shape[0]),
-                "eager_ms": round(eager_ms, 3),
-                "engine_fast_ms": round(fast_ms, 3),
-                "engine_reference_ms": round(reference_ms, 3),
-                "speedup_fast": round(eager_ms / fast_ms, 3),
-                "speedup_reference": round(eager_ms / reference_ms, 3),
-            }
-        )
-
-    (REPO_ROOT / "BENCH_engine.json").write_text(
-        json.dumps({"benchmark": "bench_engine_vs_eager", "results": summary}, indent=2)
-        + "\n"
-    )
+    report = run_engine_benchmark(out_path=str(REPO_ROOT / "BENCH_engine.json"))
+    summary = report["results"]
 
     resnet = next(r for r in summary if r["workload"] == "resnet18-w0.25-F4")
     model, x = engine_workloads["resnet18-w0.25-F4"]
     plan = compile_model(model, backend="fast")
     benchmark(plan.run, x)
     assert resnet["speedup_fast"] >= 1.2, f"engine regressed vs eager: {resnet}"
+
+    anomaly = report["int8_anomaly"]
+    # same-run comparison; 10% grace absorbs shared-runner timing noise
+    assert anomaly["int8_native_ms"] <= 1.10 * anomaly["fp32_fast_ms"], (
+        f"int8 anomaly regressed: {anomaly}"
+    )
+    assert anomaly["int8_native_ms"] < anomaly["int8_fast_ms"], (
+        f"native int8 slower than simulated int8: {anomaly}"
+    )

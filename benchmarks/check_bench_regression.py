@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Benchmark-regression guard: fresh BENCH_engine.json vs the committed one.
+
+Compares the *speedup* columns (engine vs eager, measured in the same
+run, so they are machine-relative and comparable across hosts) of every
+workload present in both reports.  Fails when any fresh speedup drops
+more than ``--tolerance`` (default 25%) below the committed baseline,
+and when the int8 anomaly regresses (native int8 slower than fp32-fast
+by more than the tolerance).
+
+Usage (CI)::
+
+    cp BENCH_engine.json /tmp/bench_baseline.json   # before re-running
+    ... run the benchmark (rewrites BENCH_engine.json) ...
+    python benchmarks/check_bench_regression.py \
+        --baseline /tmp/bench_baseline.json --fresh BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def check(baseline: dict, fresh: dict, tolerance: float) -> list:
+    failures = []
+    fresh_rows = {r["workload"]: r for r in fresh.get("results", [])}
+    for base_row in baseline.get("results", []):
+        name = base_row["workload"]
+        fresh_row = fresh_rows.get(name)
+        if fresh_row is None:
+            failures.append(f"{name}: workload disappeared from the fresh report")
+            continue
+        for key, base_value in base_row.items():
+            if not key.startswith("speedup_"):
+                continue
+            fresh_value = fresh_row.get(key)
+            if fresh_value is None:
+                failures.append(f"{name}: column {key} disappeared")
+                continue
+            floor = (1.0 - tolerance) * base_value
+            if fresh_value < floor:
+                failures.append(
+                    f"{name}: {key} regressed {base_value:.3f} -> "
+                    f"{fresh_value:.3f} (floor {floor:.3f})"
+                )
+    anomaly = fresh.get("int8_anomaly")
+    if anomaly is not None:
+        ceiling = (1.0 + tolerance) * anomaly["fp32_fast_ms"]
+        if anomaly["int8_native_ms"] > ceiling:
+            failures.append(
+                "int8 anomaly regressed: native int8 "
+                f"{anomaly['int8_native_ms']:.3f} ms vs fp32-fast "
+                f"{anomaly['fp32_fast_ms']:.3f} ms (ceiling {ceiling:.3f})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed BENCH_engine.json")
+    parser.add_argument("--fresh", required=True, help="freshly measured report")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional speedup drop per workload (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.fresh) as fh:
+        fresh = json.load(fh)
+    failures = check(baseline, fresh, args.tolerance)
+    if failures:
+        print("benchmark regression detected:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    workloads = [r["workload"] for r in fresh.get("results", [])]
+    print(f"benchmark guard ok ({len(workloads)} workloads, "
+          f"tolerance {args.tolerance:.0%}): {', '.join(workloads)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

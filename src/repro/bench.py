@@ -1,0 +1,153 @@
+"""Registered benchmarks, runnable by name via ``repro bench <name>``.
+
+Each benchmark is a callable returning a JSON-serialisable report and
+writing it to its ``BENCH_*.json`` file at the repo root (or ``--out``),
+so perf trajectories are tracked across PRs and CI can diff a fresh run
+against the committed baseline (``benchmarks/check_bench_regression.py``).
+
+* ``engine`` — compiled-engine vs eager forward on the smoke workloads,
+  including the native ``int8`` backend column (writes ``BENCH_engine.json``);
+* ``serve``  — dynamic-batching serving policy sweep (writes
+  ``BENCH_serve.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Callable, Dict, Optional
+
+#: name -> (runner, description).  A runner takes (out_path, quick, seed)
+#: and returns the report dict it wrote.
+BENCHMARKS: Dict[str, tuple] = {}
+
+
+def register_benchmark(name: str, description: str):
+    def decorator(fn: Callable) -> Callable:
+        BENCHMARKS[name] = (fn, description)
+        return fn
+
+    return decorator
+
+
+def run_benchmark(
+    name: str, out: Optional[str] = None, quick: bool = False, seed: int = 0
+) -> dict:
+    if name not in BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; registered: {sorted(BENCHMARKS)}"
+        )
+    runner, _ = BENCHMARKS[name]
+    return runner(out_path=out, quick=quick, seed=seed)
+
+
+def _engine_workloads(seed: int):
+    """Smoke models for the engine-vs-eager comparison (one fp32 and one
+    int8 variant of the batched ResNet workload, so the int8-vs-fp32
+    anomaly check compares like against like)."""
+    import numpy as np
+
+    from repro.models.common import ConvSpec
+    from repro.models.lenet import lenet
+    from repro.models.resnet import resnet18
+    from repro.quant.qconfig import int8
+
+    rng = np.random.default_rng(seed)
+    return {
+        "lenet-F2": (
+            lenet(spec=ConvSpec("F2")),
+            rng.standard_normal((16, 1, 28, 28)).astype(np.float32),
+        ),
+        "resnet18-w0.25-F4": (
+            resnet18(width_multiplier=0.25, spec=ConvSpec("F4")),
+            rng.standard_normal((8, 3, 32, 32)).astype(np.float32),
+        ),
+        "resnet18-w0.25-F4-int8": (
+            resnet18(width_multiplier=0.25, spec=ConvSpec("F4", int8())),
+            rng.standard_normal((8, 3, 32, 32)).astype(np.float32),
+        ),
+    }
+
+
+@register_benchmark("engine", "compiled engine vs eager forward (BENCH_engine.json)")
+def run_engine_benchmark(
+    out_path: Optional[str] = None, quick: bool = False, seed: int = 0
+) -> dict:
+    """Engine-vs-eager speedups across backends, persisted as JSON.
+
+    Quantized workloads get ``turbo`` and native ``int8`` backend columns
+    next to ``fast``; the report records whether the int8 anomaly is
+    inverted (int8 on its native backend beating fp32 on ``fast``).
+    """
+    import numpy as np
+
+    from repro.autograd import Tensor, no_grad
+    from repro.engine import compile_model, measure_callable_ms
+
+    repeats = 3 if quick else 7
+    warmup = 1 if quick else 2
+    workloads = _engine_workloads(seed)
+    for model, x in workloads.values():
+        model.eval()
+        with no_grad():  # warm quantizer observers so plans freeze ranges
+            model(Tensor(x))
+
+    summary = []
+    for name, (model, x) in workloads.items():
+        quantized = name.endswith("int8")
+
+        def eager():
+            with no_grad():
+                return model(Tensor(x))
+
+        row = {
+            "workload": name,
+            "batch": int(x.shape[0]),
+            "eager_ms": round(measure_callable_ms(eager, repeats=repeats, warmup=warmup), 3),
+        }
+        backends = ("fast", "reference") + (("turbo", "int8") if quantized else ())
+        for backend in backends:
+            plan = compile_model(model, backend=backend)
+            ms = measure_callable_ms(plan.run, x, repeats=repeats, warmup=warmup)
+            row[f"engine_{backend}_ms"] = round(ms, 3)
+            row[f"speedup_{backend}"] = round(row["eager_ms"] / ms, 3)
+        summary.append(row)
+
+    fp32_row = next(r for r in summary if r["workload"] == "resnet18-w0.25-F4")
+    int8_row = next(r for r in summary if r["workload"] == "resnet18-w0.25-F4-int8")
+    report = {
+        "benchmark": "bench_engine_vs_eager",
+        "results": summary,
+        "int8_anomaly": {
+            "fp32_fast_ms": fp32_row["engine_fast_ms"],
+            "int8_fast_ms": int8_row["engine_fast_ms"],
+            "int8_native_ms": int8_row["engine_int8_ms"],
+            "inverted": int8_row["engine_int8_ms"] < fp32_row["engine_fast_ms"],
+        },
+    }
+    path = pathlib.Path(out_path) if out_path else _repo_root() / "BENCH_engine.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+@register_benchmark("serve", "dynamic-batching serving policy sweep (BENCH_serve.json)")
+def run_serve_benchmark(
+    out_path: Optional[str] = None, quick: bool = False, seed: int = 0
+) -> dict:
+    """``seed`` is accepted for runner-signature uniformity but unused:
+    the sweep's model/load seeds are fixed by the served ModelSpec."""
+    from repro.serve import benchmark_serving
+
+    return benchmark_serving(
+        out_path=out_path or str(_repo_root() / "BENCH_serve.json"),
+        quick=quick,
+    )
+
+
+def _repo_root() -> pathlib.Path:
+    """Repo root when run from a checkout; cwd otherwise."""
+    here = pathlib.Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pytest.ini").exists() or (parent / ".git").exists():
+            return parent
+    return pathlib.Path.cwd()

@@ -7,7 +7,9 @@ Usage::
     python -m repro.cli run figure7
     python -m repro.cli run figure4 --scale quick --out figure4.txt
     python -m repro.cli infer --model resnet18 --algorithm F4 --compare
-    python -m repro.cli serve --model resnet18-w0.25-F4-int8 --port 8100
+    python -m repro.cli infer --quant int8 --backend int8 --compare
+    python -m repro.cli bench engine
+    python -m repro.cli serve --model resnet18-w0.25-F4-int8@int8 --port 8100
     python -m repro.cli loadgen --url http://127.0.0.1:8100 --concurrency 16
 
 (Installed via the ``repro`` console script: ``repro serve ...``.)
@@ -16,6 +18,8 @@ Usage::
 measured-vs-published report; see EXPERIMENTS.md for how to read them.
 ``infer`` compiles a smoke model with :mod:`repro.engine` and reports
 compiled-plan wall-clock (optionally against the eager forward).
+``bench`` runs any benchmark registered in :mod:`repro.bench` and writes
+its ``BENCH_*.json`` report.
 ``serve`` starts the dynamic-batching inference server
 (:mod:`repro.serve`) over one or more compiled variants; ``loadgen``
 drives a running server with concurrent closed-loop clients, or with
@@ -85,7 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     infer.add_argument("--batch", type=int, default=8)
     infer.add_argument(
-        "--backend", default="fast", choices=("fast", "reference", "turbo")
+        "--backend", default="fast", choices=("fast", "reference", "turbo", "int8")
     )
     infer.add_argument("--repeats", type=int, default=5)
     infer.add_argument("--seed", type=int, default=0)
@@ -121,6 +125,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=2000.0,
         help="default per-request deadline (<= 0 disables)",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="run a registered benchmark and write its BENCH_*.json"
+    )
+    bench.add_argument(
+        "name",
+        help="benchmark name (see 'repro bench list'), or 'list'",
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="fewer repeats, for CI smoke"
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--out", default=None, help="report path (default: BENCH_<name>.json at repo root)"
     )
 
     loadgen = sub.add_parser(
@@ -308,10 +327,34 @@ def run_loadgen(args) -> int:
     return 0
 
 
+def run_bench(args) -> int:
+    """The ``repro bench`` subcommand: run a registered benchmark."""
+    import json
+
+    from repro.bench import BENCHMARKS, run_benchmark
+
+    if args.name == "list":
+        for name, (_, description) in sorted(BENCHMARKS.items()):
+            print(f"{name:12s} {description}")
+        return 0
+    if args.name not in BENCHMARKS:
+        print(
+            f"error: unknown benchmark {args.name!r}; "
+            f"choose from {sorted(BENCHMARKS)} (or 'list')",
+            file=sys.stderr,
+        )
+        return 2
+    report = run_benchmark(args.name, out=args.out, quick=args.quick, seed=args.seed)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "infer":
         return run_infer(args)
+    if args.command == "bench":
+        return run_bench(args)
     if args.command == "serve":
         return run_serve(args)
     if args.command == "loadgen":

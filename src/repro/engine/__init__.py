@@ -26,18 +26,24 @@ eager eval-mode forward (including every fake-quantization stage with
 frozen observer ranges), so its outputs match eager bit-for-bit; the
 ``fast`` backend trades that for speed (folded BN, fused ReLU, strided
 tile extraction, 1×1-conv shortcuts) and matches to float tolerance.
+The ``int8`` backend (:mod:`repro.engine.int8`) executes quantized
+layers natively on the integer codes of the fake-quant grids — integer
+GEMMs with compile-time accumulator-bound proofs, fused requantization,
+and integer handoffs between adjacent quantized layers — making
+quantized inference faster than fp32 instead of slower.
 """
 
 from repro.engine.cache import PlanCache, get_cached_plan, plan_cache
 from repro.engine.compile import CompileError, compile_model
 from repro.engine.plan import CompiledPlan, Step
-from repro.engine.registry import KernelRegistry, register_kernel, registry
+from repro.engine.registry import BACKENDS, KernelRegistry, register_kernel, registry
 from repro.engine.timing import measure_callable_ms, measure_plan_ms
 
 # Importing the kernels module registers every built-in kernel.
 from repro.engine import kernels as _kernels  # noqa: F401  (registration side effect)
 
 __all__ = [
+    "BACKENDS",
     "CompileError",
     "CompiledPlan",
     "KernelRegistry",

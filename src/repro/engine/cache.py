@@ -7,6 +7,14 @@ into one digest: architecture (class names + layer hyper-parameters +
 quantization config) plus a cheap content fingerprint of every parameter
 and buffer.  Recompiling after a training step is therefore automatic —
 the signature moves and the stale plan simply ages out of the LRU.
+
+The backend is part of the cache key, and observer buffers are part of
+the signature — which matters doubly for the ``int8`` backend: its
+per-step quantized buffers (integer weight codes, requant multipliers,
+integer-handoff wiring between layers) are derived from the frozen
+ranges at compile time, so calibrating a model changes the signature and
+transparently recompiles a plan with more of the network running native
+integer arithmetic.
 """
 
 from __future__ import annotations

@@ -16,6 +16,9 @@ the preceding convolution's weights and fuses trailing ReLUs into their
 producer steps, so a ``Conv→BN→ReLU`` chain executes as one kernel.
 Quantized convolutions keep BN as a separate (ReLU-fused) affine step:
 folding would change the values entering the frozen quantization grid.
+(The ``int8`` backend instead absorbs that affine into the layer's
+integer-domain epilogue — after the frozen grids — and wires integer
+handoffs between quantized layers; see :mod:`repro.engine.int8`.)
 """
 
 from __future__ import annotations
@@ -219,6 +222,7 @@ def _lower_quant_linear(lw, module, reg):
         "bias": linear.bias.data.copy() if linear.bias is not None else None,
         "q_input": _freeze_stage(module.q_input),
         "q_output": _freeze_stage(module.q_output),
+        "q_weight": qw,  # weight-grid stage (int8 backend recovers codes)
         "quantized": True,
     }
     return lw.emit("linear", (reg,), attrs, label=f"q={module.qconfig.name}")
@@ -250,6 +254,7 @@ def _lower_quant_conv2d(lw, module, reg):
     attrs.update(
         q_input=_freeze_stage(module.q_input),
         q_output=_freeze_stage(module.q_output),
+        q_weight=qw,  # weight-grid stage (int8 backend recovers codes)
         quantized=True,
     )
     return lw.emit("conv2d", (reg,), attrs, label=f"q={module.qconfig.name}")
@@ -293,6 +298,8 @@ def _lower_winograd(lw, module, reg):
         "q_input_t": q_input_t,
         "q_hadamard": q_hadamard,
         "q_output": q_output,
+        "q_weight": qw,  # weight-grid stages (int8 backend recovers codes)
+        "q_weight_t": qwt,
         "quantized": quantized,
     }
     label = f"F({module.m},{module.kernel_size})@{module.qconfig.name}"
@@ -573,8 +580,16 @@ def compile_model(model: Module, backend: str = "fast") -> CompiledPlan:
     if not lowerer.steps:
         raise CompileError(f"{type(model).__name__} lowered to an empty plan")
     steps = _fuse(lowerer.steps, output_reg, backend)
-    if backend in ("fast", "turbo"):
-        _finalize_fast(steps, backend)
+    if backend in ("fast", "turbo", "int8"):
+        # The int8 backend keeps the fast layouts too: they serve float
+        # steps and the per-step fallback path (cold observers, flex
+        # transforms).  Quantized Winograd steps keep the nested (eager
+        # grid order) form there, so lazily-frozen ranges match eager.
+        _finalize_fast(steps, "fast" if backend == "int8" else backend)
+    if backend == "int8":
+        from repro.engine.int8 import finalize_int8
+
+        steps = finalize_int8(steps, output_reg)
     for step in steps:
         step.fn = registry.get(step.op, backend)
     return CompiledPlan(

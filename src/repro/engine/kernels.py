@@ -25,6 +25,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.engine.int8 import prepare_runtime, stages_cold
 from repro.engine.registry import register_kernel
 from repro.quant.quantizer import quantization_scale
 
@@ -32,6 +33,20 @@ from repro.quant.quantizer import quantization_scale
 # ---------------------------------------------------------------------------
 # Shared helpers
 # ---------------------------------------------------------------------------
+
+
+def _stage_scale(q: Dict) -> float:
+    """A frozen stage's scale, guarding degenerate ranges.
+
+    A scale of zero (or non-finite) can only come from a degenerate
+    observation like an all-zero calibration batch; fall back to the
+    same harmless ``1/qmax`` default :func:`quantization_scale` uses
+    rather than divide by it.
+    """
+    scale = q["scale"]
+    if not (scale > 0.0 and np.isfinite(scale)):
+        return 1.0 / q["qmax"]
+    return scale
 
 
 def fake_quant(x: np.ndarray, q: Optional[Dict]) -> np.ndarray:
@@ -48,11 +63,13 @@ def fake_quant(x: np.ndarray, q: Optional[Dict]) -> np.ndarray:
     if q is None:
         return x
     if "scale" in q:
-        scale, qmax = q["scale"], q["qmax"]
+        scale, qmax = _stage_scale(q), q["qmax"]
     else:
         bits = q["dynamic_bits"]
         qmax = float(2 ** (bits - 1) - 1)
         batch_max = float(np.abs(x).max()) if x.size else 0.0
+        # quantization_scale guards batch_max <= 0 (all-zero calibration
+        # batch) by returning 1/qmax, so the divide below is always safe.
         scale = quantization_scale(batch_max, bits)
         q["scale"], q["qmax"] = scale, qmax  # freeze, mirroring the observer
     # One allocation, then in-place: same elementwise operations (and the
@@ -101,9 +118,14 @@ def _epilogue(y: np.ndarray, attrs: Dict, k: int, quantize_output: bool = True) 
 
 @register_kernel("relu")
 def relu_kernel(inputs, attrs):
+    """Single-pass ReLU, bit-equal to eager's ``where(x > 0, x, 0.0)``
+    for every finite input (including ``-0.0 → 0.0``) without the mask
+    allocation and second pass.  (The one divergence is non-finite
+    garbage: eager maps NaN to 0.0 where ``maximum`` propagates it —
+    arguably the more honest answer, and unreachable from the finite
+    activations every model here produces.)"""
     (x,) = inputs
-    mask = x > 0
-    return np.where(mask, x, 0.0).astype(x.dtype)
+    return np.maximum(x, 0.0)
 
 
 @register_kernel("relu", "fast")
@@ -470,3 +492,283 @@ def winograd_fast(inputs, attrs):
     if th * m != out_h or tw * m != out_w:
         y = y[:, :, :out_h, :out_w]
     return _epilogue(y, attrs, k, quantize_output=False)
+
+
+# ---------------------------------------------------------------------------
+# Native integer-arithmetic kernels (the ``int8`` backend)
+# ---------------------------------------------------------------------------
+#
+# Quantized layers execute on the integer *codes* of the fake-quant grids
+# (see repro.engine.int8 for the compile-side preparation and the
+# exactness argument).  Every GEMM here runs over integer-valued float
+# arrays whose partial sums were proven, at compile time, to stay below
+# the dtype's mantissa bound — so the float GEMM is exact at any BLAS
+# blocking, and reassociation-friendly layouts (the transform output is
+# produced directly in the Hadamard layout; the output transform
+# consumes the Hadamard layout directly) are safe in a way they are not
+# for the float ``fast``/``turbo`` paths.
+
+#: Set True (tests/debugging) to assert at run time that every integer
+#: accumulator stays within its compile-time bound.
+INT8_STRICT = False
+
+
+def _int8_matmul(a, b):
+    """GEMM over integer-valued operands.
+
+    Exactness is guaranteed by the compile-time accumulator-bound
+    analysis (every partial sum representable in the operand dtype).
+    Tests monkeypatch this with an int64 matmul: bit-identical results
+    prove the float path is exact at the actual model shapes.
+    """
+    return np.matmul(a, b)
+
+
+def _quantize_codes(x, q, out=None):
+    """Float tensor → integer codes on stage ``q``'s grid.
+
+    Identical decisions to :func:`fake_quant` (same ``x / scale`` →
+    ``rint`` → ``clip`` operations), minus the final multiply back onto
+    the grid — codes are the int8 backend's currency.
+    """
+    scale, qmax = _stage_scale(q), q["qmax"]
+    r = np.divide(x, scale, out=out)
+    np.rint(r, out=r)
+    np.clip(r, -qmax, qmax, out=r)
+    return r
+
+
+def _requant_codes(acc, d, q, bias=None):
+    """Integer accumulator → codes on stage ``q``'s grid, in place.
+
+    Composes exactly like ``fake_quant(dequant(acc) [+ bias])``: multiply
+    by the precomputed dequant scale product ``d``, add the (float) bias
+    if the stage sits after one, divide by the stage scale, ``rint``,
+    ``clip`` — the same elementwise grid operations, fused onto the
+    accumulator with no allocation.
+    """
+    acc *= d
+    if bias is not None:
+        acc += bias
+    scale, qmax = _stage_scale(q), q["qmax"]
+    acc /= scale
+    np.rint(acc, out=acc)
+    np.clip(acc, -qmax, qmax, out=acc)
+    return acc
+
+
+def _requant_out(out, rq, bias_shape=None):
+    """Output-stage requant: fused requant onto the q_output grid, then a
+    lossless downcast to float32 (codes ≤ qmax are exactly representable)
+    so the epilogue composes in float32 exactly like the reference path's
+    elementwise ops.  No-op when the output stage is disabled."""
+    if rq is None:
+        return out
+    bias = rq["bias"]
+    if bias is not None and bias_shape is not None:
+        bias = bias.reshape(bias_shape)
+    _requant_codes(out, rq["d"], rq["q"], bias=bias)
+    return out if out.dtype == np.float32 else out.astype(np.float32)
+
+
+def _int8_epilogue(codes, i8, bshape):
+    """Fused step epilogue on output codes (in place).
+
+    ``float`` mode: dequant scale, bias and any absorbed BatchNorm are
+    one per-channel affine ``codes·A + B`` (then ReLU).  ``int`` mode
+    (integer handoff): the same affine lands directly on the consumer's
+    input grid and is rounded/clipped there — a fused ReLU becomes the
+    ``lo = 0`` clip bound, since ``rint``/``clip`` are monotone.
+    """
+    epi = i8["epi"]
+    codes *= epi["A"].reshape(bshape)
+    if epi["B"] is not None:
+        codes += epi["B"].reshape(bshape)
+    if epi["mode"] == "int":
+        np.rint(codes, out=codes)
+        np.clip(codes, epi["lo"], epi["hi"], out=codes)
+    elif epi["relu"]:
+        np.maximum(codes, 0.0, out=codes)
+    if codes.dtype != np.float32:
+        codes = codes.astype(np.float32)
+    return codes
+
+
+def _cold_fallback(fast_fn, inputs, attrs):
+    """First batch(es) of a cold-compiled plan: run the float ``fast``
+    kernel — freezing the dynamic ranges exactly like eager's
+    eval-before-observation path — and apply any absorbed BatchNorm in
+    float.  Once every stage is frozen the kernel switches to the
+    integer path for good."""
+    y = fast_fn(inputs, attrs)
+    post = attrs["i8"].get("post")
+    if post is not None:
+        bshape = (1, -1) + (1,) * (y.ndim - 2)
+        y = y * post["scale"].reshape(bshape) + post["shift"].reshape(bshape)
+        if post["relu"]:
+            np.maximum(y, 0.0, out=y)
+    return y
+
+
+def _int8_gate(op, fast_fn, inputs, attrs):
+    """Shared dispatch: fall back for ineligible steps, run the cold
+    float path until ranges freeze, lazily prepare constants once."""
+    i8 = attrs.get("i8")
+    if i8 is None or not i8.get("ok"):
+        return None  # caller delegates to the float kernel
+    if not i8.get("ready"):
+        if stages_cold(attrs, op):
+            return _cold_fallback(fast_fn, inputs, attrs)
+        prepare_runtime(op, attrs)
+    return i8
+
+
+@register_kernel("winograd_conv2d", "int8")
+def winograd_int8(inputs, attrs):
+    """Winograd on integer codes: quantize once into the padded buffer,
+    one integer Kronecker GEMM producing the Hadamard layout directly,
+    integer Hadamard contraction, transpose-free integer output
+    transform, fused requant between every stage."""
+    i8 = _int8_gate("winograd_conv2d", winograd_fast, inputs, attrs)
+    if i8 is None:
+        return winograd_fast(inputs, attrs)
+    if not isinstance(i8, dict) or "btk" not in i8:
+        return i8  # cold-fallback result
+    (x,) = inputs
+    m, r, t, g = attrs["m"], attrs["r"], attrs["t"], attrs["groups"]
+    k, pad = attrs["out_channels"], attrs["pad"]
+    n, c, h, w = x.shape
+    out_h, out_w, th, tw = _winograd_geometry(h, w, m, r, pad)
+    tt, p = t * t, n * th * tw
+    need_h, need_w = th * m + r - 1, tw * m + r - 1
+    dt_v, dt_h, dt_z = i8["dts"]
+
+    # Quantize straight into the zero-padded buffer: one pass, and the
+    # zero padding is its own quantization (code(0) = 0).
+    xp = np.zeros((n, c, need_h, need_w), dtype=np.float32)
+    interior = xp[:, :, pad : pad + h, pad : pad + w]
+    if i8.get("input_prequantized"):
+        interior[...] = x  # producer already emitted codes on our grid
+    else:
+        _quantize_codes(x, attrs["q_input"], out=interior)
+
+    # Tile copy directly into (t², C·P) — the Kronecker GEMM then emits
+    # the Hadamard-ready layout, killing the float path's big transpose.
+    tiles = _strided_patches(xp, t, t, m, m)  # (n, c, th, tw, t, t) view
+    tmat = np.ascontiguousarray(np.transpose(tiles, (4, 5, 1, 0, 2, 3))).reshape(
+        tt, c * p
+    )
+    if tmat.dtype != dt_v:
+        tmat = tmat.astype(dt_v)
+    v = _int8_matmul(i8["btk"], tmat)  # (t², C·P), exact integers
+    if INT8_STRICT:
+        assert float(np.abs(v).max(initial=0.0)) <= i8["bounds"][0]
+    _requant_codes(v, i8["d_v"], attrs["q_input_t"])
+    if v.dtype != dt_h:
+        v = v.astype(dt_h)
+    had = _int8_matmul(i8["u2q"], v.reshape(t, t, g, c // g, p))  # (t,t,g,K/g,P)
+    if INT8_STRICT:
+        assert float(np.abs(had).max(initial=0.0)) <= i8["bounds"][1]
+    _requant_codes(had, i8["d_h"], attrs["q_hadamard"])
+    if had.dtype != dt_z:
+        had = had.astype(dt_z)
+    z = _int8_matmul(i8["atk"], had.reshape(tt, k * p))  # (m², K·P)
+    if INT8_STRICT:
+        assert float(np.abs(z).max(initial=0.0)) <= i8["bounds"][2]
+    z = _requant_out(z, i8["rq_out"])
+    out = _int8_epilogue(z.reshape(m * m, k, p), i8, (1, k, 1))
+    y = np.ascontiguousarray(
+        np.transpose(out.reshape(m, m, k, n, th, tw), (3, 2, 4, 0, 5, 1))
+    ).reshape(n, k, th * m, tw * m)
+    if th * m != out_h or tw * m != out_w:
+        y = y[:, :, :out_h, :out_w]
+    return y
+
+
+@register_kernel("conv2d", "int8")
+def conv2d_int8(inputs, attrs):
+    """im2row GEMM on integer codes with fused requant epilogue."""
+    i8 = _int8_gate("conv2d", conv2d_fast, inputs, attrs)
+    if i8 is None:
+        return conv2d_fast(inputs, attrs)
+    if not isinstance(i8, dict) or "dt" not in i8:
+        return i8  # cold-fallback result
+    (x,) = inputs
+    sh, sw = attrs["stride"]
+    ph, pw = attrs["padding"]
+    g = attrs["groups"]
+    k, cg, kh, kw = attrs["weight"].shape
+    n, c, h, w = x.shape
+    dt = i8["dt"]
+    rq = i8["rq_out"]
+
+    if "wq_1x1" in i8:
+        if i8.get("input_prequantized"):
+            qx = np.ascontiguousarray(x).reshape(n, c, h * w)
+        else:
+            qx = _quantize_codes(x, attrs["q_input"]).reshape(n, c, h * w)
+        if qx.dtype != dt:
+            qx = qx.astype(dt)
+        out = _int8_matmul(i8["wq_1x1"][None], qx)  # (n, K, H·W)
+        if INT8_STRICT:
+            assert float(np.abs(out).max(initial=0.0)) <= i8["bound"]
+        out = _requant_out(out, rq, bias_shape=(1, k, 1))
+        out = _int8_epilogue(out, i8, (1, k, 1))
+        return out.reshape(n, k, h, w)
+
+    xp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=np.float32)
+    interior = xp[:, :, ph : ph + h, pw : pw + w]
+    if i8.get("input_prequantized"):
+        interior[...] = x
+    else:
+        _quantize_codes(x, attrs["q_input"], out=interior)
+    patches = _strided_patches(xp, kh, kw, sh, sw)
+    oh, ow = patches.shape[2], patches.shape[3]
+    if g == 1:
+        rows = np.ascontiguousarray(
+            np.transpose(patches, (0, 2, 3, 1, 4, 5))
+        ).reshape(n * oh * ow, c * kh * kw)
+        if rows.dtype != dt:
+            rows = rows.astype(dt)
+        out = _int8_matmul(rows, i8["wq_mat"])  # (n·oh·ow, K)
+        if INT8_STRICT:
+            assert float(np.abs(out).max(initial=0.0)) <= i8["bound"]
+        out = _requant_out(out, rq)
+        out = _int8_epilogue(out, i8, (k,))
+        return np.transpose(out.reshape(n, oh, ow, k), (0, 3, 1, 2))
+    rows = np.ascontiguousarray(
+        np.transpose(patches.reshape(n, g, c // g, oh, ow, kh, kw), (1, 0, 3, 4, 2, 5, 6))
+    ).reshape(g, n * oh * ow, (c // g) * kh * kw)
+    if rows.dtype != dt:
+        rows = rows.astype(dt)
+    out = _int8_matmul(rows, i8["wq_mat"])  # (g, n·oh·ow, K/g)
+    if INT8_STRICT:
+        assert float(np.abs(out).max(initial=0.0)) <= i8["bound"]
+    out = _requant_out(out, rq, bias_shape=(g, 1, k // g))
+    out = _int8_epilogue(out, i8, (g, 1, k // g))
+    return np.transpose(
+        out.reshape(g, n, oh, ow, k // g), (1, 0, 4, 2, 3)
+    ).reshape(n, k, oh, ow)
+
+
+@register_kernel("linear", "int8")
+def linear_int8(inputs, attrs):
+    """Fully-connected layer on integer codes."""
+    i8 = _int8_gate("linear", linear_kernel, inputs, attrs)
+    if i8 is None:
+        return linear_kernel(inputs, attrs)
+    if not isinstance(i8, dict) or "wq_t" not in i8:
+        return i8  # cold-fallback result
+    (x,) = inputs
+    k = attrs["weight"].shape[0]
+    if i8.get("input_prequantized"):
+        qx = np.ascontiguousarray(x)
+    else:
+        qx = _quantize_codes(x, attrs["q_input"])
+    if qx.dtype != i8["dt"]:
+        qx = qx.astype(i8["dt"])
+    out = _int8_matmul(qx, i8["wq_t"])  # (N, out)
+    if INT8_STRICT:
+        assert float(np.abs(out).max(initial=0.0)) <= i8["bound"]
+    out = _requant_out(out, i8["rq_out"])
+    return _int8_epilogue(out, i8, (k,))

@@ -53,6 +53,10 @@ class Step:
     label: str = ""
     fn: Optional[Callable] = None  # resolved kernel, bound at compile time
     frees: Tuple[int, ...] = ()  # registers whose last use is this step
+    #: Execution domain: "float", or "int8" when the step carries native
+    #: integer-arithmetic buffers (quantized weights as integer codes,
+    #: requant multipliers) prepared by repro.engine.int8.
+    domain: str = "float"
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         label = f" [{self.label}]" if self.label else ""
@@ -190,11 +194,27 @@ class CompiledPlan:
     def ops_used(self) -> Tuple[str, ...]:
         return tuple(sorted({s.op for s in self.steps}))
 
+    def int8_report(self) -> Dict[str, int]:
+        """Counts of native-int8 steps and integer-code handoffs (the
+        compile-time fusion the ``int8`` backend performed)."""
+        native = [s for s in self.steps if s.domain == "int8"]
+        return {
+            "native_int8_steps": len(native),
+            "int_handoffs": sum(
+                1 for s in native if s.attrs.get("i8", {}).get("emit_q") is not None
+            ),
+            "absorbed_affines": sum(
+                1 for s in native if s.attrs.get("i8", {}).get("post") is not None
+            ),
+        }
+
     def describe(self) -> List[str]:
         """Human-readable step listing (used by ``repro infer --describe``)."""
         lines = [f"CompiledPlan({self.source}, backend={self.backend}, {len(self.steps)} steps)"]
         for i, step in enumerate(self.steps):
             tag = " +relu" if step.attrs.get("fuse_relu") else ""
+            if step.domain != "float":
+                tag += f" <{step.domain}>"
             label = f" [{step.label}]" if step.label else ""
             ins = ",".join(f"r{r}" for r in step.inputs)
             lines.append(f"  {i:3d}: {step.op}{tag}{label} ({ins}) -> r{step.output}")

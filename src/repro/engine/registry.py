@@ -16,11 +16,21 @@ Two backends ship with the engine:
   ranges) is unchanged — the grid decisions are equally valid
   quantizations, just not bit-matched to the training-time fake-quant,
   the same trade production int8 engines make against their training
-  frameworks.
+  frameworks;
+* ``int8`` — native integer-arithmetic execution of quantized layers:
+  activations are quantized to integer codes once, the transform-domain
+  and im2row GEMMs run over integer-valued arrays (exact under BLAS at
+  any blocking, because every partial sum stays below the float mantissa
+  bound proven at compile time), and each fake-quant stage becomes a
+  fused requantization (precomputed scale product + rint/clip on the
+  integer accumulator) instead of a dequantize→fake-quant round trip.
+  Steps the integer path cannot take exactly (non-dyadic flex
+  transforms, partially-disabled stages, accumulators past 2^53) fall
+  back per step to the ``fast`` quantized kernels.
 
-Kernel resolution falls back ``turbo`` → ``fast`` → ``reference``, so an
-op needs one kernel to be usable and more only where a faster
-implementation exists.
+Kernel resolution falls back ``int8`` → ``turbo`` → ``fast`` →
+``reference``, so an op needs one kernel to be usable and more only
+where a faster implementation exists.
 """
 
 from __future__ import annotations
@@ -32,10 +42,10 @@ from typing import Callable, Dict, Optional, Tuple
 #: attribute dict (weights, scales, fusion flags, ...).
 Kernel = Callable[[tuple, dict], object]
 
-BACKENDS = ("reference", "fast", "turbo")
+BACKENDS = ("reference", "fast", "turbo", "int8")
 
 #: Kernel-resolution fallback chain per backend.
-_FALLBACK = {"turbo": "fast", "fast": "reference"}
+_FALLBACK = {"int8": "turbo", "turbo": "fast", "fast": "reference"}
 
 
 class KernelRegistry:
@@ -56,8 +66,8 @@ class KernelRegistry:
         return decorator
 
     def get(self, op: str, backend: str = "fast") -> Kernel:
-        """Resolve a kernel along the ``turbo`` → ``fast`` → ``reference``
-        fallback chain."""
+        """Resolve a kernel along the ``int8`` → ``turbo`` → ``fast`` →
+        ``reference`` fallback chain."""
         if backend not in BACKENDS:
             raise KeyError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
         probe: Optional[str] = backend

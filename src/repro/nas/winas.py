@@ -53,6 +53,11 @@ class SearchConfig:
     latency_source: str = "table"
     #: Closed-loop clients used by the "served" source.
     served_concurrency: int = 8
+    #: Engine backend the "measured"/"served" probes compile candidates
+    #: with ("fast", "turbo" or "int8") — searching with "int8" optimises
+    #: latency of the native integer execution path that quantized
+    #: candidates would actually be deployed on.
+    engine_backend: str = "fast"
     verbose: bool = False
 
 
@@ -148,17 +153,18 @@ class WiNAS:
         probe = np.ascontiguousarray(np.asarray(example_input, dtype=np.float32))
         compile_model(self.model, backend="fast").run(probe)
         self.model.train()
+        backend = self.config.engine_backend
         for op in self.mixed_ops:
             if not hasattr(op, "last_input_hw"):
                 raise RuntimeError("mixed op did not see the probe input")
             h, w = op.last_input_hw
             if source == "measured":
-                op.set_latencies(self._measure_candidates(op, h, w))
+                op.set_latencies(self._measure_candidates(op, h, w, backend))
                 continue
             if source == "served":
                 op.set_latencies(
                     self._measure_candidates_served(
-                        op, h, w, self.config.served_concurrency
+                        op, h, w, self.config.served_concurrency, backend
                     )
                 )
                 continue
@@ -179,20 +185,22 @@ class WiNAS:
             op.set_latencies(lat)
 
     @staticmethod
-    def _measure_candidates(op: MixedConv2d, h: int, w: int) -> List[float]:
+    def _measure_candidates(
+        op: MixedConv2d, h: int, w: int, backend: str = "fast"
+    ) -> List[float]:
         """Wall-clock each candidate as a compiled single-layer plan."""
         from repro.engine import compile_model, measure_plan_ms
 
         x = np.zeros((1, op.in_channels, h, w), dtype=np.float32)
         latencies = []
         for path in op.paths:
-            plan = compile_model(path, backend="fast")
+            plan = compile_model(path, backend=backend)
             latencies.append(measure_plan_ms(plan, x, repeats=3, warmup=1))
         return latencies
 
     @staticmethod
     def _measure_candidates_served(
-        op: MixedConv2d, h: int, w: int, concurrency: int
+        op: MixedConv2d, h: int, w: int, concurrency: int, backend: str = "fast"
     ) -> List[float]:
         """Per-request latency of each candidate under batched serving load."""
         from repro.engine import compile_model
@@ -201,7 +209,7 @@ class WiNAS:
         x = np.zeros((1, op.in_channels, h, w), dtype=np.float32)
         return [
             served_latency_ms(
-                compile_model(path, backend="fast"), x, concurrency=concurrency
+                compile_model(path, backend=backend), x, concurrency=concurrency
             )
             for path in op.paths
         ]

@@ -36,7 +36,7 @@ _NAME_RE = re.compile(
     r"(?:-w(?P<width>\d+(?:\.\d+)?))?"
     r"-(?P<algorithm>[A-Za-z0-9]+(?:-flex)?)"
     r"-(?P<precision>[a-z0-9]+)"
-    r"(?:@(?P<backend>[a-z]+))?$"
+    r"(?:@(?P<backend>[a-z][a-z0-9]*))?$"
 )
 
 
@@ -205,6 +205,21 @@ class ModelRegistry:
             if existing is not None:
                 return existing
             model, (channels, image_size) = build_model(spec)
+            calib_rng = np.random.default_rng(spec.seed)
+            calib = calib_rng.standard_normal(
+                (4, channels, image_size, image_size)
+            ).astype(np.float32)
+            if spec.backend == "int8":
+                # Calibrate the *model* observers before compiling: the
+                # int8 backend wires integer handoffs between quantized
+                # layers only for ranges frozen at compile time, so an
+                # eager eval pass (which freezes cold observers from its
+                # first batch, deterministically per spec seed) lets the
+                # plan come up fully native instead of half cold.
+                from repro.autograd import Tensor, no_grad
+
+                with no_grad():
+                    model(Tensor(calib))
             plan = get_cached_plan(
                 model,
                 (1, channels, image_size, image_size),
@@ -215,12 +230,7 @@ class ModelRegistry:
             # quantizer range into the plan *before* it sees traffic, so
             # concurrent first requests cannot race the one-shot range
             # observation and responses are reproducible per spec seed.
-            calib_rng = np.random.default_rng(spec.seed)
-            plan.run(
-                calib_rng.standard_normal(
-                    (4, channels, image_size, image_size)
-                ).astype(np.float32)
-            )
+            plan.run(calib)
             served = ServedModel(
                 spec=spec,
                 plan=plan,

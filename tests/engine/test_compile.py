@@ -133,7 +133,7 @@ class TestRegistry:
     def test_builtin_ops_present(self):
         for op in ("conv2d", "winograd_conv2d", "affine", "linear", "relu"):
             assert op in registry.ops()
-        assert registry.backends_for("winograd_conv2d") == ("reference", "fast")
+        assert registry.backends_for("winograd_conv2d") == ("reference", "fast", "int8")
 
 
 class TestPlanCache:

@@ -1,0 +1,146 @@
+"""Requantization numerics of the native int8 backend.
+
+The contract: the fused requant (scale-product multiplier + rounding on
+the integer accumulator, in place) must reproduce the dequantize →
+``fake_quant`` round trip **bit for bit** — same grid decisions, same
+elementwise float operations — for every bit-width the pipeline supports
+(4…8 in these tests, matching the paper's quantization-diversity range),
+including negative accumulators and clip saturation.
+
+Plus the zero-range calibration guards: an all-zero calibration batch
+must freeze the harmless ``1/qmax`` default scale rather than divide by
+zero (``quantization_scale`` guard + explicit ``fake_quant`` guard).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.kernels import _quantize_codes, _requant_codes, fake_quant
+from repro.quant.quantizer import quantization_scale
+
+
+def reference_requant(acc, d, scale, qmax, bias=None):
+    """The dequantize → fake-quant composition the kernel must match."""
+    y = acc * d
+    if bias is not None:
+        y = y + bias
+    grid_values = fake_quant(y, {"scale": scale, "qmax": qmax})
+    return grid_values
+
+
+def compose_back(codes, scale):
+    """Codes → grid values with fake_quant's own multiply-back op."""
+    values = codes.copy()
+    values *= scale
+    return values
+
+
+scales = st.floats(min_value=1e-6, max_value=1e4, allow_nan=False)
+
+
+class TestRequantMatchesFakeQuant:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        bits=st.integers(min_value=4, max_value=8),
+        d=scales,
+        s=scales,
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_bit_for_bit_across_bit_widths(self, bits, d, s, seed):
+        qmax = float(2 ** (bits - 1) - 1)
+        rng = np.random.default_rng(seed)
+        # accumulators spanning the in-range region and deep saturation
+        acc = rng.integers(-(2**20), 2**20, size=257).astype(np.float32)
+        expected = reference_requant(acc.copy(), d, s, qmax)
+        codes = _requant_codes(acc.copy(), d, {"scale": s, "qmax": qmax})
+        assert np.all(np.abs(codes) <= qmax)
+        np.testing.assert_array_equal(compose_back(codes, s), expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        bits=st.integers(min_value=4, max_value=8),
+        d=scales,
+        s=scales,
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_bias_rides_inside_the_requant(self, bits, d, s, seed):
+        """QuantConv2d/QuantLinear add bias before the output stage; the
+        int8 path folds it between the multiplier and the rounding."""
+        qmax = float(2 ** (bits - 1) - 1)
+        rng = np.random.default_rng(seed)
+        acc = rng.integers(-(2**16), 2**16, size=(37, 5)).astype(np.float32)
+        bias = rng.standard_normal(5).astype(np.float32)
+        expected = reference_requant(acc.copy(), d, s, qmax, bias=bias)
+        codes = _requant_codes(acc.copy(), d, {"scale": s, "qmax": qmax}, bias=bias)
+        np.testing.assert_array_equal(compose_back(codes, s), expected)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_saturation_and_negatives(self, dtype):
+        """Deep clip saturation on both sides, including the extremes."""
+        qmax = 127.0
+        acc = np.array([-(2**23), -129, -128, -127, -1, 0, 1, 127, 128, 2**23],
+                       dtype=dtype)
+        d, s = 1.0, 1.0
+        expected = reference_requant(acc.copy(), d, s, qmax)
+        codes = _requant_codes(acc.copy(), d, {"scale": s, "qmax": qmax})
+        np.testing.assert_array_equal(compose_back(codes, s).astype(dtype), expected)
+        assert codes[0] == -qmax and codes[-1] == qmax
+
+    def test_float64_accumulators(self):
+        """Accumulators past the float32 bound run the same contract in
+        float64 (the dtype the compile-time bound analysis picks)."""
+        rng = np.random.default_rng(7)
+        acc = rng.integers(-(2**40), 2**40, size=999).astype(np.float64)
+        d, s, qmax = 3.7e-7, 0.011, 127.0
+        expected = reference_requant(acc.copy(), d, s, qmax)
+        codes = _requant_codes(acc.copy(), d, {"scale": s, "qmax": qmax})
+        np.testing.assert_array_equal(compose_back(codes, s), expected.astype(np.float64))
+
+    @settings(max_examples=25, deadline=None)
+    @given(s=scales, seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_quantize_codes_matches_fake_quant_decisions(self, s, seed):
+        """The activation prologue (float → codes) makes exactly the
+        fake_quant grid decisions, minus the multiply back."""
+        qmax = 127.0
+        rng = np.random.default_rng(seed)
+        x = (100.0 * rng.standard_normal(511)).astype(np.float32)
+        grid_values = fake_quant(x.copy(), {"scale": s, "qmax": qmax})
+        codes = _quantize_codes(x, {"scale": s, "qmax": qmax})
+        np.testing.assert_array_equal(compose_back(codes, s), grid_values)
+
+
+class TestZeroRangeGuards:
+    def test_quantization_scale_guards_zero_and_nonfinite(self):
+        assert quantization_scale(0.0, 8) == 1.0 / 127.0
+        assert quantization_scale(-1.0, 8) == 1.0 / 127.0
+        assert quantization_scale(float("nan"), 8) == 1.0 / 127.0
+        assert quantization_scale(float("inf"), 8) == 1.0 / 127.0
+
+    def test_fake_quant_dynamic_freeze_on_all_zero_batch(self):
+        """The regression of ISSUE 3: an all-zero first (calibration)
+        batch must freeze the 1/qmax default, not a zero scale."""
+        q = {"dynamic_bits": 8}
+        zeros = np.zeros((4, 3, 8, 8), dtype=np.float32)
+        out = fake_quant(zeros, q)
+        assert q["scale"] == 1.0 / 127.0  # frozen to the guarded default
+        np.testing.assert_array_equal(out, zeros)
+        # later non-zero batches quantize with the frozen range, finitely
+        x = np.ones((2, 3, 8, 8), dtype=np.float32)
+        assert np.all(np.isfinite(fake_quant(x, q)))
+
+    def test_fake_quant_guards_degenerate_frozen_scale(self):
+        """A frozen stage dict carrying a zero/non-finite scale (however
+        it got there) must not divide by zero."""
+        x = np.linspace(-2, 2, 11, dtype=np.float32)
+        for bad in (0.0, -1.0, float("nan")):
+            out = fake_quant(x.copy(), {"scale": bad, "qmax": 127.0})
+            assert np.all(np.isfinite(out))
+
+    def test_requant_and_quantize_guard_degenerate_scale(self):
+        acc = np.arange(-5, 6).astype(np.float32)
+        codes = _requant_codes(acc.copy(), 1.0, {"scale": 0.0, "qmax": 127.0})
+        assert np.all(np.isfinite(codes))
+        codes = _quantize_codes(acc.copy(), {"scale": 0.0, "qmax": 127.0})
+        assert np.all(np.isfinite(codes))
