@@ -94,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--repeats", type=int, default=5)
     infer.add_argument("--seed", type=int, default=0)
     infer.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="engine threads per plan run (0 = all cores; default "
+        "REPRO_THREADS or 1)",
+    )
+    infer.add_argument(
         "--compare", action="store_true", help="also time the eager forward"
     )
     infer.add_argument(
@@ -116,6 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8100, help="0 = ephemeral")
     serve.add_argument(
         "--workers", type=int, default=None, help="plan-execution threads"
+    )
+    serve.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="engine threads per dispatched batch (0 = all cores; "
+        "default REPRO_THREADS or 1)",
     )
     serve.add_argument("--max-batch-size", type=int, default=8)
     serve.add_argument("--max-wait-ms", type=float, default=2.0)
@@ -140,6 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument(
         "--out", default=None, help="report path (default: BENCH_<name>.json at repo root)"
+    )
+    bench.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="threaded-speedup thread count for the engine benchmark "
+        "(0 = all cores; default REPRO_THREADS or all cores)",
     )
 
     loadgen = sub.add_parser(
@@ -195,15 +216,20 @@ def run_infer(args) -> int:
         np.float32
     )
 
+    from repro.engine import resolve_threads
+
     plan = get_cached_plan(model, x.shape, backend=args.backend)
-    out = plan.run(x)
-    engine_ms = measure_plan_ms(plan, x, repeats=args.repeats, warmup=2)
+    threads = resolve_threads(args.threads)
+    out = plan.run(x, threads=threads)
+    engine_ms = measure_plan_ms(
+        plan, x, repeats=args.repeats, warmup=2, threads=threads
+    )
     print(
         f"{model_spec.name} batch={args.batch} {image_size}x{image_size} "
         f"-> output {out.shape}"
     )
     print(
-        f"engine[{args.backend}]: {engine_ms:8.2f} ms/batch "
+        f"engine[{args.backend}] threads={threads}: {engine_ms:8.2f} ms/batch "
         f"({1e3 * args.batch / engine_ms:7.1f} img/s), {len(plan)} steps"
     )
     if args.compare:
@@ -249,12 +275,16 @@ def run_serve(args) -> int:
             return 2
         plan = served.plan
         print(f"loaded {served.name}: {len(plan)} steps, backend={plan.backend}")
+    from repro.engine import resolve_threads
+
+    threads = resolve_threads(args.threads)
     server = InferenceServer(
         registry,
         policy=policy,
         host=args.host,
         port=args.port,
         workers=args.workers,
+        threads=threads,
     )
 
     async def _run() -> None:
@@ -262,7 +292,8 @@ def run_serve(args) -> int:
         print(
             f"serving on http://{server.host}:{server.port} "
             f"(max_batch_size={policy.max_batch_size}, "
-            f"max_wait_ms={policy.max_wait_ms:g}, workers={server.workers})"
+            f"max_wait_ms={policy.max_wait_ms:g}, workers={server.workers}, "
+            f"threads={threads})"
         )
         print("endpoints: POST /predict  GET /models /healthz /metrics")
         await server.serve_forever()
@@ -344,7 +375,13 @@ def run_bench(args) -> int:
             file=sys.stderr,
         )
         return 2
-    report = run_benchmark(args.name, out=args.out, quick=args.quick, seed=args.seed)
+    report = run_benchmark(
+        args.name,
+        out=args.out,
+        quick=args.quick,
+        seed=args.seed,
+        threads=args.threads,
+    )
     print(json.dumps(report, indent=2, sort_keys=True))
     return 0
 

@@ -10,6 +10,11 @@ plan of NumPy inference kernels:
   (``G g Gᵀ``) and quantized weights once per plan, and fuses
   Conv→BatchNorm→ReLU chains by folding BN into the weights;
 * :mod:`repro.engine.plan` — the batched executor (`CompiledPlan`);
+* :mod:`repro.engine.memplan` — the compile-time memory planner: shape
+  inference over the register file, liveness-based arena slot reuse, and
+  the per-run workspace arena behind zero-allocation steady state;
+* :mod:`repro.engine.pool` — the shared worker pool and ``REPRO_THREADS``
+  resolution behind the parallel step scheduler;
 * :mod:`repro.engine.cache` — the LRU plan cache keyed by
   (architecture signature, input shape, quant config).
 
@@ -35,7 +40,9 @@ quantized inference faster than fp32 instead of slower.
 
 from repro.engine.cache import PlanCache, get_cached_plan, plan_cache
 from repro.engine.compile import CompileError, compile_model
+from repro.engine.memplan import MemoryLayout, plan_layout
 from repro.engine.plan import CompiledPlan, Step
+from repro.engine.pool import configure_threads, default_threads, resolve_threads
 from repro.engine.registry import BACKENDS, KernelRegistry, register_kernel, registry
 from repro.engine.timing import measure_callable_ms, measure_plan_ms
 
@@ -47,13 +54,18 @@ __all__ = [
     "CompileError",
     "CompiledPlan",
     "KernelRegistry",
+    "MemoryLayout",
     "PlanCache",
     "Step",
     "compile_model",
+    "configure_threads",
+    "default_threads",
     "get_cached_plan",
     "measure_callable_ms",
     "measure_plan_ms",
     "plan_cache",
+    "plan_layout",
     "register_kernel",
     "registry",
+    "resolve_threads",
 ]

@@ -128,6 +128,28 @@ class PlanCache:
                 "hit_rate": self.hits / total if total else 0.0,
             }
 
+    def memory_stats(self) -> dict:
+        """Aggregate arena footprint of every cached plan (see
+        :meth:`CompiledPlan.memory_report`)."""
+        with self._lock:
+            plans = list(self._plans.values())
+        totals = {
+            "plans": len(plans),
+            "arenas_built": 0,
+            "arena_bytes": 0,
+            "scratch_bytes": 0,
+            "steady_state_allocations": 0,
+        }
+        for plan in plans:
+            report = getattr(plan, "memory_report", None)
+            if report is None:
+                continue
+            snap = report()
+            for key in ("arenas_built", "arena_bytes", "scratch_bytes",
+                        "steady_state_allocations"):
+                totals[key] += snap.get(key, 0)
+        return totals
+
 
 #: Process-wide default cache.
 plan_cache = PlanCache()
@@ -152,6 +174,10 @@ def get_cached_plan(
     plan = cache.get(key)
     if plan is None:
         plan = compile_model(model, backend=backend)
+        # The cached path knows the input shape, so the memory planner
+        # (shape inference + arena slot assignment) runs at compile time
+        # here — the first run starts with its layout already decided.
+        plan.prepare(tuple(input_shape))
         # Store under the *post-compile* signature: compiling a quantized
         # model with cold weight observers warms them (mutating quantizer
         # buffers), so the pre-compile key would never match again.

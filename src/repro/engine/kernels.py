@@ -17,6 +17,17 @@ the step's frozen attribute dict; quantization stages appear as
 ``q_<stage>`` entries of the form ``{"scale": s, "qmax": q}`` (frozen
 observer) or ``{"dynamic_bits": b}`` (uncalibrated observer: range taken
 from the batch, mirroring the eager fallback), or ``None`` when disabled.
+
+Memory discipline (``fast``/``turbo``/``int8`` only — the ``reference``
+kernels keep their original allocation pattern as the fidelity oracle):
+every hot kernel asks the executor's per-run arena for its buffers —
+:func:`~repro.engine.memplan.take_out` for the step's planned output
+register, :func:`~repro.engine.memplan.take_scratch` for temporaries
+(im2row row buffers, padded inputs, Winograd tile/transform-domain
+intermediates, quantization code buffers).  Outside a planned execution
+both helpers degrade to plain NumPy allocation, so calling a kernel
+directly behaves exactly as before.  A kernel may mutate only arrays it
+obtained this way (or fresh GEMM outputs) — never an input register.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.engine.int8 import prepare_runtime, stages_cold
+from repro.engine.memplan import take_out, take_scratch
 from repro.engine.registry import register_kernel
 from repro.quant.quantizer import quantization_scale
 
@@ -49,7 +61,7 @@ def _stage_scale(q: Dict) -> float:
     return scale
 
 
-def fake_quant(x: np.ndarray, q: Optional[Dict]) -> np.ndarray:
+def fake_quant(x: np.ndarray, q: Optional[Dict], out: Optional[np.ndarray] = None) -> np.ndarray:
     """Apply one frozen fake-quantization stage (mirrors ``FakeQuant``).
 
     A stage compiled from an unwarmed activation observer starts as
@@ -59,6 +71,10 @@ def fake_quant(x: np.ndarray, q: Optional[Dict]) -> np.ndarray:
     initialises once and keeps that range for every later batch.  (The
     plan's frozen copy does not write back to the model's observer
     buffers; recompile after calibrating the model to pick them up.)
+
+    ``out`` may be a caller-owned buffer (it may alias ``x`` when the
+    caller owns ``x`` too): the same elementwise operations land there
+    instead of a fresh array, with identical values.
     """
     if q is None:
         return x
@@ -72,13 +88,23 @@ def fake_quant(x: np.ndarray, q: Optional[Dict]) -> np.ndarray:
         # batch) by returning 1/qmax, so the divide below is always safe.
         scale = quantization_scale(batch_max, bits)
         q["scale"], q["qmax"] = scale, qmax  # freeze, mirroring the observer
-    # One allocation, then in-place: same elementwise operations (and the
+    if out is not None and out.dtype != x.dtype:
+        out = None
+    # One buffer, then in-place: same elementwise operations (and the
     # same roundings) as rint(x / scale) -> clip -> * scale -> astype.
-    r = x / scale
+    r = np.divide(x, scale, out=out)
     np.rint(r, out=r)
     np.clip(r, -qmax, qmax, out=r)
     r *= scale
     return r if r.dtype == x.dtype else r.astype(x.dtype)
+
+
+def _fq_scratch(x: np.ndarray, q: Optional[Dict], tag: str) -> np.ndarray:
+    """Kernel-prologue fake-quant into step scratch (input registers must
+    never be mutated, so the quantized copy gets its own workspace)."""
+    if q is None:
+        return x
+    return fake_quant(x, q, out=take_scratch(tag, x.shape, x.dtype))
 
 
 def _strided_patches(x: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
@@ -92,27 +118,41 @@ def _strided_patches(x: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.nd
     )
 
 
-def _epilogue(y: np.ndarray, attrs: Dict, k: int, quantize_output: bool = True) -> np.ndarray:
-    """Fast-path conv epilogue: bias, output quant, fused ReLU.
+def _padded_scratch(x: np.ndarray, ph: int, pw: int, tag: str = "xp") -> np.ndarray:
+    """Zero-padded copy of ``x`` in step scratch (same values as
+    ``np.pad``; the pad borders are zeroed once at buffer allocation and
+    stay zero because only the interior is ever written)."""
+    n, c, h, w = x.shape
+    xp = take_scratch(tag, (n, c, h + 2 * ph, w + 2 * pw), np.float32, zero=True)
+    xp[:, :, ph : ph + h, pw : pw + w] = x
+    return xp
 
-    Folded BN lives entirely in the step's weights/bias by the time the
-    kernel runs (see ``_fold_bn``), so no affine remains here.  The
-    Winograd kernel quantizes its output *before* the bias (matching the
-    eager pipeline order) and passes ``quantize_output=False``; the
-    standard conv quantizes after the bias, matching ``QuantConv2d``.
+
+def _epilogue(y: np.ndarray, attrs: Dict, k: int, quantize_output: bool = True) -> np.ndarray:
+    """Fast-path conv epilogue: bias, output quant, fused ReLU — in place.
+
+    ``y`` is always owned by the calling kernel (a fresh GEMM output or
+    this step's scratch), never a register another step still reads, so
+    the epilogue composes in place with values identical to the old
+    allocate-per-stage form.  Folded BN lives entirely in the step's
+    weights/bias by the time the kernel runs (see ``_fold_bn``), so no
+    affine remains here.  The Winograd kernel quantizes its output
+    *before* the bias (matching the eager pipeline order) and passes
+    ``quantize_output=False``; the standard conv quantizes after the
+    bias, matching ``QuantConv2d``.
     """
     bias = attrs.get("bias")
     if bias is not None:
-        y = y + bias.reshape(1, k, 1, 1)
+        y += bias.reshape(1, k, 1, 1)
     if quantize_output:
-        y = fake_quant(y, attrs.get("q_output"))
+        y = fake_quant(y, attrs.get("q_output"), out=y)
     if attrs.get("fuse_relu"):
-        y = np.maximum(y, 0.0)
+        np.maximum(y, 0.0, out=y)
     return y
 
 
 # ---------------------------------------------------------------------------
-# Elementwise / shape ops (shared by both backends)
+# Elementwise / shape ops
 # ---------------------------------------------------------------------------
 
 
@@ -131,7 +171,7 @@ def relu_kernel(inputs, attrs):
 @register_kernel("relu", "fast")
 def relu_fast(inputs, attrs):
     (x,) = inputs
-    return np.maximum(x, 0.0)
+    return np.maximum(x, 0.0, out=take_out(x.shape, x.dtype))
 
 
 @register_kernel("add")
@@ -143,9 +183,30 @@ def add_kernel(inputs, attrs):
     return y
 
 
+@register_kernel("add", "fast")
+def add_fast(inputs, attrs):
+    a, b = inputs
+    y = np.add(a, b, out=take_out(a.shape, a.dtype))
+    if attrs.get("fuse_relu"):
+        np.maximum(y, 0.0, out=y)
+    return y
+
+
 @register_kernel("concat")
 def concat_kernel(inputs, attrs):
     return np.concatenate(inputs, axis=attrs.get("axis", 1))
+
+
+@register_kernel("concat", "fast")
+def concat_fast(inputs, attrs):
+    axis = attrs.get("axis", 1)
+    shape = list(inputs[0].shape)
+    shape[axis] = sum(a.shape[axis] for a in inputs)
+    out = take_out(tuple(shape), inputs[0].dtype)
+    if out is None:
+        return np.concatenate(inputs, axis=axis)
+    np.concatenate(inputs, axis=axis, out=out)
+    return out
 
 
 @register_kernel("flatten")
@@ -205,12 +266,17 @@ def max_pool_fast(inputs, attrs):
     n, c, h, w = x.shape
     nh = (h - kh) // sh + 1
     nw = (w - kw) // sw + 1
-    out = None
+    out = take_out((n, c, nh, nw), x.dtype)
+    first = True
     for i in range(kh):
         for j in range(kw):
             window = x[:, :, i : i + sh * nh : sh, j : j + sw * nw : sw]
-            if out is None:
-                out = np.ascontiguousarray(window)
+            if first:
+                if out is None:
+                    out = np.ascontiguousarray(window)
+                else:
+                    np.copyto(out, window)
+                first = False
             else:
                 np.maximum(out, window, out=out)
     return out
@@ -226,11 +292,31 @@ def avg_pool_kernel(inputs, attrs):
     return patches.sum(axis=(4, 5)) * np.float32(1.0 / (kh * kw))
 
 
+@register_kernel("avg_pool", "fast")
+def avg_pool_fast(inputs, attrs):
+    (x,) = inputs
+    kh, kw = attrs["kernel"]
+    sh, sw = attrs["stride"]
+    patches = _strided_patches(x, kh, kw, sh, sw)
+    out = np.sum(patches, axis=(4, 5), out=take_out(patches.shape[:4], x.dtype))
+    out *= np.float32(1.0 / (kh * kw))
+    return out
+
+
 @register_kernel("global_avg_pool")
 def global_avg_pool_kernel(inputs, attrs):
     (x,) = inputs
     count = x.shape[2] * x.shape[3]
     return x.sum(axis=(2, 3)) * np.float32(1.0 / count)
+
+
+@register_kernel("global_avg_pool", "fast")
+def global_avg_pool_fast(inputs, attrs):
+    (x,) = inputs
+    count = x.shape[2] * x.shape[3]
+    out = np.sum(x, axis=(2, 3), out=take_out((x.shape[0], x.shape[1]), x.dtype))
+    out *= np.float32(1.0 / count)
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -257,7 +343,8 @@ def affine_kernel(inputs, attrs):
 def affine_fast(inputs, attrs):
     (x,) = inputs
     c = x.shape[1]
-    y = x * attrs["scale"].reshape(1, c, 1, 1) + attrs["shift"].reshape(1, c, 1, 1)
+    y = np.multiply(x, attrs["scale"].reshape(1, c, 1, 1), out=take_out(x.shape, x.dtype))
+    y += attrs["shift"].reshape(1, c, 1, 1)
     if attrs.get("fuse_relu"):
         np.maximum(y, 0.0, out=y)
     return y
@@ -279,6 +366,23 @@ def linear_kernel(inputs, attrs):
     out = fake_quant(out, attrs.get("q_output"))
     if attrs.get("fuse_relu"):
         out = np.maximum(out, 0.0)
+    return out
+
+
+@register_kernel("linear", "fast")
+def linear_fast(inputs, attrs):
+    (x,) = inputs
+    x = _fq_scratch(x, attrs.get("q_input"), "qx")
+    weight = attrs["weight"]
+    out = np.matmul(
+        x, weight.transpose(), out=take_out((x.shape[0], weight.shape[0]), x.dtype)
+    )
+    bias = attrs.get("bias")
+    if bias is not None:
+        out += bias
+    out = fake_quant(out, attrs.get("q_output"), out=out)
+    if attrs.get("fuse_relu"):
+        np.maximum(out, 0.0, out=out)
     return out
 
 
@@ -330,39 +434,56 @@ def conv2d_fast(inputs, attrs):
 
     ``attrs["weight"]`` may already carry folded BatchNorm scales; any
     remaining affine lives in ``attrs["scale"]/["shift"]`` (quantized
-    convs keep BN separate to preserve the quantization grid).
+    convs keep BN separate to preserve the quantization grid).  All
+    temporaries (quantized input, padded input, im2row rows, GEMM
+    output) live in step scratch.
     """
     (x,) = inputs
     weight = attrs["weight"]
     sh, sw = attrs["stride"]
     ph, pw = attrs["padding"]
     groups = attrs["groups"]
-    x = fake_quant(x, attrs.get("q_input"))
+    x = _fq_scratch(x, attrs.get("q_input"), "qx")
     n, c, h, w = x.shape
     k, cg, kh, kw = weight.shape
 
     if kh == 1 and kw == 1 and (sh, sw) == (1, 1) and (ph, pw) == (0, 0) and groups == 1:
         # 1×1 convolution is a plain channel GEMM: (K, C) @ (C, H·W).
         wmat = attrs["wmat"]  # (K, C), contiguous, precomputed
-        out = np.matmul(wmat[None], x.reshape(n, c, h * w)).reshape(n, k, h, w)
-        return _epilogue(out, attrs, k)
+        out = np.matmul(
+            wmat[None],
+            x.reshape(n, c, h * w),
+            out=take_scratch("gemm", (n, k, h * w), x.dtype),
+        )
+        return _epilogue(out.reshape(n, k, h, w), attrs, k)
 
-    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw))) if (ph or pw) else x
+    xp = _padded_scratch(x, ph, pw) if (ph or pw) else x
     patches = _strided_patches(xp, kh, kw, sh, sw)
     oh, ow = patches.shape[2], patches.shape[3]
     if groups == 1:
-        rows = np.transpose(patches, (0, 2, 3, 1, 4, 5)).reshape(n * oh * ow, c * kh * kw)
-        out = np.transpose(
-            np.matmul(rows, attrs["wmat"]).reshape(n, oh, ow, k), (0, 3, 1, 2)
+        rows = take_scratch("rows", (n * oh * ow, c * kh * kw), x.dtype)
+        rows.reshape(n, oh, ow, c, kh, kw)[...] = np.transpose(
+            patches, (0, 2, 3, 1, 4, 5)
         )
+        gemm = np.matmul(
+            rows, attrs["wmat"], out=take_scratch("gemm", (n * oh * ow, k), x.dtype)
+        )
+        out = np.transpose(gemm.reshape(n, oh, ow, k), (0, 3, 1, 2))
     else:
         g = groups
-        rows = np.transpose(
+        rows = take_scratch("rows", (g, n * oh * ow, (c // g) * kh * kw), x.dtype)
+        rows.reshape(g, n, oh, ow, c // g, kh, kw)[...] = np.transpose(
             patches.reshape(n, g, c // g, oh, ow, kh, kw), (1, 0, 3, 4, 2, 5, 6)
-        ).reshape(g, n * oh * ow, (c // g) * kh * kw)
-        out = np.transpose(
-            np.matmul(rows, attrs["wmat"]).reshape(g, n, oh, ow, k // g), (1, 0, 4, 2, 3)
-        ).reshape(n, k, oh, ow)
+        )
+        gemm = np.matmul(
+            rows,
+            attrs["wmat"],
+            out=take_scratch("gemm", (g, n * oh * ow, k // g), x.dtype),
+        )
+        out = take_scratch("y", (n, k, oh, ow), x.dtype)
+        out.reshape(n, g, k // g, oh, ow)[...] = np.transpose(
+            gemm.reshape(g, n, oh, ow, k // g), (1, 0, 4, 2, 3)
+        )
     return _epilogue(out, attrs, k)
 
 
@@ -444,6 +565,8 @@ def winograd_fast(inputs, attrs):
     batch, so per-sample cost *drops* as the dynamic batcher coalesces
     requests — deep layers (few tiles per sample) amortise hardest.
     Bias / folded BN / fused ReLU are applied in a single epilogue.
+    Every intermediate (padded input, tile matrix, transform domains,
+    NCHW assembly) lives in step scratch.
     """
     (x,) = inputs
     u2 = attrs["u2"]  # (t, t, g, K/g, C/g), contiguous, cached at compile
@@ -451,44 +574,53 @@ def winograd_fast(inputs, attrs):
     m, r, t, g = attrs["m"], attrs["r"], attrs["t"], attrs["groups"]
     k, pad = attrs["out_channels"], attrs["pad"]
 
-    x = fake_quant(x, attrs.get("q_input"))
+    x = _fq_scratch(x, attrs.get("q_input"), "qx")
     n, c, h, w = x.shape
     out_h, out_w, th, tw = _winograd_geometry(h, w, m, r, pad)
     tt, p = t * t, n * th * tw
 
     need_h = th * m + r - 1
     need_w = tw * m + r - 1
-    xp = np.pad(x, ((0, 0), (0, 0), (pad, need_h - h - pad), (pad, need_w - w - pad)))
+    xp = take_scratch("xp", (n, c, need_h, need_w), np.float32, zero=True)
+    xp[:, :, pad : pad + h, pad : pad + w] = x
     tiles = _strided_patches(xp, t, t, m, m)  # view, no copy
     if btk is None:  # large tiles: nested two-stage transform (precision)
         BT = attrs["BT"]
         v = np.matmul(np.matmul(BT, tiles), BT.transpose())
-        v = fake_quant(v, attrs.get("q_input_t"))
-        v2 = np.transpose(
+        v = fake_quant(v, attrs.get("q_input_t"), out=v)
+        v2 = take_scratch("v2", (t, t, g, c // g, p), v.dtype)
+        v2.reshape(t, t, g, c // g, n, th * tw)[...] = np.transpose(
             v.reshape(n, g, c // g, th, tw, t, t), (5, 6, 1, 2, 0, 3, 4)
-        ).reshape(t, t, g, c // g, p)
+        ).reshape(t, t, g, c // g, n, th * tw)
     else:
-        v = np.ascontiguousarray(tiles).reshape(n * c * th * tw, tt) @ btk
-        v = fake_quant(v, attrs.get("q_input_t"))
-        v2 = np.ascontiguousarray(
-            np.transpose(
-                v.reshape(n, g, c // g, th * tw, tt), (4, 1, 2, 0, 3)
-            ).reshape(t, t, g, c // g, p)
+        tmat = take_scratch("tiles", (n * c * th * tw, tt), x.dtype)
+        tmat.reshape(n, c, th, tw, t, t)[...] = tiles
+        v = np.matmul(tmat, btk, out=take_scratch("v", (n * c * th * tw, tt), x.dtype))
+        v = fake_quant(v, attrs.get("q_input_t"), out=v)
+        v2 = take_scratch("v2", (t, t, g, c // g, p), v.dtype)
+        v2.reshape(tt, g, c // g, n, th * tw)[...] = np.transpose(
+            v.reshape(n, g, c // g, th * tw, tt), (4, 1, 2, 0, 3)
         )
-    had = np.matmul(u2, v2)  # (t, t, g, K/g, P)
-    had = fake_quant(had, attrs.get("q_hadamard"))
+    had = np.matmul(
+        u2, v2, out=take_scratch("had", (t, t, g, k // g, p), v2.dtype)
+    )  # (t, t, g, K/g, P)
+    had = fake_quant(had, attrs.get("q_hadamard"), out=had)
 
     if atk is None:
         AT = attrs["AT"]
         y = np.transpose(had.reshape(t, t, k, p), (2, 3, 0, 1))
         y = np.matmul(np.matmul(AT, y), AT.transpose())  # (K, P, m, m)
     else:
-        y = np.ascontiguousarray(np.transpose(had.reshape(tt, k * p), (1, 0))) @ atk
-    y = fake_quant(y, attrs.get("q_output"))
+        hadT = take_scratch("hadT", (k * p, tt), had.dtype)
+        hadT[...] = np.transpose(had.reshape(tt, k * p), (1, 0))
+        y = np.matmul(hadT, atk, out=take_scratch("ymat", (k * p, m * m), had.dtype))
+    y = fake_quant(y, attrs.get("q_output"), out=y)
 
-    y = np.transpose(y.reshape(k, n, th, tw, m, m), (1, 0, 2, 4, 3, 5)).reshape(
-        n, k, th * m, tw * m
+    yout = take_scratch("y", (n, k, th * m, tw * m), np.float32)
+    yout.reshape(n, k, th, m, tw, m)[...] = np.transpose(
+        y.reshape(k, n, th, tw, m, m), (1, 0, 2, 4, 3, 5)
     )
+    y = yout
     if th * m != out_h or tw * m != out_w:
         y = y[:, :, :out_h, :out_w]
     return _epilogue(y, attrs, k, quantize_output=False)
@@ -513,15 +645,26 @@ def winograd_fast(inputs, attrs):
 INT8_STRICT = False
 
 
-def _int8_matmul(a, b):
+def _int8_matmul(a, b, out=None):
     """GEMM over integer-valued operands.
 
     Exactness is guaranteed by the compile-time accumulator-bound
-    analysis (every partial sum representable in the operand dtype).
-    Tests monkeypatch this with an int64 matmul: bit-identical results
-    prove the float path is exact at the actual model shapes.
+    analysis (every partial sum representable in the operand dtype) —
+    which also makes ``out=`` placement value-neutral.  Tests monkeypatch
+    this with an int64 matmul: bit-identical results prove the float
+    path is exact at the actual model shapes.
     """
-    return np.matmul(a, b)
+    return np.matmul(a, b, out=out)
+
+
+def _cast_scratch(arr: np.ndarray, dtype, tag: str) -> np.ndarray:
+    """Exact dtype conversion into step scratch (integer-valued arrays
+    convert losslessly both ways below the mantissa bounds)."""
+    if arr.dtype == dtype:
+        return arr
+    buf = take_scratch(tag, arr.shape, dtype)
+    buf[...] = arr
+    return buf
 
 
 def _quantize_codes(x, q, out=None):
@@ -568,7 +711,7 @@ def _requant_out(out, rq, bias_shape=None):
     if bias is not None and bias_shape is not None:
         bias = bias.reshape(bias_shape)
     _requant_codes(out, rq["d"], rq["q"], bias=bias)
-    return out if out.dtype == np.float32 else out.astype(np.float32)
+    return _cast_scratch(out, np.float32, "rq_f32")
 
 
 def _int8_epilogue(codes, i8, bshape):
@@ -589,9 +732,7 @@ def _int8_epilogue(codes, i8, bshape):
         np.clip(codes, epi["lo"], epi["hi"], out=codes)
     elif epi["relu"]:
         np.maximum(codes, 0.0, out=codes)
-    if codes.dtype != np.float32:
-        codes = codes.astype(np.float32)
-    return codes
+    return _cast_scratch(codes, np.float32, "epi_f32")
 
 
 def _cold_fallback(fast_fn, inputs, attrs):
@@ -628,7 +769,9 @@ def winograd_int8(inputs, attrs):
     """Winograd on integer codes: quantize once into the padded buffer,
     one integer Kronecker GEMM producing the Hadamard layout directly,
     integer Hadamard contraction, transpose-free integer output
-    transform, fused requant between every stage."""
+    transform, fused requant between every stage.  Every buffer —
+    padded codes, tile matrix, transform domains, NCHW assembly — comes
+    from step scratch."""
     i8 = _int8_gate("winograd_conv2d", winograd_fast, inputs, attrs)
     if i8 is None:
         return winograd_fast(inputs, attrs)
@@ -645,7 +788,7 @@ def winograd_int8(inputs, attrs):
 
     # Quantize straight into the zero-padded buffer: one pass, and the
     # zero padding is its own quantization (code(0) = 0).
-    xp = np.zeros((n, c, need_h, need_w), dtype=np.float32)
+    xp = take_scratch("xp", (n, c, need_h, need_w), np.float32, zero=True)
     interior = xp[:, :, pad : pad + h, pad : pad + w]
     if i8.get("input_prequantized"):
         interior[...] = x  # producer already emitted codes on our grid
@@ -655,31 +798,37 @@ def winograd_int8(inputs, attrs):
     # Tile copy directly into (t², C·P) — the Kronecker GEMM then emits
     # the Hadamard-ready layout, killing the float path's big transpose.
     tiles = _strided_patches(xp, t, t, m, m)  # (n, c, th, tw, t, t) view
-    tmat = np.ascontiguousarray(np.transpose(tiles, (4, 5, 1, 0, 2, 3))).reshape(
-        tt, c * p
-    )
-    if tmat.dtype != dt_v:
-        tmat = tmat.astype(dt_v)
-    v = _int8_matmul(i8["btk"], tmat)  # (t², C·P), exact integers
+    tmat = take_scratch("tmat", (tt, c * p), dt_v)
+    tmat.reshape(t, t, c, n, th, tw)[...] = np.transpose(tiles, (4, 5, 1, 0, 2, 3))
+    v = _int8_matmul(
+        i8["btk"], tmat, out=take_scratch("v", (tt, c * p), dt_v)
+    )  # (t², C·P), exact integers
     if INT8_STRICT:
         assert float(np.abs(v).max(initial=0.0)) <= i8["bounds"][0]
     _requant_codes(v, i8["d_v"], attrs["q_input_t"])
-    if v.dtype != dt_h:
-        v = v.astype(dt_h)
-    had = _int8_matmul(i8["u2q"], v.reshape(t, t, g, c // g, p))  # (t,t,g,K/g,P)
+    v = _cast_scratch(v, dt_h, "v_h")
+    had = _int8_matmul(
+        i8["u2q"],
+        v.reshape(t, t, g, c // g, p),
+        out=take_scratch("had", (t, t, g, k // g, p), dt_h),
+    )  # (t, t, g, K/g, P)
     if INT8_STRICT:
         assert float(np.abs(had).max(initial=0.0)) <= i8["bounds"][1]
     _requant_codes(had, i8["d_h"], attrs["q_hadamard"])
-    if had.dtype != dt_z:
-        had = had.astype(dt_z)
-    z = _int8_matmul(i8["atk"], had.reshape(tt, k * p))  # (m², K·P)
+    had = _cast_scratch(had, dt_z, "had_z")
+    z = _int8_matmul(
+        i8["atk"],
+        had.reshape(tt, k * p),
+        out=take_scratch("z", (m * m, k * p), dt_z),
+    )  # (m², K·P)
     if INT8_STRICT:
         assert float(np.abs(z).max(initial=0.0)) <= i8["bounds"][2]
     z = _requant_out(z, i8["rq_out"])
     out = _int8_epilogue(z.reshape(m * m, k, p), i8, (1, k, 1))
-    y = np.ascontiguousarray(
-        np.transpose(out.reshape(m, m, k, n, th, tw), (3, 2, 4, 0, 5, 1))
-    ).reshape(n, k, th * m, tw * m)
+    y = take_scratch("y", (n, k, th * m, tw * m), np.float32)
+    y.reshape(n, k, th, m, tw, m)[...] = np.transpose(
+        out.reshape(m, m, k, n, th, tw), (3, 2, 4, 0, 5, 1)
+    )
     if th * m != out_h or tw * m != out_w:
         y = y[:, :, :out_h, :out_w]
     return y
@@ -706,17 +855,20 @@ def conv2d_int8(inputs, attrs):
         if i8.get("input_prequantized"):
             qx = np.ascontiguousarray(x).reshape(n, c, h * w)
         else:
-            qx = _quantize_codes(x, attrs["q_input"]).reshape(n, c, h * w)
-        if qx.dtype != dt:
-            qx = qx.astype(dt)
-        out = _int8_matmul(i8["wq_1x1"][None], qx)  # (n, K, H·W)
+            qx = _quantize_codes(
+                x, attrs["q_input"], out=take_scratch("qx", x.shape, np.float32)
+            ).reshape(n, c, h * w)
+        qx = _cast_scratch(qx, dt, "qx_dt")
+        out = _int8_matmul(
+            i8["wq_1x1"][None], qx, out=take_scratch("gemm", (n, k, h * w), dt)
+        )  # (n, K, H·W)
         if INT8_STRICT:
             assert float(np.abs(out).max(initial=0.0)) <= i8["bound"]
         out = _requant_out(out, rq, bias_shape=(1, k, 1))
         out = _int8_epilogue(out, i8, (1, k, 1))
         return out.reshape(n, k, h, w)
 
-    xp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=np.float32)
+    xp = take_scratch("xp", (n, c, h + 2 * ph, w + 2 * pw), np.float32, zero=True)
     interior = xp[:, :, ph : ph + h, pw : pw + w]
     if i8.get("input_prequantized"):
         interior[...] = x
@@ -725,23 +877,25 @@ def conv2d_int8(inputs, attrs):
     patches = _strided_patches(xp, kh, kw, sh, sw)
     oh, ow = patches.shape[2], patches.shape[3]
     if g == 1:
-        rows = np.ascontiguousarray(
-            np.transpose(patches, (0, 2, 3, 1, 4, 5))
-        ).reshape(n * oh * ow, c * kh * kw)
-        if rows.dtype != dt:
-            rows = rows.astype(dt)
-        out = _int8_matmul(rows, i8["wq_mat"])  # (n·oh·ow, K)
+        rows = take_scratch("rows", (n * oh * ow, c * kh * kw), dt)
+        rows.reshape(n, oh, ow, c, kh, kw)[...] = np.transpose(
+            patches, (0, 2, 3, 1, 4, 5)
+        )
+        out = _int8_matmul(
+            rows, i8["wq_mat"], out=take_scratch("gemm", (n * oh * ow, k), dt)
+        )  # (n·oh·ow, K)
         if INT8_STRICT:
             assert float(np.abs(out).max(initial=0.0)) <= i8["bound"]
         out = _requant_out(out, rq)
         out = _int8_epilogue(out, i8, (k,))
         return np.transpose(out.reshape(n, oh, ow, k), (0, 3, 1, 2))
-    rows = np.ascontiguousarray(
-        np.transpose(patches.reshape(n, g, c // g, oh, ow, kh, kw), (1, 0, 3, 4, 2, 5, 6))
-    ).reshape(g, n * oh * ow, (c // g) * kh * kw)
-    if rows.dtype != dt:
-        rows = rows.astype(dt)
-    out = _int8_matmul(rows, i8["wq_mat"])  # (g, n·oh·ow, K/g)
+    rows = take_scratch("rows", (g, n * oh * ow, (c // g) * kh * kw), dt)
+    rows.reshape(g, n, oh, ow, c // g, kh, kw)[...] = np.transpose(
+        patches.reshape(n, g, c // g, oh, ow, kh, kw), (1, 0, 3, 4, 2, 5, 6)
+    )
+    out = _int8_matmul(
+        rows, i8["wq_mat"], out=take_scratch("gemm", (g, n * oh * ow, k // g), dt)
+    )  # (g, n·oh·ow, K/g)
     if INT8_STRICT:
         assert float(np.abs(out).max(initial=0.0)) <= i8["bound"]
     out = _requant_out(out, rq, bias_shape=(g, 1, k // g))
@@ -764,10 +918,13 @@ def linear_int8(inputs, attrs):
     if i8.get("input_prequantized"):
         qx = np.ascontiguousarray(x)
     else:
-        qx = _quantize_codes(x, attrs["q_input"])
-    if qx.dtype != i8["dt"]:
-        qx = qx.astype(i8["dt"])
-    out = _int8_matmul(qx, i8["wq_t"])  # (N, out)
+        qx = _quantize_codes(
+            x, attrs["q_input"], out=take_scratch("qx", x.shape, np.float32)
+        )
+    qx = _cast_scratch(qx, i8["dt"], "qx_dt")
+    out = _int8_matmul(
+        qx, i8["wq_t"], out=take_scratch("gemm", (x.shape[0], k), i8["dt"])
+    )  # (N, out)
     if INT8_STRICT:
         assert float(np.abs(out).max(initial=0.0)) <= i8["bound"]
     out = _requant_out(out, i8["rq_out"])

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 from statistics import median
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -23,6 +23,19 @@ def measure_callable_ms(
     return float(median(times))
 
 
-def measure_plan_ms(plan, x: np.ndarray, repeats: int = 5, warmup: int = 2) -> float:
-    """Median wall-clock of one compiled-plan execution, in ms."""
-    return measure_callable_ms(plan.run, x, repeats=repeats, warmup=warmup)
+def measure_plan_ms(
+    plan,
+    x: np.ndarray,
+    repeats: int = 5,
+    warmup: int = 2,
+    threads: Optional[int] = None,
+) -> float:
+    """Median wall-clock of one compiled-plan execution, in ms.
+
+    ``threads`` is forwarded to :meth:`CompiledPlan.run` (``None`` keeps
+    the plan/`REPRO_THREADS` default)."""
+    if threads is None:
+        return measure_callable_ms(plan.run, x, repeats=repeats, warmup=warmup)
+    return measure_callable_ms(
+        lambda: plan.run(x, threads=threads), repeats=repeats, warmup=warmup
+    )

@@ -58,6 +58,11 @@ class SearchConfig:
     #: latency of the native integer execution path that quantized
     #: candidates would actually be deployed on.
     engine_backend: str = "fast"
+    #: Engine threads the "measured"/"served" probes execute candidates
+    #: with (``None`` → the ``REPRO_THREADS`` default): searching with
+    #: the deployment thread count optimises the latency the parallel
+    #: executor will actually deliver.
+    engine_threads: Optional[int] = None
     verbose: bool = False
 
 
@@ -159,12 +164,17 @@ class WiNAS:
                 raise RuntimeError("mixed op did not see the probe input")
             h, w = op.last_input_hw
             if source == "measured":
-                op.set_latencies(self._measure_candidates(op, h, w, backend))
+                op.set_latencies(
+                    self._measure_candidates(
+                        op, h, w, backend, self.config.engine_threads
+                    )
+                )
                 continue
             if source == "served":
                 op.set_latencies(
                     self._measure_candidates_served(
-                        op, h, w, self.config.served_concurrency, backend
+                        op, h, w, self.config.served_concurrency, backend,
+                        self.config.engine_threads,
                     )
                 )
                 continue
@@ -186,7 +196,11 @@ class WiNAS:
 
     @staticmethod
     def _measure_candidates(
-        op: MixedConv2d, h: int, w: int, backend: str = "fast"
+        op: MixedConv2d,
+        h: int,
+        w: int,
+        backend: str = "fast",
+        threads: Optional[int] = None,
     ) -> List[float]:
         """Wall-clock each candidate as a compiled single-layer plan."""
         from repro.engine import compile_model, measure_plan_ms
@@ -195,12 +209,19 @@ class WiNAS:
         latencies = []
         for path in op.paths:
             plan = compile_model(path, backend=backend)
-            latencies.append(measure_plan_ms(plan, x, repeats=3, warmup=1))
+            latencies.append(
+                measure_plan_ms(plan, x, repeats=3, warmup=1, threads=threads)
+            )
         return latencies
 
     @staticmethod
     def _measure_candidates_served(
-        op: MixedConv2d, h: int, w: int, concurrency: int, backend: str = "fast"
+        op: MixedConv2d,
+        h: int,
+        w: int,
+        concurrency: int,
+        backend: str = "fast",
+        threads: Optional[int] = None,
     ) -> List[float]:
         """Per-request latency of each candidate under batched serving load."""
         from repro.engine import compile_model
@@ -209,7 +230,10 @@ class WiNAS:
         x = np.zeros((1, op.in_channels, h, w), dtype=np.float32)
         return [
             served_latency_ms(
-                compile_model(path, backend=backend), x, concurrency=concurrency
+                compile_model(path, backend=backend),
+                x,
+                concurrency=concurrency,
+                threads=threads,
             )
             for path in op.paths
         ]

@@ -24,6 +24,7 @@ Failure policy:
 from __future__ import annotations
 
 import asyncio
+import functools
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -108,12 +109,19 @@ class DynamicBatcher:
         metrics: Optional[ModelMetrics] = None,
         name: str = "",
         max_inflight: int = 2,
+        threads: Optional[int] = None,
     ):
         self.plan = plan
         self.policy = policy or BatchPolicy()
         self.metrics = metrics or ModelMetrics()
         self.name = name
         self.max_inflight = max(1, max_inflight)
+        #: Engine threads per coalesced batch: each dispatched batch fans
+        #: its chunkable steps out across the engine worker pool, so one
+        #: big batch exploits the cores that batch-level pipelining
+        #: (max_inflight) alone would leave idle.  ``None`` keeps the
+        #: plan/REPRO_THREADS default.
+        self.threads = threads
         self._executor = executor
         self._owns_executor = executor is None
         self._queue: Optional[asyncio.Queue] = None
@@ -259,9 +267,13 @@ class DynamicBatcher:
                 else np.concatenate([p.x for p in live], axis=0)
             )
             try:
-                out = await loop.run_in_executor(
-                    self._executor, self.plan.run, stacked
-                )
+                if self.threads is not None:
+                    run = functools.partial(
+                        self.plan.run, stacked, threads=self.threads
+                    )
+                else:  # duck-typed plans (test stubs) need no threads kwarg
+                    run = functools.partial(self.plan.run, stacked)
+                out = await loop.run_in_executor(self._executor, run)
             except BaseException as exc:  # kernel failure / teardown cancel:
                 # fail the whole batch so no submitter is left hanging.
                 self.metrics.on_error(len(live))

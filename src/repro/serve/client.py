@@ -125,6 +125,15 @@ class ServeClient:
             payload["deadline_ms"] = deadline_ms
         return self.request("POST", "/predict", payload)
 
+    @staticmethod
+    def decode_output(payload, response: dict) -> np.ndarray:
+        """Wire form → float32 array (b64 responses carry raw bytes plus
+        an ``output_shape``; JSON carries exact-decimal nested lists)."""
+        if response.get("encoding") == "b64":
+            flat = np.frombuffer(base64.b64decode(payload), dtype="<f4")
+            return flat.reshape(response["output_shape"]).copy()
+        return np.asarray(payload, dtype=np.float32)
+
     def predict(
         self,
         x: np.ndarray,
@@ -136,7 +145,7 @@ class ServeClient:
         response = self.predict_raw(
             x, model=model, deadline_ms=deadline_ms, encoding=encoding
         )
-        return np.asarray(response["output"], dtype=np.float32)
+        return self.decode_output(response["output"], response)
 
     def predict_many(
         self,
@@ -154,7 +163,7 @@ class ServeClient:
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
         response = self.request("POST", "/predict", payload)
-        outputs = [np.asarray(o, dtype=np.float32) for o in response["outputs"]]
+        outputs = [self.decode_output(o, response) for o in response["outputs"]]
         return outputs, response["meta"]
 
 

@@ -26,11 +26,14 @@ def served_latency_ms(
     concurrency: int = 8,
     requests_per_client: int = 4,
     policy: Optional[BatchPolicy] = None,
+    threads: Optional[int] = None,
 ) -> float:
     """Mean per-request latency (ms) of ``plan`` under concurrent load.
 
     ``x`` is one sample ``(1, C, H, W)``.  Must be called from a thread
-    with no running event loop (it owns a private one).
+    with no running event loop (it owns a private one).  ``threads``
+    sets the engine threads per dispatched batch, mirroring a server
+    started with ``--threads``.
     """
     x = np.ascontiguousarray(np.asarray(x, dtype=np.float32))
     if policy is None:
@@ -42,7 +45,7 @@ def served_latency_ms(
         )
 
     async def main() -> float:
-        batcher = DynamicBatcher(plan, policy=policy, name="probe")
+        batcher = DynamicBatcher(plan, policy=policy, name="probe", threads=threads)
         await batcher.start()
         latencies: List[float] = []
         try:

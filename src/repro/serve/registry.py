@@ -165,10 +165,24 @@ class ServedModel:
         if hasattr(self.plan, "steps"):
             info["plan_steps"] = len(self.plan.steps)
             info["plan_ops"] = list(self.plan.ops_used())
+        if hasattr(self.plan, "memory_report"):
+            report = self.plan.memory_report()
+            info["memory"] = {
+                "planned": any(
+                    e.get("planned") for e in report["planned_shapes"]
+                ),
+                "arena_bytes": report["arena_bytes"],
+                "steady_state_allocations": report["steady_state_allocations"],
+            }
         return info
 
     def validate_input(self, x: np.ndarray) -> np.ndarray:
-        """Coerce one sample to float32 NCHW with batch dim 1."""
+        """Coerce one sample to float32 NCHW with batch dim 1.
+
+        Zero-copy for arrays already in float32 C order (the b64 request
+        path hands ``np.frombuffer`` views straight through): ``asarray``
+        ``[None]`` and ``ascontiguousarray`` below all stay views then.
+        """
         arr = np.asarray(x, dtype=np.float32)
         if arr.shape == self.sample_shape:
             arr = arr[None]

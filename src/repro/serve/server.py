@@ -84,6 +84,7 @@ class InferenceServer:
         workers: Optional[int] = None,
         metrics: Optional[ServerMetrics] = None,
         cache: Optional[PlanCache] = None,
+        threads: Optional[int] = None,
     ):
         self.registry = registry
         self.policy = policy or BatchPolicy()
@@ -92,6 +93,11 @@ class InferenceServer:
         self.workers = workers or default_workers()
         self.metrics = metrics or ServerMetrics()
         self.cache = cache if cache is not None else plan_cache
+        #: Engine threads per dispatched batch (``repro serve --threads``,
+        #: default the REPRO_THREADS environment setting): batches fan
+        #: their chunkable steps out across the shared engine pool, so
+        #: cores are used even when one model carries all the traffic.
+        self.threads = threads
         self._batchers: Dict[str, DynamicBatcher] = {}
         self._executor: Optional[ThreadPoolExecutor] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -142,6 +148,7 @@ class InferenceServer:
                 # on a single-core host one full batch beats two
                 # interleaved half-batches (cache + fixed costs).
                 max_inflight=max(1, min(self.workers, os.cpu_count() or 1)),
+                threads=self.threads,
             )
             await batcher.start()
             self._batchers[name] = batcher
@@ -249,6 +256,8 @@ class InferenceServer:
             snap = self.metrics.snapshot(plan_cache_stats=self.cache.stats())
             snap["policy"] = self.policy.to_dict()
             snap["workers"] = self.workers
+            snap["engine_threads"] = self.threads
+            snap["plan_memory"] = self.cache.memory_stats()
             return snap
         raise _HttpError(404, f"no route {path!r}")
 
@@ -265,13 +274,20 @@ class InferenceServer:
 
     @staticmethod
     def _decode_b64(sample, served) -> np.ndarray:
-        """Decode one ``encoding: "b64"`` sample: base64 of raw little-
-        endian float32 bytes in C order, shaped like the model's sample."""
+        """Decode one ``encoding: "b64"`` sample — zero-copy past decode.
+
+        The wire form is base64 of raw little-endian float32 bytes in C
+        order, shaped like the model's sample.  ``np.frombuffer`` views
+        the decoded bytes directly and the reshape (plus the batch-axis
+        expansion in ``validate_input``) stays a view, so the only
+        full-tensor pass between the socket and the engine's input
+        register is the unavoidable base64 decode itself.
+        """
         if not isinstance(sample, str):
             raise _HttpError(400, "b64 encoding expects base64 strings")
         try:
-            raw = base64.b64decode(sample.encode("ascii"), validate=True)
-        except (binascii.Error, UnicodeEncodeError) as exc:
+            raw = base64.b64decode(sample, validate=True)
+        except (binascii.Error, ValueError) as exc:
             raise _HttpError(400, f"invalid base64 sample: {exc}")
         expected = int(np.prod(served.sample_shape)) * 4
         if len(raw) != expected:
@@ -281,6 +297,21 @@ class InferenceServer:
                 f"expects {expected} (float32 {served.sample_shape})",
             )
         return np.frombuffer(raw, dtype="<f4").reshape(served.sample_shape)
+
+    @staticmethod
+    def _encode_output(output: np.ndarray, encoding: str):
+        """One request's output slice → wire form.
+
+        ``b64`` requests get their outputs back as base64 float32 too:
+        the encode is two bulk passes (tobytes + b64) instead of
+        ``tolist()``'s per-element float formatting, and the round trip
+        is bit-exact by construction rather than via decimal repr.
+        """
+        if encoding == "b64":
+            return base64.b64encode(
+                np.ascontiguousarray(output, dtype="<f4").tobytes()
+            ).decode("ascii")
+        return output.tolist()
 
     async def _predict(self, body: bytes) -> dict:
         try:
@@ -349,21 +380,32 @@ class InferenceServer:
 
         if single:
             result = results[0]
-            return {
+            response = {
                 "model": name,
-                "output": result.output[0].tolist(),
+                "output": self._encode_output(result.output[0], encoding),
                 "batch_size": result.batch_size,
                 "queue_ms": result.queue_ms,
                 "run_ms": result.run_ms,
             }
-        return {
-            "model": name,
-            "outputs": [r.output[0].tolist() for r in results],
-            "meta": [
-                {"batch_size": r.batch_size, "queue_ms": r.queue_ms, "run_ms": r.run_ms}
-                for r in results
-            ],
-        }
+        else:
+            response = {
+                "model": name,
+                "outputs": [
+                    self._encode_output(r.output[0], encoding) for r in results
+                ],
+                "meta": [
+                    {
+                        "batch_size": r.batch_size,
+                        "queue_ms": r.queue_ms,
+                        "run_ms": r.run_ms,
+                    }
+                    for r in results
+                ],
+            }
+        if encoding == "b64":
+            response["encoding"] = "b64"
+            response["output_shape"] = list(results[0].output[0].shape)
+        return response
 
 
 # ---------------------------------------------------------------------------
@@ -431,10 +473,12 @@ def start_in_background(
     host: str = "127.0.0.1",
     port: int = 0,
     workers: Optional[int] = None,
+    threads: Optional[int] = None,
 ) -> ServerHandle:
     """Start an :class:`InferenceServer` on a daemon thread (ephemeral port
     by default) and block until it accepts connections."""
     server = InferenceServer(
-        registry, policy=policy, host=host, port=port, workers=workers
+        registry, policy=policy, host=host, port=port, workers=workers,
+        threads=threads,
     )
     return ServerHandle(server).start()

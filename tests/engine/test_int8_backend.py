@@ -42,11 +42,19 @@ from repro.quant.qconfig import fp32, int8
 from repro.winograd.layer import WinogradConv2d
 
 
-def exact_int64_matmul(a, b):
-    """Oracle GEMM: exact integer arithmetic, no float accumulation."""
+def exact_int64_matmul(a, b, out=None):
+    """Oracle GEMM: exact integer arithmetic, no float accumulation.
+
+    Accepts the kernels' ``out=`` placement (writing the int64 result
+    into the caller's workspace casts each entry exactly — the values
+    are below the mantissa bound by construction)."""
     ai = np.rint(a).astype(np.int64)
     bi = np.rint(b).astype(np.int64)
-    return np.matmul(ai, bi).astype(a.dtype)
+    result = np.matmul(ai, bi)
+    if out is not None:
+        out[...] = result
+        return out
+    return result.astype(a.dtype)
 
 
 @pytest.fixture
@@ -364,7 +372,10 @@ class TestZeroRangeCalibration:
 
 class TestIntegration:
     def test_registry_fallback_chain(self):
-        assert registry.get("concat", "int8") is registry.get("concat", "reference")
+        # flatten has only a reference kernel: every backend falls back.
+        assert registry.get("flatten", "int8") is registry.get("flatten", "reference")
+        # concat/affine stop at their fast (arena-aware) variants.
+        assert registry.get("concat", "int8") is registry.get("concat", "fast")
         assert registry.get("affine", "int8") is registry.get("affine", "fast")
         assert registry.get("winograd_conv2d", "int8").__name__ == "winograd_int8"
 

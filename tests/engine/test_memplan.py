@@ -1,0 +1,207 @@
+"""The compile-time memory planner (ISSUE 4).
+
+Contract:
+
+* shape inference covers every lowered op, so the planner activates on
+  all the smoke models (a plan with an un-inferable op falls back to the
+  legacy allocate-per-step executor instead of failing);
+* liveness-disjoint registers share arena slots — the reuse pattern on a
+  known chain is pinned exactly below;
+* a step's output slot never aliases any of its live inputs;
+* steady state is zero-allocation: after warm-up, ``memory_report()``
+  shows no arena allocations for a run, while the eliminated-allocation
+  counter shows the scratch/out requests that hit existing buffers;
+* arena execution is value-neutral: planned and unplanned runs of the
+  same plan produce bit-identical outputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import compile_model
+from repro.engine.memplan import Arena, plan_layout
+from repro.engine.plan import Step
+from repro.models.common import ConvSpec
+from repro.models.lenet import lenet
+from repro.models.resnet import resnet18
+from repro.quant.qconfig import int8
+
+
+def _chain_steps():
+    """conv(r0→r1) → relu(r1→r2) → conv(r2→r3) → relu(r3→r4).
+
+    All activations are the same size, so slot reuse is forced purely by
+    liveness: r1 dies at step 1, r2 at step 2, r3 at step 3.
+    """
+    w = np.zeros((4, 4, 3, 3), dtype=np.float32)
+    conv_attrs = {"weight": w, "stride": (1, 1), "padding": (1, 1), "groups": 1}
+    return [
+        Step("conv2d", (0,), 1, dict(conv_attrs)),
+        Step("relu", (1,), 2),
+        Step("conv2d", (2,), 3, dict(conv_attrs)),
+        Step("relu", (3,), 4),
+    ]
+
+
+class TestLayout:
+    def test_liveness_reuse_pinned_on_known_chain(self):
+        layout = plan_layout(_chain_steps(), 0, 4, (4, 8, 8))
+        assert layout is not None
+        # Four registers, but never more than two alive at once: the
+        # planner must produce exactly 2 slots and report 2 reuses.
+        assert layout.planned_registers == 4
+        assert len(layout.slot_elems) == 2
+        assert layout.buffers_reused == 2
+        # r1/r3 and r2/r4 alternate between the two slots.
+        assert layout.reg_slot[1] == layout.reg_slot[3]
+        assert layout.reg_slot[2] == layout.reg_slot[4]
+        assert layout.reg_slot[1] != layout.reg_slot[2]
+        # Equal-size activations: per-sample arena = 2 × one activation.
+        assert layout.bytes_per_sample == 2 * 4 * 8 * 8 * 4
+
+    def test_output_never_aliases_step_inputs(self):
+        """Each step's output slot differs from every live input's slot
+        (a kernel may never read and write the same memory)."""
+        steps = _chain_steps()
+        layout = plan_layout(steps, 0, 4, (4, 8, 8))
+        for step in steps:
+            for reg in step.inputs:
+                if reg in layout.reg_slot:
+                    assert layout.reg_slot[reg] != layout.reg_slot[step.output]
+
+    def test_residual_keeps_shortcut_alive(self):
+        """A register read by a later add must keep its slot until then."""
+        w = np.zeros((4, 4, 3, 3), dtype=np.float32)
+        conv_attrs = {"weight": w, "stride": (1, 1), "padding": (1, 1), "groups": 1}
+        steps = [
+            Step("conv2d", (0,), 1, dict(conv_attrs)),  # trunk in
+            Step("conv2d", (1,), 2, dict(conv_attrs)),
+            Step("conv2d", (2,), 3, dict(conv_attrs)),
+            Step("add", (3, 1), 4),  # r1 is the shortcut
+        ]
+        layout = plan_layout(steps, 0, 4, (4, 8, 8))
+        # r1 lives across steps 1-3, so r2/r3 may not take its slot.
+        assert layout.reg_slot[2] != layout.reg_slot[1]
+        assert layout.reg_slot[3] != layout.reg_slot[1]
+
+    def test_alias_ops_share_the_producer_slot(self):
+        w = np.zeros((4, 4, 3, 3), dtype=np.float32)
+        steps = [
+            Step("conv2d", (0,), 1, {"weight": w, "stride": (1, 1),
+                                     "padding": (1, 1), "groups": 1}),
+            Step("flatten", (1,), 2),
+            Step("linear", (2,), 3, {"weight": np.zeros((10, 256), np.float32)}),
+        ]
+        layout = plan_layout(steps, 0, 3, (4, 8, 8))
+        # flatten returns a view of its input: one slot, union lifetime.
+        assert layout.reg_slot[2] == layout.reg_slot[1]
+
+    def test_unknown_op_disables_planning(self):
+        steps = [Step("eager_module", (0,), 1, {"module": None})]
+        assert plan_layout(steps, 0, 1, (4, 8, 8)) is None
+
+
+class TestArena:
+    def test_scratch_reuse_and_growth_accounting(self):
+        layout = plan_layout(_chain_steps(), 0, 4, (4, 8, 8))
+        arena = Arena(layout)
+        arena.begin_run(2)
+        first_allocs = arena.last_run_allocs
+        assert first_allocs == len(layout.slot_elems)
+        buf = arena.scratch((0, "rows", 0), (16, 16), np.float32)
+        assert arena.scratch((0, "rows", 0), (16, 16), np.float32) is not None
+        assert arena.last_run_hits == 1  # second request hit the buffer
+        assert arena.owns(buf)
+        # Same key, smaller shape: still a hit (capacity-based).
+        arena.scratch((0, "rows", 0), (8, 16), np.float32)
+        assert arena.last_run_hits == 2
+        # Bigger batch grows the slots exactly once.
+        arena.begin_run(4)
+        assert arena.last_run_allocs == len(layout.slot_elems)
+        arena.begin_run(4)
+        assert arena.last_run_allocs == 0
+
+    def test_zeroed_scratch_borders_survive_reuse(self):
+        layout = plan_layout(_chain_steps(), 0, 4, (4, 8, 8))
+        arena = Arena(layout)
+        arena.begin_run(1)
+        pad = arena.scratch((1, "xp", 0), (1, 2, 6, 6), np.float32, zero=True)
+        assert not pad.any()
+        pad[:, :, 1:5, 1:5] = 7.0  # kernel writes the interior only
+        again = arena.scratch((1, "xp", 0), (1, 2, 6, 6), np.float32, zero=True)
+        assert again[0, 0, 0, 0] == 0.0 and again[0, 0, 2, 2] == 7.0
+
+
+class TestPlannedExecution:
+    @pytest.mark.parametrize("backend", ["fast", "int8"])
+    def test_zero_steady_state_allocations_resnet_smoke(self, rng, backend):
+        """The acceptance gate: after warm-up, a run of the ResNet smoke
+        plan performs zero arena allocations while eliminating dozens."""
+        model = resnet18(width_multiplier=0.25, spec=ConvSpec("F4", int8()))
+        model.eval()
+        from repro.autograd import Tensor, no_grad
+
+        x = rng.standard_normal((8, 3, 32, 32)).astype(np.float32)
+        with no_grad():
+            model(Tensor(x))  # calibrate observers
+        plan = compile_model(model, backend=backend)
+        plan.run(x)  # warm-up: arenas + scratch allocate here
+        plan.run(x)  # steady state
+        report = plan.memory_report(batch=8)
+        assert report["steady_state_allocations"] == 0
+        assert report["allocations_eliminated"] > 20
+        assert report["shape_misses"] == 0
+        entry = report["planned_shapes"][0]
+        assert entry["planned"]
+        assert entry["buffers_reused"] > 0
+        assert entry["slots"] < entry["planned_registers"]
+
+    def test_planned_equals_unplanned_bitwise(self, rng):
+        model = lenet(spec=ConvSpec("F2", int8()))
+        model.eval()
+        x = rng.standard_normal((4, 1, 28, 28)).astype(np.float32)
+        planned = compile_model(model, backend="fast")
+        planned.run(x[:1])  # freeze dynamic ranges + warm arena
+        unplanned = compile_model(model, backend="fast")
+        unplanned.planning = False
+        unplanned.run(x[:1])
+        np.testing.assert_array_equal(planned.run(x), unplanned.run(x))
+
+    def test_result_does_not_alias_arena(self, rng):
+        """run() results must stay stable after later runs reuse the
+        arena (the executor copies arena-backed outputs out)."""
+        model = lenet(spec=ConvSpec("F2"))
+        model.eval()
+        plan = compile_model(model, backend="fast")
+        a = rng.standard_normal((2, 1, 28, 28)).astype(np.float32)
+        b = rng.standard_normal((2, 1, 28, 28)).astype(np.float32)
+        out_a = plan.run(a)
+        snapshot = out_a.copy()
+        plan.run(b)  # same arena, different data
+        np.testing.assert_array_equal(out_a, snapshot)
+
+    def test_reference_backend_keeps_legacy_executor(self, rng):
+        model = lenet(spec=ConvSpec("F2"))
+        model.eval()
+        plan = compile_model(model, backend="reference")
+        x = rng.standard_normal((2, 1, 28, 28)).astype(np.float32)
+        plan.run(x)
+        report = plan.memory_report()
+        assert not report["planning"]
+        assert report["arenas_built"] == 0
+
+    def test_describe_includes_memory_line(self, rng):
+        model = lenet(spec=ConvSpec("F2"))
+        model.eval()
+        plan = compile_model(model, backend="fast")
+        x = rng.standard_normal((2, 1, 28, 28)).astype(np.float32)
+        plan.run(x)
+        assert any("memory:" in line for line in plan.describe())
+
+    def test_prepare_builds_layout_before_first_run(self):
+        model = lenet(spec=ConvSpec("F2"))
+        model.eval()
+        plan = compile_model(model, backend="fast")
+        plan.prepare((1, 1, 28, 28))
+        entry = plan.memory_report()["planned_shapes"][0]
+        assert entry["planned"] and entry["sample_shape"] == [1, 28, 28]

@@ -52,4 +52,4 @@ def test_turbo_kernel_resolution_falls_back():
     assert registry.get("winograd_conv2d", "turbo") is registry.get(
         "winograd_conv2d", "fast"
     )
-    assert registry.get("concat", "turbo") is registry.get("concat", "reference")
+    assert registry.get("flatten", "turbo") is registry.get("flatten", "reference")

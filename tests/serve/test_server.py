@@ -136,10 +136,49 @@ class TestPredictions:
             np.testing.assert_array_equal(out, expected)
 
     def test_b64_encoding_matches_json(self, client):
+        """Bit-identity of the zero-copy b64 path against the JSON path,
+        in both directions: the request decodes to the same engine input
+        and the b64 *response* decodes to the same float32 output."""
         x = _samples(1)[0]
         json_out = client.predict(x, model=MODEL, encoding="json")
         b64_out = client.predict(x, model=MODEL, encoding="b64")
         np.testing.assert_array_equal(json_out, b64_out)
+
+    def test_b64_response_carries_raw_float32(self, client):
+        import base64
+
+        x = _samples(1)[0]
+        raw = client.predict_raw(x, model=MODEL, encoding="b64")
+        assert raw["encoding"] == "b64"
+        decoded = np.frombuffer(
+            base64.b64decode(raw["output"]), dtype="<f4"
+        ).reshape(raw["output_shape"])
+        json_out = client.predict(x, model=MODEL, encoding="json")
+        np.testing.assert_array_equal(decoded, json_out)
+
+    def test_b64_multi_sample_matches_json(self, server, client):
+        _, registry = server
+        xs = _samples(4)
+        json_outs, _ = client.predict_many(list(xs), model=REF_MODEL)
+        b64_outs, _ = client.predict_many(list(xs), model=REF_MODEL, encoding="b64")
+        plan = registry.get(REF_MODEL).plan
+        for x, j, b in zip(xs, json_outs, b64_outs):
+            np.testing.assert_array_equal(j, b)
+            np.testing.assert_array_equal(b, plan.run(x[None])[0])
+
+    def test_b64_request_path_is_zero_copy(self, server):
+        """The decoded wire bytes flow into the batcher without a copy:
+        frombuffer → reshape → validate_input all stay views."""
+        from repro.serve.server import InferenceServer
+
+        _, registry = server
+        served = registry.get(MODEL)
+        x = _samples(1)[0]
+        wire = ServeClient.encode_sample(x, "b64")
+        decoded = InferenceServer._decode_b64(wire, served)
+        validated = served.validate_input(decoded)
+        assert np.shares_memory(decoded, validated)
+        np.testing.assert_array_equal(validated[0], x)
 
     def test_multi_sample_request(self, server, client):
         # Reference backend: per-sample results are exact regardless of
@@ -152,6 +191,31 @@ class TestPredictions:
         for x, out in zip(xs, outputs):
             np.testing.assert_array_equal(out, plan.run(x[None])[0])
         assert all(m["batch_size"] >= 1 for m in meta)
+
+    def test_threaded_server_bit_identical_reference(self):
+        """A server running with engine threads per batch must answer
+        exactly like direct serial plan.run on the reference backend —
+        the scheduler's bit-identity contract carried over HTTP."""
+        registry = ModelRegistry(cache=PlanCache())
+        registry.load(REF_MODEL)
+        handle = start_in_background(
+            registry,
+            policy=BatchPolicy(max_batch_size=8, max_wait_ms=2.0),
+            workers=2,
+            threads=2,
+        )
+        try:
+            wait_until_ready(handle.base_url)
+            plan = registry.get(REF_MODEL).plan
+            with ServeClient(handle.base_url) as c:
+                metrics = c.metrics()
+                assert metrics["engine_threads"] == 2
+                assert "plan_memory" in metrics
+                for x in _samples(3):
+                    out = c.predict(x, model=REF_MODEL, encoding="b64")
+                    np.testing.assert_array_equal(out, plan.run(x[None])[0])
+        finally:
+            handle.stop()
 
     def test_concurrent_clients_identical_and_within_deadline(self, server):
         """The CI smoke contract: 16 threads × 4 requests, bit-identical
