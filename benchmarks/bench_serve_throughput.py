@@ -31,6 +31,12 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 SPEEDUP_GATE = 1.5
 GATE_CONCURRENCY = 16
+# Workers gate shared with the CI regression guard — one source of truth.
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+from check_bench_regression import (  # noqa: E402
+    MIN_CORES_PER_WORKER,
+    WORKERS_SPEEDUP_GATE,
+)
 
 
 def main(argv=None) -> int:
@@ -43,7 +49,19 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="smaller sweep for CI smoke"
     )
-    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes of the swept servers (0 = in-process baseline)",
+    )
+    parser.add_argument(
+        "--executor-threads", type=int, default=4,
+        help="dispatch threads of the swept servers",
+    )
+    parser.add_argument(
+        "--workers-scale", type=int, default=2,
+        help="also measure this many worker processes at top concurrency "
+        "and record the workers_scaling entry (0 disables)",
+    )
     parser.add_argument("--requests", type=int, default=256)
     parser.add_argument(
         "--trials",
@@ -68,6 +86,8 @@ def main(argv=None) -> int:
         model_name=args.model,
         requests_per_level=args.requests,
         workers=args.workers,
+        executor_threads=args.executor_threads,
+        workers_scale=args.workers_scale,
         out_path=args.out,
         quick=args.quick,
         trials=args.trials,
@@ -78,6 +98,11 @@ def main(argv=None) -> int:
         failures.append(
             "served responses are NOT bit-identical to direct plan.run "
             "on the reference backend"
+        )
+    if report.get("bit_identical_workers") is False:
+        failures.append(
+            "workers-mode responses are NOT bit-identical to the "
+            "in-process reference oracle"
         )
     if not args.quick:
         # The throughput gate is calibrated for the single-core reference
@@ -96,6 +121,24 @@ def main(argv=None) -> int:
                 f"dynamic batching speedup {max(gated.values()):.2f}x "
                 f"< {SPEEDUP_GATE}x at concurrency >= {GATE_CONCURRENCY}"
             )
+        scaling = report.get("workers_scaling")
+        if scaling and scaling.get("speedup") is not None:
+            # Acceptance: workers=2 sustains >= 1.3x single-process
+            # throughput — but only with enough cores per worker;
+            # smaller hosts record the entry and skip the expectation.
+            if scaling["cpu_count"] >= MIN_CORES_PER_WORKER * scaling["workers"]:
+                if scaling["speedup"] < WORKERS_SPEEDUP_GATE:
+                    failures.append(
+                        f"workers={scaling['workers']} speedup "
+                        f"{scaling['speedup']:.2f}x < {WORKERS_SPEEDUP_GATE}x "
+                        f"on a {scaling['cpu_count']}-core host"
+                    )
+            else:
+                print(
+                    f"workers-scaling gate skipped: {scaling['cpu_count']} "
+                    f"cores for workers={scaling['workers']} "
+                    f"(measured {scaling['speedup']:.2f}x)"
+                )
     if failures and not args.no_gate:
         for failure in failures:
             print(f"GATE FAILED: {failure}", file=sys.stderr)

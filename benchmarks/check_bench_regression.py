@@ -22,6 +22,13 @@ import argparse
 import json
 import sys
 
+#: Multi-process serving must beat single-process by this factor at the
+#: top concurrency — enforced only on hosts with >= MIN_CORES_PER_WORKER
+#: cores per worker (bench_serve_throughput.py imports both, so the
+#: benchmark gate and this regression guard can never diverge).
+WORKERS_SPEEDUP_GATE = 1.3
+MIN_CORES_PER_WORKER = 2
+
 
 def check(baseline: dict, fresh: dict, tolerance: float) -> list:
     failures = []
@@ -59,6 +66,7 @@ def check(baseline: dict, fresh: dict, tolerance: float) -> list:
                 )
     failures += _check_threaded(baseline, fresh, tolerance)
     failures += _check_memory(fresh)
+    failures += _check_workers_scaling(baseline, fresh, tolerance)
     anomaly = fresh.get("int8_anomaly")
     if anomaly is not None:
         ceiling = (1.0 + tolerance) * anomaly["fp32_fast_ms"]
@@ -119,6 +127,72 @@ def _check_threaded(baseline: dict, fresh: dict, tolerance: float) -> list:
             failures.append(
                 f"threaded_speedup: {name} regressed "
                 f"{base_entry['speedup']:.3f} -> {fresh_entry['speedup']:.3f} "
+                f"(floor {floor:.3f})"
+            )
+    return failures
+
+
+def _check_workers_scaling(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """Multi-process serving rules (serve reports only).
+
+    Correctness is host-independent: sharded responses must stay
+    bit-identical to the reference oracle wherever they were measured.
+    The throughput expectation — ``workers=N`` sustains >= 1.3x the
+    single-process rate at the top concurrency — only holds with >= 2
+    cores per worker, so the guard *skips* (never fails) the speedup
+    checks on smaller hosts and records why.
+    """
+    failures = []
+    if fresh.get("bit_identical_reference") is False:
+        failures.append(
+            "served responses NOT bit-identical to direct plan.run "
+            "(reference backend)"
+        )
+    if fresh.get("bit_identical_workers") is False:
+        failures.append(
+            "workers-mode responses NOT bit-identical to the in-process "
+            "reference oracle"
+        )
+    ws = fresh.get("workers_scaling")
+    if not ws:
+        return failures
+    workers = int(ws.get("workers", 0) or 0)
+    cpu = int(ws.get("cpu_count", 1) or 1)
+    if workers < 1 or ws.get("speedup") is None:
+        return failures
+    if ws.get("quick"):
+        # Quick (CI smoke) sweeps use few requests at low concurrency on
+        # noisy shared runners — the benchmark's own gate skips all
+        # throughput expectations there, and so does the guard.
+        print("note: skipping workers-scaling speedup check (quick report)")
+        return failures
+    if cpu < MIN_CORES_PER_WORKER * workers:
+        print(
+            f"note: skipping workers-scaling speedup check (host has {cpu} "
+            f"cores for workers={workers}; needs >= "
+            f"{MIN_CORES_PER_WORKER * workers})"
+        )
+        return failures
+    if ws["speedup"] < WORKERS_SPEEDUP_GATE:
+        failures.append(
+            f"workers={workers} throughput speedup {ws['speedup']:.2f}x "
+            f"< {WORKERS_SPEEDUP_GATE}x over single-process at concurrency "
+            f"{ws.get('concurrency')} on a {cpu}-core host"
+        )
+    base_ws = baseline.get("workers_scaling")
+    if (
+        base_ws
+        and base_ws.get("speedup")
+        and not base_ws.get("quick")
+        and int(base_ws.get("workers", 0) or 0) == workers
+        and int(base_ws.get("cpu_count", 1) or 1)
+        >= MIN_CORES_PER_WORKER * workers
+    ):
+        floor = (1.0 - tolerance) * base_ws["speedup"]
+        if ws["speedup"] < floor:
+            failures.append(
+                f"workers-scaling speedup regressed "
+                f"{base_ws['speedup']:.3f} -> {ws['speedup']:.3f} "
                 f"(floor {floor:.3f})"
             )
     return failures

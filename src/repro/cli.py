@@ -122,7 +122,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8100, help="0 = ephemeral")
     serve.add_argument(
-        "--workers", type=int, default=None, help="plan-execution threads"
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes with shared-memory tensor transport "
+        "(0 = in-process serving, the exact single-process path)",
+    )
+    serve.add_argument(
+        "--worker-replicas",
+        type=int,
+        default=None,
+        help="processes each model is placed on (default min(workers, 2); "
+        "raise for single-model deployments that should use every worker)",
+    )
+    serve.add_argument(
+        "--executor-threads",
+        type=int,
+        default=None,
+        help="dispatch threads pushing batches off the event loop "
+        "(default: auto)",
     )
     serve.add_argument(
         "--threads",
@@ -184,7 +202,19 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--quick", action="store_true", help="smaller --sweep for CI smoke"
     )
-    loadgen.add_argument("--workers", type=int, default=4, help="--sweep server workers")
+    loadgen.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="--sweep server worker processes (0 = in-process baseline)",
+    )
+    loadgen.add_argument(
+        "--workers-scale",
+        type=int,
+        default=2,
+        help="--sweep also measures this many worker processes at top "
+        "concurrency and records the workers_scaling entry (0 disables)",
+    )
     loadgen.add_argument(
         "--out", default=None, help="--sweep report path (default BENCH_serve.json)"
     )
@@ -266,15 +296,23 @@ def run_serve(args) -> int:
         max_queue=args.max_queue,
         default_deadline_ms=args.deadline_ms,
     )
-    registry = ModelRegistry()
+    # With process workers the front-end never compiles: it records the
+    # specs (lazy registry) and each worker builds its affinity slice.
+    registry = ModelRegistry(lazy=args.workers > 0)
     for name in args.models or ["resnet18-w0.25-F4-int8"]:
         try:
             served = registry.load(name)
         except (ValueError, CompileError) as exc:  # bad name or @backend
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        plan = served.plan
-        print(f"loaded {served.name}: {len(plan)} steps, backend={plan.backend}")
+        if served.plan is None:
+            print(f"registered {served.name} (compiles in the workers)")
+        else:
+            plan = served.plan
+            print(
+                f"loaded {served.name}: {len(plan)} steps, "
+                f"backend={plan.backend}"
+            )
     from repro.engine import resolve_threads
 
     threads = resolve_threads(args.threads)
@@ -284,15 +322,22 @@ def run_serve(args) -> int:
         host=args.host,
         port=args.port,
         workers=args.workers,
+        worker_replicas=args.worker_replicas,
+        executor_threads=args.executor_threads,
         threads=threads,
     )
 
     async def _run() -> None:
         await server.start()
+        mode = (
+            f"{server.workers} worker processes, shm transport"
+            if server.workers
+            else "in-process"
+        )
         print(
             f"serving on http://{server.host}:{server.port} "
             f"(max_batch_size={policy.max_batch_size}, "
-            f"max_wait_ms={policy.max_wait_ms:g}, workers={server.workers}, "
+            f"max_wait_ms={policy.max_wait_ms:g}, {mode}, "
             f"threads={threads})"
         )
         print("endpoints: POST /predict  GET /models /healthz /metrics")
@@ -318,10 +363,14 @@ def run_loadgen(args) -> int:
             model_name=args.model or "resnet18-w0.25-F4-int8@turbo",
             requests_per_level=args.requests,
             workers=args.workers,
+            workers_scale=args.workers_scale,
             out_path=args.out or "BENCH_serve.json",
             quick=args.quick,
         )
-        return 0 if report["bit_identical_reference"] else 1
+        ok = report["bit_identical_reference"] and (
+            report["bit_identical_workers"] is not False
+        )
+        return 0 if ok else 1
 
     if not args.url:
         print("error: --url is required (or use --sweep)", file=sys.stderr)

@@ -252,8 +252,15 @@ def max_pool_kernel(inputs, attrs):
     (x,) = inputs
     kh, kw = attrs["kernel"]
     sh, sw = attrs["stride"]
-    patches = _strided_patches(x, kh, kw, sh, sw)
-    return patches.max(axis=(4, 5))
+    # Mirror eager F.max_pool2d op for op, *including* the contiguous
+    # patch materialisation: the max itself is order-insensitive, but the
+    # output layout steers the summation order of whatever reduction
+    # consumes it next (the differential fuzz corpus caught a GAP head
+    # diverging by one ulp when this kernel reduced a strided view and
+    # returned a K-order array where eager returns C order).
+    patches = np.ascontiguousarray(_strided_patches(x, kh, kw, sh, sw))
+    n, c, oh, ow = patches.shape[:4]
+    return patches.reshape(n, c, oh, ow, kh * kw).max(axis=4)
 
 
 @register_kernel("max_pool", "fast")
@@ -287,9 +294,15 @@ def avg_pool_kernel(inputs, attrs):
     (x,) = inputs
     kh, kw = attrs["kernel"]
     sh, sw = attrs["stride"]
-    patches = _strided_patches(x, kh, kw, sh, sw)
-    # Mirror eager ops.mean: sum * (1/count) in float32.
-    return patches.sum(axis=(4, 5)) * np.float32(1.0 / (kh * kw))
+    # Mirror eager F.avg_pool2d op for op: materialise the patches
+    # contiguously (extract_patches does) and reduce the *flattened*
+    # window axis — summing the strided (kh, kw) view over two axes
+    # walks the addends in a different order and can differ by one ulp
+    # on adversarial data (caught by the differential fuzz corpus).
+    patches = np.ascontiguousarray(_strided_patches(x, kh, kw, sh, sw))
+    n, c, oh, ow = patches.shape[:4]
+    flat = patches.reshape(n, c, oh, ow, kh * kw)
+    return flat.sum(axis=4) * np.float32(1.0 / (kh * kw))
 
 
 @register_kernel("avg_pool", "fast")

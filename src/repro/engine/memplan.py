@@ -38,7 +38,9 @@ the lane moves on.
 
 from __future__ import annotations
 
+import os
 import threading
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -317,6 +319,31 @@ class Arena:
         return sum(b.nbytes for b in self._scratch.values())
 
 
+#: Every live ArenaPool, so the after-fork guard below can reset them.
+_ALL_POOLS: "weakref.WeakSet[ArenaPool]" = weakref.WeakSet()
+
+
+def _reset_pools_after_fork() -> None:
+    """Fork-safety guard: a forked child starts with **empty** pools.
+
+    At fork time the parent may hold arenas checked out in other threads
+    (the inference server's worker pool does), and the child's copies of
+    those arenas — and of the idle list — share no synchronisation with
+    the parent's ongoing runs.  Handing any inherited arena out in the
+    child would couple it to parent-side bookkeeping frozen mid-flight
+    (checkout counters, ``_retained`` membership, possibly a lock held
+    at fork).  Dropping everything is cheap (buffers are rebuilt on
+    first use) and makes "a forked child never inherits a checked-out
+    arena slot" a property of the pool, not of caller discipline.
+    """
+    for pool in list(_ALL_POOLS):
+        pool._reset_after_fork()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only
+    os.register_at_fork(after_in_child=_reset_pools_after_fork)
+
+
 class ArenaPool:
     """Checkout/checkin of arenas for concurrent runs of one plan."""
 
@@ -337,6 +364,19 @@ class ArenaPool:
         # pin the steady-state numbers forever).
         self.last_run_allocs = 0
         self.last_run_hits = 0
+        _ALL_POOLS.add(self)
+
+    def _reset_after_fork(self) -> None:
+        # Replace the lock outright: the parent's lock may have been
+        # held by a thread that does not exist in the child.
+        self._lock = threading.Lock()
+        self._idle = []
+        self._retained = []
+        self.arenas_built = 0
+        self.alloc_events = 0
+        self.shape_misses = 0
+        self.last_run_allocs = 0
+        self.last_run_hits = 0
 
     def checkout(self) -> Arena:
         with self._lock:
@@ -349,6 +389,11 @@ class ArenaPool:
 
     def checkin(self, arena: Arena) -> None:
         with self._lock:
+            if arena not in self._retained:
+                # A post-fork orphan (checked out before the fork reset
+                # emptied the pool) or a burst-overflow arena: record
+                # nothing and let its buffers die with the run.
+                return
             self.last_run_allocs = arena.last_run_allocs
             self.last_run_hits = arena.last_run_hits
             self.alloc_events += arena.last_run_allocs

@@ -85,6 +85,18 @@ _SPLIT_SAFE_OPS = frozenset(
     }
 )
 
+#: On the ``reference`` backend the cache policy may batch-chunk only the
+#: split-safe ops above.  Every GEMM-bearing step depends on the batch
+#: extent at the bit level — ``conv2d``/``linear`` lower to one GEMM
+#: whose M dimension is ``n·oh·ow``/``n``, and the Winograd Hadamard
+#: stage contracts against a ``P = n·th·tw`` column dimension — and BLAS
+#: may round a different M/N blocking differently at the last ulp
+#: (caught by the differential fuzz corpus on random models: seeds with
+#: im2row stems and F(6, r) layers at small spatial sizes flip single
+#: ulps under splitting).  The oracle backend therefore executes GEMM
+#: steps unsplit, so "chunked ≡ serial bitwise" holds by construction,
+#: not empirically.
+
 
 @dataclass
 class Step:
@@ -293,7 +305,14 @@ class CompiledPlan:
                     and not self._has_cold_observer(step)
                 ):
                     in_bytes = sum(a.nbytes for a in args)
-                    if chunk_bytes and in_bytes > chunk_bytes:
+                    if (
+                        chunk_bytes
+                        and in_bytes > chunk_bytes
+                        and (
+                            self.backend != "reference"
+                            or step.op in _SPLIT_SAFE_OPS
+                        )
+                    ):
                         # Largest sub-batch whose working set fits the budget.
                         chunk = max(1, n * chunk_bytes // in_bytes)
                     if (

@@ -37,6 +37,27 @@ _default_threads: Optional[int] = None
 _tls = threading.local()
 
 
+def _reset_executor_after_fork() -> None:
+    """Fork-safety guard: drop the inherited executor in a forked child.
+
+    A forked child inherits the parent's ``ThreadPoolExecutor`` *object*
+    but none of its worker threads — submitting to it would queue tasks
+    nobody ever drains (the thread bookkeeping still lists the parent's
+    dead threads, so no new workers are spawned) and the first threaded
+    plan run in a worker process would deadlock.  Resetting the globals
+    makes the child lazily build a fresh pool, exactly like a new
+    process.
+    """
+    global _executor, _executor_size, _lock
+    _lock = threading.Lock()  # the parent's lock may be held mid-fork
+    _executor = None
+    _executor_size = 0
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only
+    os.register_at_fork(after_in_child=_reset_executor_after_fork)
+
+
 def cpu_count() -> int:
     return os.cpu_count() or 1
 

@@ -63,6 +63,11 @@ class SearchConfig:
     #: the deployment thread count optimises the latency the parallel
     #: executor will actually deliver.
     engine_threads: Optional[int] = None
+    #: Worker processes the "served" probe shards candidates across
+    #: (mirrors ``repro serve --workers``; 0 = in-process): searching
+    #: against the sharded deployment folds the shm/IPC round trip and
+    #: true process parallelism into the optimised latency.
+    serve_workers: int = 0
     verbose: bool = False
 
 
@@ -175,6 +180,7 @@ class WiNAS:
                     self._measure_candidates_served(
                         op, h, w, self.config.served_concurrency, backend,
                         self.config.engine_threads,
+                        self.config.serve_workers,
                     )
                 )
                 continue
@@ -222,6 +228,7 @@ class WiNAS:
         concurrency: int,
         backend: str = "fast",
         threads: Optional[int] = None,
+        workers: int = 0,
     ) -> List[float]:
         """Per-request latency of each candidate under batched serving load."""
         from repro.engine import compile_model
@@ -234,6 +241,7 @@ class WiNAS:
                 x,
                 concurrency=concurrency,
                 threads=threads,
+                workers=workers,
             )
             for path in op.paths
         ]

@@ -12,6 +12,12 @@ The serving stack, bottom to top:
   batch-size histograms behind ``/metrics``;
 * :mod:`repro.serve.server` — the asyncio HTTP frontend (``/predict``,
   ``/models``, ``/healthz``, ``/metrics``), stdlib only;
+* :mod:`repro.serve.workers` / :mod:`repro.serve.router` — multi-process
+  sharded serving: forked worker processes (own plan cache + arenas per
+  worker) fed over ``multiprocessing.shared_memory`` slot rings, with
+  per-model placement, health-checked respawn and in-flight batch retry
+  (``repro serve --workers N``; ``workers=0`` keeps the exact
+  in-process path);
 * :mod:`repro.serve.client` / :mod:`repro.serve.loadgen` — client and
   closed-loop load generator (``repro loadgen``, ``BENCH_serve.json``);
 * :mod:`repro.serve.probe` — served-latency measurement for WiNAS's
@@ -40,6 +46,12 @@ from repro.serve.loadgen import benchmark_serving, check_bit_identity, run_load
 from repro.serve.metrics import LatencyWindow, ModelMetrics, ServerMetrics
 from repro.serve.probe import served_latency_ms
 from repro.serve.registry import ModelRegistry, ModelSpec, ServedModel, build_model
+from repro.serve.router import (
+    WorkerDied,
+    WorkerError,
+    WorkerPlanProxy,
+    WorkerRouter,
+)
 from repro.serve.server import InferenceServer, ServerHandle, start_in_background
 
 __all__ = [
@@ -59,6 +71,10 @@ __all__ = [
     "ServedModel",
     "ServerHandle",
     "ServerMetrics",
+    "WorkerDied",
+    "WorkerError",
+    "WorkerPlanProxy",
+    "WorkerRouter",
     "benchmark_serving",
     "build_model",
     "check_bit_identity",

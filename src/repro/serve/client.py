@@ -50,6 +50,20 @@ class ServeClient:
             )
         return self._conn
 
+    def connect(self) -> "ServeClient":
+        """Eagerly establish the keep-alive TCP connection.
+
+        ``request`` connects lazily, which folds connection setup (DNS,
+        handshake, accept-queue wait) into whatever is timed around the
+        *first* request.  Latency-measuring callers (the closed-loop
+        load generator) connect explicitly beforehand so their timers
+        cover only request → full-body-read.
+        """
+        conn = self._connection()
+        if conn.sock is None:
+            conn.connect()
+        return self
+
     def close(self) -> None:
         if self._conn is not None:
             self._conn.close()

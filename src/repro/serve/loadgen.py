@@ -43,6 +43,26 @@ def _model_metrics(client: ServeClient, model: str) -> dict:
     return client.metrics()["models"].get(model, {})
 
 
+def _best_of_trials(
+    base_url: str, model: str, samples, concurrency: int,
+    total_requests: int, trials: int,
+) -> dict:
+    """Best-throughput trial of ``run_load`` (wall-clock interference on
+    a shared host only ever lowers closed-loop throughput, so the best
+    trial is the least-interfered estimate) — the one measurement rule
+    every number in the serving report comes from."""
+    return max(
+        (
+            run_load(
+                base_url, model, samples,
+                concurrency=concurrency, total_requests=total_requests,
+            )
+            for _ in range(max(1, trials))
+        ),
+        key=lambda s: s["throughput_rps"],
+    )
+
+
 def run_load(
     base_url: str,
     model: str,
@@ -53,6 +73,7 @@ def run_load(
     warmup_requests: int = 8,
     timeout: float = 120.0,
     encoding: str = "b64",
+    preconnect: bool = True,
 ) -> dict:
     """Closed-loop load: ``concurrency`` workers, ``total_requests`` total.
 
@@ -61,6 +82,14 @@ def run_load(
     serving stack rather than JSON float formatting.  Returns a stats
     dict (throughput, latency percentiles, error counts, and the
     server-side batch-size profile observed during the run).
+
+    Each worker thread establishes its keep-alive connection *before*
+    the start barrier (``preconnect``), so the first timed request
+    measures request → full-body-read like every later one instead of
+    folding TCP connection setup into its latency — on a cold
+    accept-queue that inflates p99 by the whole connect cost.
+    (``preconnect=False`` reproduces the old, inflated timing; it exists
+    for the regression test.)
     """
     if concurrency < 1 or total_requests < 1:
         raise ValueError("concurrency and total_requests must be >= 1")
@@ -91,6 +120,11 @@ def run_load(
 
     def worker(index: int) -> None:
         with ServeClient(base_url, timeout=timeout) as client:
+            if preconnect:
+                try:
+                    client.connect()
+                except OSError:
+                    pass  # the timed path will retry (and count) it
             barrier.wait()
             for j in range(shares[index]):
                 payload = {
@@ -196,7 +230,9 @@ def benchmark_serving(
     model_name: str = "resnet18-w0.25-F4-int8@turbo",
     concurrencies: Sequence[int] = (1, 4, 16, 32, 64),
     requests_per_level: int = 384,
-    workers: int = 4,
+    workers: int = 0,
+    executor_threads: int = 4,
+    workers_scale: int = 2,
     out_path: Optional[str] = None,
     quick: bool = False,
     verbose: bool = True,
@@ -205,8 +241,16 @@ def benchmark_serving(
     """Sweep concurrency × batching policy; write ``BENCH_serve.json``.
 
     The correctness gate runs first: a reference-backend variant of the
-    same model is served and its concurrent responses must be bit-identical
+    same model is served — in-process *and* behind ``workers_scale``
+    process workers — and its concurrent responses must be bit-identical
     to direct ``CompiledPlan.run`` before any throughput is measured.
+
+    ``workers`` is the process-worker count of the swept servers (0 =
+    in-process, the baseline configuration the committed numbers track);
+    ``workers_scale`` additionally measures multi-process sharding at
+    the top concurrency and records a ``workers_scaling`` entry (with
+    the host's ``cpu_count``, so the regression guard can skip the
+    speedup expectation on small hosts).
 
     Each (policy, concurrency) cell is measured ``trials`` times and the
     highest-throughput trial is kept: wall-clock interference on a shared
@@ -227,7 +271,7 @@ def benchmark_serving(
     ref_registry = ModelRegistry()
     ref_served = ref_registry.load(ref_spec)
     with start_in_background(
-        ref_registry, policy=POLICIES["dynamic"], workers=workers
+        ref_registry, policy=POLICIES["dynamic"], executor_threads=executor_threads
     ) as handle:
         bit_identical = check_bit_identity(
             handle.base_url, ref_served.name, ref_served.plan, samples[:16]
@@ -235,26 +279,43 @@ def benchmark_serving(
     if verbose:
         print(f"bit-identity vs direct plan.run (reference backend): {bit_identical}")
 
+    bit_identical_workers = None
+    if workers_scale and workers_scale > 0:
+        # The ISSUE 5 gate: responses from a sharded server must equal
+        # the in-process (workers=0) reference responses bit for bit —
+        # the workers compile the same seeded spec, so the compare is
+        # against the same direct plan.run oracle.
+        worker_registry = ModelRegistry(lazy=True)
+        worker_registry.load(ref_spec)
+        with start_in_background(
+            worker_registry,
+            policy=POLICIES["dynamic"],
+            workers=workers_scale,
+            worker_replicas=workers_scale,
+        ) as handle:
+            bit_identical_workers = check_bit_identity(
+                handle.base_url, ref_served.name, ref_served.plan, samples[:16]
+            )
+        if verbose:
+            print(
+                f"bit-identity with workers={workers_scale} vs direct "
+                f"plan.run: {bit_identical_workers}"
+            )
+
     # -- throughput sweep ---------------------------------------------------
     results: Dict[str, dict] = {}
     for policy_name, policy in POLICIES.items():
-        registry = ModelRegistry()
+        registry = ModelRegistry(lazy=workers > 0)
         served = registry.load(spec)
         sweep = []
-        with start_in_background(registry, policy=policy, workers=workers) as handle:
+        with start_in_background(
+            registry, policy=policy, workers=workers,
+            executor_threads=executor_threads,
+        ) as handle:
             for concurrency in concurrencies:
-                stats = max(
-                    (
-                        run_load(
-                            handle.base_url,
-                            served.name,
-                            samples,
-                            concurrency=concurrency,
-                            total_requests=max(requests_per_level, concurrency * 4),
-                        )
-                        for _ in range(max(1, trials))
-                    ),
-                    key=lambda s: s["throughput_rps"],
+                stats = _best_of_trials(
+                    handle.base_url, served.name, samples, concurrency,
+                    max(requests_per_level, concurrency * 4), trials,
                 )
                 sweep.append(stats)
                 if verbose:
@@ -276,13 +337,70 @@ def benchmark_serving(
         pretty = ", ".join(f"c={c}: {s:.2f}x" for c, s in speedups.items())
         print(f"dynamic over batch1 throughput: {pretty}")
 
+    # -- multi-process workers scaling --------------------------------------
+    workers_scaling = None
+    if workers_scale and workers_scale > 0:
+        import os as _os
+
+        top = concurrencies[-1]
+        if workers == 0:
+            single_rps = results["dynamic"]["sweep"][-1]["throughput_rps"]
+        else:
+            # The main sweep ran with process workers, so its rate is NOT
+            # a single-process denominator — measure one explicitly.
+            registry0 = ModelRegistry()
+            served0 = registry0.load(spec)
+            with start_in_background(
+                registry0, policy=POLICIES["dynamic"],
+                executor_threads=executor_threads,
+            ) as handle:
+                base_stats = _best_of_trials(
+                    handle.base_url, served0.name, samples, top,
+                    max(requests_per_level, top * 4), trials,
+                )
+            single_rps = base_stats["throughput_rps"]
+        registry = ModelRegistry(lazy=True)
+        served_w = registry.load(spec)
+        with start_in_background(
+            registry,
+            policy=POLICIES["dynamic"],
+            workers=workers_scale,
+            worker_replicas=workers_scale,
+        ) as handle:
+            stats = _best_of_trials(
+                handle.base_url, served_w.name, samples, top,
+                max(requests_per_level, top * 4), trials,
+            )
+        workers_scaling = {
+            "workers": workers_scale,
+            "cpu_count": _os.cpu_count() or 1,
+            "concurrency": top,
+            "quick": bool(quick),
+            "throughput_rps": stats["throughput_rps"],
+            "single_process_rps": single_rps,
+            "speedup": stats["throughput_rps"] / single_rps if single_rps else None,
+            "p99_ms": stats.get("p99_ms"),
+        }
+        if verbose:
+            speedup = workers_scaling["speedup"]
+            pretty = f"{speedup:.2f}x" if speedup is not None else "n/a"
+            print(
+                f"workers={workers_scale} c={top}: "
+                f"{stats['throughput_rps']:8.1f} req/s "
+                f"({pretty} over single process, "
+                f"{workers_scaling['cpu_count']} cores)"
+            )
+
     report = {
         "model": served.name,
         "workers": workers,
+        "executor_threads": executor_threads,
         "requests_per_level": requests_per_level,
         "bit_identical_reference": bit_identical,
+        "bit_identical_workers": bit_identical_workers,
         "policies": results,
         "speedup_dynamic_over_batch1": speedups,
+        "workers_scaling": workers_scaling,
     }
     if out_path:
         with open(out_path, "w") as fh:

@@ -27,13 +27,17 @@ def served_latency_ms(
     requests_per_client: int = 4,
     policy: Optional[BatchPolicy] = None,
     threads: Optional[int] = None,
+    workers: int = 0,
 ) -> float:
     """Mean per-request latency (ms) of ``plan`` under concurrent load.
 
     ``x`` is one sample ``(1, C, H, W)``.  Must be called from a thread
     with no running event loop (it owns a private one).  ``threads``
     sets the engine threads per dispatched batch, mirroring a server
-    started with ``--threads``.
+    started with ``--threads``; ``workers`` mirrors ``--workers``:
+    batches then execute in forked worker processes (the plan object is
+    inherited through fork — no registry round trip), so the probe sees
+    the per-request latency of the *sharded* deployment, IPC included.
     """
     x = np.ascontiguousarray(np.asarray(x, dtype=np.float32))
     if policy is None:
@@ -44,8 +48,27 @@ def served_latency_ms(
             default_deadline_ms=0,  # probes never expire
         )
 
+    router = None
+    run_plan = plan
+    if workers and workers > 0:
+        from repro.serve.router import WorkerPlanProxy, WorkerRouter
+
+        router = WorkerRouter(
+            model_names=["probe"],
+            sample_shapes=[tuple(x.shape[1:])],
+            workers=workers,
+            replicas=workers,  # one candidate: use every worker
+            max_batch_size=policy.max_batch_size,
+            threads=threads,
+            plans={"probe": plan},
+        ).start()
+        run_plan = WorkerPlanProxy(router, "probe")
+
     async def main() -> float:
-        batcher = DynamicBatcher(plan, policy=policy, name="probe", threads=threads)
+        batcher = DynamicBatcher(
+            run_plan, policy=policy, name="probe", threads=threads,
+            max_inflight=max(2, workers or 1),
+        )
         await batcher.start()
         latencies: List[float] = []
         try:
@@ -62,4 +85,8 @@ def served_latency_ms(
             await batcher.stop()
         return float(np.mean(latencies))
 
-    return asyncio.run(main())
+    try:
+        return asyncio.run(main())
+    finally:
+        if router is not None:
+            router.stop()

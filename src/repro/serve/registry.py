@@ -148,7 +148,12 @@ def build_model(spec: ModelSpec):
 
 @dataclass
 class ServedModel:
-    """A loaded variant: spec + compiled plan, ready for the batcher."""
+    """A loaded variant: spec + compiled plan, ready for the batcher.
+
+    ``plan`` is ``None`` for lazily loaded variants (multi-process
+    serving: the front-end only validates inputs and routes — each
+    worker process compiles its own plan from the spec name).
+    """
 
     spec: ModelSpec
     plan: object  # CompiledPlan (duck-typed: tests serve stubs with .run)
@@ -162,6 +167,7 @@ class ServedModel:
     def describe(self) -> dict:
         info = self.spec.to_dict()
         info["sample_shape"] = list(self.sample_shape)
+        info["lazy"] = self.plan is None
         if hasattr(self.plan, "steps"):
             info["plan_steps"] = len(self.plan.steps)
             info["plan_ops"] = list(self.plan.ops_used())
@@ -200,15 +206,26 @@ class ModelRegistry:
     Compilation goes through :func:`repro.engine.get_cached_plan`, so the
     LRU plan cache (and its hit/miss accounting, exposed on ``/metrics``)
     is shared with every other engine consumer in the process.
+
+    ``lazy=True`` records specs without building or compiling anything —
+    the mode the multi-process server front-end runs in: it needs only
+    sample shapes (input validation) and names (routing); the worker
+    processes each compile their own plans from the same spec names, so
+    plans exist in at most ``replicas`` processes instead of also in the
+    front-end.
     """
 
-    def __init__(self, cache: Optional[PlanCache] = None):
+    def __init__(self, cache: Optional[PlanCache] = None, lazy: bool = False):
         self._cache = cache
+        self.lazy = lazy
         self._lock = threading.RLock()
         self._models: Dict[str, ServedModel] = {}
 
     def load(self, spec_or_name) -> ServedModel:
-        """Build + compile a variant (idempotent per canonical name)."""
+        """Build + compile a variant (idempotent per canonical name).
+
+        On a lazy registry this only validates and records the spec.
+        """
         spec = (
             ModelSpec.parse(spec_or_name)
             if isinstance(spec_or_name, str)
@@ -218,6 +235,12 @@ class ModelRegistry:
             existing = self._models.get(spec.name)
             if existing is not None:
                 return existing
+            if self.lazy:
+                served = ServedModel(
+                    spec=spec, plan=None, sample_shape=spec.sample_shape
+                )
+                self._models[spec.name] = served
+                return served
             model, (channels, image_size) = build_model(spec)
             calib_rng = np.random.default_rng(spec.seed)
             calib = calib_rng.standard_normal(

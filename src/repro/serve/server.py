@@ -68,12 +68,28 @@ class _HttpError(Exception):
         self.retry_after = retry_after
 
 
-def default_workers() -> int:
+def default_executor_threads() -> int:
     return max(2, min(8, os.cpu_count() or 2))
 
 
 class InferenceServer:
-    """The serving frontend: registry + batchers + HTTP listener."""
+    """The serving frontend: registry + batchers + HTTP listener.
+
+    ``workers`` selects the execution substrate:
+
+    * ``workers=0`` (default) — **in-process** serving, the exact
+      pre-ISSUE-5 path: batches execute on this process's executor
+      threads against the registry's compiled plans.  All existing
+      bit-identity guarantees are pinned on this mode.
+    * ``workers=N>0`` — **multi-process sharded** serving: a
+      :class:`~repro.serve.router.WorkerRouter` forks ``N`` worker
+      processes, each owning its plan cache and arena pools, and every
+      dispatched batch travels over the shared-memory slot ring.  Each
+      model is placed on ``worker_replicas`` workers (consistent
+      rendezvous placement), dead workers are respawned and in-flight
+      batches retried.  The registry may then be *lazy* (specs only, no
+      front-end compilation).
+    """
 
     def __init__(
         self,
@@ -81,40 +97,89 @@ class InferenceServer:
         policy: Optional[BatchPolicy] = None,
         host: str = "127.0.0.1",
         port: int = 8100,
-        workers: Optional[int] = None,
+        workers: int = 0,
         metrics: Optional[ServerMetrics] = None,
         cache: Optional[PlanCache] = None,
         threads: Optional[int] = None,
+        executor_threads: Optional[int] = None,
+        worker_replicas: Optional[int] = None,
+        worker_health_interval: Optional[float] = 2.0,
     ):
         self.registry = registry
         self.policy = policy or BatchPolicy()
         self.host = host
         self.port = port  # updated to the bound port after start()
-        self.workers = workers or default_workers()
+        self.workers = int(workers or 0)
+        self.worker_replicas = worker_replicas
+        self.worker_health_interval = worker_health_interval
         self.metrics = metrics or ServerMetrics()
         self.cache = cache if cache is not None else plan_cache
         #: Engine threads per dispatched batch (``repro serve --threads``,
         #: default the REPRO_THREADS environment setting): batches fan
         #: their chunkable steps out across the shared engine pool, so
         #: cores are used even when one model carries all the traffic.
+        #: With process workers this is forwarded to each worker's runs.
         self.threads = threads
+        #: Threads that push batches off the event loop.  In worker mode
+        #: each of these blocks on a worker round-trip, so the pool must
+        #: cover every in-flight batch across all models.
+        self.executor_threads = executor_threads
         self._batchers: Dict[str, DynamicBatcher] = {}
         self._executor: Optional[ThreadPoolExecutor] = None
         self._server: Optional[asyncio.AbstractServer] = None
+        self._router = None  # WorkerRouter when workers > 0
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> None:
         if self._server is not None:
             return
-        self._executor = ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix="serve-worker"
-        )
-        for name in self.registry.names():
-            await self._ensure_batcher(name)
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
+        if self.workers > 0 and self._router is None:
+            from repro.serve.router import WorkerRouter
+
+            router = WorkerRouter(
+                model_names=self.registry.names(),
+                sample_shapes=[
+                    self.registry.get(name).sample_shape
+                    for name in self.registry.names()
+                ],
+                workers=self.workers,
+                replicas=self.worker_replicas,
+                max_batch_size=self.policy.max_batch_size,
+                threads=self.threads,
+                health_interval=self.worker_health_interval,
+            )
+            # Fork before serving traffic: the child must not inherit
+            # live connections or a mid-flight event loop.
+            self._router = await asyncio.get_running_loop().run_in_executor(
+                None, router.start
+            )
+        try:
+            if self.executor_threads:
+                pool_size = self.executor_threads
+            elif self.workers > 0:
+                # Must cover every admissible in-flight batch across all
+                # models (each batcher admits replicas+1), plus one
+                # thread for the /metrics worker-stats round trip.
+                per_model = self._router.replicas + 1
+                pool_size = max(
+                    4, len(self.registry.names()) * per_model + 1
+                )
+            else:
+                pool_size = default_executor_threads()
+            self._executor = ThreadPoolExecutor(
+                max_workers=pool_size, thread_name_prefix="serve-dispatch"
+            )
+            for name in self.registry.names():
+                await self._ensure_batcher(name)
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+        except BaseException:
+            # A failed bind (or batcher bring-up) must not leak the
+            # already-forked worker pool and its shm segments.
+            await self.stop()
+            raise
 
     async def stop(self) -> None:
         if self._server is not None:
@@ -127,6 +192,9 @@ class InferenceServer:
         if self._executor is not None:
             self._executor.shutdown(wait=False)
             self._executor = None
+        if self._router is not None:
+            router, self._router = self._router, None
+            await asyncio.get_running_loop().run_in_executor(None, router.stop)
 
     async def serve_forever(self) -> None:
         await self.start()
@@ -138,16 +206,40 @@ class InferenceServer:
         batcher = self._batchers.get(name)
         if batcher is None:
             served = self.registry.get(name)
+            if self._router is not None:
+                from repro.serve.router import WorkerPlanProxy
+
+                plan = WorkerPlanProxy(self._router, name)
+                # Process workers execute truly in parallel (no GIL), so
+                # keep one batch in flight per replica plus one coalescing.
+                max_inflight = self._router.replicas + 1
+            else:
+                plan = served.plan
+                if plan is None:
+                    raise _HttpError(
+                        500,
+                        f"model {name!r} was loaded lazily but the server "
+                        "runs in-process (workers=0)",
+                    )
+                # Concurrent batches only pay off with real parallelism:
+                # on a single-core host one full batch beats two
+                # interleaved half-batches (cache + fixed costs) — and
+                # admission must never exceed the dispatch pool actually
+                # configured, or half-batches just queue on its threads.
+                max_inflight = max(
+                    1,
+                    min(
+                        self.executor_threads or default_executor_threads(),
+                        os.cpu_count() or 1,
+                    ),
+                )
             batcher = DynamicBatcher(
-                served.plan,
+                plan,
                 policy=self.policy,
                 executor=self._executor,
                 metrics=self.metrics.for_model(name),
                 name=name,
-                # Concurrent batches only pay off with real parallelism:
-                # on a single-core host one full batch beats two
-                # interleaved half-batches (cache + fixed costs).
-                max_inflight=max(1, min(self.workers, os.cpu_count() or 1)),
+                max_inflight=max_inflight,
                 threads=self.threads,
             )
             await batcher.start()
@@ -258,6 +350,16 @@ class InferenceServer:
             snap["workers"] = self.workers
             snap["engine_threads"] = self.threads
             snap["plan_memory"] = self.cache.memory_stats()
+            if self._router is not None:
+                # Per-worker queue depth / restarts / shm bytes, plus the
+                # workers' own plan-cache and arena stats (each worker
+                # owns its cache — the front-end one above stays cold in
+                # worker mode).  The stats ping blocks on worker round
+                # trips, so it runs off the event loop.
+                snap["worker_pool"] = await asyncio.get_running_loop(
+                ).run_in_executor(
+                    self._executor, lambda: self._router.stats(refresh=True)
+                )
             return snap
         raise _HttpError(404, f"no route {path!r}")
 
@@ -472,13 +574,22 @@ def start_in_background(
     policy: Optional[BatchPolicy] = None,
     host: str = "127.0.0.1",
     port: int = 0,
-    workers: Optional[int] = None,
+    workers: int = 0,
     threads: Optional[int] = None,
+    executor_threads: Optional[int] = None,
+    worker_replicas: Optional[int] = None,
+    worker_health_interval: Optional[float] = 2.0,
 ) -> ServerHandle:
     """Start an :class:`InferenceServer` on a daemon thread (ephemeral port
-    by default) and block until it accepts connections."""
+    by default) and block until it accepts connections.
+
+    ``workers=0`` serves in-process (the default); ``workers=N`` forks
+    ``N`` sharded worker processes (see :class:`InferenceServer`).
+    """
     server = InferenceServer(
         registry, policy=policy, host=host, port=port, workers=workers,
-        threads=threads,
+        threads=threads, executor_threads=executor_threads,
+        worker_replicas=worker_replicas,
+        worker_health_interval=worker_health_interval,
     )
-    return ServerHandle(server).start()
+    return ServerHandle(server).start(timeout=300.0)

@@ -1,0 +1,228 @@
+"""Worker-process side of multi-process sharded serving (ISSUE 5).
+
+A worker is a **forked** child process that owns its entire inference
+stack: its own :class:`~repro.serve.registry.ModelRegistry`, its own
+:class:`~repro.engine.cache.PlanCache`, and its own arena pools (the
+fork-safety guards in :mod:`repro.engine.memplan` / :mod:`repro.engine.pool`
+guarantee it inherits neither parent arenas nor the parent's thread
+pool).  The GIL therefore stops mattering across workers: tile
+transforms, requant and pooling steps run truly in parallel with the
+front-end's HTTP handling and with every other worker.
+
+Transport — the shared-memory slot ring
+---------------------------------------
+
+Request/response tensors never travel through the control pipe.  Each
+worker owns one ``multiprocessing.shared_memory`` segment carved into
+``num_slots`` fixed-size slots (a ring: the parent claims a free slot,
+the response releases it).  One request uses **one** slot for both
+directions:
+
+* the front-end writes the stacked batch into the slot and sends only a
+  tiny header (``req_id``, model name, slot index, shape) over the pipe;
+* the worker maps an ``np.ndarray`` view straight onto the slot and
+  hands that view to ``CompiledPlan.run`` — the engine reads its input
+  directly out of shared memory (b64/JSON decode stays in the
+  front-end, exactly as for in-process serving);
+* the worker writes the output back into the same slot (the input has
+  been consumed by then) and answers with the output shape; the
+  front-end views + copies it out and releases the slot.
+
+So tensor bytes are never pickled and never cross the pipe: the only
+whole-tensor passes are the unavoidable write into and read out of the
+ring segment.  A tensor that does not fit its slot (mis-sized policy,
+giant output) falls back to inline pickled bytes over the pipe and is
+*counted* (``inline_requests`` / ``inline_responses`` in the worker
+stats) so the degradation is visible in ``/metrics``, not silent.
+
+The segment is created by the parent and **inherited through fork** —
+workers never attach by name, so there is exactly one resource-tracker
+registration (the parent's) and unlink happens exactly once, at
+:meth:`router shutdown <repro.serve.router.WorkerRouter.stop>`.
+
+Protocol (pipe messages, parent → worker)::
+
+    ("run",  req_id, model, slot, shape, threads, inline|None)
+    ("ping", req_id)
+    ("stop",)
+
+worker → parent::
+
+    ("ready", worker_id)                      once, after models loaded
+    ("ok",   req_id, slot, out_shape, run_ms, inline|None)
+    ("err",  req_id, slot, message)           execution failed (→ HTTP 500)
+    ("pong", req_id, stats)
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: Default number of ring slots per worker: enough for the batcher to
+#: pipeline a couple of batches into a worker while one executes.
+DEFAULT_SLOTS = 4
+
+
+def slot_view(shm, slot: int, slot_bytes: int, shape, dtype=np.float32) -> np.ndarray:
+    """An ndarray view onto one ring slot (no copy)."""
+    return np.ndarray(tuple(shape), dtype=dtype, buffer=shm.buf,
+                      offset=slot * slot_bytes)
+
+
+def _run_plan(plan, x: np.ndarray, threads: Optional[int]) -> np.ndarray:
+    if threads is not None:
+        return plan.run(x, threads=threads)
+    return plan.run(x)  # duck-typed plans need no threads kwarg
+
+
+def worker_main(
+    worker_id: int,
+    conn,
+    shm,
+    slot_bytes: int,
+    num_slots: int,
+    spec_names: Sequence[str],
+    plans: Optional[Dict[str, object]],
+    threads: Optional[int],
+) -> None:
+    """Entry point of one worker process (called in the forked child).
+
+    ``spec_names`` are the canonical model names this worker serves
+    (its affinity slice — *not* every model the server loaded); each is
+    built and compiled here, in this process, against this worker's own
+    plan cache.  ``plans`` instead carries pre-built plan objects for
+    the probe's plan-mode (inherited through fork, no registry needed).
+    """
+    # The parent handles SIGINT; a ^C must not kill workers before the
+    # router gets to drain and stop them in order.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    from repro.engine.cache import PlanCache
+    from repro.serve.registry import ModelRegistry
+
+    cache = PlanCache()
+    registry = ModelRegistry(cache=cache)
+    served: Dict[str, object] = {}
+    try:
+        if plans:
+            served.update(plans)
+        for name in spec_names:
+            if name not in served:
+                served[name] = registry.load(name).plan
+    except BaseException as exc:  # noqa: BLE001 — surfaced to the parent
+        try:
+            conn.send(("fail", worker_id, f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+
+    stats = {
+        "requests_total": 0,
+        "errors_total": 0,
+        "inline_requests": 0,
+        "inline_responses": 0,
+    }
+    conn.send(("ready", worker_id))
+
+    def snapshot() -> dict:
+        snap = dict(stats)
+        snap.update(
+            pid=os.getpid(),
+            models=sorted(served),
+            plan_cache=cache.stats(),
+            plan_memory=cache.memory_stats(),
+        )
+        return snap
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break  # parent died or closed: exit quietly
+        kind = msg[0]
+        if kind == "stop":
+            break
+        if kind == "ping":
+            conn.send(("pong", msg[1], snapshot()))
+            continue
+        # ("run", req_id, model, slot, shape, threads, inline)
+        _, req_id, model, slot, shape, req_threads, inline = msg
+        try:
+            plan = served.get(model)
+            if plan is None:
+                # Late affinity change (a model loaded after spawn):
+                # compile on demand in this worker.
+                plan = served[model] = registry.load(model).plan
+            if inline is not None:
+                stats["inline_requests"] += 1
+                x = np.frombuffer(inline, dtype=np.float32).reshape(shape)
+            else:
+                x = slot_view(shm, slot, slot_bytes, shape)
+            t0 = time.perf_counter()
+            out = _run_plan(plan, x, req_threads if req_threads is not None else threads)
+            run_ms = (time.perf_counter() - t0) * 1e3
+            out = np.ascontiguousarray(out, dtype=np.float32)
+            stats["requests_total"] += 1
+            if out.nbytes <= slot_bytes:
+                # The input has been fully consumed: reuse the slot for
+                # the response (zero-copy back to the front-end).
+                slot_view(shm, slot, slot_bytes, out.shape)[...] = out
+                conn.send(("ok", req_id, slot, out.shape, run_ms, None))
+            else:
+                stats["inline_responses"] += 1
+                conn.send(("ok", req_id, slot, out.shape, run_ms, out.tobytes()))
+        except BaseException as exc:  # noqa: BLE001 — batch fails, worker lives
+            stats["errors_total"] += 1
+            try:
+                conn.send(("err", req_id, slot, f"{type(exc).__name__}: {exc}"))
+            except (BrokenPipeError, OSError):
+                break
+    conn.close()
+
+
+def required_slot_bytes(sample_shapes: Sequence[tuple], max_batch_size: int) -> int:
+    """Slot capacity covering the largest stacked request batch.
+
+    Outputs (logits) are far smaller than inputs for every served
+    architecture, so sizing by the input side covers both directions;
+    anything bigger falls back to inline transport and is counted.
+    """
+    per_sample = max(
+        (int(np.prod(shape)) for shape in sample_shapes), default=0
+    )
+    return max(64 * 1024, 4 * per_sample * max(1, max_batch_size))
+
+
+def spawn_worker(
+    ctx,
+    worker_id: int,
+    spec_names: Sequence[str],
+    plans: Optional[Dict[str, object]],
+    slot_bytes: int,
+    num_slots: int,
+    threads: Optional[int],
+):
+    """Create (shm, parent_conn, process) for one worker; fork-only.
+
+    Returns before the worker is ready — the caller waits for the
+    ``("ready", ...)`` message (see ``_WorkerHandle.start``).
+    """
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(create=True, size=slot_bytes * num_slots)
+    parent_conn, child_conn = ctx.Pipe(duplex=True)
+    process = ctx.Process(
+        target=worker_main,
+        args=(worker_id, child_conn, shm, slot_bytes, num_slots,
+              list(spec_names), plans, threads),
+        daemon=True,
+        name=f"repro-serve-worker-{worker_id}",
+    )
+    process.start()
+    child_conn.close()
+    return shm, parent_conn, process

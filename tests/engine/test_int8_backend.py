@@ -39,22 +39,8 @@ from repro.models.squeezenet import squeezenet
 from repro.nn.layers import Conv2d, Linear
 from repro.nn.qlayers import QuantConv2d, QuantLinear
 from repro.quant.qconfig import fp32, int8
+from repro.testing.oracle import exact_int64_matmul
 from repro.winograd.layer import WinogradConv2d
-
-
-def exact_int64_matmul(a, b, out=None):
-    """Oracle GEMM: exact integer arithmetic, no float accumulation.
-
-    Accepts the kernels' ``out=`` placement (writing the int64 result
-    into the caller's workspace casts each entry exactly — the values
-    are below the mantissa bound by construction)."""
-    ai = np.rint(a).astype(np.int64)
-    bi = np.rint(b).astype(np.int64)
-    result = np.matmul(ai, bi)
-    if out is not None:
-        out[...] = result
-        return out
-    return result.astype(a.dtype)
 
 
 @pytest.fixture

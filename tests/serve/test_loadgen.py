@@ -1,4 +1,10 @@
-"""Load generator: closed-loop stats and the bit-identity checker."""
+"""Load generator: closed-loop stats, bit-identity, cold-socket timing."""
+
+import http.client
+import json
+import socket
+import threading
+import time
 
 import numpy as np
 
@@ -23,7 +29,7 @@ def test_run_load_and_identity_against_reference():
     with start_in_background(
         registry,
         policy=BatchPolicy(max_batch_size=8, max_wait_ms=2, max_queue=64),
-        workers=2,
+        executor_threads=2,
     ) as handle:
         assert check_bit_identity(
             handle.base_url, served.name, served.plan, samples, concurrency=4
@@ -42,3 +48,120 @@ def test_run_load_and_identity_against_reference():
     assert stats["p50_ms"] > 0 and stats["p99_ms"] >= stats["p50_ms"]
     assert stats["batches"] > 0
     assert 1.0 <= stats["mean_batch_size"] <= 8.0
+
+
+# ---------------------------------------------------------------------------
+# Cold-socket timer regression (ISSUE 5 satellite)
+# ---------------------------------------------------------------------------
+
+
+class _SlowAcceptStub:
+    """A stub HTTP server whose *connection setup* is expensive.
+
+    Real slow-accept behaviour (a saturated accept queue) blocks the
+    client inside ``connect()`` at kernel SYN-retransmission granularity
+    (~1 s steps), which is too coarse and kernel-dependent for CI — so
+    the setup cost is injected deterministically at the same seam, the
+    client's ``HTTPConnection.connect`` (see the fixture below).  The
+    stub itself answers instantly over keep-alive once connected, so any
+    latency the load generator reports beyond a few ms *is* connection
+    setup leaking into the timer.
+    """
+
+    def __init__(self):
+        self._sock = socket.socket()
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(16)
+        self._running = True
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    @property
+    def url(self):
+        host, port = self._sock.getsockname()
+        return f"http://{host}:{port}"
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._running = False
+        self._sock.close()
+
+    def _serve(self):
+        while self._running:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def _handle(self, conn):
+        try:
+            fh = conn.makefile("rb")
+            while True:
+                request_line = fh.readline()
+                if not request_line:
+                    return
+                target = request_line.split()[1].decode()
+                length = 0
+                while True:
+                    line = fh.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    key, _, value = line.decode().partition(":")
+                    if key.strip().lower() == "content-length":
+                        length = int(value)
+                if length:
+                    fh.read(length)
+                if target == "/metrics":
+                    payload = {"models": {"stub": {"batches_total": 0}}}
+                else:
+                    payload = {"model": "stub", "output": [0.0],
+                               "batch_size": 1, "queue_ms": 0.0, "run_ms": 0.0}
+                body = json.dumps(payload).encode()
+                conn.sendall(
+                    b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+        except (OSError, ValueError, IndexError):
+            pass
+        finally:
+            conn.close()
+
+
+def test_first_request_excludes_connection_setup(monkeypatch):
+    """The closed-loop timer must not fold connection setup into the
+    first request's latency: workers pre-connect before the start
+    barrier, so on a server with expensive accepts every *timed* sample
+    measures request -> body-read only.  ``preconnect=False`` reproduces
+    the old behaviour as the negative control: its max latency carries
+    the whole setup cost, which is exactly the p99 inflation the fix
+    removes."""
+    delay_s = 0.25
+    real_connect = http.client.HTTPConnection.connect
+
+    def slow_connect(self):
+        time.sleep(delay_s)  # deterministic stand-in for a slow accept
+        return real_connect(self)
+
+    monkeypatch.setattr(http.client.HTTPConnection, "connect", slow_connect)
+    samples = np.zeros((2, 1, 4, 4), dtype=np.float32)
+    with _SlowAcceptStub() as stub:
+        fixed = run_load(
+            stub.url, "stub", samples, concurrency=2, total_requests=8,
+            warmup_requests=1,
+        )
+        inflated = run_load(
+            stub.url, "stub", samples, concurrency=2, total_requests=8,
+            warmup_requests=1, preconnect=False,
+        )
+    assert fixed["completed"] == 8 and inflated["completed"] == 8
+    # With pre-connect, no timed request pays the setup cost...
+    assert fixed["max_ms"] < delay_s * 1e3 * 0.8, fixed
+    # ...without it, the first request per worker pays all of it.
+    assert inflated["max_ms"] >= delay_s * 1e3, inflated

@@ -37,7 +37,7 @@ def server():
     handle = start_in_background(
         registry,
         policy=BatchPolicy(max_batch_size=8, max_wait_ms=2.0, max_queue=64),
-        workers=2,
+        executor_threads=2,
     )
     try:
         wait_until_ready(handle.base_url)
@@ -201,7 +201,7 @@ class TestPredictions:
         handle = start_in_background(
             registry,
             policy=BatchPolicy(max_batch_size=8, max_wait_ms=2.0),
-            workers=2,
+            executor_threads=2,
             threads=2,
         )
         try:
@@ -289,7 +289,7 @@ class TestFailureModes:
         with start_in_background(
             registry,
             policy=BatchPolicy(max_batch_size=1, max_wait_ms=0, max_queue=1),
-            workers=1,
+            executor_threads=1,
         ) as handle:
             statuses, lock = [], threading.Lock()
             x = np.zeros((1, 28, 28), dtype=np.float32)
@@ -316,7 +316,7 @@ class TestFailureModes:
         with start_in_background(
             registry,
             policy=BatchPolicy(max_batch_size=1, max_wait_ms=0, max_queue=16),
-            workers=1,
+            executor_threads=1,
         ) as handle:
             x = np.zeros((1, 28, 28), dtype=np.float32)
             statuses, lock = [], threading.Lock()
@@ -353,7 +353,7 @@ class TestFailureModes:
                 sample_shape=(1, 28, 28),
             )
         )
-        with start_in_background(registry, workers=1) as handle:
+        with start_in_background(registry, executor_threads=1) as handle:
             with ServeClient(handle.base_url) as c:
                 with pytest.raises(ServeError) as excinfo:
                     c.predict(np.zeros((1, 28, 28), dtype=np.float32))

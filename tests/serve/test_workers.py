@@ -1,0 +1,304 @@
+"""Multi-process sharded serving: transport, affinity, fault injection.
+
+The hard guarantees under test (ISSUE 5):
+
+* responses from process workers are **bit-identical** to the in-process
+  (``workers=0``) path on the reference backend — same seeded spec, same
+  compiled plan, tensors crossing the shm ring unchanged;
+* a worker killed with a batch in flight is respawned and the batch is
+  retried on the fresh worker, bit-identically, with exactly one
+  ``worker_restarts`` increment;
+* deterministic model errors surface as failures (HTTP 500), never as
+  retries;
+* deadline (504) and backpressure (429) behaviour survives the move to
+  ``workers=2``;
+* per-model affinity places each model on ``replicas`` workers only.
+"""
+
+import os
+import signal
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    BatchPolicy,
+    ModelRegistry,
+    ServeClient,
+    ServeError,
+    WorkerError,
+    WorkerRouter,
+    start_in_background,
+    wait_until_ready,
+)
+
+pytestmark = pytest.mark.skipif(
+    sys.platform == "win32" or not hasattr(os, "register_at_fork"),
+    reason="fork-based workers are POSIX-only",
+)
+
+MODEL = "lenet-F2-fp32@reference"
+SAMPLE_SHAPE = (1, 28, 28)
+
+
+def _expected_plan():
+    registry = ModelRegistry()
+    return registry.load(MODEL).plan
+
+
+def _samples(n, seed=0):
+    return np.random.default_rng(seed).standard_normal(
+        (n,) + SAMPLE_SHAPE
+    ).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def oracle_plan():
+    return _expected_plan()
+
+
+class TestRouter:
+    def test_bit_identity_and_affinity(self, oracle_plan):
+        router = WorkerRouter(
+            [MODEL], [SAMPLE_SHAPE], workers=2, replicas=2,
+            health_interval=None,
+        ).start()
+        try:
+            xs = _samples(4)
+            for i in range(4):
+                out = router.submit(MODEL, xs[i : i + 1])
+                np.testing.assert_array_equal(
+                    out, oracle_plan.run(xs[i : i + 1])
+                )
+            assigned = router.assigned_workers(MODEL)
+            assert assigned == router.assigned_workers(MODEL)  # stable
+            assert len(assigned) == 2
+            stats = router.stats(refresh=True)
+            assert stats["worker_restarts"] == 0
+            assert stats["shm_bytes_total"] > 0
+            # Both replicas actually served traffic (shallowest-queue
+            # routing rotates through idle workers).
+            served_counts = [
+                w.get("requests_total", 0) for w in stats["per_worker"]
+            ]
+            assert sum(served_counts) == 4 and min(served_counts) >= 1
+        finally:
+            router.stop()
+
+    def test_replica_placement_bounds_compilation(self):
+        """With replicas=1 of 3 workers, exactly one worker ever loads
+        the model — the consistent-placement contract that keeps plan
+        compilation out of N-1 processes."""
+        router = WorkerRouter(
+            [MODEL], [SAMPLE_SHAPE], workers=3, replicas=1,
+            health_interval=None,
+        ).start()
+        try:
+            for x in _samples(3, seed=1):
+                router.submit(MODEL, x[None])
+            stats = router.stats(refresh=True)
+            loaded = [
+                w for w in stats["per_worker"]
+                if w.get("plan_cache", {}).get("size", 0) > 0
+            ]
+            assert len(loaded) == 1
+            assert loaded[0]["worker"] == router.assigned_workers(MODEL)[0]
+        finally:
+            router.stop()
+
+    def test_kill_mid_batch_retries_bit_identical_single_restart(
+        self, oracle_plan
+    ):
+        """The fault-injection contract: SIGSTOP the assigned worker so
+        the dispatched batch is provably in flight, SIGKILL it, and the
+        response must still arrive — produced by the respawned worker,
+        bit-identical, with worker_restarts == 1."""
+        router = WorkerRouter(
+            [MODEL], [SAMPLE_SHAPE], workers=2, replicas=1,
+            health_interval=None,  # respawn via the retry path only
+        ).start()
+        try:
+            x = _samples(1, seed=2)
+            expected = oracle_plan.run(x)
+            victim_id = router.assigned_workers(MODEL)[0]
+            handle = router._handle_for(victim_id)
+            victim_pid = handle.pid
+            os.kill(victim_pid, signal.SIGSTOP)
+
+            result = {}
+
+            def submit():
+                result["out"] = router.submit(MODEL, x)
+
+            thread = threading.Thread(target=submit, daemon=True)
+            thread.start()
+            deadline = time.monotonic() + 10
+            while handle.inflight() < 1:
+                assert time.monotonic() < deadline, "batch never dispatched"
+                time.sleep(0.005)
+            os.kill(victim_pid, signal.SIGKILL)
+
+            thread.join(timeout=120)
+            assert not thread.is_alive(), "retried batch never completed"
+            np.testing.assert_array_equal(result["out"], expected)
+            stats = router.stats(refresh=True)
+            assert stats["worker_restarts"] == 1
+            fresh = router._handle_for(victim_id)
+            assert fresh.pid != victim_pid
+            assert fresh.alive()
+        finally:
+            router.stop()
+
+    def test_hung_worker_detected_and_respawned(self, oracle_plan):
+        """A worker that is alive but wedged (SIGSTOP here) answers no
+        health ping; once the unanswered-probe age passes hang_timeout
+        the monitor kills and respawns it — with no traffic needed to
+        trigger recovery."""
+        router = WorkerRouter(
+            [MODEL], [SAMPLE_SHAPE], workers=1, replicas=1,
+            health_interval=0.1, hang_timeout=0.5,
+        ).start()
+        try:
+            x = _samples(1, seed=7)
+            router.submit(MODEL, x)  # healthy round trip first
+            hung_pid = router._handle_for(0).pid
+            os.kill(hung_pid, signal.SIGSTOP)
+            deadline = time.monotonic() + 60
+            while router.restarts_total() == 0:
+                assert time.monotonic() < deadline, "hung worker never respawned"
+                time.sleep(0.05)
+            out = router.submit(MODEL, x)
+            np.testing.assert_array_equal(out, oracle_plan.run(x))
+            assert router._handle_for(0).pid != hung_pid
+        finally:
+            router.stop()
+
+    def test_model_error_is_not_retried(self):
+        router = WorkerRouter(
+            [MODEL], [SAMPLE_SHAPE], workers=1, replicas=1,
+            health_interval=None,
+        ).start()
+        try:
+            with pytest.raises(WorkerError):
+                # Unknown spec: the worker's registry.load raises — a
+                # deterministic failure that must surface, not retry.
+                router.submit("lenet-F2-fp32@nosuchbackend", _samples(1)[0:1])
+            assert router.restarts_total() == 0
+            # The worker survived the failed request.
+            out = router.submit(MODEL, _samples(1)[0:1])
+            assert out.shape == (1, 10)
+        finally:
+            router.stop()
+
+    def test_oversized_batch_falls_back_inline_and_is_counted(self, oracle_plan):
+        """A batch bigger than the ring slot still executes (inline pipe
+        payload) and the degradation is visible in the worker stats."""
+        router = WorkerRouter(
+            [MODEL], [SAMPLE_SHAPE], workers=1, replicas=1,
+            slot_bytes=4 * int(np.prod(SAMPLE_SHAPE)),  # one sample only
+            health_interval=None,
+        ).start()
+        try:
+            xs = _samples(4, seed=3)
+            out = router.submit(MODEL, xs)  # 4 samples > 1-sample slot
+            np.testing.assert_array_equal(out, oracle_plan.run(xs))
+            handle = router._handle_for(router.assigned_workers(MODEL)[0])
+            stats = handle.ping(timeout=10)
+            assert stats["inline_requests"] >= 1
+        finally:
+            router.stop()
+
+
+class TestServerWithWorkers:
+    def test_http_bit_identical_to_in_process_and_metrics(self, oracle_plan):
+        xs = _samples(5, seed=4)
+        registry0 = ModelRegistry()
+        registry0.load(MODEL)
+        with start_in_background(
+            registry0, policy=BatchPolicy(max_batch_size=4)
+        ) as h0:
+            wait_until_ready(h0.base_url)
+            with ServeClient(h0.base_url) as c:
+                baseline = [c.predict(x, model=MODEL, encoding="b64") for x in xs]
+
+        registry = ModelRegistry(lazy=True)
+        registry.load(MODEL)
+        with start_in_background(
+            registry, policy=BatchPolicy(max_batch_size=4),
+            workers=2, worker_replicas=2,
+        ) as handle:
+            wait_until_ready(handle.base_url)
+            with ServeClient(handle.base_url) as c:
+                outs = [c.predict(x, model=MODEL, encoding="b64") for x in xs]
+                metrics = c.metrics()
+        for got, want in zip(outs, baseline):
+            np.testing.assert_array_equal(got, want)
+        pool = metrics["worker_pool"]
+        assert metrics["workers"] == 2
+        assert pool["count"] == 2 and pool["replicas"] == 2
+        assert pool["worker_restarts"] == 0
+        assert pool["shm_bytes_total"] > 0
+        assert pool["assignments"][MODEL] == [0, 1] or sorted(
+            pool["assignments"][MODEL]
+        ) == [0, 1]
+        for worker in pool["per_worker"]:
+            assert worker["alive"]
+            assert "queue_depth" in worker and "shm_bytes" in worker
+            assert worker["plan_cache"]["size"] >= 1  # each owns its cache
+
+    def test_deadline_504_and_backpressure_429_with_workers(self):
+        """PR 2's failure semantics re-verified on the sharded path:
+        a saturated 1-replica queue must reject with 429, and queued
+        requests that age past their deadline must 504 — while accepted
+        requests still answer bit-identically."""
+        registry = ModelRegistry(lazy=True)
+        registry.load(MODEL)
+        with start_in_background(
+            registry,
+            policy=BatchPolicy(
+                max_batch_size=1, max_wait_ms=0, max_queue=2,
+                default_deadline_ms=30000,
+            ),
+            workers=2, worker_replicas=1,
+        ) as handle:
+            wait_until_ready(handle.base_url)
+            statuses, lock = [], threading.Lock()
+            x = _samples(1, seed=5)[0]
+
+            def fire(deadline_ms):
+                try:
+                    with ServeClient(handle.base_url) as c:
+                        c.predict(x, model=MODEL, deadline_ms=deadline_ms)
+                    status = 200
+                except ServeError as exc:
+                    status = exc.status
+                with lock:
+                    statuses.append(status)
+
+            threads = [
+                threading.Thread(target=fire, args=(0.05,), daemon=True)
+                for _ in range(16)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60)
+        assert 429 in statuses, statuses  # queue of 2 cannot hold 16
+        # Accepted-but-queued requests aged far past the 0.05 ms deadline.
+        assert 504 in statuses, statuses
+        assert all(s in (200, 429, 504) for s in statuses), statuses
+
+
+def test_probe_plan_mode_workers(oracle_plan):
+    """served_latency_ms(workers=1) shards a *plan object* (inherited
+    through fork — no registry) and must return a sane latency."""
+    from repro.serve import served_latency_ms
+
+    x = _samples(1, seed=6)
+    ms = served_latency_ms(
+        oracle_plan, x, concurrency=2, requests_per_client=2, workers=1
+    )
+    assert np.isfinite(ms) and ms > 0
