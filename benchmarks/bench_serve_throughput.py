@@ -7,13 +7,18 @@ model, sweeps closed-loop client concurrency, and persists the result to
 ``BENCH_serve.json`` at the repo root so the serving-perf trajectory is
 tracked across PRs.
 
-Two gates make this a regression test as well as a benchmark (run by the
+Four gates make this a regression test as well as a benchmark (run by the
 CI ``serve-smoke`` job, ``--quick`` there):
 
 * served responses must be **bit-identical** to direct
   ``CompiledPlan.run`` on the reference backend, under concurrency;
 * dynamic batching must reach **>= 1.5x** the batch-1 throughput at
-  concurrency >= 16.
+  concurrency >= 16;
+* booting from a compiled-plan artifact (mmap) must be **>= 10x**
+  faster than compile-from-scratch, with bit-identical outputs
+  (docs/artifact-format.md);
+* a blue/green hot-swap under load must drop **zero** requests
+  (docs/operations.md 'Blue/green deploys and rollback').
 
 Usage::
 
@@ -34,6 +39,7 @@ GATE_CONCURRENCY = 16
 # Workers gate shared with the CI regression guard — one source of truth.
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 from check_bench_regression import (  # noqa: E402
+    ARTIFACT_SPEEDUP_GATE,
     MIN_CORES_PER_WORKER,
     WORKERS_SPEEDUP_GATE,
 )
@@ -103,6 +109,30 @@ def main(argv=None) -> int:
         failures.append(
             "workers-mode responses are NOT bit-identical to the "
             "in-process reference oracle"
+        )
+    # Artifact gates hold in --quick too: the cold-start speedup is a
+    # same-host ratio and zero-drop hot-swap is pure correctness
+    # (docs/operations.md 'Compile-then-deploy').
+    artifact = report.get("artifact_cold_start") or {}
+    if artifact.get("bit_identical") is False:
+        failures.append(
+            "artifact-loaded plan is NOT bit-identical to the freshly "
+            "compiled plan"
+        )
+    if artifact.get("speedup") is not None and (
+        artifact["speedup"] < ARTIFACT_SPEEDUP_GATE
+    ):
+        failures.append(
+            f"artifact cold-start speedup {artifact['speedup']:.1f}x < "
+            f"{ARTIFACT_SPEEDUP_GATE}x "
+            f"(compile {artifact.get('compile_ms', 0):.0f} ms vs mmap "
+            f"load {artifact.get('load_ms', 0):.1f} ms)"
+        )
+    hot_swap = artifact.get("hot_swap") or {}
+    if hot_swap.get("requests_failed", 0) != 0:
+        failures.append(
+            f"blue/green hot-swap dropped {hot_swap['requests_failed']} "
+            "requests"
         )
     if not args.quick:
         # The throughput gate is calibrated for the single-core reference

@@ -29,6 +29,13 @@ import sys
 WORKERS_SPEEDUP_GATE = 1.3
 MIN_CORES_PER_WORKER = 2
 
+#: Booting a worker from a compiled-plan artifact (mmap, no compiler)
+#: must beat compile-from-scratch by this factor.  The ratio compares
+#: two timings taken back-to-back on the same host, so unlike absolute
+#: throughput it is enforced everywhere, quick runs included
+#: (docs/operations.md 'Compile-then-deploy').
+ARTIFACT_SPEEDUP_GATE = 10.0
+
 
 def check(baseline: dict, fresh: dict, tolerance: float) -> list:
     failures = []
@@ -67,6 +74,7 @@ def check(baseline: dict, fresh: dict, tolerance: float) -> list:
     failures += _check_threaded(baseline, fresh, tolerance)
     failures += _check_memory(fresh)
     failures += _check_workers_scaling(baseline, fresh, tolerance)
+    failures += _check_artifact(fresh)
     anomaly = fresh.get("int8_anomaly")
     if anomaly is not None:
         ceiling = (1.0 + tolerance) * anomaly["fp32_fast_ms"]
@@ -195,6 +203,40 @@ def _check_workers_scaling(baseline: dict, fresh: dict, tolerance: float) -> lis
                 f"{base_ws['speedup']:.3f} -> {ws['speedup']:.3f} "
                 f"(floor {floor:.3f})"
             )
+    return failures
+
+
+def _check_artifact(fresh: dict) -> list:
+    """AOT artifact rules (serve reports only; all host-independent).
+
+    * artifact-loaded plans run bit-identical to freshly compiled ones;
+    * mmap cold start beats compile-from-scratch by
+      ``ARTIFACT_SPEEDUP_GATE`` (a same-host ratio, enforced always);
+    * a blue/green hot-swap under closed-loop load drops **zero**
+      requests (docs/operations.md 'Blue/green deploys and rollback').
+    """
+    art = fresh.get("artifact_cold_start")
+    if not art:
+        return []
+    failures = []
+    if art.get("bit_identical") is False:
+        failures.append(
+            "artifact-loaded plan NOT bit-identical to the freshly "
+            "compiled plan"
+        )
+    speedup = art.get("speedup")
+    if speedup is not None and speedup < ARTIFACT_SPEEDUP_GATE:
+        failures.append(
+            f"artifact cold-start speedup {speedup:.1f}x < "
+            f"{ARTIFACT_SPEEDUP_GATE}x (compile {art.get('compile_ms', 0):.0f} ms "
+            f"vs mmap load {art.get('load_ms', 0):.1f} ms)"
+        )
+    swap = art.get("hot_swap") or {}
+    if swap.get("requests_failed", 0) != 0:
+        failures.append(
+            f"blue/green hot-swap dropped {swap['requests_failed']} "
+            f"requests (ok={swap.get('requests_ok')})"
+        )
     return failures
 
 

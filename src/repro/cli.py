@@ -9,7 +9,8 @@ Usage::
     python -m repro.cli infer --model resnet18 --algorithm F4 --compare
     python -m repro.cli infer --quant int8 --backend int8 --compare
     python -m repro.cli bench engine
-    python -m repro.cli serve --model resnet18-w0.25-F4-int8@int8 --port 8100
+    python -m repro.cli compile resnet18-w0.25-F4-int8@int8 -o resnet.rpln
+    python -m repro.cli serve --model resnet.rpln --workers 2 --port 8100
     python -m repro.cli loadgen --url http://127.0.0.1:8100 --concurrency 16
 
 (Installed via the ``repro`` console script: ``repro serve ...``.)
@@ -20,11 +21,15 @@ measured-vs-published report; see EXPERIMENTS.md for how to read them.
 compiled-plan wall-clock (optionally against the eager forward).
 ``bench`` runs any benchmark registered in :mod:`repro.bench` and writes
 its ``BENCH_*.json`` report.
+``compile`` builds a variant ahead of time and writes a plan artifact
+(:mod:`repro.engine.artifact`, spec in docs/artifact-format.md) that
+``serve`` and every worker process then ``mmap`` instead of compiling —
+the compile-then-deploy flow in docs/operations.md.
 ``serve`` starts the dynamic-batching inference server
-(:mod:`repro.serve`) over one or more compiled variants; ``loadgen``
-drives a running server with concurrent closed-loop clients, or with
-``--sweep`` runs the full self-contained policy benchmark that writes
-``BENCH_serve.json``.
+(:mod:`repro.serve`) over one or more compiled variants or artifact
+files; ``loadgen`` drives a running server with concurrent closed-loop
+clients, or with ``--sweep`` runs the full self-contained policy
+benchmark that writes ``BENCH_serve.json``.
 """
 
 from __future__ import annotations
@@ -67,19 +72,30 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--out", default=None, help="also write the report to this file")
 
     infer = sub.add_parser(
-        "infer", help="run compiled-engine inference on a smoke model"
+        "infer",
+        help="run compiled-engine inference on a smoke model",
+        description="Compile one smoke-model variant and report plan "
+        "wall-clock; the engine layers involved are mapped in "
+        "docs/architecture.md ('Layer map').",
     )
     infer.add_argument(
         "--model",
         default="resnet18",
         choices=("lenet", "resnet18", "squeezenet", "resnext20"),
+        help="smoke-model architecture (default resnet18)",
     )
     infer.add_argument(
         "--algorithm",
         default="F4",
         help="conv spec name: im2row, F2, F4, F6, F4-flex, ... (default F4)",
     )
-    infer.add_argument("--quant", default="fp32", help="fp32 / int8 / int10 / int16")
+    infer.add_argument(
+        "--quant",
+        default="fp32",
+        help="quantization config: fp32 / int8 / int10 / int16 "
+        "(numerics contracts: docs/architecture.md "
+        "'Bit-exactness contracts')",
+    )
     infer.add_argument(
         "--width",
         type=float,
@@ -87,18 +103,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="width multiplier (default: 0.25 for resnet18, 0.5 for "
         "squeezenet/resnext20; ignored by lenet)",
     )
-    infer.add_argument("--batch", type=int, default=8)
     infer.add_argument(
-        "--backend", default="fast", choices=("fast", "reference", "turbo", "int8")
+        "--batch", type=int, default=8, help="batch size per timed run (default 8)"
     )
-    infer.add_argument("--repeats", type=int, default=5)
-    infer.add_argument("--seed", type=int, default=0)
+    infer.add_argument(
+        "--backend",
+        default="fast",
+        choices=("fast", "reference", "turbo", "int8"),
+        help="engine backend (contract per backend: docs/architecture.md "
+        "'Backends')",
+    )
+    infer.add_argument(
+        "--repeats", type=int, default=5, help="timed repeats (default 5)"
+    )
+    infer.add_argument(
+        "--seed", type=int, default=0, help="weight/init RNG seed (default 0)"
+    )
     infer.add_argument(
         "--threads",
         type=int,
         default=None,
         help="engine threads per plan run (0 = all cores; default "
-        "REPRO_THREADS or 1)",
+        "REPRO_THREADS or 1; decision table: docs/operations.md "
+        "'Threads, workers, replicas')",
     )
     infer.add_argument(
         "--compare", action="store_true", help="also time the eager forward"
@@ -107,33 +134,84 @@ def build_parser() -> argparse.ArgumentParser:
         "--describe", action="store_true", help="print the compiled plan's steps"
     )
 
+    compile_ = sub.add_parser(
+        "compile",
+        help="AOT-compile a variant to a plan artifact (mmap'd by serve)",
+        description="Build and compile one variant ahead of time and "
+        "write a versioned plan artifact; 'repro serve --model "
+        "<path>' and its workers then mmap the artifact instead of "
+        "compiling (docs/operations.md 'Compile-then-deploy'; byte "
+        "layout: docs/artifact-format.md).",
+    )
+    compile_.add_argument(
+        "model",
+        nargs="?",
+        default=None,
+        help="variant name, e.g. resnet18-w0.25-F4-int8@int8 "
+        "(omit with --inspect)",
+    )
+    compile_.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        help="artifact output path (default: <variant-name>.rpln; "
+        "format: docs/artifact-format.md)",
+    )
+    compile_.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="weight/calibration RNG seed baked into the artifact "
+        "(default 0; must match the serving spec seed for "
+        "bit-identical responses)",
+    )
+    compile_.add_argument(
+        "--inspect",
+        metavar="PATH",
+        default=None,
+        help="print an existing artifact's manifest summary instead of "
+        "compiling (sections: docs/artifact-format.md 'Manifest')",
+    )
+
     serve = sub.add_parser(
-        "serve", help="start the dynamic-batching inference server (repro.serve)"
+        "serve",
+        help="start the dynamic-batching inference server (repro.serve)",
+        description="Serve one or more compiled variants over HTTP; "
+        "topology knobs and the scaling decision table live in "
+        "docs/operations.md ('Threads, workers, replicas').",
     )
     serve.add_argument(
         "--model",
         action="append",
         dest="models",
-        metavar="NAME",
-        help="served variant, e.g. resnet18-w0.25-F4-int8 or "
-        "lenet-F2-fp32@reference; repeat for several (default: "
+        metavar="NAME_OR_PATH",
+        help="served variant name (e.g. resnet18-w0.25-F4-int8) or a "
+        "compiled plan artifact path from 'repro compile' — workers "
+        "mmap artifacts instead of compiling (docs/operations.md "
+        "'Compile-then-deploy'); repeat for several (default: "
         "resnet18-w0.25-F4-int8)",
     )
-    serve.add_argument("--host", default="127.0.0.1")
-    serve.add_argument("--port", type=int, default=8100, help="0 = ephemeral")
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8100, help="bind port; 0 = ephemeral"
+    )
     serve.add_argument(
         "--workers",
         type=int,
         default=0,
         help="worker processes with shared-memory tensor transport "
-        "(0 = in-process serving, the exact single-process path)",
+        "(0 = in-process serving, the exact single-process path; "
+        "docs/operations.md 'Threads, workers, replicas')",
     )
     serve.add_argument(
         "--worker-replicas",
         type=int,
         default=None,
         help="processes each model is placed on (default min(workers, 2); "
-        "raise for single-model deployments that should use every worker)",
+        "raise for single-model deployments that should use every "
+        "worker; docs/operations.md 'Threads, workers, replicas')",
     )
     serve.add_argument(
         "--executor-threads",
@@ -147,20 +225,44 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="engine threads per dispatched batch (0 = all cores; "
-        "default REPRO_THREADS or 1)",
+        "default REPRO_THREADS or 1; docs/operations.md "
+        "'Threads, workers, replicas')",
     )
-    serve.add_argument("--max-batch-size", type=int, default=8)
-    serve.add_argument("--max-wait-ms", type=float, default=2.0)
-    serve.add_argument("--max-queue", type=int, default=128)
+    serve.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=8,
+        help="largest dynamic batch the batcher stacks (default 8; "
+        "docs/operations.md 'Batching policy')",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="longest a request waits for batch-mates (default 2; "
+        "docs/operations.md 'Batching policy')",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=128,
+        help="per-model queue bound; beyond it requests get HTTP 503 "
+        "(default 128; docs/operations.md 'Batching policy')",
+    )
     serve.add_argument(
         "--deadline-ms",
         type=float,
         default=2000.0,
-        help="default per-request deadline (<= 0 disables)",
+        help="default per-request deadline, <= 0 disables (default 2000; "
+        "docs/operations.md 'Batching policy')",
     )
 
     bench = sub.add_parser(
-        "bench", help="run a registered benchmark and write its BENCH_*.json"
+        "bench",
+        help="run a registered benchmark and write its BENCH_*.json",
+        description="Run one registered benchmark; serving-side reports "
+        "are documented field by field in docs/operations.md "
+        "('Benchmark reports').",
     )
     bench.add_argument(
         "name",
@@ -169,7 +271,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--quick", action="store_true", help="fewer repeats, for CI smoke"
     )
-    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--seed", type=int, default=0, help="benchmark RNG seed (default 0)"
+    )
     bench.add_argument(
         "--out", default=None, help="report path (default: BENCH_<name>.json at repo root)"
     )
@@ -178,26 +282,51 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="threaded-speedup thread count for the engine benchmark "
-        "(0 = all cores; default REPRO_THREADS or all cores)",
+        "(0 = all cores; default REPRO_THREADS or all cores; "
+        "docs/operations.md 'Threads, workers, replicas')",
     )
 
     loadgen = sub.add_parser(
-        "loadgen", help="drive a running server, or --sweep the policy benchmark"
+        "loadgen",
+        help="drive a running server, or --sweep the policy benchmark",
+        description="Closed-loop load generation against a running "
+        "server, or a self-contained --sweep writing BENCH_serve.json "
+        "(fields: docs/operations.md 'Benchmark reports').",
     )
-    loadgen.add_argument("--url", default=None, help="base URL of a running server")
+    loadgen.add_argument(
+        "--url", default=None, help="base URL of a running server"
+    )
     loadgen.add_argument(
         "--model",
         default=None,
         help="model name (default: the server's only loaded model; "
-        "for --sweep: resnet18-w0.25-F4-int8)",
+        "for --sweep: resnet18-w0.25-F4-int8@turbo)",
     )
-    loadgen.add_argument("--concurrency", type=int, default=16)
-    loadgen.add_argument("--requests", type=int, default=256)
-    loadgen.add_argument("--deadline-ms", type=float, default=None)
+    loadgen.add_argument(
+        "--concurrency",
+        type=int,
+        default=16,
+        help="concurrent closed-loop clients (default 16)",
+    )
+    loadgen.add_argument(
+        "--requests",
+        type=int,
+        default=256,
+        help="total requests (per sweep level with --sweep; default 256)",
+    )
+    loadgen.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline forwarded to the server "
+        "(docs/operations.md 'Batching policy')",
+    )
     loadgen.add_argument(
         "--sweep",
         action="store_true",
-        help="self-contained concurrency x policy benchmark (no --url needed)",
+        help="self-contained concurrency x policy benchmark (no --url "
+        "needed; writes BENCH_serve.json, see docs/operations.md "
+        "'Benchmark reports')",
     )
     loadgen.add_argument(
         "--quick", action="store_true", help="smaller --sweep for CI smoke"
@@ -206,7 +335,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=0,
-        help="--sweep server worker processes (0 = in-process baseline)",
+        help="--sweep server worker processes (0 = in-process baseline; "
+        "docs/operations.md 'Threads, workers, replicas')",
     )
     loadgen.add_argument(
         "--workers-scale",
@@ -280,6 +410,92 @@ def run_infer(args) -> int:
     if args.describe:
         print()
         print("\n".join(plan.describe()))
+    return 0
+
+
+def run_compile(args) -> int:
+    """The ``repro compile`` subcommand: AOT-compile to a plan artifact.
+
+    The artifact (byte layout in docs/artifact-format.md) is what
+    ``repro serve --model <path>`` and its worker processes ``mmap``
+    instead of compiling — the compile-then-deploy flow in
+    docs/operations.md.
+    """
+    import json
+
+    from repro.engine.artifact import ArtifactError, read_manifest
+
+    if args.inspect:
+        try:
+            manifest = read_manifest(args.inspect, verify=True)
+        except (OSError, ArtifactError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        plan_info = manifest["plan"]
+        tensors = manifest["tensors"]
+        summary = {
+            "path": args.inspect,
+            "format_version": manifest["format"]["version"],
+            "model": (manifest.get("extra") or {}).get("model"),
+            "seed": (manifest.get("extra") or {}).get("seed"),
+            "backend": plan_info["backend"],
+            "signature": plan_info["signature"],
+            "steps": len(manifest["steps"]),
+            "registers": plan_info["num_regs"],
+            "input_shape": plan_info["input_shape"],
+            "tensors": len(tensors),
+            "tensor_bytes": sum(t["nbytes"] for t in tensors),
+        }
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+
+    if not args.model:
+        print("error: a variant name (or --inspect PATH) is required",
+              file=sys.stderr)
+        return 2
+    import time
+
+    from repro.engine import CompileError
+    from repro.engine.artifact import save_plan
+    from repro.serve.registry import ARCHITECTURES, ModelSpec, compile_served
+
+    try:
+        spec = ModelSpec.parse(args.model)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.seed:
+        import dataclasses
+
+        spec = dataclasses.replace(spec, seed=args.seed)
+    out = args.out or f"{spec.name}.rpln"
+    t0 = time.perf_counter()
+    try:
+        served = compile_served(spec)
+    except (ValueError, CompileError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    compile_ms = (time.perf_counter() - t0) * 1e3
+    channels, size, _ = ARCHITECTURES[spec.architecture]
+    try:
+        summary = save_plan(
+            served.plan,
+            out,
+            input_shape=(1, channels, size, size),
+            extra={"model": spec.name, "seed": spec.seed},
+        )
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"compiled {spec.name} in {compile_ms:.0f} ms -> {out} "
+        f"({summary['file_size'] / 1e6:.1f} MB, {summary['tensors']} tensors, "
+        f"hash {summary['content_hash'][:12]})"
+    )
+    print(
+        "deploy: repro serve --model "
+        f"{out} [--workers N]   (docs/operations.md 'Compile-then-deploy')"
+    )
     return 0
 
 
@@ -439,6 +655,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "infer":
         return run_infer(args)
+    if args.command == "compile":
+        return run_compile(args)
     if args.command == "bench":
         return run_bench(args)
     if args.command == "serve":

@@ -35,6 +35,7 @@ Quickstart::
 
 from repro.serve.batcher import (
     BatchedResult,
+    BatcherStopped,
     BatchPolicy,
     DeadlineExceeded,
     DynamicBatcher,
@@ -45,7 +46,14 @@ from repro.serve.client import ServeClient, ServeError, wait_until_ready
 from repro.serve.loadgen import benchmark_serving, check_bit_identity, run_load
 from repro.serve.metrics import LatencyWindow, ModelMetrics, ServerMetrics
 from repro.serve.probe import served_latency_ms
-from repro.serve.registry import ModelRegistry, ModelSpec, ServedModel, build_model
+from repro.serve.registry import (
+    ModelRegistry,
+    ModelSpec,
+    ServedModel,
+    build_model,
+    compile_served,
+    load_artifact_served,
+)
 from repro.serve.router import (
     WorkerDied,
     WorkerError,
@@ -57,6 +65,7 @@ from repro.serve.server import InferenceServer, ServerHandle, start_in_backgroun
 __all__ = [
     "BatchPolicy",
     "BatchedResult",
+    "BatcherStopped",
     "DeadlineExceeded",
     "DynamicBatcher",
     "ExecutionFailed",
@@ -78,6 +87,8 @@ __all__ = [
     "benchmark_serving",
     "build_model",
     "check_bit_identity",
+    "compile_served",
+    "load_artifact_served",
     "run_load",
     "served_latency_ms",
     "start_in_background",

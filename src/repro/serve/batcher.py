@@ -39,6 +39,12 @@ class QueueSaturated(RuntimeError):
     """The model's request queue is full (backpressure — retry later)."""
 
 
+class BatcherStopped(RuntimeError):
+    """Submission raced a batcher that has stopped (blue/green cutover
+    drained it between lookup and submit).  The server retries against
+    the freshly installed batcher, so clients never observe it."""
+
+
 class DeadlineExceeded(RuntimeError):
     """The request expired in the queue before a batch picked it up."""
 
@@ -128,6 +134,12 @@ class DynamicBatcher:
         self._task: Optional[asyncio.Task] = None
         self._inflight: Optional[asyncio.Semaphore] = None
         self._pending_runs: set = set()
+        self._stopped = False
+        #: Requests accepted but not yet resolved (queued, collected, or
+        #: executing).  Maintained via future done-callbacks on the event
+        #: loop, so reaching 0 means every accepted request has been
+        #: answered — the drain condition for blue/green cutover.
+        self._outstanding = 0
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> None:
@@ -142,6 +154,7 @@ class DynamicBatcher:
         self._task = asyncio.get_running_loop().create_task(self._collector())
 
     async def stop(self) -> None:
+        self._stopped = True
         if self._task is None:
             return
         task, self._task = self._task, None
@@ -156,14 +169,46 @@ class DynamicBatcher:
         while self._queue is not None and not self._queue.empty():
             pending = self._queue.get_nowait()
             if not pending.future.done():
-                pending.future.set_exception(RuntimeError("batcher stopped"))
+                pending.future.set_exception(BatcherStopped("batcher stopped"))
         if self._owns_executor and self._executor is not None:
             self._executor.shutdown(wait=False)
             self._executor = None
 
+    async def drain_and_stop(self, timeout: float = 60.0) -> bool:
+        """Let every accepted request finish, then stop — the blue/green
+        retirement path (docs/operations.md 'Blue/green deploys and
+        rollback'): the server first swaps the active-batcher pointer so
+        no new requests arrive here, then drains this one, so cutover
+        drops nothing.
+
+        Returns ``True`` when the batcher emptied within ``timeout``
+        (``False`` means stop() fired with requests still unresolved —
+        they fail with :class:`BatcherStopped` rather than hanging).
+        """
+        deadline = time.monotonic() + timeout
+        grace = 0
+        while time.monotonic() < deadline:
+            if self._outstanding > 0:
+                grace = 0
+            else:
+                # A handler scheduled before the pointer swap may hold a
+                # reference and submit after we observe 0 — linger a few
+                # loop iterations before declaring the queue dry.
+                grace += 1
+                if grace >= 5:
+                    break
+            await asyncio.sleep(0.01)
+        drained = self._outstanding == 0
+        await self.stop()
+        return drained
+
     @property
     def running(self) -> bool:
         return self._task is not None
+
+    def outstanding(self) -> int:
+        """Accepted-but-unresolved requests (0 = fully drained)."""
+        return self._outstanding
 
     def qsize(self) -> int:
         return self._queue.qsize() if self._queue is not None else 0
@@ -177,6 +222,8 @@ class DynamicBatcher:
         ``deadline_ms`` counts from submission; ``None`` uses the policy
         default and any value <= 0 disables the deadline.
         """
+        if self._stopped:
+            raise BatcherStopped(f"model {self.name!r}: batcher stopped")
         if self._queue is None:
             raise RuntimeError("batcher not started")
         now = time.monotonic()
@@ -193,8 +240,13 @@ class DynamicBatcher:
                 f"model {self.name!r}: queue full "
                 f"({self.policy.max_queue} requests waiting)"
             ) from None
+        self._outstanding += 1
+        future.add_done_callback(self._on_request_done)
         self.metrics.on_enqueue()
         return await future
+
+    def _on_request_done(self, _future) -> None:
+        self._outstanding -= 1
 
     # -- collector loop -----------------------------------------------------
     async def _collect_batch(self) -> List[_Pending]:
@@ -278,7 +330,7 @@ class DynamicBatcher:
                 # fail the whole batch so no submitter is left hanging.
                 self.metrics.on_error(len(live))
                 failure = (
-                    RuntimeError("batcher stopped")
+                    BatcherStopped("batcher stopped")
                     if isinstance(exc, asyncio.CancelledError)
                     else ExecutionFailed(f"plan execution failed: {exc}")
                 )

@@ -13,6 +13,8 @@ the plan, the per-sample input shape, and the spec metadata for
 
 from __future__ import annotations
 
+import dataclasses
+import os
 import re
 import threading
 from dataclasses import dataclass, field
@@ -152,13 +154,27 @@ class ServedModel:
 
     ``plan`` is ``None`` for lazily loaded variants (multi-process
     serving: the front-end only validates inputs and routes — each
-    worker process compiles its own plan from the spec name).
+    worker process compiles its own plan from the spec name, or maps
+    the recorded ``artifact`` if one was given).
+
+    ``version`` identifies this deployment of the variant for blue/green
+    cutover (``v1`` for the boot-time load, assigned by
+    :meth:`ModelRegistry.install` on later deploys); ``artifact`` is the
+    plan-artifact path the plan was (or will be, for lazy loads) mapped
+    from, ``None`` for plans compiled in-process.
     """
 
     spec: ModelSpec
     plan: object  # CompiledPlan (duck-typed: tests serve stubs with .run)
     sample_shape: Tuple[int, int, int] = (3, 32, 32)
     model: object = None
+    version: str = "v1"
+    artifact: Optional[str] = None
+    #: Worker-pool plan key for this deployment (``name#version`` for
+    #: blue/green deploys; ``None`` → the plain variant name, i.e. the
+    #: boot-time load).  Set by the server in worker mode so the old
+    #: version keeps serving under its own key while it drains.
+    worker_key: Optional[str] = None
 
     @property
     def name(self) -> str:
@@ -168,6 +184,8 @@ class ServedModel:
         info = self.spec.to_dict()
         info["sample_shape"] = list(self.sample_shape)
         info["lazy"] = self.plan is None
+        info["version"] = self.version
+        info["artifact"] = self.artifact
         if hasattr(self.plan, "steps"):
             info["plan_steps"] = len(self.plan.steps)
             info["plan_ops"] = list(self.plan.ops_used())
@@ -200,6 +218,106 @@ class ServedModel:
         return np.ascontiguousarray(arr)
 
 
+def compile_served(spec: ModelSpec, cache: Optional[PlanCache] = None) -> ServedModel:
+    """Build, calibrate, compile, and warm one variant — the single
+    compile path shared by :meth:`ModelRegistry.load`, the worker
+    processes, and ``repro compile``, so an artifact written by the CLI
+    is byte-for-byte the plan a server would have compiled itself.
+    """
+    model, (channels, image_size) = build_model(spec)
+    calib_rng = np.random.default_rng(spec.seed)
+    calib = calib_rng.standard_normal(
+        (4, channels, image_size, image_size)
+    ).astype(np.float32)
+    if spec.backend == "int8":
+        # Calibrate the *model* observers before compiling: the
+        # int8 backend wires integer handoffs between quantized
+        # layers only for ranges frozen at compile time, so an
+        # eager eval pass (which freezes cold observers from its
+        # first batch, deterministically per spec seed) lets the
+        # plan come up fully native instead of half cold.
+        from repro.autograd import Tensor, no_grad
+
+        with no_grad():
+            model(Tensor(calib))
+    plan = get_cached_plan(
+        model,
+        (1, channels, image_size, image_size),
+        backend=spec.backend,
+        cache=cache,
+    )
+    # Deterministic calibration run: freezes any cold activation
+    # quantizer range into the plan *before* it sees traffic, so
+    # concurrent first requests cannot race the one-shot range
+    # observation and responses are reproducible per spec seed.
+    plan.run(calib)
+    return ServedModel(
+        spec=spec,
+        plan=plan,
+        sample_shape=(channels, image_size, image_size),
+        model=model,
+    )
+
+
+def is_artifact_path(spec_or_name) -> bool:
+    """Heuristic: does a ``--model`` value name a plan-artifact file
+    (vs a canonical variant name)?  Path separators and the ``.rpln``
+    extension are never valid in variant names, so there is no overlap.
+    """
+    if not isinstance(spec_or_name, str):
+        return False
+    from repro.engine.artifact import EXTENSION
+
+    return (
+        spec_or_name.endswith(EXTENSION)
+        or os.path.sep in spec_or_name
+        or os.path.isfile(spec_or_name)
+    )
+
+
+def load_artifact_served(path: str, lazy: bool = False) -> ServedModel:
+    """A :class:`ServedModel` from a plan artifact written by
+    ``repro compile`` (see docs/artifact-format.md).
+
+    The canonical variant name comes from the manifest's ``extra.model``
+    entry, so the served name (and hence routing, metrics, and the spec
+    seed baked into responses) is identical whether the plan was mapped
+    or compiled.  ``lazy=True`` records the spec + artifact path without
+    mapping tensors — the multi-process front-end mode, where only the
+    workers map the file.  ``version`` is the artifact's content hash
+    (first 12 hex chars), so ``/models`` distinguishes deployments of
+    the same variant name.
+    """
+    from repro.engine.artifact import (
+        ArtifactFormatError,
+        content_hash,
+        load_plan,
+        read_manifest,
+    )
+
+    path = os.path.abspath(path)
+    manifest = read_manifest(path)
+    spec_name = (manifest.get("extra") or {}).get("model")
+    if not spec_name:
+        raise ArtifactFormatError(
+            f"{path}: manifest records no 'extra.model' variant name "
+            "(not written by 'repro compile'?)"
+        )
+    spec = ModelSpec.parse(spec_name)
+    seed = (manifest.get("extra") or {}).get("seed")
+    if seed is not None:
+        spec = dataclasses.replace(spec, seed=int(seed))
+    version = content_hash(path)[:12]
+    plan = None if lazy else load_plan(path)
+    return ServedModel(
+        spec=spec,
+        plan=plan,
+        sample_shape=spec.sample_shape,
+        version=version,
+        artifact=path,
+    )
+
+
 class ModelRegistry:
     """Loads and holds served variants side by side.
 
@@ -210,9 +328,14 @@ class ModelRegistry:
     ``lazy=True`` records specs without building or compiling anything —
     the mode the multi-process server front-end runs in: it needs only
     sample shapes (input validation) and names (routing); the worker
-    processes each compile their own plans from the same spec names, so
-    plans exist in at most ``replicas`` processes instead of also in the
-    front-end.
+    processes each compile their own plans from the same spec names (or
+    map the recorded artifacts), so plans exist in at most ``replicas``
+    processes instead of also in the front-end.
+
+    Blue/green support: :meth:`install` atomically replaces a name's
+    active :class:`ServedModel` keeping the replaced one as the rollback
+    target; :meth:`rollback` swaps them back (see docs/operations.md
+    'Blue/green deploys and rollback').
     """
 
     def __init__(self, cache: Optional[PlanCache] = None, lazy: bool = False):
@@ -220,12 +343,25 @@ class ModelRegistry:
         self.lazy = lazy
         self._lock = threading.RLock()
         self._models: Dict[str, ServedModel] = {}
+        self._previous: Dict[str, ServedModel] = {}
+        self._deploys: Dict[str, int] = {}
 
     def load(self, spec_or_name) -> ServedModel:
         """Build + compile a variant (idempotent per canonical name).
 
-        On a lazy registry this only validates and records the spec.
+        Accepts a :class:`ModelSpec`, a canonical variant name, or a
+        plan-artifact path (``*.rpln``, mapped instead of compiled —
+        docs/operations.md 'Compile-then-deploy').  On a lazy registry
+        this only validates and records the spec (and artifact path).
         """
+        if is_artifact_path(spec_or_name):
+            served = load_artifact_served(spec_or_name, lazy=self.lazy)
+            with self._lock:
+                existing = self._models.get(served.name)
+                if existing is not None:
+                    return existing
+                self._models[served.name] = served
+                return served
         spec = (
             ModelSpec.parse(spec_or_name)
             if isinstance(spec_or_name, str)
@@ -241,39 +377,7 @@ class ModelRegistry:
                 )
                 self._models[spec.name] = served
                 return served
-            model, (channels, image_size) = build_model(spec)
-            calib_rng = np.random.default_rng(spec.seed)
-            calib = calib_rng.standard_normal(
-                (4, channels, image_size, image_size)
-            ).astype(np.float32)
-            if spec.backend == "int8":
-                # Calibrate the *model* observers before compiling: the
-                # int8 backend wires integer handoffs between quantized
-                # layers only for ranges frozen at compile time, so an
-                # eager eval pass (which freezes cold observers from its
-                # first batch, deterministically per spec seed) lets the
-                # plan come up fully native instead of half cold.
-                from repro.autograd import Tensor, no_grad
-
-                with no_grad():
-                    model(Tensor(calib))
-            plan = get_cached_plan(
-                model,
-                (1, channels, image_size, image_size),
-                backend=spec.backend,
-                cache=self._cache,
-            )
-            # Deterministic calibration run: freezes any cold activation
-            # quantizer range into the plan *before* it sees traffic, so
-            # concurrent first requests cannot race the one-shot range
-            # observation and responses are reproducible per spec seed.
-            plan.run(calib)
-            served = ServedModel(
-                spec=spec,
-                plan=plan,
-                sample_shape=(channels, image_size, image_size),
-                model=model,
-            )
+            served = compile_served(spec, cache=self._cache)
             self._models[spec.name] = served
             return served
 
@@ -282,6 +386,68 @@ class ModelRegistry:
         with self._lock:
             self._models[served.name] = served
             return served
+
+    # -- blue/green ---------------------------------------------------------
+    def install(self, served: ServedModel) -> Optional[ServedModel]:
+        """Atomically make ``served`` the active deployment of its name.
+
+        The replaced :class:`ServedModel` (returned, or ``None`` on a
+        first install) is kept as the one-deep rollback target.  If the
+        incoming version string is empty or collides with the active
+        one, a fresh ``v<n>`` is assigned from the per-name deploy
+        counter so ``/models`` can always tell deployments apart.
+        """
+        with self._lock:
+            old = self._models.get(served.name)
+            count = self._deploys.get(served.name, 1) + 1
+            self._deploys[served.name] = count
+            if not served.version or (
+                old is not None and served.version == old.version
+            ):
+                served.version = f"v{count}"
+            if old is not None:
+                self._previous[served.name] = old
+            self._models[served.name] = served
+            return old
+
+    def previous(self, name: str) -> Optional[ServedModel]:
+        with self._lock:
+            return self._previous.get(name)
+
+    def rollback(self, name: str) -> ServedModel:
+        """Swap a name's active deployment with its rollback target.
+
+        Raises :class:`KeyError` when no previous deployment exists.
+        Swapping (rather than popping) means rollback is itself
+        reversible — the regressed version stays available for
+        inspection or a forward re-deploy.
+        """
+        with self._lock:
+            previous = self._previous.get(name)
+            if previous is None:
+                raise KeyError(f"model {name!r} has no previous version")
+            active = self._models[name]
+            self._models[name] = previous
+            self._previous[name] = active
+            return previous
+
+    def remove(self, name: str) -> None:
+        """Forget a name entirely (failed first deploy — nothing to
+        roll back to)."""
+        with self._lock:
+            self._models.pop(name, None)
+            self._previous.pop(name, None)
+
+    def artifact_paths(self) -> Dict[str, str]:
+        """name → artifact path for every artifact-backed variant (what
+        the worker router forwards so workers ``mmap`` instead of
+        compiling)."""
+        with self._lock:
+            return {
+                name: served.artifact
+                for name, served in self._models.items()
+                if served.artifact is not None
+            }
 
     def get(self, name: str) -> ServedModel:
         with self._lock:
@@ -298,7 +464,15 @@ class ModelRegistry:
 
     def describe(self) -> List[dict]:
         with self._lock:
-            return [m.describe() for m in self._models.values()]
+            infos = []
+            for name, served in self._models.items():
+                info = served.describe()
+                previous = self._previous.get(name)
+                info["previous_version"] = (
+                    previous.version if previous is not None else None
+                )
+                infos.append(info)
+            return infos
 
     def __len__(self) -> int:
         with self._lock:

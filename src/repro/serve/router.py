@@ -71,13 +71,15 @@ class _WorkerHandle:
         num_slots: int,
         threads: Optional[int],
         ctx,
+        artifacts: Optional[Dict[str, str]] = None,
     ):
         self.worker_id = worker_id
         self.spec_names = list(spec_names)
         self.slot_bytes = slot_bytes
         self.num_slots = num_slots
         self.shm, self.conn, self.process = spawn_worker(
-            ctx, worker_id, spec_names, plans, slot_bytes, num_slots, threads
+            ctx, worker_id, spec_names, plans, slot_bytes, num_slots, threads,
+            artifacts,
         )
         self._send_lock = threading.Lock()
         self._state_lock = threading.Lock()
@@ -263,6 +265,42 @@ class _WorkerHandle:
         finally:
             self._release_slot(slot)
 
+    def load_model(self, key: str, artifact: str, timeout: float = 60.0) -> float:
+        """Tell this worker to mmap ``artifact`` under plan key ``key``.
+
+        Returns the worker-side load time in ms; raises
+        :class:`WorkerError` when the worker rejected the artifact and
+        :class:`WorkerDied` on a lost worker.
+        """
+        req_id = self._next_req_id()
+        waiter = _Waiter()
+        self._post(("load", req_id, key, artifact), waiter, req_id)
+        if not waiter.event.wait(timeout):
+            with self._state_lock:
+                self._pending.pop(req_id, None)
+            raise WorkerError(
+                f"worker {self.worker_id}: load of {key!r} timed out"
+            )
+        if waiter.kind == "loaded":
+            ms, err = waiter.payload
+            if err is not None:
+                raise WorkerError(
+                    f"worker {self.worker_id}: failed to load {key!r}: {err}"
+                )
+            if key not in self.spec_names:
+                self.spec_names.append(key)
+            return ms
+        raise WorkerDied(f"worker {self.worker_id} died during load")
+
+    def unload_model(self, key: str, timeout: float = 10.0) -> None:
+        """Drop a drained plan key on this worker (best effort)."""
+        req_id = self._next_req_id()
+        waiter = _Waiter()
+        self._post(("unload", req_id, key), waiter, req_id)
+        waiter.event.wait(timeout)
+        if key in self.spec_names:
+            self.spec_names.remove(key)
+
     def probe_hang(self) -> float:
         """Non-blocking liveness probe (monitor thread only).
 
@@ -324,6 +362,7 @@ class WorkerRouter:
         hang_timeout: float = 60.0,
         max_retries: int = 2,
         ready_timeout: float = 300.0,
+        artifacts: Optional[Dict[str, str]] = None,
     ):
         # ``health_interval=None`` disables the monitor entirely — and
         # with it both dead-worker respawn-without-traffic AND the
@@ -357,6 +396,12 @@ class WorkerRouter:
         #: batches).
         self.hang_timeout = hang_timeout
         self._plans = plans
+        #: Plan key → ``.rpln`` artifact path.  Keys listed here boot in
+        #: workers by mmapping the artifact instead of compiling — and a
+        #: respawned worker re-mmaps them, so blue/green versions
+        #: (``name#version`` keys, unparseable as specs) survive worker
+        #: deaths.
+        self.artifacts: Dict[str, str] = dict(artifacts or {})
         self._lock = threading.Lock()
         self._handles: List[Optional[_WorkerHandle]] = [None] * workers
         self._restarts = [0] * workers
@@ -408,6 +453,8 @@ class WorkerRouter:
         return self
 
     def _spawn(self, worker_id: int) -> _WorkerHandle:
+        with self._lock:
+            artifacts = dict(self.artifacts)
         return _WorkerHandle(
             worker_id,
             self._names_for(worker_id),
@@ -416,6 +463,7 @@ class WorkerRouter:
             self.num_slots,
             self.threads,
             self._ctx,
+            artifacts=artifacts,
         )
 
     def stop(self) -> None:
@@ -551,6 +599,52 @@ class WorkerRouter:
             f"model {model!r}: batch lost to dying workers "
             f"{self.max_retries + 1} times: {last}"
         )
+
+    # -- blue/green deploys -------------------------------------------------
+    def load_model(
+        self, key: str, artifact: str, timeout: float = 60.0
+    ) -> Dict[int, float]:
+        """Broadcast a ``("load", key, artifact)`` to ``key``'s replicas.
+
+        Every assigned live worker mmaps the artifact before this
+        returns, so the first request after cutover never waits on a
+        lazy load.  The (key, artifact) pair is also recorded so
+        respawned workers re-mmap it.  Returns worker_id → load ms.
+        Raises :class:`WorkerError` if *any* replica rejects the
+        artifact — the deploy must not proceed on a half-loaded pool.
+        """
+        if not self._started:
+            raise RuntimeError("WorkerRouter not started")
+        with self._lock:
+            self.artifacts[key] = artifact
+            if key not in self.model_names:
+                self.model_names.append(key)
+        try:
+            times: Dict[int, float] = {}
+            for worker_id in self.assigned_workers(key):
+                handle = self._handle_for(worker_id, timeout=timeout)
+                times[worker_id] = handle.load_model(key, artifact, timeout)
+            return times
+        except BaseException:
+            with self._lock:
+                self.artifacts.pop(key, None)
+                if key in self.model_names:
+                    self.model_names.remove(key)
+            raise
+
+    def unload_model(self, key: str) -> None:
+        """Retire a drained plan key everywhere (best effort)."""
+        with self._lock:
+            self.artifacts.pop(key, None)
+            if key in self.model_names:
+                self.model_names.remove(key)
+            handles = [h for h in self._handles if h is not None]
+        for handle in handles:
+            if key in handle.spec_names and handle.alive():
+                try:
+                    handle.unload_model(key)
+                except (WorkerDied, WorkerError):
+                    pass
 
     # -- metrics ------------------------------------------------------------
     def restarts_total(self) -> int:

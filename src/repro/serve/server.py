@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.engine.cache import PlanCache, plan_cache
 from repro.serve.batcher import (
+    BatcherStopped,
     BatchPolicy,
     DeadlineExceeded,
     DynamicBatcher,
@@ -42,16 +43,18 @@ from repro.serve.batcher import (
     QueueSaturated,
 )
 from repro.serve.metrics import ServerMetrics
-from repro.serve.registry import ModelRegistry
+from repro.serve.registry import ModelRegistry, ServedModel
 
 _STATUS_TEXT = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 
@@ -128,6 +131,10 @@ class InferenceServer:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._router = None  # WorkerRouter when workers > 0
+        #: Per-model health-watch tasks (blue/green auto-rollback).
+        self._watch_tasks: Dict[str, asyncio.Task] = {}
+        #: Deploy/rollback history surfaced on ``/models`` (bounded).
+        self.deploy_events: list = []
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> None:
@@ -147,6 +154,7 @@ class InferenceServer:
                 max_batch_size=self.policy.max_batch_size,
                 threads=self.threads,
                 health_interval=self.worker_health_interval,
+                artifacts=self.registry.artifact_paths(),
             )
             # Fork before serving traffic: the child must not inherit
             # live connections or a mid-flight event loop.
@@ -186,6 +194,9 @@ class InferenceServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for task in self._watch_tasks.values():
+            task.cancel()
+        self._watch_tasks.clear()
         for batcher in self._batchers.values():
             await batcher.stop()
         self._batchers.clear()
@@ -202,49 +213,252 @@ class InferenceServer:
         async with self._server:
             await self._server.serve_forever()
 
+    async def _new_batcher(self, name: str, served: ServedModel) -> DynamicBatcher:
+        """Build + start a batcher for one deployment of ``name``.
+
+        In worker mode the batcher's plan proxy routes on the served
+        deployment's ``worker_key`` (``name#version`` for blue/green
+        deploys), so two versions of the same model can execute side by
+        side while the old one drains.
+        """
+        if self._router is not None:
+            from repro.serve.router import WorkerPlanProxy
+
+            plan = WorkerPlanProxy(self._router, served.worker_key or name)
+            # Process workers execute truly in parallel (no GIL), so
+            # keep one batch in flight per replica plus one coalescing.
+            max_inflight = self._router.replicas + 1
+        else:
+            plan = served.plan
+            if plan is None:
+                raise _HttpError(
+                    500,
+                    f"model {name!r} was loaded lazily but the server "
+                    "runs in-process (workers=0)",
+                )
+            # Concurrent batches only pay off with real parallelism:
+            # on a single-core host one full batch beats two
+            # interleaved half-batches (cache + fixed costs) — and
+            # admission must never exceed the dispatch pool actually
+            # configured, or half-batches just queue on its threads.
+            max_inflight = max(
+                1,
+                min(
+                    self.executor_threads or default_executor_threads(),
+                    os.cpu_count() or 1,
+                ),
+            )
+        batcher = DynamicBatcher(
+            plan,
+            policy=self.policy,
+            executor=self._executor,
+            metrics=self.metrics.for_model(name),
+            name=name,
+            max_inflight=max_inflight,
+            threads=self.threads,
+        )
+        await batcher.start()
+        return batcher
+
     async def _ensure_batcher(self, name: str) -> DynamicBatcher:
         batcher = self._batchers.get(name)
         if batcher is None:
             served = self.registry.get(name)
-            if self._router is not None:
-                from repro.serve.router import WorkerPlanProxy
-
-                plan = WorkerPlanProxy(self._router, name)
-                # Process workers execute truly in parallel (no GIL), so
-                # keep one batch in flight per replica plus one coalescing.
-                max_inflight = self._router.replicas + 1
-            else:
-                plan = served.plan
-                if plan is None:
-                    raise _HttpError(
-                        500,
-                        f"model {name!r} was loaded lazily but the server "
-                        "runs in-process (workers=0)",
-                    )
-                # Concurrent batches only pay off with real parallelism:
-                # on a single-core host one full batch beats two
-                # interleaved half-batches (cache + fixed costs) — and
-                # admission must never exceed the dispatch pool actually
-                # configured, or half-batches just queue on its threads.
-                max_inflight = max(
-                    1,
-                    min(
-                        self.executor_threads or default_executor_threads(),
-                        os.cpu_count() or 1,
-                    ),
-                )
-            batcher = DynamicBatcher(
-                plan,
-                policy=self.policy,
-                executor=self._executor,
-                metrics=self.metrics.for_model(name),
-                name=name,
-                max_inflight=max_inflight,
-                threads=self.threads,
-            )
-            await batcher.start()
+            batcher = await self._new_batcher(name, served)
             self._batchers[name] = batcher
         return batcher
+
+    # -- blue/green deploys -------------------------------------------------
+    def _record_event(self, event: dict) -> None:
+        self.deploy_events.append(event)
+        del self.deploy_events[:-20]  # keep the last 20
+
+    async def _probe_served(self, name: str, served: ServedModel) -> float:
+        """Run one deterministic sample through the new deployment before
+        any traffic reaches it (dead-on-arrival artifacts fail here, not
+        on client requests).  Returns the probe latency in ms."""
+        x = np.zeros((1,) + tuple(served.sample_shape), dtype=np.float32)
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        if self._router is not None:
+            key = served.worker_key or name
+            await loop.run_in_executor(
+                self._executor, lambda: self._router.submit(key, x)
+            )
+        else:
+            await loop.run_in_executor(
+                self._executor, lambda: served.plan.run(x)
+            )
+        return (loop.time() - t0) * 1e3
+
+    async def deploy_served(
+        self,
+        served: ServedModel,
+        watch_s: float = 0.0,
+        probe: bool = True,
+        drain_timeout: float = 60.0,
+    ) -> dict:
+        """Blue/green cutover to a new deployment of ``served.name``.
+
+        Sequence (docs/operations.md 'Blue/green deploys and rollback'):
+        load into the worker pool (worker mode), probe one sample
+        through the new plan, atomically swap the active batcher (new
+        requests land on the new version from that point on), drain the
+        old batcher to zero outstanding requests, then watch
+        ``errors_total`` for ``watch_s`` seconds and auto-rollback on
+        any execution-error regression.  No request is dropped at any
+        point: the old version answers everything it accepted.
+        """
+        name = served.name
+        evicted = self.registry.previous(name)
+        had_active = name in self.registry
+        old = self.registry.install(served)  # assigns the final version
+        load_ms = None
+        try:
+            if self._router is not None:
+                if not served.artifact:
+                    raise _HttpError(
+                        400,
+                        "worker-mode deploys need a plan artifact "
+                        "(repro compile; docs/operations.md "
+                        "'Compile-then-deploy')",
+                    )
+                served.worker_key = f"{name}#{served.version}"
+                load_times = await asyncio.get_running_loop().run_in_executor(
+                    self._executor,
+                    lambda: self._router.load_model(
+                        served.worker_key, served.artifact
+                    ),
+                )
+                load_ms = max(load_times.values()) if load_times else 0.0
+            elif served.plan is None:
+                raise _HttpError(
+                    400, f"model {name!r}: in-process deploys need a plan"
+                )
+            probe_ms = await self._probe_served(name, served) if probe else None
+        except BaseException as exc:
+            # Undo the install — the old deployment never stopped serving.
+            if had_active:
+                self.registry.rollback(name)
+            else:
+                self.registry.remove(name)
+            if isinstance(exc, _HttpError):
+                raise
+            raise _HttpError(
+                500, f"model {name!r}: deploy rejected at probe: {exc}"
+            ) from exc
+
+        # Cutover: swap the batcher pointer first (new requests go to the
+        # new version), then drain the old one (it answers everything it
+        # already accepted) — zero dropped requests by construction.
+        old_batcher = self._batchers.get(name)
+        self._batchers[name] = await self._new_batcher(name, served)
+        drained = True
+        if old_batcher is not None:
+            drained = await old_batcher.drain_and_stop(timeout=drain_timeout)
+        if (
+            self._router is not None
+            and evicted is not None
+            and evicted.worker_key
+            and evicted.worker_key != served.worker_key
+        ):
+            # The deployment that just fell out of the one-deep rollback
+            # history has no path back into service — retire its worker
+            # plans.
+            await asyncio.get_running_loop().run_in_executor(
+                self._executor,
+                lambda: self._router.unload_model(evicted.worker_key),
+            )
+        watching = False
+        if watch_s and watch_s > 0 and old is not None:
+            prior = self._watch_tasks.pop(name, None)
+            if prior is not None:
+                prior.cancel()
+            self._watch_tasks[name] = asyncio.get_running_loop().create_task(
+                self._health_watch(name, served.version, watch_s)
+            )
+            watching = True
+        event = {
+            "action": "deploy",
+            "model": name,
+            "version": served.version,
+            "previous_version": old.version if old is not None else None,
+            "artifact": served.artifact,
+            "drained": drained,
+            "load_ms": load_ms,
+            "probe_ms": probe_ms,
+            "watch_s": watch_s if watching else None,
+        }
+        self._record_event(event)
+        return event
+
+    async def rollback_model(self, name: str, reason: str = "requested") -> dict:
+        """Swap ``name`` back to its previous deployment (same zero-drop
+        cutover as a deploy, in reverse)."""
+        try:
+            previous = self.registry.previous(name)
+        except KeyError:
+            previous = None
+        if previous is None:
+            raise _HttpError(
+                409, f"model {name!r} has no previous version to roll back to"
+            )
+        watch = self._watch_tasks.pop(name, None)
+        if watch is not None and watch is not asyncio.current_task():
+            # (The health watch itself calls in here on a regression —
+            # cancelling the current task would abort the rollback at
+            # its next await.)
+            watch.cancel()
+        regressed = self.registry.get(name)
+        self.registry.rollback(name)
+        old_batcher = self._batchers.get(name)
+        self._batchers[name] = await self._new_batcher(name, previous)
+        drained = True
+        if old_batcher is not None:
+            drained = await old_batcher.drain_and_stop()
+        event = {
+            "action": "rollback",
+            "model": name,
+            "version": previous.version,
+            "previous_version": regressed.version,
+            "reason": reason,
+            "drained": drained,
+        }
+        self._record_event(event)
+        return event
+
+    async def _health_watch(
+        self, name: str, version: str, watch_s: float
+    ) -> None:
+        """Post-cutover watchdog: any ``errors_total`` growth (kernel /
+        worker execution failures — rejections and deadline misses are
+        load signals, not health) within ``watch_s`` of the cutover
+        rolls the model back automatically."""
+        metrics = self.metrics.for_model(name)
+        baseline = metrics.errors_total
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + watch_s
+        try:
+            while loop.time() < deadline:
+                await asyncio.sleep(min(0.05, watch_s))
+                if self.registry.get(name).version != version:
+                    return  # re-deployed or manually rolled back under us
+                if metrics.errors_total > baseline:
+                    await self.rollback_model(
+                        name,
+                        reason=(
+                            f"health regression: +"
+                            f"{metrics.errors_total - baseline} execution "
+                            f"errors within {watch_s:g}s of cutover"
+                        ),
+                    )
+                    return
+        except asyncio.CancelledError:
+            raise
+        finally:
+            task = self._watch_tasks.get(name)
+            if task is asyncio.current_task():
+                self._watch_tasks.pop(name, None)
 
     # -- HTTP plumbing ------------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
@@ -334,6 +548,8 @@ class InferenceServer:
             if method != "POST":
                 raise _HttpError(405, "/predict requires POST")
             return await self._predict(body)
+        if path == "/models" and method == "POST":
+            return await self._models_post(body)
         if method not in ("GET", "HEAD"):
             raise _HttpError(405, f"{path} requires GET")
         if path == "/healthz":
@@ -343,7 +559,11 @@ class InferenceServer:
                 "uptime_s": self.metrics.uptime_s(),
             }
         if path == "/models":
-            return {"models": self.registry.describe(), "policy": self.policy.to_dict()}
+            return {
+                "models": self.registry.describe(),
+                "policy": self.policy.to_dict(),
+                "deploy_events": list(self.deploy_events),
+            }
         if path == "/metrics":
             snap = self.metrics.snapshot(plan_cache_stats=self.cache.stats())
             snap["policy"] = self.policy.to_dict()
@@ -362,6 +582,54 @@ class InferenceServer:
                 )
             return snap
         raise _HttpError(404, f"no route {path!r}")
+
+    async def _models_post(self, body: bytes) -> dict:
+        """``POST /models`` — blue/green deploy or rollback.
+
+        Deploy:   ``{"artifact": path, "watch_s"?: s, "probe"?: bool}``
+        Rollback: ``{"action": "rollback", "model": name}``
+
+        See docs/operations.md 'Blue/green deploys and rollback'.
+        """
+        try:
+            request = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}")
+        if not isinstance(request, dict):
+            raise _HttpError(400, "body must be a JSON object")
+        action = request.get("action", "deploy")
+        if action == "rollback":
+            name = request.get("model")
+            if not name:
+                raise _HttpError(400, "rollback requires 'model'")
+            if name not in self.registry:
+                raise _HttpError(404, f"unknown model {name!r}")
+            return await self.rollback_model(name)
+        if action != "deploy":
+            raise _HttpError(
+                400, f"unknown action {action!r} (deploy or rollback)"
+            )
+        artifact = request.get("artifact")
+        if not artifact or not isinstance(artifact, str):
+            raise _HttpError(400, "deploy requires an 'artifact' path")
+        watch_s = request.get("watch_s", 0.0)
+        if not isinstance(watch_s, (int, float)) or watch_s < 0:
+            raise _HttpError(400, "'watch_s' must be a non-negative number")
+        probe = request.get("probe", True)
+        from repro.engine.artifact import ArtifactError
+        from repro.serve.registry import load_artifact_served
+
+        try:
+            served = load_artifact_served(
+                artifact, lazy=self._router is not None
+            )
+        except FileNotFoundError:
+            raise _HttpError(404, f"no artifact at {artifact!r}")
+        except ArtifactError as exc:
+            raise _HttpError(400, f"bad artifact {artifact!r}: {exc}")
+        return await self.deploy_served(
+            served, watch_s=float(watch_s), probe=bool(probe)
+        )
 
     @staticmethod
     def _cancel_all(tasks) -> None:
@@ -459,26 +727,48 @@ class InferenceServer:
         except (ValueError, TypeError) as exc:
             raise _HttpError(400, str(exc))
 
-        batcher = await self._ensure_batcher(name)
-        tasks = []
-        try:
-            if len(samples) == 1:  # hot path: no gather/task machinery
-                results = [await batcher.submit(samples[0], deadline_ms=deadline_ms)]
-            else:
-                tasks = [
-                    asyncio.ensure_future(batcher.submit(s, deadline_ms=deadline_ms))
-                    for s in samples
-                ]
-                results = await asyncio.gather(*tasks)
-        except QueueSaturated as exc:
-            self._cancel_all(tasks)
-            raise _HttpError(429, str(exc), retry_after=0.05)
-        except DeadlineExceeded as exc:
-            self._cancel_all(tasks)
-            raise _HttpError(504, str(exc))
-        except ExecutionFailed as exc:
-            self._cancel_all(tasks)
-            raise _HttpError(500, str(exc))
+        # Blue/green cutover can race this handler: it may look up the old
+        # batcher right before the deploy swaps the pointer and drains it.
+        # Submission (or an in-flight request at a drain timeout) then
+        # fails with BatcherStopped — refresh the lookup and retry against
+        # the freshly installed batcher, so clients never observe the
+        # swap (docs/operations.md 'Blue/green deploys and rollback').
+        for attempt in range(5):
+            batcher = await self._ensure_batcher(name)
+            tasks = []
+            try:
+                if len(samples) == 1:  # hot path: no gather/task machinery
+                    results = [
+                        await batcher.submit(samples[0], deadline_ms=deadline_ms)
+                    ]
+                else:
+                    tasks = [
+                        asyncio.ensure_future(
+                            batcher.submit(s, deadline_ms=deadline_ms)
+                        )
+                        for s in samples
+                    ]
+                    results = await asyncio.gather(*tasks)
+                break
+            except BatcherStopped:
+                self._cancel_all(tasks)
+                await asyncio.sleep(0.01)
+                continue
+            except QueueSaturated as exc:
+                self._cancel_all(tasks)
+                raise _HttpError(429, str(exc), retry_after=0.05)
+            except DeadlineExceeded as exc:
+                self._cancel_all(tasks)
+                raise _HttpError(504, str(exc))
+            except ExecutionFailed as exc:
+                self._cancel_all(tasks)
+                raise _HttpError(500, str(exc))
+        else:
+            raise _HttpError(
+                503,
+                f"model {name!r}: deployment cutover in progress",
+                retry_after=0.1,
+            )
 
         if single:
             result = results[0]

@@ -44,6 +44,8 @@ Protocol (pipe messages, parent → worker)::
 
     ("run",  req_id, model, slot, shape, threads, inline|None)
     ("ping", req_id)
+    ("load", req_id, key, artifact_path)      mmap a compiled-plan artifact
+    ("unload", req_id, key)                   retire a served plan key
     ("stop",)
 
 worker → parent::
@@ -52,6 +54,17 @@ worker → parent::
     ("ok",   req_id, slot, out_shape, run_ms, inline|None)
     ("err",  req_id, slot, message)           execution failed (→ HTTP 500)
     ("pong", req_id, stats)
+    ("loaded", req_id, ms|None, err|None)     answer to "load"/"unload"
+
+Artifact-backed serving (ISSUE 6): when the parent passes an
+``artifacts`` map (plan key → ``.rpln`` path), the worker boots those
+keys by **mmapping** the compiled-plan artifact
+(:func:`repro.engine.artifact.load_plan`) instead of compiling — the
+weight pages are shared copy-on-write across every worker mapping the
+same file, and cold start drops from seconds (build + calibrate +
+compile + warm) to milliseconds.  Blue/green cutover sends ``"load"``
+with a *versioned* key (``name#version``) so the old plan keeps serving
+under its own key until the router drains it.
 """
 
 from __future__ import annotations
@@ -89,6 +102,7 @@ def worker_main(
     spec_names: Sequence[str],
     plans: Optional[Dict[str, object]],
     threads: Optional[int],
+    artifacts: Optional[Dict[str, str]] = None,
 ) -> None:
     """Entry point of one worker process (called in the forked child).
 
@@ -97,23 +111,36 @@ def worker_main(
     built and compiled here, in this process, against this worker's own
     plan cache.  ``plans`` instead carries pre-built plan objects for
     the probe's plan-mode (inherited through fork, no registry needed).
+    ``artifacts`` maps plan keys to ``.rpln`` paths — those keys boot by
+    mmapping the artifact (no compiler in the loop; see
+    docs/operations.md 'Compile-then-deploy').
     """
     # The parent handles SIGINT; a ^C must not kill workers before the
     # router gets to drain and stop them in order.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
+    from repro.engine.artifact import load_plan
     from repro.engine.cache import PlanCache
     from repro.serve.registry import ModelRegistry
 
     cache = PlanCache()
     registry = ModelRegistry(cache=cache)
+    artifacts = dict(artifacts or {})
     served: Dict[str, object] = {}
+
+    def boot(name: str):
+        if name in artifacts:
+            # Hash verification happened at deploy time in the parent;
+            # workers map without rehashing so respawn stays fast.
+            return load_plan(artifacts[name], verify=False)
+        return registry.load(name).plan
+
     try:
         if plans:
             served.update(plans)
         for name in spec_names:
             if name not in served:
-                served[name] = registry.load(name).plan
+                served[name] = boot(name)
     except BaseException as exc:  # noqa: BLE001 — surfaced to the parent
         try:
             conn.send(("fail", worker_id, f"{type(exc).__name__}: {exc}"))
@@ -150,14 +177,39 @@ def worker_main(
         if kind == "ping":
             conn.send(("pong", msg[1], snapshot()))
             continue
+        if kind == "load":
+            # ("load", req_id, key, artifact_path): mmap a new plan
+            # version under ``key`` (blue/green deploy broadcast).
+            _, req_id, key, artifact_path = msg
+            try:
+                t0 = time.perf_counter()
+                artifacts[key] = artifact_path
+                served[key] = load_plan(artifact_path, verify=False)
+                conn.send(
+                    ("loaded", req_id, (time.perf_counter() - t0) * 1e3, None)
+                )
+            except BaseException as exc:  # noqa: BLE001 — parent decides
+                artifacts.pop(key, None)
+                conn.send(
+                    ("loaded", req_id, None, f"{type(exc).__name__}: {exc}")
+                )
+            continue
+        if kind == "unload":
+            # ("unload", req_id, key): drop a drained plan version; the
+            # mmap closes when the last reference dies.
+            _, req_id, key = msg
+            served.pop(key, None)
+            artifacts.pop(key, None)
+            conn.send(("loaded", req_id, 0.0, None))
+            continue
         # ("run", req_id, model, slot, shape, threads, inline)
         _, req_id, model, slot, shape, req_threads, inline = msg
         try:
             plan = served.get(model)
             if plan is None:
                 # Late affinity change (a model loaded after spawn):
-                # compile on demand in this worker.
-                plan = served[model] = registry.load(model).plan
+                # compile — or mmap — on demand in this worker.
+                plan = served[model] = boot(model)
             if inline is not None:
                 stats["inline_requests"] += 1
                 x = np.frombuffer(inline, dtype=np.float32).reshape(shape)
@@ -206,6 +258,7 @@ def spawn_worker(
     slot_bytes: int,
     num_slots: int,
     threads: Optional[int],
+    artifacts: Optional[Dict[str, str]] = None,
 ):
     """Create (shm, parent_conn, process) for one worker; fork-only.
 
@@ -219,7 +272,7 @@ def spawn_worker(
     process = ctx.Process(
         target=worker_main,
         args=(worker_id, child_conn, shm, slot_bytes, num_slots,
-              list(spec_names), plans, threads),
+              list(spec_names), plans, threads, artifacts),
         daemon=True,
         name=f"repro-serve-worker-{worker_id}",
     )

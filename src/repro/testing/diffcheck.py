@@ -41,12 +41,15 @@ Standalone usage (the CI quick lane runs the pytest corpus instead)::
 
 from __future__ import annotations
 
+import os
+import tempfile
 from typing import Optional
 
 import numpy as np
 
 from repro.autograd import Tensor, no_grad
 from repro.engine import compile_model
+from repro.engine.artifact import load_plan, save_plan
 from repro.testing.modelgen import GeneratedModel, generate_model
 from repro.testing.oracle import int8_oracle_output, winograd_stem_flip_report
 
@@ -96,6 +99,24 @@ def _assert_fast_tolerance(gm, got, expected, what):
         )
 
 
+def _roundtrip_plan(plan, x):
+    """Save → mmap-load → run; returns the loaded plan's output.
+
+    The artifact leg of the corpus: a plan that survives serialization
+    (no opaque ``eager_module`` steps — the corpus never generates them)
+    must produce **bitwise identical** output when executed from its
+    mmap-loaded artifact, on every backend (docs/artifact-format.md
+    'Compatibility and rejection policy').
+    """
+    fd, path = tempfile.mkstemp(suffix=".rpln")
+    os.close(fd)
+    try:
+        save_plan(plan, path, input_shape=x.shape)
+        return load_plan(path).run(x)
+    finally:
+        os.unlink(path)
+
+
 def check_model(seed: int, threads: int = 2) -> dict:
     """Generate the model for ``seed`` and assert every mode contract.
 
@@ -128,6 +149,11 @@ def check_model(seed: int, threads: int = 2) -> dict:
     np.testing.assert_array_equal(
         ref_plan.run(x, threads=threads), reference,
         err_msg=_msg(gm, "reference threaded run diverged (must be bitwise)"),
+    )
+    np.testing.assert_array_equal(
+        _roundtrip_plan(ref_plan, x), reference,
+        err_msg=_msg(gm, "artifact-loaded reference plan diverged "
+                         "(save/mmap-load must be bitwise)"),
     )
 
     # -- fast: float-tolerance contract, stable under chunk × threads --------
@@ -195,6 +221,11 @@ def check_model(seed: int, threads: int = 2) -> dict:
                 "int8 plan with float fallback steps out of tolerance "
                 "under chunked+threaded execution",
             )
+        np.testing.assert_array_equal(
+            _roundtrip_plan(int8_plan, x), native,
+            err_msg=_msg(gm, "artifact-loaded int8 plan diverged "
+                             "(save/mmap-load must be bitwise)"),
+        )
         report["native_int8_steps"] = int8_plan.int8_report()["native_int8_steps"]
         report["float_fallback_gemms"] = len(float_gemms)
         audit = winograd_stem_flip_report(int8_plan, x)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Check intra-repo markdown links (CI docs job).
+
+Walks every tracked ``*.md`` file, extracts inline links and bare
+reference paths, and fails when a relative link points at a file that
+does not exist — the cheap way to keep docs/ and the README from
+rotting as files move.  Checked:
+
+* inline links ``[text](target)`` with a relative target (external
+  schemes like https:, mailto: are skipped);
+* anchors on internal links (``architecture.md#layer-map``): the target
+  file must contain a heading whose GitHub slug matches;
+* fenced code blocks are ignored (shell examples routinely mention
+  paths that only exist at runtime, like compiled artifacts).
+
+Usage::
+
+    python tools/check_docs_links.py            # repo root inferred
+    python tools/check_docs_links.py --root DIR
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", ".venv", "node_modules", "__pycache__"}
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces → dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: pathlib.Path) -> set:
+    text = FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(m.group(1)) for m in HEADING.finditer(text)}
+
+
+def markdown_files(root: pathlib.Path):
+    for path in sorted(root.rglob("*.md")):
+        if not SKIP_DIRS.intersection(path.relative_to(root).parts):
+            yield path
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> list:
+    failures = []
+    text = FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in INLINE_LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        rel, _, anchor = target.partition("#")
+        resolved = (path.parent / rel).resolve()
+        where = f"{path.relative_to(root)}: link '{target}'"
+        if not resolved.exists():
+            failures.append(f"{where} -> missing file {rel}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if github_slug(anchor) not in heading_slugs(resolved):
+                failures.append(
+                    f"{where} -> no heading '#{anchor}' in {rel}"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=str(pathlib.Path(__file__).resolve().parent.parent),
+        help="repository root (default: this script's grandparent)",
+    )
+    args = parser.parse_args(argv)
+    root = pathlib.Path(args.root).resolve()
+
+    failures, checked = [], 0
+    for path in markdown_files(root):
+        checked += 1
+        failures.extend(check_file(path, root))
+    for failure in failures:
+        print(f"BROKEN: {failure}", file=sys.stderr)
+    print(f"checked {checked} markdown files: {len(failures)} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
