@@ -36,6 +36,13 @@ MIN_CORES_PER_WORKER = 2
 #: (docs/operations.md 'Compile-then-deploy').
 ARTIFACT_SPEEDUP_GATE = 10.0
 
+#: ``plan.run`` with tracing *disabled* must stay within this many
+#: percent of the pristine untraced executor loop.  Like the artifact
+#: gate it is a same-run, same-host ratio (interleaved min-of-N legs),
+#: so it is enforced everywhere (docs/observability.md
+#: 'Overhead budget').
+TRACE_OVERHEAD_GATE_PCT = 1.0
+
 
 def check(baseline: dict, fresh: dict, tolerance: float) -> list:
     failures = []
@@ -73,6 +80,7 @@ def check(baseline: dict, fresh: dict, tolerance: float) -> list:
                 )
     failures += _check_threaded(baseline, fresh, tolerance)
     failures += _check_memory(fresh)
+    failures += _check_trace_overhead(baseline, fresh)
     failures += _check_workers_scaling(baseline, fresh, tolerance)
     failures += _check_artifact(fresh)
     anomaly = fresh.get("int8_anomaly")
@@ -238,6 +246,36 @@ def _check_artifact(fresh: dict) -> list:
             f"requests (ok={swap.get('requests_ok')})"
         )
     return failures
+
+
+def _check_trace_overhead(baseline: dict, fresh: dict) -> list:
+    """Tracing-off overhead rule (engine reports only; host-independent).
+
+    ``overhead_disabled_pct`` compares ``plan.run`` (tracing disabled)
+    against the pristine ``_run_untraced`` loop within one interleaved
+    measurement, so the ratio holds on any host and is enforced
+    unconditionally.  The entry disappearing after a baseline carried it
+    is itself a failure — the gate must not silently stop being
+    measured.  The traced leg is informational, never gated.
+    """
+    entry = fresh.get("trace_overhead")
+    if not entry:
+        if baseline.get("trace_overhead"):
+            return [
+                "trace_overhead entry disappeared from the fresh report"
+            ]
+        return []
+    pct = entry.get("overhead_disabled_pct")
+    if pct is None:
+        return ["trace_overhead entry lacks overhead_disabled_pct"]
+    if pct > TRACE_OVERHEAD_GATE_PCT:
+        return [
+            f"tracing-off overhead {pct:.2f}% > "
+            f"{TRACE_OVERHEAD_GATE_PCT:.1f}% on {entry.get('workload')} "
+            f"(disabled {entry.get('ms_disabled')} ms vs pristine "
+            f"{entry.get('ms_pristine')} ms)"
+        ]
+    return []
 
 
 def _check_memory(fresh: dict) -> list:

@@ -12,6 +12,8 @@ Usage::
     python -m repro.cli compile resnet18-w0.25-F4-int8@int8 -o resnet.rpln
     python -m repro.cli serve --model resnet.rpln --workers 2 --port 8100
     python -m repro.cli loadgen --url http://127.0.0.1:8100 --concurrency 16
+    python -m repro.cli profile resnet18-w0.25-F4 --backends fast,int8
+    python -m repro.cli trace --workers 2 --export trace.json
 
 (Installed via the ``repro`` console script: ``repro serve ...``.)
 
@@ -30,6 +32,9 @@ the compile-then-deploy flow in docs/operations.md.
 files; ``loadgen`` drives a running server with concurrent closed-loop
 clients, or with ``--sweep`` runs the full self-contained policy
 benchmark that writes ``BENCH_serve.json``.
+``profile`` prints a traced per-step latency table for one variant and
+``trace`` exports a Perfetto-loadable Chrome trace of a serving run;
+both are documented in docs/observability.md.
 """
 
 from __future__ import annotations
@@ -256,6 +261,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-request deadline, <= 0 disables (default 2000; "
         "docs/operations.md 'Batching policy')",
     )
+    serve.add_argument(
+        "--trace-rate",
+        type=float,
+        default=None,
+        help="fraction of requests recorded as span trees, 0..1 "
+        "(default: 1.0 when REPRO_TRACE=1, else 0; inspect via GET "
+        "/trace or 'repro trace --url'; docs/observability.md)",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -347,6 +360,115 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument(
         "--out", default=None, help="--sweep report path (default BENCH_serve.json)"
+    )
+    loadgen.add_argument(
+        "--dump-slowest",
+        type=int,
+        default=0,
+        metavar="N",
+        help="after the run, fetch the span trees of the N "
+        "worst-latency requests from a traced server (needs the "
+        "server started with --trace-rate 1; docs/observability.md "
+        "'Finding slow requests')",
+    )
+    loadgen.add_argument(
+        "--dump-out",
+        default="slowest_traces.json",
+        help="where --dump-slowest writes its span trees "
+        "(default slowest_traces.json)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="per-step latency table of a compiled variant (Figure 8)",
+        description="Compile one variant with tracing on and print a "
+        "per-step (per-layer) latency table — the engine-level view "
+        "behind the paper's Figure 8 — optionally diffing several "
+        "backends side by side.  Span model and table columns: "
+        "docs/observability.md ('Profiling a plan').",
+    )
+    profile.add_argument(
+        "model",
+        help="variant name, e.g. resnet18-w0.25-F4-int8 (a name "
+        "without a precision suffix profiles the fp32 variant)",
+    )
+    profile.add_argument(
+        "--batch", type=int, default=8, help="batch size per run (default 8)"
+    )
+    profile.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="traced repeats; each step reports its median (default 5)",
+    )
+    profile.add_argument(
+        "--seed", type=int, default=0, help="weight/input RNG seed (default 0)"
+    )
+    profile.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="engine threads (0 = all cores; default REPRO_THREADS or 1; "
+        "docs/operations.md 'Threads, workers, replicas')",
+    )
+    profile.add_argument(
+        "--backends",
+        default=None,
+        help="comma-separated backends to profile and diff side by side "
+        "(e.g. fast,int8); default: the variant's own backend",
+    )
+    profile.add_argument(
+        "--out",
+        default=None,
+        help="also write the raw profile dict(s) as JSON to this path",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="export a Perfetto-loadable trace from a (or a fresh) server",
+        description="Fetch a running server's span buffer as Chrome "
+        "trace-event JSON (--url), or start a fully-traced throwaway "
+        "server, fire a few requests through it, and export those.  "
+        "Open the file at https://ui.perfetto.dev; span model and "
+        "pid/tid mapping: docs/observability.md ('Exporting to "
+        "Perfetto').",
+    )
+    trace.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a running traced server (omit for the "
+        "self-contained mode, which starts its own)",
+    )
+    trace.add_argument(
+        "--export",
+        default="trace.json",
+        metavar="PATH",
+        help="output path for the Chrome trace-event JSON "
+        "(default trace.json)",
+    )
+    trace.add_argument(
+        "--request-id",
+        default=None,
+        help="restrict the export to one request's span tree",
+    )
+    trace.add_argument(
+        "--model",
+        default="lenet-F2-fp32",
+        help="self-contained mode: variant to serve (default lenet-F2-fp32)",
+    )
+    trace.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="self-contained mode: worker processes, so the trace "
+        "covers the shm transport + worker execution too (default 0 "
+        "= in-process; docs/operations.md 'Threads, workers, replicas')",
+    )
+    trace.add_argument(
+        "--requests",
+        type=int,
+        default=8,
+        help="self-contained mode: traced requests to fire (default 8)",
     )
     return parser
 
@@ -541,6 +663,7 @@ def run_serve(args) -> int:
         worker_replicas=args.worker_replicas,
         executor_threads=args.executor_threads,
         threads=threads,
+        trace_rate=args.trace_rate,
     )
 
     async def _run() -> None:
@@ -556,7 +679,7 @@ def run_serve(args) -> int:
             f"max_wait_ms={policy.max_wait_ms:g}, {mode}, "
             f"threads={threads})"
         )
-        print("endpoints: POST /predict  GET /models /healthz /metrics")
+        print("endpoints: POST /predict  GET /models /healthz /metrics /trace")
         await server.serve_forever()
 
     try:
@@ -620,7 +743,176 @@ def run_loadgen(args) -> int:
         deadline_ms=args.deadline_ms,
     )
     print(json.dumps(stats, indent=2, sort_keys=True))
+    if args.dump_slowest:
+        from repro.serve.loadgen import dump_slowest
+
+        dump = dump_slowest(
+            args.url, stats, args.dump_slowest, args.dump_out
+        )
+        traced = sum(
+            1 for e in dump["slowest"] if e.get("span_count")
+        )
+        print(
+            f"dumped span trees of {len(dump['slowest'])} slowest "
+            f"requests ({traced} with spans) to {args.dump_out}",
+            file=sys.stderr,
+        )
     return 0
+
+
+def run_profile(args) -> int:
+    """The ``repro profile`` subcommand: traced per-step latency table.
+
+    The per-layer breakdown reproduces the shape of the paper's Figure 8
+    (where each Winograd layer's latency is compared across variants);
+    ``--backends a,b`` prints the side-by-side diff.  Columns and span
+    semantics: docs/observability.md ('Profiling a plan').
+    """
+    import dataclasses
+    import json
+
+    import numpy as np
+
+    from repro.engine import CompileError, resolve_threads
+    from repro.obs.profile import (
+        diff_profile_table,
+        format_profile_table,
+        profile_plan,
+    )
+    from repro.serve.registry import ModelSpec, compile_served
+
+    try:
+        spec = ModelSpec.parse(args.model)
+    except ValueError:
+        try:  # allow precision-less names: resnet18-w0.25-F4 -> fp32
+            spec = ModelSpec.parse(args.model + "-fp32")
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.seed:
+        spec = dataclasses.replace(spec, seed=args.seed)
+    backends = [
+        b.strip() for b in (args.backends or "").split(",") if b.strip()
+    ] or [spec.backend]
+    threads = resolve_threads(args.threads)
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal(
+        (args.batch,) + spec.sample_shape
+    ).astype(np.float32)
+
+    profiles = {}
+    for backend in backends:
+        try:
+            served = compile_served(
+                dataclasses.replace(spec, backend=backend)
+            )
+        except (ValueError, CompileError) as exc:
+            print(f"error: backend {backend!r}: {exc}", file=sys.stderr)
+            return 2
+        profiles[backend] = profile_plan(
+            served.plan, x, repeats=args.repeats, threads=threads
+        )
+
+    if len(profiles) == 1:
+        print(f"{spec.name} batch={args.batch} threads={threads}")
+        print(format_profile_table(next(iter(profiles.values()))))
+    else:
+        for backend, prof in profiles.items():
+            print(f"--- {spec.name}@{backend} "
+                  f"batch={args.batch} threads={threads}")
+            print(format_profile_table(prof))
+            print()
+        print("--- per-step diff (ms)")
+        print(diff_profile_table(profiles))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(profiles, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"profile written to {args.out}")
+    return 0
+
+
+def run_trace(args) -> int:
+    """The ``repro trace`` subcommand: export Chrome trace-event JSON.
+
+    With ``--url`` it drains a running server's span buffer; without, it
+    starts a fully-traced (``trace_rate=1.0``) throwaway server on an
+    ephemeral port, fires ``--requests`` requests, and exports those —
+    the one-command way to get a Perfetto-loadable file covering
+    queue → batch → (shm → worker →) kernel (docs/observability.md).
+    """
+    import json
+
+    from repro.obs.export import validate_chrome_trace
+
+    def fetch_and_write(base_url: str) -> int:
+        from repro.serve.client import ServeClient, ServeError
+
+        with ServeClient(base_url) as client:
+            try:
+                doc = client.trace(
+                    request_id=args.request_id, format="chrome"
+                )
+            except ServeError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        problems = validate_chrome_trace(doc)
+        if problems:
+            print(
+                f"error: invalid trace document: {problems[:3]}",
+                file=sys.stderr,
+            )
+            return 1
+        with open(args.export, "w") as fh:
+            json.dump(doc, fh)
+            fh.write("\n")
+        events = doc["traceEvents"]
+        procs = sorted(
+            {e["args"]["name"] for e in events
+             if e.get("ph") == "M" and e.get("name") == "process_name"}
+        )
+        print(
+            f"wrote {args.export}: {len(events)} events across "
+            f"processes {procs} — open at https://ui.perfetto.dev "
+            f"(docs/observability.md 'Exporting to Perfetto')"
+        )
+        return 0
+
+    if args.url:
+        return fetch_and_write(args.url)
+
+    # Self-contained mode: serve, fire, export, tear down.
+    import numpy as np
+
+    from repro.engine import CompileError
+    from repro.serve import BatchPolicy, ModelRegistry
+    from repro.serve.client import ServeClient, wait_until_ready
+    from repro.serve.server import start_in_background
+
+    registry = ModelRegistry(lazy=args.workers > 0)
+    try:
+        served = registry.load(args.model)
+    except (ValueError, CompileError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    policy = BatchPolicy(max_batch_size=4, max_wait_ms=5.0)
+    handle = start_in_background(
+        registry, policy=policy, port=0, workers=args.workers,
+        worker_replicas=args.workers or None, trace_rate=1.0,
+    )
+    try:
+        wait_until_ready(handle.base_url)
+        shape = served.sample_shape
+        rng = np.random.default_rng(0)
+        with ServeClient(handle.base_url) as client:
+            for i in range(max(1, args.requests)):
+                x = rng.standard_normal(shape).astype(np.float32)
+                client.predict_raw(
+                    x, model=served.name, request_id=f"trace-{i}"
+                )
+        return fetch_and_write(handle.base_url)
+    finally:
+        handle.stop()
 
 
 def run_bench(args) -> int:
@@ -659,6 +951,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_compile(args)
     if args.command == "bench":
         return run_bench(args)
+    if args.command == "profile":
+        return run_profile(args)
+    if args.command == "trace":
+        return run_trace(args)
     if args.command == "serve":
         return run_serve(args)
     if args.command == "loadgen":

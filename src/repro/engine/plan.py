@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.engine import memplan
 from repro.engine.pool import resolve_threads, run_tasks
+from repro.obs import trace as obs_trace
 
 #: Ops that are row-independent along the batch axis (every input and the
 #: output carry the batch on axis 0), so the executor may split a step
@@ -227,6 +228,8 @@ class CompiledPlan:
         arena,
         step_index: int,
         out_view: Optional[np.ndarray],
+        tracer: Optional["obs_trace.TraceBuffer"] = None,
+        parent_id: Optional[str] = None,
     ) -> np.ndarray:
         """Execute one row-independent step in batch chunks of ``chunk``,
         fanned out over up to ``threads`` worker lanes.
@@ -244,17 +247,33 @@ class CompiledPlan:
         bounds = [(lo, min(lo + chunk, n)) for lo in range(0, n, chunk)]
         lanes = min(threads, len(bounds)) if threads > 1 else 1
         parts: List[Optional[np.ndarray]] = [None] * len(bounds)
+        span_name = step.label or step.op
 
         def work(lane: int) -> None:
             for index in range(lane, len(bounds), lanes):
                 lo, hi = bounds[index]
                 sub = tuple(a[lo:hi] for a in args)
                 out = out_view[lo:hi] if out_view is not None else None
+                t0 = obs_trace.now_ns() if tracer is not None else 0
                 prev = memplan.bind_step(arena, step_index, lane, out)
                 try:
                     part = step.fn(sub, step.attrs)
                 finally:
                     memplan.unbind_step(prev)
+                if tracer is not None:
+                    tracer.record(
+                        f"{span_name}[{lo}:{hi}]",
+                        "kernel",
+                        t0,
+                        attrs={
+                            "step": step_index,
+                            "op": step.op,
+                            "chunk_index": index,
+                            "rows": [lo, hi],
+                        },
+                        parent_id=parent_id,
+                        lane=lane,
+                    )
                 if out is not None and part is not out:
                     if out.shape == part.shape:
                         out[...] = part
@@ -278,12 +297,33 @@ class CompiledPlan:
             return np.concatenate(merged, axis=0)
         return np.concatenate(parts, axis=0)
 
-    def run(self, x: np.ndarray, threads: Optional[int] = None) -> np.ndarray:
+    def run(
+        self,
+        x: np.ndarray,
+        threads: Optional[int] = None,
+        trace: Optional["obs_trace.TraceBuffer"] = None,
+    ) -> np.ndarray:
         """Execute the plan on one input batch (NCHW ``np.ndarray``).
 
         ``threads`` overrides the plan/`REPRO_THREADS` default for this
-        call; 0 means "all cores".
+        call; 0 means "all cores".  ``trace`` records one span per step
+        into the given :class:`repro.obs.TraceBuffer` (``None`` falls
+        back to the ambient ``REPRO_TRACE`` tracer; tracing never changes
+        results — the instrumented path executes the identical step
+        schedule).  With tracing disabled this is a single ``is None``
+        branch in front of the untouched hot loop.
         """
+        tracer = trace if trace is not None else obs_trace.active_tracer()
+        if tracer is not None:
+            return self._run_traced(x, threads, tracer)
+        return self._run_untraced(x, threads)
+
+    def _run_untraced(
+        self, x: np.ndarray, threads: Optional[int] = None
+    ) -> np.ndarray:
+        """The pristine executor loop (no instrumentation on this path;
+        ``repro bench engine`` measures it against :meth:`run` to pin the
+        tracing-disabled overhead ≤ 1%)."""
         x = np.ascontiguousarray(np.asarray(x, dtype=np.float32))
         n = x.shape[0]
         nthreads = resolve_threads(self.threads if threads is None else threads)
@@ -346,6 +386,138 @@ class CompiledPlan:
                 out = out.copy()
             return out
         finally:
+            if arena is not None:
+                pool.checkin(arena)
+
+    def _run_traced(
+        self,
+        x: np.ndarray,
+        threads: Optional[int],
+        tracer: "obs_trace.TraceBuffer",
+    ) -> np.ndarray:
+        """The instrumented twin of :meth:`_run_untraced`: the same step
+        schedule (chunk sizes, lane counts, arena bindings) with one
+        ``kernel`` span per step, per-chunk child spans under the thread
+        scheduler, and a ``plan_run`` root span.  Kept as a separate loop
+        so the untraced path carries zero per-step branches."""
+        x = np.ascontiguousarray(np.asarray(x, dtype=np.float32))
+        n = x.shape[0]
+        nthreads = resolve_threads(self.threads if threads is None else threads)
+        chunk_bytes = self.chunk_bytes
+        pool = self._memory(x.shape[1:])
+        arena = pool.checkout() if pool is not None else None
+        root_id = obs_trace.new_span_id()
+        t_run = obs_trace.now_ns()
+        try:
+            if arena is not None:
+                arena.begin_run(n)
+            regs: List[Optional[np.ndarray]] = [None] * self.num_regs
+            regs[self.input_reg] = x
+            for step_index, step in enumerate(self.steps):
+                args = tuple(regs[i] for i in step.inputs)
+                chunk = n
+                if (
+                    n > 1
+                    and step.op in _CHUNKABLE_OPS
+                    and all(a.shape[0] == n for a in args)
+                    and not self._has_cold_observer(step)
+                ):
+                    in_bytes = sum(a.nbytes for a in args)
+                    if (
+                        chunk_bytes
+                        and in_bytes > chunk_bytes
+                        and (
+                            self.backend != "reference"
+                            or step.op in _SPLIT_SAFE_OPS
+                        )
+                    ):
+                        chunk = max(1, n * chunk_bytes // in_bytes)
+                    if (
+                        nthreads > 1
+                        and in_bytes >= MIN_PARALLEL_BYTES
+                        and (
+                            self.backend != "reference"
+                            or step.op in _SPLIT_SAFE_OPS
+                        )
+                    ):
+                        chunk = min(chunk, -(-n // nthreads))
+                out_view = arena.reg_view(step.output) if arena is not None else None
+                step_span_id = obs_trace.new_span_id()
+                t_step = obs_trace.now_ns()
+                if chunk < n:
+                    regs[step.output] = self._run_split(
+                        step,
+                        args,
+                        n,
+                        chunk,
+                        nthreads,
+                        arena,
+                        step_index,
+                        out_view,
+                        tracer=tracer,
+                        parent_id=step_span_id,
+                    )
+                else:
+                    prev = memplan.bind_step(arena, step_index, 0, out_view)
+                    try:
+                        regs[step.output] = step.fn(args, step.attrs)
+                    finally:
+                        memplan.unbind_step(prev)
+                result = regs[step.output]
+                n_chunks = -(-n // chunk) if chunk < n else 1
+                if step.domain == "int8":
+                    domain = (
+                        "int8-wino" if step.op == "winograd_conv2d" else "int8"
+                    )
+                else:
+                    domain = (
+                        "winograd" if step.op == "winograd_conv2d" else "fp32"
+                    )
+                tracer.record(
+                    step.label or step.op,
+                    "kernel",
+                    t_step,
+                    attrs={
+                        "step": step_index,
+                        "op": step.op,
+                        "backend": self.backend,
+                        "domain": domain,
+                        "batch": n,
+                        "chunk": chunk,
+                        "chunks": n_chunks,
+                        "lanes": (
+                            min(nthreads, n_chunks) if nthreads > 1 else 1
+                        ),
+                        "out_bytes": int(result.nbytes),
+                        "slot_bytes": (
+                            int(out_view.nbytes) if out_view is not None else None
+                        ),
+                    },
+                    span_id=step_span_id,
+                    parent_id=root_id,
+                )
+                for reg in step.frees:
+                    if reg != step.output:
+                        regs[reg] = None
+            out = regs[self.output_reg]
+            assert out is not None, "plan produced no output"
+            if arena is not None and arena.owns(out):
+                out = out.copy()
+            return out
+        finally:
+            tracer.record(
+                "plan_run",
+                "engine",
+                t_run,
+                attrs={
+                    "backend": self.backend,
+                    "source": self.source,
+                    "batch": n,
+                    "steps": len(self.steps),
+                    "threads": nthreads,
+                },
+                span_id=root_id,
+            )
             if arena is not None:
                 pool.checkin(arena)
 

@@ -1,0 +1,51 @@
+"""Observability: span recording, trace export, per-step profiling.
+
+This package deliberately imports nothing from :mod:`repro.engine` or
+:mod:`repro.serve` so every layer can depend on it without cycles.
+"""
+
+from repro.obs.trace import (
+    TRACE_ENV_VAR,
+    Span,
+    TraceBuffer,
+    active_tracer,
+    build_span_trees,
+    disable,
+    enable,
+    env_enabled,
+    filter_request,
+    new_span_id,
+    now_ns,
+    validate_span_tree,
+)
+from repro.obs.export import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.profile import (
+    diff_profile_table,
+    format_profile_table,
+    profile_plan,
+)
+
+__all__ = [
+    "TRACE_ENV_VAR",
+    "Span",
+    "TraceBuffer",
+    "active_tracer",
+    "build_span_trees",
+    "disable",
+    "enable",
+    "env_enabled",
+    "filter_request",
+    "new_span_id",
+    "now_ns",
+    "validate_span_tree",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "profile_plan",
+    "format_profile_table",
+    "diff_profile_table",
+]

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import inspect
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -32,6 +33,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs import trace as obs_trace
 from repro.serve.metrics import ModelMetrics
 
 
@@ -95,13 +97,30 @@ class BatchedResult:
 
 
 class _Pending:
-    __slots__ = ("x", "future", "deadline", "t_enqueue")
+    __slots__ = (
+        "x",
+        "future",
+        "deadline",
+        "t_enqueue",
+        "request_id",
+        "trace_parent",
+        "t_enqueue_ns",
+    )
 
-    def __init__(self, x, future, deadline, t_enqueue):
+    def __init__(
+        self, x, future, deadline, t_enqueue, request_id=None, trace_parent=None
+    ):
         self.x = x
         self.future = future
         self.deadline = deadline  # absolute time.monotonic(), or None
         self.t_enqueue = t_enqueue
+        self.request_id = request_id  # ingress id (X-Request-Id)
+        #: Span id of the request's ingress root span when this request
+        #: was sampled for tracing; ``None`` means untraced.
+        self.trace_parent = trace_parent
+        self.t_enqueue_ns = (
+            obs_trace.now_ns() if trace_parent is not None else 0
+        )
 
 
 class DynamicBatcher:
@@ -116,12 +135,20 @@ class DynamicBatcher:
         name: str = "",
         max_inflight: int = 2,
         threads: Optional[int] = None,
+        tracer: Optional["obs_trace.TraceBuffer"] = None,
     ):
         self.plan = plan
         self.policy = policy or BatchPolicy()
         self.metrics = metrics or ModelMetrics()
         self.name = name
         self.max_inflight = max(1, max_inflight)
+        #: Server-shared span sink; spans are recorded only for batches
+        #: that contain at least one sampled request, so an untraced
+        #: deployment takes a single truthiness check per batch.
+        self.tracer = tracer
+        # Duck-typed plans (test stubs) may not accept run(trace=...);
+        # detect once so traced batches degrade gracefully.
+        self._plan_traceable = self._accepts_trace(plan)
         #: Engine threads per coalesced batch: each dispatched batch fans
         #: its chunkable steps out across the engine worker pool, so one
         #: big batch exploits the cores that batch-level pipelining
@@ -140,6 +167,13 @@ class DynamicBatcher:
         #: loop, so reaching 0 means every accepted request has been
         #: answered — the drain condition for blue/green cutover.
         self._outstanding = 0
+
+    @staticmethod
+    def _accepts_trace(plan) -> bool:
+        try:
+            return "trace" in inspect.signature(plan.run).parameters
+        except (TypeError, ValueError):
+            return False
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> None:
@@ -215,12 +249,19 @@ class DynamicBatcher:
 
     # -- submission ---------------------------------------------------------
     async def submit(
-        self, x: np.ndarray, deadline_ms: Optional[float] = None
+        self,
+        x: np.ndarray,
+        deadline_ms: Optional[float] = None,
+        request_id: Optional[str] = None,
+        trace_parent: Optional[str] = None,
     ) -> BatchedResult:
         """Queue one ``(1, C, H, W)`` sample; resolves when its batch ran.
 
         ``deadline_ms`` counts from submission; ``None`` uses the policy
         default and any value <= 0 disables the deadline.
+        ``request_id`` is the ingress id (flows into latency exemplars);
+        ``trace_parent`` — the request's root span id — marks the request
+        as sampled for tracing.
         """
         if self._stopped:
             raise BatcherStopped(f"model {self.name!r}: batcher stopped")
@@ -231,7 +272,7 @@ class DynamicBatcher:
             deadline_ms = self.policy.default_deadline_ms
         deadline = now + deadline_ms / 1e3 if deadline_ms and deadline_ms > 0 else None
         future = asyncio.get_running_loop().create_future()
-        pending = _Pending(x, future, deadline, now)
+        pending = _Pending(x, future, deadline, now, request_id, trace_parent)
         try:
             self._queue.put_nowait(pending)
         except asyncio.QueueFull:
@@ -249,11 +290,16 @@ class DynamicBatcher:
         self._outstanding -= 1
 
     # -- collector loop -----------------------------------------------------
-    async def _collect_batch(self) -> List[_Pending]:
-        """First request blocks; then absorb until full or the wait expires."""
+    async def _collect_batch(self) -> tuple:
+        """First request blocks; then absorb until full or the wait
+        expires.  Returns ``(batch, close_reason)`` where the reason is
+        ``"size"`` (hit max_batch_size), ``"deadline"`` (the max_wait_ms
+        budget ran out), or ``"drain"`` (nothing left to coalesce under a
+        zero-wait policy)."""
         batch = [await self._queue.get()]
         budget_s = self.policy.max_wait_ms / 1e3
         start = time.monotonic()
+        reason = "size"
         while len(batch) < self.policy.max_batch_size:
             # Greedily drain whatever is already queued — free coalescing
             # even with max_wait_ms=0.
@@ -264,14 +310,16 @@ class DynamicBatcher:
                 pass
             remaining = budget_s - (time.monotonic() - start)
             if remaining <= 0:
+                reason = "drain" if budget_s <= 0 else "deadline"
                 break
             try:
                 batch.append(
                     await asyncio.wait_for(self._queue.get(), timeout=remaining)
                 )
             except asyncio.TimeoutError:
+                reason = "deadline"
                 break
-        return batch
+        return batch, reason
 
     async def _collector(self) -> None:
         """Collect batches and dispatch them; up to ``max_inflight``
@@ -280,13 +328,13 @@ class DynamicBatcher:
         hosts batches also overlap inside the executor)."""
         loop = asyncio.get_running_loop()
         while True:
-            batch = await self._collect_batch()
+            batch, close_reason = await self._collect_batch()
             await self._inflight.acquire()
-            task = loop.create_task(self._execute(batch))
+            task = loop.create_task(self._execute(batch, close_reason))
             self._pending_runs.add(task)
             task.add_done_callback(self._pending_runs.discard)
 
-    async def _execute(self, batch: List[_Pending]) -> None:
+    async def _execute(self, batch: List[_Pending], close_reason: str = "size") -> None:
         """Run one coalesced batch and distribute per-request slices.
 
         Deadlines are judged here — actual dispatch time, i.e. after any
@@ -296,6 +344,7 @@ class DynamicBatcher:
         loop = asyncio.get_running_loop()
         try:
             t_dispatch = time.monotonic()
+            t_dispatch_ns = obs_trace.now_ns()
             live: List[_Pending] = []
             for pending in batch:
                 if pending.future.done():  # client gave up / was cancelled
@@ -318,12 +367,21 @@ class DynamicBatcher:
                 if len(live) == 1
                 else np.concatenate([p.x for p in live], axis=0)
             )
+            traced = (
+                [p for p in live if p.trace_parent is not None]
+                if self.tracer is not None
+                else []
+            )
+            local_spans = obs_trace.TraceBuffer(8192) if traced else None
             try:
+                kwargs = {}
                 if self.threads is not None:
-                    run = functools.partial(
-                        self.plan.run, stacked, threads=self.threads
-                    )
-                else:  # duck-typed plans (test stubs) need no threads kwarg
+                    kwargs["threads"] = self.threads
+                if local_spans is not None and self._plan_traceable:
+                    kwargs["trace"] = local_spans
+                if kwargs:
+                    run = functools.partial(self.plan.run, stacked, **kwargs)
+                else:  # duck-typed plans (test stubs) need no extra kwargs
                     run = functools.partial(self.plan.run, stacked)
                 out = await loop.run_in_executor(self._executor, run)
             except BaseException as exc:  # kernel failure / teardown cancel:
@@ -341,8 +399,14 @@ class DynamicBatcher:
         finally:
             self._inflight.release()
         t_done = time.monotonic()
+        t_done_ns = obs_trace.now_ns()
         run_ms = (t_done - t_dispatch) * 1e3
         self.metrics.on_batch(len(live), run_ms)
+        if traced:
+            self._record_batch_spans(
+                live, traced, local_spans, close_reason,
+                t_dispatch_ns, t_done_ns, run_ms,
+            )
         offset = 0
         for pending in live:
             n = pending.x.shape[0]
@@ -358,4 +422,78 @@ class DynamicBatcher:
             self.metrics.on_response(
                 latency_ms=(t_done - pending.t_enqueue) * 1e3,
                 queue_ms=result.queue_ms,
+                request_id=pending.request_id,
             )
+
+    def _record_batch_spans(
+        self,
+        live: List[_Pending],
+        traced: List[_Pending],
+        local_spans: Optional["obs_trace.TraceBuffer"],
+        close_reason: str,
+        t_dispatch_ns: int,
+        t_done_ns: int,
+        run_ms: float,
+    ) -> None:
+        """Emit the serving-layer spans for one traced batch: per-request
+        queue-wait, the batch-formation span (who coalesced, why it
+        closed), the execution span, and the engine/transport spans the
+        plan recorded — re-parented under the execution span so the whole
+        timeline hangs together."""
+        tracer = self.tracer
+        request_ids = [p.request_id for p in live if p.request_id is not None]
+        batch_id = obs_trace.new_span_id()
+        exec_id = obs_trace.new_span_id()
+        for p in traced:
+            tracer.add(
+                obs_trace.Span(
+                    "queue_wait",
+                    "serve",
+                    p.t_enqueue_ns,
+                    max(0, t_dispatch_ns - p.t_enqueue_ns),
+                    attrs={"model": self.name},
+                    parent_id=p.trace_parent,
+                    request_id=p.request_id,
+                    proc="frontend",
+                )
+            )
+        t_formed = min(p.t_enqueue_ns for p in traced)
+        tracer.add(
+            obs_trace.Span(
+                "batch",
+                "serve",
+                t_formed,
+                max(0, t_done_ns - t_formed),
+                attrs={
+                    "model": self.name,
+                    "size": len(live),
+                    "close_reason": close_reason,
+                    "request_ids": request_ids,
+                },
+                span_id=batch_id,
+                proc="frontend",
+            )
+        )
+        tracer.add(
+            obs_trace.Span(
+                "batch_exec",
+                "serve",
+                t_dispatch_ns,
+                max(0, t_done_ns - t_dispatch_ns),
+                attrs={"model": self.name, "run_ms": run_ms},
+                span_id=exec_id,
+                parent_id=batch_id,
+                proc="frontend",
+            )
+        )
+        if local_spans is not None:
+            for span in local_spans.snapshot():
+                if span.parent_id is None:
+                    span.parent_id = exec_id
+                tracer.add(span)
+                # Step-level kernel spans feed the sampled per-step
+                # histograms on /metrics; the step index disambiguates
+                # layers that share a kernel label (three `linear`s).
+                if span.cat == "kernel" and "chunk_index" not in span.attrs:
+                    label = f"{span.attrs.get('step', '?')}:{span.name}"
+                    self.metrics.observe_step(label, span.dur_ns / 1e6)

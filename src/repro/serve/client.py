@@ -15,7 +15,7 @@ import http.client
 import json
 import socket
 import time
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 from urllib.parse import urlsplit
 
 import numpy as np
@@ -41,6 +41,9 @@ class ServeClient:
         self.port = parts.port or 80
         self.timeout = timeout
         self._conn: Optional[http.client.HTTPConnection] = None
+        #: Response headers of the most recent request (lower-cased keys)
+        #: — how callers read the echoed ``X-Request-Id``.
+        self.last_response_headers: Dict[str, str] = {}
 
     # -- transport ----------------------------------------------------------
     def _connection(self) -> http.client.HTTPConnection:
@@ -75,13 +78,23 @@ class ServeClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> dict:
+        """One round trip; ``headers`` adds/overrides request headers
+        (e.g. ``{"X-Request-Id": ...}`` or an ``Accept`` preference)."""
         body = json.dumps(payload).encode() if payload is not None else None
-        headers = {"Content-Type": "application/json"} if body else {}
+        send_headers = {"Content-Type": "application/json"} if body else {}
+        if headers:
+            send_headers.update(headers)
         for attempt in (0, 1):
             conn = self._connection()
             try:
-                conn.request(method, path, body=body, headers=headers)
+                conn.request(method, path, body=body, headers=send_headers)
                 response = conn.getresponse()
                 data = response.read()
                 break
@@ -94,6 +107,15 @@ class ServeClient:
                 self.close()
                 if attempt:
                     raise
+        self.last_response_headers = {
+            k.lower(): v for k, v in response.getheaders()
+        }
+        content_type = response.getheader("Content-Type", "")
+        if data and not content_type.startswith("application/json"):
+            # Non-JSON bodies (the Prometheus exposition) come back raw.
+            if response.status >= 300:
+                raise ServeError(response.status, data.decode(errors="replace"))
+            return {"text": data.decode(), "content_type": content_type}
         parsed = json.loads(data.decode()) if data else {}
         if response.status >= 300:
             raise ServeError(
@@ -122,12 +144,29 @@ class ServeClient:
     def metrics(self) -> dict:
         return self.request("GET", "/metrics")
 
+    def metrics_text(self) -> str:
+        """The Prometheus exposition (``Accept: text/plain``)."""
+        result = self.request(
+            "GET", "/metrics", headers={"Accept": "text/plain"}
+        )
+        return result["text"]
+
+    def trace(
+        self, request_id: Optional[str] = None, format: str = "chrome"
+    ) -> dict:
+        """Fetch the server's span buffer (``GET /trace``)."""
+        query = f"?format={format}"
+        if request_id is not None:
+            query += f"&request_id={request_id}"
+        return self.request("GET", f"/trace{query}")
+
     def predict_raw(
         self,
         x: np.ndarray,
         model: Optional[str] = None,
         deadline_ms: Optional[float] = None,
         encoding: str = "json",
+        request_id: Optional[str] = None,
     ) -> dict:
         """POST one sample (C, H, W); returns the full response dict."""
         payload = {"input": self.encode_sample(x, encoding)}
@@ -137,7 +176,10 @@ class ServeClient:
             payload["model"] = model
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
-        return self.request("POST", "/predict", payload)
+        headers = (
+            {"X-Request-Id": request_id} if request_id is not None else None
+        )
+        return self.request("POST", "/predict", payload, headers=headers)
 
     @staticmethod
     def decode_output(payload, response: dict) -> np.ndarray:

@@ -18,7 +18,8 @@ from __future__ import annotations
 import json
 import threading
 import time
-from typing import Dict, List, Optional, Sequence
+import uuid
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -90,6 +91,12 @@ def run_load(
     accept-queue that inflates p99 by the whole connect cost.
     (``preconnect=False`` reproduces the old, inflated timing; it exists
     for the regression test.)
+
+    Every request carries a generated ``X-Request-Id`` (``lg-…``), and
+    the returned stats include ``slowest`` — the worst-latency
+    ``(request_id, latency_ms)`` pairs — so a traced server's span trees
+    for exactly those requests can be pulled afterwards
+    (:func:`dump_slowest`, ``repro loadgen --dump-slowest N``).
     """
     if concurrency < 1 or total_requests < 1:
         raise ValueError("concurrency and total_requests must be >= 1")
@@ -110,6 +117,7 @@ def run_load(
         before = _model_metrics(probe, model)
 
     latencies: List[List[float]] = [[] for _ in range(concurrency)]
+    request_log: List[List[Tuple[str, float]]] = [[] for _ in range(concurrency)]
     status_counts: Dict[int, int] = {}
     counts_lock = threading.Lock()
     barrier = threading.Barrier(concurrency + 1)
@@ -134,9 +142,13 @@ def run_load(
                 }
                 if deadline_ms is not None:
                     payload["deadline_ms"] = deadline_ms
+                rid = f"lg-{uuid.uuid4().hex[:12]}"
                 start = time.perf_counter()
                 try:
-                    client.request("POST", "/predict", payload)
+                    client.request(
+                        "POST", "/predict", payload,
+                        headers={"X-Request-Id": rid},
+                    )
                 except ServeError as exc:
                     with counts_lock:
                         status_counts[exc.status] = status_counts.get(exc.status, 0) + 1
@@ -150,7 +162,9 @@ def run_load(
                             status_counts.get("transport", 0) + 1
                         )
                     continue
-                latencies[index].append((time.perf_counter() - start) * 1e3)
+                latency_ms = (time.perf_counter() - start) * 1e3
+                latencies[index].append(latency_ms)
+                request_log[index].append((rid, latency_ms))
 
     threads = [
         threading.Thread(target=worker, args=(i,), daemon=True)
@@ -195,7 +209,59 @@ def run_load(
     )
     stats["batches"] = batches
     stats["mean_batch_size"] = batched / batches if batches else 0.0
+    all_requests = [pair for per in request_log for pair in per]
+    all_requests.sort(key=lambda pair: pair[1], reverse=True)
+    stats["slowest"] = [
+        {"request_id": rid, "latency_ms": ms}
+        for rid, ms in all_requests[:16]
+    ]
     return stats
+
+
+def dump_slowest(
+    base_url: str,
+    stats: dict,
+    n: int,
+    out_path: str,
+    timeout: float = 30.0,
+) -> dict:
+    """Write the span trees of a load run's worst-``n`` requests.
+
+    For each of the top-``n`` entries in ``stats["slowest"]``, fetch
+    ``GET /trace?request_id=…&format=spans`` from the (still-running)
+    server and nest the spans with
+    :func:`repro.obs.trace.build_span_trees`.  A request whose spans
+    were never sampled (server ``trace_rate`` < 1) or already evicted
+    from the ring dumps with an empty tree rather than failing the run.
+    """
+    from repro.obs.trace import Span, build_span_trees
+
+    worst = (stats.get("slowest") or [])[: max(0, n)]
+    entries = []
+    with ServeClient(base_url, timeout=timeout) as client:
+        for item in worst:
+            rid = item["request_id"]
+            try:
+                doc = client.trace(request_id=rid, format="spans")
+                spans = [Span.from_dict(d) for d in doc.get("spans", [])]
+                entry = {
+                    "request_id": rid,
+                    "latency_ms": item["latency_ms"],
+                    "span_count": len(spans),
+                    "tree": build_span_trees(spans),
+                }
+            except ServeError as exc:
+                entry = {
+                    "request_id": rid,
+                    "latency_ms": item["latency_ms"],
+                    "error": str(exc),
+                }
+            entries.append(entry)
+    payload = {"requested": n, "slowest": entries}
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return payload
 
 
 def check_bit_identity(

@@ -15,6 +15,19 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+#: Cumulative-histogram bucket upper bounds (ms) for request latency —
+#: fixed at import so Prometheus series are stable across restarts.
+LATENCY_BUCKETS_MS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0)
+
+#: Bucket bounds (ms) for per-step kernel histograms (sampled at the
+#: server's trace rate; steps are short, so the grid is finer).
+STEP_BUCKETS_MS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0)
+
+#: Bound on distinct per-step series one model may create (defensive —
+#: step labels come from the compiler, but a runaway plan should degrade
+#: to a dropped series, not an unbounded /metrics page).
+MAX_STEP_SERIES = 512
+
 
 class LatencyWindow:
     """Ring buffer of the last ``capacity`` latency observations (ms)."""
@@ -72,6 +85,17 @@ class ModelMetrics:
         self.latency = LatencyWindow(window)  # end-to-end, enqueue → reply
         self.queue = LatencyWindow(window)  # enqueue → batch dispatch
         self.run = LatencyWindow(window)  # plan execution per batch
+        # Lifetime cumulative histogram of end-to-end latency (Prometheus
+        # exposition); bucket i counts observations <= LATENCY_BUCKETS_MS[i],
+        # the final slot is +Inf.  ``latency_exemplars`` keeps the most
+        # recent request id that landed in each bucket so a scraped p99
+        # spike can be joined back to its /trace timeline.
+        self.latency_bucket_counts = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+        self.latency_sum_ms = 0.0
+        self.latency_count = 0
+        self.latency_exemplars: Dict[int, tuple] = {}  # bucket idx -> (request_id, ms)
+        # Per-step kernel histograms: label -> [count, sum_ms, buckets[]].
+        self.steps: Dict[str, list] = {}
 
     # -- writers ------------------------------------------------------------
     def on_enqueue(self) -> None:
@@ -97,11 +121,47 @@ class ModelMetrics:
             self.batch_size_hist[size] = self.batch_size_hist.get(size, 0) + 1
         self.run.observe(run_ms)
 
-    def on_response(self, latency_ms: float, queue_ms: float) -> None:
+    def on_response(
+        self,
+        latency_ms: float,
+        queue_ms: float,
+        request_id: Optional[str] = None,
+    ) -> None:
+        bucket = 0
+        while (
+            bucket < len(LATENCY_BUCKETS_MS)
+            and latency_ms > LATENCY_BUCKETS_MS[bucket]
+        ):
+            bucket += 1
         with self._lock:
             self.responses_total += 1
+            self.latency_bucket_counts[bucket] += 1
+            self.latency_sum_ms += latency_ms
+            self.latency_count += 1
+            if request_id is not None:
+                self.latency_exemplars[bucket] = (request_id, latency_ms)
         self.latency.observe(latency_ms)
         self.queue.observe(queue_ms)
+
+    def observe_step(self, label: str, ms: float) -> None:
+        """One sampled per-step kernel latency (fed by traced batches at
+        the server's trace rate)."""
+        with self._lock:
+            entry = self.steps.get(label)
+            if entry is None:
+                if len(self.steps) >= MAX_STEP_SERIES:
+                    return
+                entry = self.steps[label] = [
+                    0,
+                    0.0,
+                    [0] * (len(STEP_BUCKETS_MS) + 1),
+                ]
+            entry[0] += 1
+            entry[1] += ms
+            bucket = 0
+            while bucket < len(STEP_BUCKETS_MS) and ms > STEP_BUCKETS_MS[bucket]:
+                bucket += 1
+            entry[2][bucket] += 1
 
     # -- readers ------------------------------------------------------------
     def mean_batch_size(self) -> float:
@@ -132,7 +192,40 @@ class ModelMetrics:
         counters["latency"] = self.latency.summary()
         counters["queue"] = self.queue.summary()
         counters["run"] = self.run.summary()
+        with self._lock:
+            counters["steps"] = {
+                label: {
+                    "count": entry[0],
+                    "mean_ms": entry[1] / entry[0] if entry[0] else 0.0,
+                }
+                for label, entry in sorted(self.steps.items())
+            }
         return counters
+
+    def prom_data(self) -> dict:
+        """The lifetime-histogram state the Prometheus renderer needs
+        (bucket counts, sums, exemplars, per-step histograms) — not part
+        of the JSON snapshot, which stays window-based summaries."""
+        with self._lock:
+            return {
+                "counters": {
+                    "requests_total": self.requests_total,
+                    "responses_total": self.responses_total,
+                    "rejected_total": self.rejected_total,
+                    "deadline_exceeded_total": self.deadline_exceeded_total,
+                    "errors_total": self.errors_total,
+                    "batches_total": self.batches_total,
+                    "batched_samples_total": self.batched_samples_total,
+                },
+                "latency_buckets": list(self.latency_bucket_counts),
+                "latency_sum_ms": self.latency_sum_ms,
+                "latency_count": self.latency_count,
+                "exemplars": dict(self.latency_exemplars),
+                "steps": {
+                    label: (entry[0], entry[1], list(entry[2]))
+                    for label, entry in self.steps.items()
+                },
+            }
 
 
 class ServerMetrics:

@@ -1,0 +1,177 @@
+"""Prometheus text exposition for ``/metrics``.
+
+``GET /metrics`` stays JSON by default; with ``Accept: text/plain`` (or
+``application/openmetrics-text``) the server renders this exposition
+instead.  Counters and lifetime latency histograms come from
+:meth:`ModelMetrics.prom_data`; latency buckets carry OpenMetrics-style
+exemplars (``# {request_id="..."} value``) so a scraped p99 spike can be
+joined to its request timeline via ``GET /trace?request_id=...``.  The
+per-step series only grow when tracing samples batches (the server's
+``trace_rate``), so an untraced deployment pays nothing for them.
+
+See docs/observability.md ("Prometheus exposition") for the full series
+list and the exemplar caveat (exemplars follow the OpenMetrics syntax;
+strict ``version=0.0.4`` parsers that reject them should scrape with an
+OpenMetrics accept header or strip trailing ``#`` comments).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.serve.metrics import (
+    LATENCY_BUCKETS_MS,
+    STEP_BUCKETS_MS,
+    ServerMetrics,
+)
+
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    # Prometheus floats: integral values print without the trailing .0
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def wants_prometheus(accept_header: Optional[str]) -> bool:
+    """Content negotiation for /metrics: JSON unless the client asks for
+    a text exposition explicitly (``text/plain`` or OpenMetrics)."""
+    if not accept_header:
+        return False
+    accept = accept_header.lower()
+    if "application/openmetrics-text" in accept:
+        return True
+    text_pos = accept.find("text/plain")
+    if text_pos == -1:
+        return False
+    # An explicit JSON preference listed first wins.
+    json_pos = accept.find("application/json")
+    return json_pos == -1 or text_pos < json_pos
+
+
+def render_prometheus(
+    metrics: ServerMetrics,
+    trace_info: Optional[Dict] = None,
+) -> str:
+    """Render the whole-server exposition document."""
+    lines: List[str] = []
+
+    def head(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    head("repro_uptime_seconds", "gauge", "Seconds since server start.")
+    lines.append(f"repro_uptime_seconds {_fmt(metrics.uptime_s())}")
+
+    if trace_info:
+        head(
+            "repro_trace_buffer_spans",
+            "gauge",
+            "Spans currently held by the trace ring buffer.",
+        )
+        lines.append(
+            f"repro_trace_buffer_spans {_fmt(trace_info.get('buffer_spans', 0))}"
+        )
+        head(
+            "repro_trace_sample_rate",
+            "gauge",
+            "Fraction of /predict requests recorded as traces.",
+        )
+        lines.append(
+            f"repro_trace_sample_rate {_fmt(trace_info.get('rate', 0.0))}"
+        )
+
+    counter_help = {
+        "requests_total": "Requests accepted into the queue.",
+        "responses_total": "Requests answered successfully.",
+        "rejected_total": "Backpressure rejections (HTTP 429).",
+        "deadline_exceeded_total": "Deadline expiries (HTTP 504).",
+        "errors_total": "Execution failures (HTTP 500).",
+        "batches_total": "Coalesced engine batches executed.",
+        "batched_samples_total": "Samples executed across all batches.",
+    }
+
+    names = sorted(metrics.model_names())
+    data = {name: metrics.for_model(name).prom_data() for name in names}
+
+    for counter, help_text in counter_help.items():
+        head(f"repro_{counter}", "counter", help_text)
+        for name in names:
+            lines.append(
+                f'repro_{counter}{{model="{_escape(name)}"}} '
+                f"{_fmt(data[name]['counters'][counter])}"
+            )
+
+    head(
+        "repro_request_latency_ms",
+        "histogram",
+        "End-to-end request latency (enqueue to reply), milliseconds; "
+        "buckets carry request-id exemplars.",
+    )
+    for name in names:
+        d = data[name]
+        cumulative = 0
+        for i, le in enumerate(list(LATENCY_BUCKETS_MS) + ["+Inf"]):
+            cumulative += d["latency_buckets"][i]
+            le_txt = "+Inf" if le == "+Inf" else _fmt(le)
+            line = (
+                f"repro_request_latency_ms_bucket"
+                f'{{model="{_escape(name)}",le="{le_txt}"}} {cumulative}'
+            )
+            exemplar = d["exemplars"].get(i)
+            if exemplar is not None:
+                rid, value = exemplar
+                line += (
+                    f' # {{request_id="{_escape(str(rid))}"}} '
+                    f"{_fmt(round(value, 3))}"
+                )
+            lines.append(line)
+        lines.append(
+            f'repro_request_latency_ms_sum{{model="{_escape(name)}"}} '
+            f"{_fmt(round(d['latency_sum_ms'], 3))}"
+        )
+        lines.append(
+            f'repro_request_latency_ms_count{{model="{_escape(name)}"}} '
+            f"{d['latency_count']}"
+        )
+
+    any_steps = any(d["steps"] for d in data.values())
+    if any_steps:
+        head(
+            "repro_step_latency_ms",
+            "histogram",
+            "Per-plan-step kernel latency from traced batches, "
+            "milliseconds (sampled at the trace rate).",
+        )
+        for name in names:
+            for label, (count, sum_ms, buckets) in sorted(
+                data[name]["steps"].items()
+            ):
+                base = (
+                    f'model="{_escape(name)}",step="{_escape(label)}"'
+                )
+                cumulative = 0
+                for i, le in enumerate(list(STEP_BUCKETS_MS) + ["+Inf"]):
+                    cumulative += buckets[i]
+                    le_txt = "+Inf" if le == "+Inf" else _fmt(le)
+                    lines.append(
+                        f"repro_step_latency_ms_bucket{{{base},"
+                        f'le="{le_txt}"}} {cumulative}'
+                    )
+                lines.append(
+                    f"repro_step_latency_ms_sum{{{base}}} "
+                    f"{_fmt(round(sum_ms, 3))}"
+                )
+                lines.append(
+                    f"repro_step_latency_ms_count{{{base}}} {count}"
+                )
+
+    return "\n".join(lines) + "\n"

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.trace import Span, new_span_id, now_ns
 from repro.serve.workers import (
     DEFAULT_SLOTS,
     required_slot_bytes,
@@ -229,33 +230,85 @@ class _WorkerHandle:
         x: np.ndarray,
         threads: Optional[int] = None,
         slot_timeout: float = 120.0,
+        trace_into=None,
     ) -> np.ndarray:
-        """Execute one batch on this worker; raises WorkerDied/WorkerError."""
+        """Execute one batch on this worker; raises WorkerDied/WorkerError.
+
+        ``trace_into`` (a :class:`~repro.obs.trace.TraceBuffer`) records
+        the transport spans — ``shm_write``, ``worker_roundtrip``,
+        ``shm_read`` — and collects the worker's engine spans returned
+        over the pipe, re-parented under the roundtrip span.  The
+        roundtrip is the only *parentless* span this method emits, so
+        callers (the batcher) can hang the whole subtree off their own
+        exec span by re-parenting roots.
+        """
         x = np.ascontiguousarray(np.asarray(x, dtype=np.float32))
+        traced = trace_into is not None
+        rt_id = new_span_id() if traced else None
+        t_start = now_ns() if traced else 0
         slot = self._claim_slot(slot_timeout)
         try:
             inline = None
+            t_write = now_ns() if traced else 0
             if x.nbytes <= self.slot_bytes:
                 slot_view(self.shm, slot, self.slot_bytes, x.shape)[...] = x
             else:  # counted fallback: tensor too big for the ring slot
                 inline = x.tobytes()
+            if traced:
+                trace_into.record(
+                    "shm_write", "transport", t_write,
+                    attrs={"bytes": x.nbytes, "slot": slot,
+                           "inline": inline is not None},
+                    parent_id=rt_id, proc="frontend",
+                )
             req_id = self._next_req_id()
             waiter = _Waiter()
             self._post(
-                ("run", req_id, model, slot, x.shape, threads, inline),
+                ("run", req_id, model, slot, x.shape, threads, inline,
+                 traced),
                 waiter, req_id,
             )
             waiter.event.wait()
             if waiter.kind == "ok":
-                out_slot, out_shape, _run_ms, out_inline = waiter.payload
+                out_slot, out_shape, run_ms, out_inline, spans = waiter.payload
+                t_read = now_ns() if traced else 0
                 if out_inline is not None:
-                    return np.frombuffer(out_inline, dtype=np.float32).reshape(
-                        out_shape
+                    out = np.frombuffer(
+                        out_inline, dtype=np.float32
+                    ).reshape(out_shape).copy()
+                else:
+                    # Copy out before the slot is released for reuse.
+                    out = slot_view(
+                        self.shm, out_slot, self.slot_bytes, out_shape
                     ).copy()
-                # Copy out before the slot is released for reuse.
-                return slot_view(
-                    self.shm, out_slot, self.slot_bytes, out_shape
-                ).copy()
+                if traced:
+                    trace_into.record(
+                        "shm_read", "transport", t_read,
+                        attrs={"bytes": out.nbytes, "slot": out_slot,
+                               "inline": out_inline is not None},
+                        parent_id=rt_id, proc="frontend",
+                    )
+                    for d in spans or ():
+                        span = Span.from_dict(d)
+                        if span.parent_id is None:
+                            span.parent_id = rt_id
+                        trace_into.add(span)
+                    trace_into.record(
+                        "worker_roundtrip", "transport", t_start,
+                        attrs={"worker": self.worker_id, "model": model,
+                               "run_ms": round(run_ms, 3)},
+                        span_id=rt_id, proc="frontend",
+                    )
+                return out
+            if traced:
+                # Close the roundtrip even on failure so the shm_write
+                # child never dangles as an orphan in the buffer.
+                trace_into.record(
+                    "worker_roundtrip", "transport", t_start,
+                    attrs={"worker": self.worker_id, "model": model,
+                           "error": waiter.kind or "died"},
+                    span_id=rt_id, proc="frontend",
+                )
             if waiter.kind == "err":
                 _slot, message = waiter.payload
                 raise WorkerError(
@@ -571,7 +624,11 @@ class WorkerRouter:
         return shallowest[rotor % len(shallowest)]
 
     def submit(
-        self, model: str, x: np.ndarray, threads: Optional[int] = None
+        self,
+        model: str,
+        x: np.ndarray,
+        threads: Optional[int] = None,
+        trace_into=None,
     ) -> np.ndarray:
         """Route one batch; retries on worker death, never on model error.
 
@@ -588,7 +645,9 @@ class WorkerRouter:
                 time.sleep(0.05 * attempt)  # brief backoff between losses
             handle = self._pick(model)
             try:
-                return handle.run(model, x, threads=threads)
+                return handle.run(
+                    model, x, threads=threads, trace_into=trace_into
+                )
             except WorkerDied as exc:
                 last = exc
                 threading.Thread(
@@ -726,5 +785,12 @@ class WorkerPlanProxy:
         self.router = router
         self.model = model
 
-    def run(self, x: np.ndarray, threads: Optional[int] = None) -> np.ndarray:
-        return self.router.submit(self.model, x, threads=threads)
+    def run(
+        self,
+        x: np.ndarray,
+        threads: Optional[int] = None,
+        trace=None,
+    ) -> np.ndarray:
+        return self.router.submit(
+            self.model, x, threads=threads, trace_into=trace
+        )

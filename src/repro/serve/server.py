@@ -13,7 +13,15 @@ Routes::
     GET  /models    loaded variants with spec + plan metadata
     GET  /healthz   {"status": "ok", "models": [...], "uptime_s": ...}
     GET  /metrics   throughput, p50/p95/p99 latency, batch-size histogram,
-                    plan-cache hit rate (see README "Serving")
+                    plan-cache hit rate (see README "Serving"); with
+                    ``Accept: text/plain`` the Prometheus exposition
+                    instead (docs/observability.md)
+    GET  /trace     the span ring buffer as Chrome trace-event JSON
+                    (``?request_id=``, ``?format=chrome|spans``)
+
+Every request gets an id at ingress (``X-Request-Id`` respected or
+generated, echoed on the response); ``/predict`` requests are sampled
+into end-to-end traces at ``trace_rate``.
 
 Failure mapping: bad request → 400, unknown model/route → 404, queue
 saturated → 429 (with ``Retry-After``), kernel failure → 500, deadline
@@ -28,12 +36,16 @@ import binascii
 import json
 import os
 import threading
+import urllib.parse
+import uuid
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.engine.cache import PlanCache, plan_cache
+from repro.obs import trace as obs_trace
+from repro.obs.export import to_chrome_trace
 from repro.serve.batcher import (
     BatcherStopped,
     BatchPolicy,
@@ -43,6 +55,7 @@ from repro.serve.batcher import (
     QueueSaturated,
 )
 from repro.serve.metrics import ServerMetrics
+from repro.serve.prom import PROM_CONTENT_TYPE, render_prometheus, wants_prometheus
 from repro.serve.registry import ModelRegistry, ServedModel
 
 _STATUS_TEXT = {
@@ -69,6 +82,16 @@ class _HttpError(Exception):
         self.status = status
         self.message = message
         self.retry_after = retry_after
+
+
+class _RawResponse:
+    """A non-JSON route result (e.g. the Prometheus exposition)."""
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body: bytes, content_type: str):
+        self.body = body
+        self.content_type = content_type
 
 
 def default_executor_threads() -> int:
@@ -107,6 +130,8 @@ class InferenceServer:
         executor_threads: Optional[int] = None,
         worker_replicas: Optional[int] = None,
         worker_health_interval: Optional[float] = 2.0,
+        trace_rate: Optional[float] = None,
+        trace_buffer: Optional["obs_trace.TraceBuffer"] = None,
     ):
         self.registry = registry
         self.policy = policy or BatchPolicy()
@@ -135,6 +160,20 @@ class InferenceServer:
         self._watch_tasks: Dict[str, asyncio.Task] = {}
         #: Deploy/rollback history surfaced on ``/models`` (bounded).
         self.deploy_events: list = []
+        #: Fraction of /predict requests recorded as end-to-end traces
+        #: (``repro serve --trace-rate``; ``REPRO_TRACE=1`` defaults it
+        #: to 1.0).  Sampling is counter-based — deterministic, no RNG —
+        #: and 0.0 keeps the request path span-free.
+        if trace_rate is None:
+            trace_rate = 1.0 if obs_trace.env_enabled() else 0.0
+        self.trace_rate = max(0.0, min(1.0, float(trace_rate)))
+        #: Span sink shared by the batchers, the worker router, and the
+        #: ``/trace`` endpoint.  Always present (an untraced server just
+        #: never writes to it), so ``/trace`` has one code path.
+        self.trace_buffer = (
+            trace_buffer if trace_buffer is not None else obs_trace.TraceBuffer()
+        )
+        self._trace_counter = 0  # touched only on the event loop
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> None:
@@ -256,6 +295,7 @@ class InferenceServer:
             name=name,
             max_inflight=max_inflight,
             threads=self.threads,
+            tracer=self.trace_buffer,
         )
         await batcher.start()
         return batcher
@@ -492,20 +532,35 @@ class InferenceServer:
                     break
                 body = await reader.readexactly(length) if length else b""
                 close = headers.get("connection", "").lower() == "close"
-                path = target.split("?", 1)[0]
+                path, _, query = target.partition("?")
+                # Every request gets an id at ingress: the client's
+                # X-Request-Id is respected, otherwise one is minted; it
+                # is echoed on the response and keys trace spans and
+                # latency-bucket exemplars.
+                request_id = headers.get("x-request-id") or f"r-{uuid.uuid4().hex[:16]}"
                 try:
-                    status, payload, retry_after = 200, await self._route(
-                        method, path, body
-                    ), None
+                    status, retry_after = 200, None
+                    payload = await self._route(
+                        method, path, body, headers=headers,
+                        request_id=request_id, query=query,
+                    )
                 except _HttpError as exc:
                     status, payload, retry_after = (
                         exc.status,
                         {"error": exc.message, "status": exc.status},
                         exc.retry_after,
                     )
-                await self._write_json(
-                    writer, status, payload, close=close, retry_after=retry_after
-                )
+                extra = [f"X-Request-Id: {request_id}"]
+                if isinstance(payload, _RawResponse):
+                    await self._write_response(
+                        writer, status, payload.body, payload.content_type,
+                        close=close, retry_after=retry_after, extra_headers=extra,
+                    )
+                else:
+                    await self._write_json(
+                        writer, status, payload, close=close,
+                        retry_after=retry_after, extra_headers=extra,
+                    )
                 if close:
                     break
         except (
@@ -523,31 +578,63 @@ class InferenceServer:
                 pass
 
     @staticmethod
-    async def _write_json(
+    async def _write_response(
         writer,
         status: int,
-        payload: dict,
+        body: bytes,
+        content_type: str,
         close: bool = False,
         retry_after: Optional[float] = None,
+        extra_headers: Optional[List[str]] = None,
     ) -> None:
-        body = json.dumps(payload).encode()
         headers = [
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'close' if close else 'keep-alive'}",
         ]
+        if extra_headers:
+            headers.extend(extra_headers)
         if retry_after is not None:
             headers.append(f"Retry-After: {retry_after:g}")
         writer.write(("\r\n".join(headers) + "\r\n\r\n").encode() + body)
         await writer.drain()
 
+    @classmethod
+    async def _write_json(
+        cls,
+        writer,
+        status: int,
+        payload: dict,
+        close: bool = False,
+        retry_after: Optional[float] = None,
+        extra_headers: Optional[List[str]] = None,
+    ) -> None:
+        await cls._write_response(
+            writer,
+            status,
+            json.dumps(payload).encode(),
+            "application/json",
+            close=close,
+            retry_after=retry_after,
+            extra_headers=extra_headers,
+        )
+
     # -- routing ------------------------------------------------------------
-    async def _route(self, method: str, path: str, body: bytes) -> dict:
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]] = None,
+        request_id: Optional[str] = None,
+        query: str = "",
+    ):
+        headers = headers or {}
         if path == "/predict":
             if method != "POST":
                 raise _HttpError(405, "/predict requires POST")
-            return await self._predict(body)
+            return await self._predict(body, request_id=request_id)
         if path == "/models" and method == "POST":
             return await self._models_post(body)
         if method not in ("GET", "HEAD"):
@@ -564,12 +651,20 @@ class InferenceServer:
                 "policy": self.policy.to_dict(),
                 "deploy_events": list(self.deploy_events),
             }
+        if path == "/trace":
+            return self._trace_endpoint(query)
         if path == "/metrics":
+            if wants_prometheus(headers.get("accept")):
+                text = render_prometheus(
+                    self.metrics, trace_info=self._trace_info()
+                )
+                return _RawResponse(text.encode("utf-8"), PROM_CONTENT_TYPE)
             snap = self.metrics.snapshot(plan_cache_stats=self.cache.stats())
             snap["policy"] = self.policy.to_dict()
             snap["workers"] = self.workers
             snap["engine_threads"] = self.threads
             snap["plan_memory"] = self.cache.memory_stats()
+            snap["trace"] = self._trace_info()
             if self._router is not None:
                 # Per-worker queue depth / restarts / shm bytes, plus the
                 # workers' own plan-cache and arena stats (each worker
@@ -582,6 +677,49 @@ class InferenceServer:
                 )
             return snap
         raise _HttpError(404, f"no route {path!r}")
+
+    # -- tracing ------------------------------------------------------------
+    def _trace_info(self) -> dict:
+        return {
+            "rate": self.trace_rate,
+            "buffer_spans": len(self.trace_buffer),
+            "buffer_capacity": self.trace_buffer.capacity,
+            "dropped": self.trace_buffer.dropped,
+        }
+
+    def _trace_endpoint(self, query: str) -> dict:
+        """``GET /trace`` — the span buffer as Chrome trace-event JSON
+        (Perfetto-loadable; the default) or raw span dicts
+        (``?format=spans``, what ``repro loadgen --dump-slowest`` uses to
+        rebuild span trees).  ``?request_id=<id>`` narrows to one
+        request's spans plus their descendants."""
+        params = urllib.parse.parse_qs(query)
+        spans = self.trace_buffer.snapshot()
+        rid = params.get("request_id", [None])[0]
+        if rid:
+            spans = obs_trace.filter_request(spans, rid)
+        fmt = params.get("format", ["chrome"])[0]
+        if fmt == "spans":
+            return {
+                "spans": [s.to_dict() for s in spans],
+                "dropped": self.trace_buffer.dropped,
+                "trace_rate": self.trace_rate,
+            }
+        if fmt != "chrome":
+            raise _HttpError(400, f"unknown format {fmt!r} (chrome or spans)")
+        return to_chrome_trace(spans, default_proc="frontend")
+
+    def _sample_trace(self) -> bool:
+        """Deterministic counter-based sampling at ``trace_rate`` (no RNG:
+        a rate of 1/N traces exactly every Nth /predict request)."""
+        rate = self.trace_rate
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        self._trace_counter += 1
+        period = max(1, round(1.0 / rate))
+        return self._trace_counter % period == 1
 
     async def _models_post(self, body: bytes) -> dict:
         """``POST /models`` — blue/green deploy or rollback.
@@ -683,7 +821,43 @@ class InferenceServer:
             ).decode("ascii")
         return output.tolist()
 
-    async def _predict(self, body: bytes) -> dict:
+    async def _predict(
+        self, body: bytes, request_id: Optional[str] = None
+    ) -> dict:
+        """Sampling wrapper: when this request is traced, wrap the whole
+        handler in a root ``request`` span every downstream span (queue
+        wait, batch, shm transport, worker kernel steps) hangs off."""
+        sampled = self._sample_trace()
+        if not sampled:
+            return await self._predict_inner(body, request_id, None)
+        root_id = obs_trace.new_span_id()
+        t0 = obs_trace.now_ns()
+        status = 200
+        model = None
+        try:
+            response = await self._predict_inner(body, request_id, root_id)
+            model = response.get("model")
+            return response
+        except _HttpError as exc:
+            status = exc.status
+            raise
+        finally:
+            self.trace_buffer.record(
+                "request",
+                "serve",
+                t0,
+                attrs={"path": "/predict", "status": status, "model": model},
+                span_id=root_id,
+                request_id=request_id,
+                proc="frontend",
+            )
+
+    async def _predict_inner(
+        self,
+        body: bytes,
+        request_id: Optional[str],
+        trace_parent: Optional[str],
+    ) -> dict:
         try:
             request = json.loads(body.decode() or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -739,12 +913,22 @@ class InferenceServer:
             try:
                 if len(samples) == 1:  # hot path: no gather/task machinery
                     results = [
-                        await batcher.submit(samples[0], deadline_ms=deadline_ms)
+                        await batcher.submit(
+                            samples[0],
+                            deadline_ms=deadline_ms,
+                            request_id=request_id,
+                            trace_parent=trace_parent,
+                        )
                     ]
                 else:
                     tasks = [
                         asyncio.ensure_future(
-                            batcher.submit(s, deadline_ms=deadline_ms)
+                            batcher.submit(
+                                s,
+                                deadline_ms=deadline_ms,
+                                request_id=request_id,
+                                trace_parent=trace_parent,
+                            )
                         )
                         for s in samples
                     ]
@@ -797,6 +981,8 @@ class InferenceServer:
         if encoding == "b64":
             response["encoding"] = "b64"
             response["output_shape"] = list(results[0].output[0].shape)
+        if request_id is not None:
+            response["request_id"] = request_id
         return response
 
 
@@ -869,6 +1055,7 @@ def start_in_background(
     executor_threads: Optional[int] = None,
     worker_replicas: Optional[int] = None,
     worker_health_interval: Optional[float] = 2.0,
+    trace_rate: Optional[float] = None,
 ) -> ServerHandle:
     """Start an :class:`InferenceServer` on a daemon thread (ephemeral port
     by default) and block until it accepts connections.
@@ -881,5 +1068,6 @@ def start_in_background(
         threads=threads, executor_threads=executor_threads,
         worker_replicas=worker_replicas,
         worker_health_interval=worker_health_interval,
+        trace_rate=trace_rate,
     )
     return ServerHandle(server).start(timeout=300.0)

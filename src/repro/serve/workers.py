@@ -42,7 +42,7 @@ registration (the parent's) and unlink happens exactly once, at
 
 Protocol (pipe messages, parent → worker)::
 
-    ("run",  req_id, model, slot, shape, threads, inline|None)
+    ("run",  req_id, model, slot, shape, threads, inline|None, trace)
     ("ping", req_id)
     ("load", req_id, key, artifact_path)      mmap a compiled-plan artifact
     ("unload", req_id, key)                   retire a served plan key
@@ -51,10 +51,17 @@ Protocol (pipe messages, parent → worker)::
 worker → parent::
 
     ("ready", worker_id)                      once, after models loaded
-    ("ok",   req_id, slot, out_shape, run_ms, inline|None)
+    ("ok",   req_id, slot, out_shape, run_ms, inline|None, spans|None)
     ("err",  req_id, slot, message)           execution failed (→ HTTP 500)
     ("pong", req_id, stats)
     ("loaded", req_id, ms|None, err|None)     answer to "load"/"unload"
+
+``trace`` (observability, ISSUE 7) asks the worker to run the plan with
+a local span buffer; the ``ok`` reply then carries the per-step engine
+spans as plain dicts (``Span.to_dict``) tagged ``proc="worker-<id>"`` —
+span timestamps are ``monotonic_ns`` so parent and worker spans share
+one clock axis.  Untraced runs send ``trace=False`` and ``spans=None``:
+the extra tuple fields cost nothing on the hot path.
 
 Artifact-backed serving (ISSUE 6): when the parent passes an
 ``artifacts`` map (plan key → ``.rpln`` path), the worker boots those
@@ -87,10 +94,25 @@ def slot_view(shm, slot: int, slot_bytes: int, shape, dtype=np.float32) -> np.nd
                       offset=slot * slot_bytes)
 
 
-def _run_plan(plan, x: np.ndarray, threads: Optional[int]) -> np.ndarray:
+def _run_plan(
+    plan, x: np.ndarray, threads: Optional[int], trace=None
+) -> np.ndarray:
+    kwargs = {}
     if threads is not None:
-        return plan.run(x, threads=threads)
-    return plan.run(x)  # duck-typed plans need no threads kwarg
+        kwargs["threads"] = threads
+    if trace is not None:
+        # Only the traced path pays the signature check (duck-typed stub
+        # plans in the tests accept neither kwarg).
+        import inspect
+
+        try:
+            if "trace" in inspect.signature(plan.run).parameters:
+                kwargs["trace"] = trace
+        except (TypeError, ValueError):
+            pass
+    if kwargs:
+        return plan.run(x, **kwargs)
+    return plan.run(x)  # duck-typed plans need no extra kwargs
 
 
 def worker_main(
@@ -202,8 +224,8 @@ def worker_main(
             artifacts.pop(key, None)
             conn.send(("loaded", req_id, 0.0, None))
             continue
-        # ("run", req_id, model, slot, shape, threads, inline)
-        _, req_id, model, slot, shape, req_threads, inline = msg
+        # ("run", req_id, model, slot, shape, threads, inline, trace)
+        _, req_id, model, slot, shape, req_threads, inline, want_trace = msg
         try:
             plan = served.get(model)
             if plan is None:
@@ -215,19 +237,56 @@ def worker_main(
                 x = np.frombuffer(inline, dtype=np.float32).reshape(shape)
             else:
                 x = slot_view(shm, slot, slot_bytes, shape)
+            buf = None
+            exec_id = None
+            t0_ns = 0
+            if want_trace:
+                from repro.obs.trace import TraceBuffer, new_span_id, now_ns
+
+                buf = TraceBuffer(capacity=8192)
+                exec_id = new_span_id()
+                t0_ns = now_ns()
             t0 = time.perf_counter()
-            out = _run_plan(plan, x, req_threads if req_threads is not None else threads)
+            out = _run_plan(
+                plan,
+                x,
+                req_threads if req_threads is not None else threads,
+                trace=buf,
+            )
             run_ms = (time.perf_counter() - t0) * 1e3
+            spans_payload = None
+            if buf is not None:
+                proc = f"worker-{worker_id}"
+                # Engine roots (plan_run) nest under this worker_exec span.
+                for span in buf.snapshot():
+                    if span.parent_id is None:
+                        span.parent_id = exec_id
+                buf.record(
+                    "worker_exec",
+                    "worker",
+                    t0_ns,
+                    attrs={"model": model, "run_ms": round(run_ms, 3)},
+                    span_id=exec_id,
+                    proc=proc,
+                )
+                spans_payload = []
+                for span in buf.snapshot():
+                    d = span.to_dict()
+                    if not d.get("proc"):
+                        d["proc"] = proc
+                    spans_payload.append(d)
             out = np.ascontiguousarray(out, dtype=np.float32)
             stats["requests_total"] += 1
             if out.nbytes <= slot_bytes:
                 # The input has been fully consumed: reuse the slot for
                 # the response (zero-copy back to the front-end).
                 slot_view(shm, slot, slot_bytes, out.shape)[...] = out
-                conn.send(("ok", req_id, slot, out.shape, run_ms, None))
+                conn.send(("ok", req_id, slot, out.shape, run_ms, None,
+                           spans_payload))
             else:
                 stats["inline_responses"] += 1
-                conn.send(("ok", req_id, slot, out.shape, run_ms, out.tobytes()))
+                conn.send(("ok", req_id, slot, out.shape, run_ms,
+                           out.tobytes(), spans_payload))
         except BaseException as exc:  # noqa: BLE001 — batch fails, worker lives
             stats["errors_total"] += 1
             try:

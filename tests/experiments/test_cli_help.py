@@ -21,12 +21,20 @@ DOCUMENTED_FLAGS = {
     "serve": [
         "--model", "--host", "--port", "--workers", "--worker-replicas",
         "--executor-threads", "--threads", "--max-batch-size",
-        "--max-wait-ms", "--max-queue", "--deadline-ms",
+        "--max-wait-ms", "--max-queue", "--deadline-ms", "--trace-rate",
     ],
     "bench": ["--quick", "--seed", "--out", "--threads"],
     "loadgen": [
         "--url", "--model", "--concurrency", "--requests", "--deadline-ms",
         "--sweep", "--quick", "--workers", "--workers-scale", "--out",
+        "--dump-slowest", "--dump-out",
+    ],
+    "profile": [
+        "--batch", "--repeats", "--seed", "--threads", "--backends", "--out",
+    ],
+    "trace": [
+        "--url", "--export", "--request-id", "--model", "--workers",
+        "--requests",
     ],
 }
 

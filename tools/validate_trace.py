@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Validate an exported Chrome trace-event JSON file (CI smoke job).
+
+Checks that the file ``repro trace --export`` wrote is a loadable
+Perfetto document and that it actually covers the layers the
+observability smoke exercised:
+
+* schema-valid per :func:`repro.obs.export.validate_chrome_trace`
+  (top-level object, ``traceEvents`` list, every ``X`` event with
+  numeric ``ts`` and non-negative ``dur``, metadata events well-formed);
+* at least ``--min-events`` complete events;
+* every process named in ``--expect-procs`` (comma-separated) appears
+  as a ``process_name`` metadata entry — e.g.
+  ``frontend,worker-0,worker-1`` for a ``--workers 2`` run;
+* every span name in ``--expect-spans`` occurs at least once — the CI
+  job asks for ``queue_wait,batch,worker_roundtrip,plan_run`` so a
+  trace that silently lost a layer fails the build.
+
+Usage::
+
+    python tools/validate_trace.py trace.json \
+        --expect-procs frontend,worker-0 \
+        --expect-spans queue_wait,batch,plan_run
+
+Exits 0 when valid, 1 with a problem listing otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.export import validate_chrome_trace  # noqa: E402
+
+
+def validate_file(
+    path: str,
+    min_events: int = 1,
+    expect_procs: list = (),
+    expect_spans: list = (),
+) -> list:
+    """Return a list of human-readable problems (empty when valid)."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable trace: {exc}"]
+    problems = validate_chrome_trace(doc)
+    if problems:
+        return [f"{path}: {p}" for p in problems]
+    events = doc["traceEvents"]
+    complete = [e for e in events if e.get("ph") == "X"]
+    if len(complete) < min_events:
+        problems.append(
+            f"{path}: only {len(complete)} complete events "
+            f"(expected >= {min_events})"
+        )
+    procs = {
+        e["args"]["name"]
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+    }
+    for proc in expect_procs:
+        if proc not in procs:
+            problems.append(
+                f"{path}: process {proc!r} missing (have {sorted(procs)})"
+            )
+    names = {e["name"] for e in complete}
+    for span in expect_spans:
+        if span not in names:
+            problems.append(f"{path}: no span named {span!r} in the trace")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--min-events", type=int, default=1,
+        help="minimum complete ('X') events required (default 1)",
+    )
+    parser.add_argument(
+        "--expect-procs", default="",
+        help="comma-separated process names that must appear",
+    )
+    parser.add_argument(
+        "--expect-spans", default="",
+        help="comma-separated span names that must appear",
+    )
+    args = parser.parse_args(argv)
+    problems = validate_file(
+        args.trace,
+        min_events=args.min_events,
+        expect_procs=[p for p in args.expect_procs.split(",") if p],
+        expect_spans=[s for s in args.expect_spans.split(",") if s],
+    )
+    if problems:
+        print("trace validation failed:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    with open(args.trace) as fh:
+        count = len(json.load(fh)["traceEvents"])
+    print(f"trace ok: {args.trace} ({count} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
