@@ -83,6 +83,7 @@ def check(baseline: dict, fresh: dict, tolerance: float) -> list:
     failures += _check_trace_overhead(baseline, fresh)
     failures += _check_workers_scaling(baseline, fresh, tolerance)
     failures += _check_artifact(fresh)
+    failures += _check_overload(baseline, fresh, tolerance)
     anomaly = fresh.get("int8_anomaly")
     if anomaly is not None:
         ceiling = (1.0 + tolerance) * anomaly["fp32_fast_ms"]
@@ -245,6 +246,68 @@ def _check_artifact(fresh: dict) -> list:
             f"blue/green hot-swap dropped {swap['requests_failed']} "
             f"requests (ok={swap.get('requests_ok')})"
         )
+    return failures
+
+
+def _check_overload(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """Overload-honesty rules (serve reports only; ``overload_goodput``).
+
+    Host-independent, enforced on every report that carries the entry:
+
+    * ``expired_executed`` == 0 — a request the server answered 504 must
+      never also appear inside an executed batch (work after death);
+    * ``unaccounted`` == 0 — every sent request ended in *some* recorded
+      outcome (no silent drops);
+    * ``goodput_rps`` > 0 — a server at 2x offered load still answers.
+
+    Throughput-shaped expectations (goodput floor vs baseline, tight-class
+    p99 within its deadline) are skipped on quick reports, like the
+    workers-scaling gate.
+    """
+    entry = fresh.get("overload_goodput")
+    if not entry:
+        if baseline.get("overload_goodput"):
+            return ["overload_goodput entry disappeared from the fresh report"]
+        return []
+    failures = []
+    if entry.get("expired_executed", 0) != 0:
+        failures.append(
+            f"{entry['expired_executed']} expired (504) requests were "
+            "still executed — expulsion at batch formation is broken"
+        )
+    if entry.get("unaccounted", 0) != 0:
+        failures.append(
+            f"{entry['unaccounted']} of {entry.get('sent')} overload "
+            "requests vanished without a recorded outcome (silent drop)"
+        )
+    if not entry.get("goodput_rps", 0) > 0:
+        failures.append(
+            "zero goodput under 2x overload "
+            f"(offered {entry.get('offered_rps', 0):.0f} rps)"
+        )
+    if entry.get("quick"):
+        print("note: skipping overload goodput/p99 checks (quick report)")
+        return failures
+    tight = entry.get("tight") or {}
+    deadline = tight.get("deadline_ms")
+    p99 = tight.get("p99_ms")
+    if deadline is not None and p99 is not None and p99 > deadline:
+        failures.append(
+            f"tight-class p99 {p99:.1f} ms exceeds its deadline "
+            f"{deadline:.1f} ms under 2x overload — deadline-aware "
+            "batching is not protecting interactive traffic"
+        )
+    base_entry = baseline.get("overload_goodput")
+    if base_entry and not base_entry.get("quick"):
+        base_ratio = base_entry.get("goodput_ratio")
+        ratio = entry.get("goodput_ratio")
+        if base_ratio and ratio is not None:
+            floor = (1.0 - tolerance) * base_ratio
+            if ratio < floor:
+                failures.append(
+                    f"overload goodput_ratio regressed {base_ratio:.3f} -> "
+                    f"{ratio:.3f} (floor {floor:.3f})"
+                )
     return failures
 
 

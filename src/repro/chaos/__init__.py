@@ -1,0 +1,32 @@
+"""Seeded chaos / fault-injection harness for the serving stack.
+
+The injector is *deterministic*: a chaos spec carries a seed, and every
+injection decision is a pure function of ``(seed, scope, draw index)``
+where *scope* names the injection site (worker id + respawn
+generation).  Running the same spec against the same request sequence
+reproduces the same faults — which is what lets the chaos test suite
+assert exact outcomes (bit-identical retried response or typed error)
+instead of merely "it didn't crash".
+
+Grammar (``repro serve --chaos`` / ``REPRO_CHAOS``)::
+
+    spec    := clause (',' clause)*
+    clause  := 'seed=' INT | FAULT '=' PROB [':' MILLIS]
+    FAULT   := worker_crash | worker_hang | worker_slow_start
+             | shm_delay | pipe_drop | corrupt_response
+
+Example: ``seed=7,worker_crash=0.05,shm_delay=0.2:15`` — with seed 7,
+crash the worker on ~5% of batches and delay the shm reply by 15 ms on
+~20% of batches.  See docs/operations.md "Overload & incident
+runbook".
+"""
+
+from .spec import FAULTS, ChaosSpec, parse_chaos_spec
+from .inject import ChaosInjector
+
+__all__ = [
+    "FAULTS",
+    "ChaosSpec",
+    "ChaosInjector",
+    "parse_chaos_spec",
+]

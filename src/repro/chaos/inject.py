@@ -1,0 +1,54 @@
+"""Deterministic fault injector.
+
+``ChaosInjector(spec, scope)`` owns a private ``random.Random`` whose
+state is a pure function of ``(spec.seed, scope)``.  The scope string
+names the injection site — for workers it is
+``worker-<id>/gen-<respawn generation>`` so a respawned worker draws a
+*different* (but still reproducible) fault sequence instead of
+deterministically re-hitting the crash that killed its predecessor,
+which would otherwise turn any ``worker_crash=1.0`` spec into an
+unrecoverable crash loop.
+
+The seed is mixed with ``zlib.crc32`` of the scope rather than Python's
+``hash`` — ``hash(str)`` is salted per process (PYTHONHASHSEED) and
+would silently break cross-process determinism.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+from .spec import ChaosSpec
+
+
+class ChaosInjector:
+    """Per-site deterministic fault roller for a parsed chaos spec."""
+
+    def __init__(self, spec: ChaosSpec, scope: str):
+        self.spec = spec
+        self.scope = scope
+        self._rng = random.Random(
+            ((spec.seed & 0xFFFFFFFF) << 32) ^ zlib.crc32(scope.encode("utf-8"))
+        )
+        self.injected: dict = {}
+
+    def roll(self, fault: str) -> bool:
+        """One injection decision.  Always draws (even at probability 0)
+        so adding or removing one fault from a spec does not shift the
+        draw sequence of the others."""
+        draw = self._rng.random()
+        prob = self.spec.probability(fault)
+        hit = draw < prob
+        if hit:
+            self.injected[fault] = self.injected.get(fault, 0) + 1
+        return hit
+
+    def duration_s(self, fault: str) -> float:
+        return self.spec.duration_ms(fault) / 1000.0
+
+    def pick_index(self, n: int) -> int:
+        """Deterministic index draw (e.g. which byte to corrupt)."""
+        if n <= 0:
+            return 0
+        return self._rng.randrange(n)

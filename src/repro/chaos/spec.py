@@ -1,0 +1,100 @@
+"""Chaos-spec grammar: parse ``seed=7,worker_crash=0.05,shm_delay=0.2:15``.
+
+A spec is a comma-separated list of clauses.  ``seed=INT`` seeds the
+deterministic injector; every other clause is ``FAULT=PROB`` or
+``FAULT=PROB:MILLIS`` where PROB is a per-decision probability in
+``[0, 1]`` and MILLIS parameterises duration-style faults (delay
+length, slow-start stall).  Unknown faults and out-of-range
+probabilities are rejected with ``ValueError`` at parse time — a typo
+in a chaos spec must fail loudly at boot, not silently inject nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Fault name -> default duration (ms) for duration-style faults.
+#: ``None`` marks faults with no duration parameter.
+FAULTS = {
+    "worker_crash": None,       # os._exit mid-batch, before executing
+    "worker_hang": None,        # livelock: stop answering, stay alive
+    "worker_slow_start": 500.0, # stall boot before signalling ready
+    "shm_delay": 20.0,          # delay the reply after writing the slot
+    "pipe_drop": None,          # execute, then never send the reply
+    "corrupt_response": None,   # flip a byte in the response payload
+}
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Parsed chaos spec: a seed plus per-fault probability/duration."""
+
+    seed: int = 0
+    #: fault name -> (probability, duration_ms or None)
+    faults: dict = field(default_factory=dict)
+
+    def probability(self, fault: str) -> float:
+        entry = self.faults.get(fault)
+        return entry[0] if entry else 0.0
+
+    def duration_ms(self, fault: str) -> float:
+        entry = self.faults.get(fault)
+        if entry and entry[1] is not None:
+            return entry[1]
+        return FAULTS.get(fault) or 0.0
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for name, (prob, ms) in sorted(self.faults.items()):
+            parts.append(f"{name}={prob:g}" + (f":{ms:g}" if ms is not None else ""))
+        return ",".join(parts)
+
+
+def parse_chaos_spec(text: str) -> ChaosSpec:
+    """Parse a chaos spec string; raise ``ValueError`` on any malformed
+    clause so bad specs fail at server boot rather than injecting a
+    different experiment than the operator asked for."""
+    seed = 0
+    faults: dict = {}
+    for raw in text.split(","):
+        clause = raw.strip()
+        if not clause:
+            continue
+        if "=" not in clause:
+            raise ValueError(f"chaos clause {clause!r} is not KEY=VALUE")
+        key, _, value = clause.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if key == "seed":
+            try:
+                seed = int(value)
+            except ValueError:
+                raise ValueError(f"chaos seed {value!r} is not an integer") from None
+            continue
+        if key not in FAULTS:
+            raise ValueError(
+                f"unknown chaos fault {key!r} (known: {', '.join(sorted(FAULTS))})"
+            )
+        prob_text, _, ms_text = value.partition(":")
+        try:
+            prob = float(prob_text)
+        except ValueError:
+            raise ValueError(
+                f"chaos fault {key}: probability {prob_text!r} is not a number"
+            ) from None
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError(
+                f"chaos fault {key}: probability {prob} outside [0, 1]"
+            )
+        duration = None
+        if ms_text:
+            try:
+                duration = float(ms_text)
+            except ValueError:
+                raise ValueError(
+                    f"chaos fault {key}: duration {ms_text!r} is not a number"
+                ) from None
+            if duration < 0:
+                raise ValueError(f"chaos fault {key}: negative duration {duration}")
+        faults[key] = (prob, duration)
+    return ChaosSpec(seed=seed, faults=faults)

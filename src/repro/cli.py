@@ -269,6 +269,37 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 1.0 when REPRO_TRACE=1, else 0; inspect via GET "
         "/trace or 'repro trace --url'; docs/observability.md)",
     )
+    serve.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=0.0,
+        help="per-tenant admission rate, requests/s (0 disables tenant "
+        "buckets; docs/operations.md 'Overload & incident runbook')",
+    )
+    serve.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=10.0,
+        help="per-tenant token-bucket burst size (default 10; "
+        "docs/operations.md 'Overload & incident runbook')",
+    )
+    serve.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="seeded fault injection in the worker pool, e.g. "
+        "'seed=7,worker_crash=0.05,shm_delay=0.2:15' (default: the "
+        "REPRO_CHAOS env var; needs --workers; "
+        "docs/operations.md 'Overload & incident runbook')",
+    )
+    serve.add_argument(
+        "--drain-trace-out",
+        default=None,
+        metavar="PATH",
+        help="on SIGTERM, flush the span buffer to this Chrome-trace "
+        "file after the graceful drain (docs/operations.md "
+        "'Overload & incident runbook')",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -376,6 +407,52 @@ def build_parser() -> argparse.ArgumentParser:
         default="slowest_traces.json",
         help="where --dump-slowest writes its span trees "
         "(default slowest_traces.json)",
+    )
+    loadgen.add_argument(
+        "--open-loop",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="open-loop mode: offered request rate (req/s) on a seeded "
+        "Poisson schedule instead of closed-loop workers — arrivals "
+        "never wait for responses, so an overloaded server stays "
+        "offered-overloaded (docs/operations.md 'Overload & incident "
+        "runbook')",
+    )
+    loadgen.add_argument(
+        "--duration",
+        type=float,
+        default=2.0,
+        help="--open-loop run length in seconds (default 2)",
+    )
+    loadgen.add_argument(
+        "--priority",
+        default=None,
+        choices=("interactive", "standard", "batch"),
+        help="admission class stamped on generated requests "
+        "(docs/operations.md 'Overload & incident runbook')",
+    )
+    loadgen.add_argument(
+        "--tenant",
+        default=None,
+        help="tenant id stamped on generated requests (exercises the "
+        "per-tenant admission buckets; docs/operations.md "
+        "'Overload & incident runbook')",
+    )
+    loadgen.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="arrival-schedule RNG seed for --open-loop/--overload "
+        "(default 0)",
+    )
+    loadgen.add_argument(
+        "--overload",
+        action="store_true",
+        help="standalone overload-honesty benchmark: measure capacity, "
+        "offer 2x on an open loop, report goodput + honesty checks "
+        "and write an {'overload_goodput': ...} fragment to --out "
+        "(docs/operations.md 'Benchmark reports')",
     )
 
     profile = sub.add_parser(
@@ -622,11 +699,24 @@ def run_compile(args) -> int:
 
 
 def run_serve(args) -> int:
-    """The ``repro serve`` subcommand: load variants, serve until ^C."""
+    """The ``repro serve`` subcommand: load variants, serve until ^C.
+
+    SIGTERM triggers the graceful-drain path: stop intake (503 +
+    Retry-After), let every in-flight batch finish, optionally flush the
+    span buffer (``--drain-trace-out``), then exit 0
+    (docs/operations.md 'Overload & incident runbook').
+    """
     import asyncio
+    import os
+    import signal
 
     from repro.engine import CompileError
-    from repro.serve import BatchPolicy, InferenceServer, ModelRegistry
+    from repro.serve import (
+        AdmissionPolicy,
+        BatchPolicy,
+        InferenceServer,
+        ModelRegistry,
+    )
 
     policy = BatchPolicy(
         max_batch_size=args.max_batch_size,
@@ -634,6 +724,13 @@ def run_serve(args) -> int:
         max_queue=args.max_queue,
         default_deadline_ms=args.deadline_ms,
     )
+    admission = AdmissionPolicy(
+        tenant_rate=args.tenant_rate, tenant_burst=args.tenant_burst
+    )
+    chaos = args.chaos if args.chaos is not None else os.environ.get("REPRO_CHAOS")
+    if chaos and args.workers <= 0:
+        print("error: --chaos needs --workers >= 1", file=sys.stderr)
+        return 2
     # With process workers the front-end never compiles: it records the
     # specs (lazy registry) and each worker builds its affinity slice.
     registry = ModelRegistry(lazy=args.workers > 0)
@@ -664,6 +761,8 @@ def run_serve(args) -> int:
         executor_threads=args.executor_threads,
         threads=threads,
         trace_rate=args.trace_rate,
+        admission=admission,
+        chaos=chaos,
     )
 
     async def _run() -> None:
@@ -677,10 +776,49 @@ def run_serve(args) -> int:
             f"serving on http://{server.host}:{server.port} "
             f"(max_batch_size={policy.max_batch_size}, "
             f"max_wait_ms={policy.max_wait_ms:g}, {mode}, "
-            f"threads={threads})"
+            f"threads={threads})",
+            flush=True,
         )
-        print("endpoints: POST /predict  GET /models /healthz /metrics /trace")
-        await server.serve_forever()
+        if chaos:
+            print(f"chaos injection active: {chaos}", flush=True)
+        print(
+            "endpoints: POST /predict  GET /models /healthz /metrics /trace",
+            flush=True,
+        )
+        sigterm = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, sigterm.set)
+        except (NotImplementedError, RuntimeError):  # non-POSIX loop
+            pass
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        term_task = asyncio.ensure_future(sigterm.wait())
+        try:
+            await asyncio.wait(
+                {serve_task, term_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if term_task.done():
+                print("SIGTERM: draining in-flight requests", flush=True)
+                drained = await server.drain(timeout=30.0)
+                if args.drain_trace_out:
+                    from repro.obs.export import write_chrome_trace
+
+                    spans = server.trace_buffer.snapshot()
+                    write_chrome_trace(args.drain_trace_out, spans)
+                    print(
+                        f"flushed {len(spans)} spans to "
+                        f"{args.drain_trace_out}",
+                        flush=True,
+                    )
+                print(
+                    "drained cleanly" if drained else
+                    "drain timed out; stopping anyway",
+                    flush=True,
+                )
+        finally:
+            for task in (serve_task, term_task):
+                task.cancel()
+            await server.stop()
 
     try:
         asyncio.run(_run())
@@ -696,6 +834,23 @@ def run_loadgen(args) -> int:
     import numpy as np
 
     from repro.serve import ServeClient, benchmark_serving, run_load
+
+    if args.overload:
+        from repro.serve.loadgen import measure_overload_goodput
+
+        entry = measure_overload_goodput(
+            args.model or "resnet18-w0.25-F4-int8@turbo",
+            workers=args.workers,
+            quick=args.quick,
+            seed=args.seed,
+        )
+        ok = entry["expired_executed"] == 0 and entry["unaccounted"] == 0
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump({"overload_goodput": entry}, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"overload report written to {args.out}")
+        return 0 if ok else 1
 
     if args.sweep:
         report = benchmark_serving(
@@ -734,14 +889,34 @@ def run_loadgen(args) -> int:
         .standard_normal((32, *target["sample_shape"]))
         .astype(np.float32)
     )
-    stats = run_load(
-        args.url,
-        target["name"],
-        samples,
-        concurrency=args.concurrency,
-        total_requests=args.requests,
-        deadline_ms=args.deadline_ms,
-    )
+    if args.open_loop is not None:
+        from repro.serve.loadgen import run_open_loop
+
+        stats = run_open_loop(
+            args.url,
+            target["name"],
+            samples,
+            rate_rps=args.open_loop,
+            duration_s=args.duration,
+            classes=[
+                {
+                    "name": args.priority or "standard",
+                    "priority": args.priority or "standard",
+                    "deadline_ms": args.deadline_ms,
+                    "tenant": args.tenant,
+                }
+            ],
+            seed=args.seed,
+        )
+    else:
+        stats = run_load(
+            args.url,
+            target["name"],
+            samples,
+            concurrency=args.concurrency,
+            total_requests=args.requests,
+            deadline_ms=args.deadline_ms,
+        )
     print(json.dumps(stats, indent=2, sort_keys=True))
     if args.dump_slowest:
         from repro.serve.loadgen import dump_slowest

@@ -18,10 +18,17 @@ The serving stack, bottom to top:
   per-model placement, health-checked respawn and in-flight batch retry
   (``repro serve --workers N``; ``workers=0`` keeps the exact
   in-process path);
-* :mod:`repro.serve.client` / :mod:`repro.serve.loadgen` — client and
-  closed-loop load generator (``repro loadgen``, ``BENCH_serve.json``);
+* :mod:`repro.serve.admission` — ingress admission control: priority
+  classes (``interactive``/``standard``/``batch``), watermark shedding
+  and per-tenant token buckets (HTTP 429 + ``Retry-After``);
+* :mod:`repro.serve.client` / :mod:`repro.serve.loadgen` — client (typed
+  timeouts, optional retry policy with backoff + budget) and the closed-
+  and open-loop load generators (``repro loadgen``, ``BENCH_serve.json``);
 * :mod:`repro.serve.probe` — served-latency measurement for WiNAS's
   ``latency_source="served"``.
+
+Fault injection for the resilience test suite lives in
+:mod:`repro.chaos` (``repro serve --chaos`` / ``REPRO_CHAOS``).
 
 Quickstart::
 
@@ -33,6 +40,13 @@ Quickstart::
     # asyncio.run(server.serve_forever()), or: repro serve --model ...
 """
 
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    RequestShed,
+    TokenBucket,
+    resolve_priority,
+)
 from repro.serve.batcher import (
     BatchedResult,
     BatcherStopped,
@@ -42,8 +56,23 @@ from repro.serve.batcher import (
     ExecutionFailed,
     QueueSaturated,
 )
-from repro.serve.client import ServeClient, ServeError, wait_until_ready
-from repro.serve.loadgen import benchmark_serving, check_bit_identity, run_load
+from repro.serve.client import (
+    RetryPolicy,
+    ServeClient,
+    ServeClientError,
+    ServeConnectionError,
+    ServeError,
+    ServeTimeout,
+    wait_until_ready,
+)
+from repro.serve.loadgen import (
+    benchmark_serving,
+    check_bit_identity,
+    measure_overload_goodput,
+    poisson_arrivals,
+    run_load,
+    run_open_loop,
+)
 from repro.serve.metrics import LatencyWindow, ModelMetrics, ServerMetrics
 from repro.serve.probe import served_latency_ms
 from repro.serve.registry import (
@@ -63,6 +92,8 @@ from repro.serve.router import (
 from repro.serve.server import InferenceServer, ServerHandle, start_in_background
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
     "BatchPolicy",
     "BatchedResult",
     "BatcherStopped",
@@ -75,11 +106,17 @@ __all__ = [
     "ModelRegistry",
     "ModelSpec",
     "QueueSaturated",
+    "RequestShed",
+    "RetryPolicy",
     "ServeClient",
+    "ServeClientError",
+    "ServeConnectionError",
     "ServeError",
+    "ServeTimeout",
     "ServedModel",
     "ServerHandle",
     "ServerMetrics",
+    "TokenBucket",
     "WorkerDied",
     "WorkerError",
     "WorkerPlanProxy",
@@ -89,7 +126,11 @@ __all__ = [
     "check_bit_identity",
     "compile_served",
     "load_artifact_served",
+    "measure_overload_goodput",
+    "poisson_arrivals",
+    "resolve_priority",
     "run_load",
+    "run_open_loop",
     "served_latency_ms",
     "start_in_background",
     "wait_until_ready",

@@ -16,9 +16,25 @@ BLAS blocking — and hence last-ulp rounding — can vary with batch shape).
 Failure policy:
 
 * queue full → :class:`QueueSaturated` (the server maps it to HTTP 429);
-* request older than its deadline at dispatch time → never executed,
-  :class:`DeadlineExceeded` (HTTP 504);
+* request older than its deadline at formation or dispatch time → never
+  executed, :class:`DeadlineExceeded` (HTTP 504);
 * kernel failure → the whole batch gets :class:`ExecutionFailed` (HTTP 500).
+
+Overload behaviour (ISSUE 8): the queue is a **priority queue** — the
+admission layer (:mod:`repro.serve.admission`) tags each request with a
+priority level and under backlog the collector forms batches from the
+most important traffic first.  Batch formation is **deadline-aware**:
+
+* a request already past its deadline when the collector picks it up is
+  expelled *at formation* — typed 504, never stacked, never executed
+  (the batch span's ``request_ids`` attr lists only executed members,
+  which is what the overload benchmark's never-executed assertion
+  checks against);
+* the collector tracks an EWMA of recent batch run times and closes a
+  forming batch early (``close_reason="deadline_risk"``) as soon as
+  waiting any longer would push its tightest member past its deadline —
+  a tight-deadline request is never coalesced behind a wait it cannot
+  afford.
 """
 
 from __future__ import annotations
@@ -26,6 +42,7 @@ from __future__ import annotations
 import asyncio
 import functools
 import inspect
+import itertools
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -105,16 +122,19 @@ class _Pending:
         "request_id",
         "trace_parent",
         "t_enqueue_ns",
+        "priority",
     )
 
     def __init__(
-        self, x, future, deadline, t_enqueue, request_id=None, trace_parent=None
+        self, x, future, deadline, t_enqueue, request_id=None, trace_parent=None,
+        priority=1,
     ):
         self.x = x
         self.future = future
         self.deadline = deadline  # absolute time.monotonic(), or None
         self.t_enqueue = t_enqueue
         self.request_id = request_id  # ingress id (X-Request-Id)
+        self.priority = priority  # admission level; lower = more important
         #: Span id of the request's ingress root span when this request
         #: was sampled for tracing; ``None`` means untraced.
         self.trace_parent = trace_parent
@@ -157,7 +177,13 @@ class DynamicBatcher:
         self.threads = threads
         self._executor = executor
         self._owns_executor = executor is None
-        self._queue: Optional[asyncio.Queue] = None
+        self._queue: Optional[asyncio.PriorityQueue] = None
+        #: FIFO tiebreak within a priority level (and keeps the queue
+        #: from ever comparing two _Pending objects).
+        self._seq = itertools.count()
+        #: EWMA of recent batch run times (ms) — the collector's estimate
+        #: of what dispatching *now* would cost, for deadline-risk closes.
+        self._run_est_ms: Optional[float] = None
         self._task: Optional[asyncio.Task] = None
         self._inflight: Optional[asyncio.Semaphore] = None
         self._pending_runs: set = set()
@@ -183,7 +209,7 @@ class DynamicBatcher:
             self._executor = ThreadPoolExecutor(
                 max_workers=2, thread_name_prefix=f"serve-{self.name or 'model'}"
             )
-        self._queue = asyncio.Queue(maxsize=self.policy.max_queue)
+        self._queue = asyncio.PriorityQueue(maxsize=self.policy.max_queue)
         self._inflight = asyncio.Semaphore(self.max_inflight)
         self._task = asyncio.get_running_loop().create_task(self._collector())
 
@@ -201,7 +227,7 @@ class DynamicBatcher:
             await asyncio.gather(*self._pending_runs, return_exceptions=True)
         # Fail anything still queued so no submitter hangs forever.
         while self._queue is not None and not self._queue.empty():
-            pending = self._queue.get_nowait()
+            _, _, pending = self._queue.get_nowait()
             if not pending.future.done():
                 pending.future.set_exception(BatcherStopped("batcher stopped"))
         if self._owns_executor and self._executor is not None:
@@ -247,6 +273,10 @@ class DynamicBatcher:
     def qsize(self) -> int:
         return self._queue.qsize() if self._queue is not None else 0
 
+    def queue_fill(self) -> float:
+        """Current queue fill fraction — the admission layer's input."""
+        return self.qsize() / max(1, self.policy.max_queue)
+
     # -- submission ---------------------------------------------------------
     async def submit(
         self,
@@ -254,6 +284,7 @@ class DynamicBatcher:
         deadline_ms: Optional[float] = None,
         request_id: Optional[str] = None,
         trace_parent: Optional[str] = None,
+        priority: Optional[int] = None,
     ) -> BatchedResult:
         """Queue one ``(1, C, H, W)`` sample; resolves when its batch ran.
 
@@ -261,7 +292,9 @@ class DynamicBatcher:
         default and any value <= 0 disables the deadline.
         ``request_id`` is the ingress id (flows into latency exemplars);
         ``trace_parent`` — the request's root span id — marks the request
-        as sampled for tracing.
+        as sampled for tracing.  ``priority`` is the admission level
+        (lower = more important; default ``standard``): under backlog the
+        collector serves lower levels first, FIFO within a level.
         """
         if self._stopped:
             raise BatcherStopped(f"model {self.name!r}: batcher stopped")
@@ -272,9 +305,12 @@ class DynamicBatcher:
             deadline_ms = self.policy.default_deadline_ms
         deadline = now + deadline_ms / 1e3 if deadline_ms and deadline_ms > 0 else None
         future = asyncio.get_running_loop().create_future()
-        pending = _Pending(x, future, deadline, now, request_id, trace_parent)
+        level = 1 if priority is None else int(priority)
+        pending = _Pending(
+            x, future, deadline, now, request_id, trace_parent, priority=level
+        )
         try:
-            self._queue.put_nowait(pending)
+            self._queue.put_nowait((level, next(self._seq), pending))
         except asyncio.QueueFull:
             self.metrics.on_reject()
             raise QueueSaturated(
@@ -290,13 +326,52 @@ class DynamicBatcher:
         self._outstanding -= 1
 
     # -- collector loop -----------------------------------------------------
+    def _expel_if_expired(self, pending: _Pending) -> Optional[_Pending]:
+        """Formation-time deadline gate: a request already past its
+        deadline is expelled with a typed 504 *before* it is stacked —
+        it never occupies a batch slot and never executes."""
+        if pending.future.done():  # client gave up / was cancelled
+            return None
+        now = time.monotonic()
+        if pending.deadline is not None and now > pending.deadline:
+            self.metrics.on_deadline_exceeded()
+            pending.future.set_exception(
+                DeadlineExceeded(
+                    f"model {self.name!r}: expired at batch formation "
+                    f"after {(now - pending.t_enqueue) * 1e3:.1f} ms in queue"
+                )
+            )
+            return None
+        return pending
+
+    def _deadline_slack_s(self, batch: List[_Pending], now: float) -> Optional[float]:
+        """Seconds the forming batch can still wait before its tightest
+        member would miss its deadline, given the EWMA run estimate.
+        ``None`` = unconstrained (no deadlines, or no estimate yet)."""
+        if self._run_est_ms is None:
+            return None
+        est_s = self._run_est_ms / 1e3
+        slack = None
+        for pending in batch:
+            if pending.deadline is None:
+                continue
+            s = pending.deadline - est_s - now
+            slack = s if slack is None else min(slack, s)
+        return slack
+
     async def _collect_batch(self) -> tuple:
         """First request blocks; then absorb until full or the wait
         expires.  Returns ``(batch, close_reason)`` where the reason is
         ``"size"`` (hit max_batch_size), ``"deadline"`` (the max_wait_ms
-        budget ran out), or ``"drain"`` (nothing left to coalesce under a
-        zero-wait policy)."""
-        batch = [await self._queue.get()]
+        budget ran out), ``"deadline_risk"`` (waiting longer would push
+        a member past its deadline), or ``"drain"`` (nothing left to
+        coalesce under a zero-wait policy)."""
+        batch: List[_Pending] = []
+        while not batch:
+            _, _, pending = await self._queue.get()
+            pending = self._expel_if_expired(pending)
+            if pending is not None:
+                batch.append(pending)
         budget_s = self.policy.max_wait_ms / 1e3
         start = time.monotonic()
         reason = "size"
@@ -304,21 +379,38 @@ class DynamicBatcher:
             # Greedily drain whatever is already queued — free coalescing
             # even with max_wait_ms=0.
             try:
-                batch.append(self._queue.get_nowait())
+                _, _, pending = self._queue.get_nowait()
+                pending = self._expel_if_expired(pending)
+                if pending is not None:
+                    batch.append(pending)
                 continue
             except asyncio.QueueEmpty:
                 pass
-            remaining = budget_s - (time.monotonic() - start)
-            if remaining <= 0:
-                reason = "drain" if budget_s <= 0 else "deadline"
+            now = time.monotonic()
+            wait = budget_s - (now - start)
+            risk = False
+            slack = self._deadline_slack_s(batch, now)
+            if slack is not None and slack < wait:
+                # A member cannot afford the full coalescing wait:
+                # shrink the window so it dispatches in time.
+                wait = slack
+                risk = True
+            if wait <= 0:
+                reason = (
+                    "deadline_risk" if risk
+                    else ("drain" if budget_s <= 0 else "deadline")
+                )
                 break
             try:
-                batch.append(
-                    await asyncio.wait_for(self._queue.get(), timeout=remaining)
+                _, _, pending = await asyncio.wait_for(
+                    self._queue.get(), timeout=wait
                 )
             except asyncio.TimeoutError:
-                reason = "deadline"
+                reason = "deadline_risk" if risk else "deadline"
                 break
+            pending = self._expel_if_expired(pending)
+            if pending is not None:
+                batch.append(pending)
         return batch, reason
 
     async def _collector(self) -> None:
@@ -401,6 +493,13 @@ class DynamicBatcher:
         t_done = time.monotonic()
         t_done_ns = obs_trace.now_ns()
         run_ms = (t_done - t_dispatch) * 1e3
+        # EWMA run-time estimate for deadline-risk batch closes.  The
+        # smoothing is deliberately heavy (0.8) so one slow outlier does
+        # not collapse every forming batch to size 1.
+        self._run_est_ms = (
+            run_ms if self._run_est_ms is None
+            else 0.8 * self._run_est_ms + 0.2 * run_ms
+        )
         self.metrics.on_batch(len(live), run_ms)
         if traced:
             self._record_batch_spans(

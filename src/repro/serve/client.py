@@ -6,6 +6,14 @@ so it is cheap per request but **not thread-safe** — concurrent callers
 thread.  Outputs come back as ``float32`` arrays: JSON carries the exact
 decimal form of each float32 value, so the round trip through the wire is
 bit-exact.
+
+Failure surface: timeouts raise :class:`ServeTimeout` (connect vs read
+phase split via ``connect_timeout`` / ``read_timeout``), refused or
+dropped connections raise :class:`ServeConnectionError`, and non-2xx
+responses raise :class:`ServeError` carrying the parsed ``Retry-After``.
+Passing a :class:`RetryPolicy` opts the client into bounded retries with
+jittered exponential backoff and a retry *budget* — see
+docs/operations.md ("Overload & incident runbook").
 """
 
 from __future__ import annotations
@@ -13,33 +21,128 @@ from __future__ import annotations
 import base64
 import http.client
 import json
+import random
 import socket
 import time
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import urlsplit
 
 import numpy as np
 
 
-class ServeError(RuntimeError):
-    """Non-2xx response from the server."""
+class ServeClientError(RuntimeError):
+    """Base class for everything a failed request can raise."""
 
-    def __init__(self, status: int, message: str):
+
+class ServeError(ServeClientError):
+    """Non-2xx response from the server.
+
+    ``retry_after`` carries the server's ``Retry-After`` header (seconds,
+    parsed) when present — 429 sheds and 503 drain responses set it.
+    """
+
+    def __init__(
+        self, status: int, message: str, retry_after: Optional[float] = None
+    ):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        self.retry_after = retry_after
+
+
+class ServeTimeout(ServeClientError):
+    """A connect or read deadline elapsed (``phase`` says which)."""
+
+    def __init__(self, phase: str, timeout_s: Optional[float], detail: str = ""):
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"{phase} timed out after {timeout_s}s{suffix}")
+        self.phase = phase
+        self.timeout_s = timeout_s
+
+
+class ServeConnectionError(ServeClientError):
+    """TCP connect failed, or the connection dropped mid-request."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side retry schedule for transient failures.
+
+    Retries shed/drain responses (429, 503) and transport failures
+    (:class:`ServeTimeout`, :class:`ServeConnectionError`) with capped
+    exponential backoff plus jitter.  A server ``Retry-After`` hint is
+    honoured when it exceeds the computed backoff.  The *retry budget*
+    bounds total sleep per client: each backoff spends from it, each
+    success refills a little, and an exhausted budget fails fast instead
+    of amplifying an overload (see docs/operations.md, "Overload &
+    incident runbook").
+    """
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.025
+    max_backoff_s: float = 1.0
+    jitter: float = 0.5
+    budget_s: float = 16.0
+    success_refill_s: float = 0.1
+    retry_statuses: Tuple[int, ...] = (429, 503)
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff times must be >= 0")
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (0-based): capped
+        exponential, jittered down by up to ``jitter`` of itself."""
+        raw = min(self.max_backoff_s, self.base_backoff_s * (2.0 ** attempt))
+        return raw * (1.0 - self.jitter * rng.random())
+
+
+def _parse_retry_after(header: Optional[str]) -> Optional[float]:
+    """``Retry-After`` seconds as a float, or None (HTTP-date forms and
+    garbage are ignored — this server only emits delta-seconds)."""
+    if header is None:
+        return None
+    try:
+        value = float(header)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
 
 
 class ServeClient:
     """Talks to one server over one persistent connection."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        connect_timeout: Optional[float] = None,
+        read_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        retry_seed: Optional[int] = None,
+    ):
         parts = urlsplit(base_url)
         if parts.scheme not in ("http", ""):
             raise ValueError(f"only http:// is supported, got {base_url!r}")
         self.host = parts.hostname or "127.0.0.1"
         self.port = parts.port or 80
         self.timeout = timeout
+        #: TCP handshake deadline; defaults to ``timeout``.
+        self.connect_timeout = (
+            timeout if connect_timeout is None else connect_timeout
+        )
+        #: Per-request response deadline; defaults to ``timeout``.
+        self.read_timeout = timeout if read_timeout is None else read_timeout
+        #: ``None`` (the default) keeps every failure a single raise;
+        #: a :class:`RetryPolicy` makes ``request`` retry transient ones.
+        self.retry = retry
+        self._retry_rng = random.Random(retry_seed)
+        self._retry_budget_s = retry.budget_s if retry is not None else 0.0
         self._conn: Optional[http.client.HTTPConnection] = None
         #: Response headers of the most recent request (lower-cased keys)
         #: — how callers read the echoed ``X-Request-Id``.
@@ -49,9 +152,30 @@ class ServeClient:
     def _connection(self) -> http.client.HTTPConnection:
         if self._conn is None:
             self._conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
+                self.host, self.port, timeout=self.connect_timeout
             )
         return self._conn
+
+    def _ensure_connected(self) -> http.client.HTTPConnection:
+        """Connect (if needed) with the connect deadline, then switch the
+        socket to the read deadline.  Maps failures to typed errors."""
+        conn = self._connection()
+        if conn.sock is None:
+            try:
+                conn.connect()
+            except socket.timeout as exc:
+                self.close()
+                raise ServeTimeout(
+                    "connect", self.connect_timeout, str(exc)
+                ) from exc
+            except OSError as exc:
+                self.close()
+                raise ServeConnectionError(
+                    f"connect to {self.host}:{self.port} failed: {exc}"
+                ) from exc
+        if conn.sock is not None:
+            conn.sock.settimeout(self.read_timeout)
+        return conn
 
     def connect(self) -> "ServeClient":
         """Eagerly establish the keep-alive TCP connection.
@@ -62,9 +186,7 @@ class ServeClient:
         load generator) connect explicitly beforehand so their timers
         cover only request → full-body-read.
         """
-        conn = self._connection()
-        if conn.sock is None:
-            conn.connect()
+        self._ensure_connected()
         return self
 
     def close(self) -> None:
@@ -78,6 +200,61 @@ class ServeClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        send_headers: Dict[str, str],
+    ) -> dict:
+        """One round trip, typed failures, no retry schedule.
+
+        A connection that drops mid-request gets one silent reconnect
+        (the server may have raced a keep-alive close between requests);
+        a second failure — or any read timeout — raises typed.
+        """
+        for attempt in (0, 1):
+            conn = self._ensure_connected()
+            try:
+                conn.request(method, path, body=body, headers=send_headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except socket.timeout as exc:
+                self.close()
+                raise ServeTimeout(
+                    "read", self.read_timeout, f"{method} {path}"
+                ) from exc
+            except (http.client.HTTPException, OSError) as exc:
+                # A raced keep-alive close: reconnect once, then give up.
+                self.close()
+                if attempt:
+                    raise ServeConnectionError(
+                        f"{method} {path} failed: {exc}"
+                    ) from exc
+        self.last_response_headers = {
+            k.lower(): v for k, v in response.getheaders()
+        }
+        retry_after = _parse_retry_after(response.getheader("Retry-After"))
+        content_type = response.getheader("Content-Type", "")
+        if data and not content_type.startswith("application/json"):
+            # Non-JSON bodies (the Prometheus exposition) come back raw.
+            if response.status >= 300:
+                raise ServeError(
+                    response.status,
+                    data.decode(errors="replace"),
+                    retry_after=retry_after,
+                )
+            return {"text": data.decode(), "content_type": content_type}
+        parsed = json.loads(data.decode()) if data else {}
+        if response.status >= 300:
+            raise ServeError(
+                response.status,
+                parsed.get("error", data.decode(errors="replace")),
+                retry_after=retry_after,
+            )
+        return parsed
+
     def request(
         self,
         method: str,
@@ -85,43 +262,51 @@ class ServeClient:
         payload: Optional[dict] = None,
         headers: Optional[Dict[str, str]] = None,
     ) -> dict:
-        """One round trip; ``headers`` adds/overrides request headers
-        (e.g. ``{"X-Request-Id": ...}`` or an ``Accept`` preference)."""
+        """One logical request; ``headers`` adds/overrides request headers
+        (e.g. ``{"X-Request-Id": ...}`` or an ``Accept`` preference).
+
+        With a :class:`RetryPolicy`, transient failures (429/503,
+        timeouts, dropped connections) are retried with jittered backoff
+        until the policy's attempt count or retry budget runs out; the
+        final failure re-raises as-is.
+        """
         body = json.dumps(payload).encode() if payload is not None else None
         send_headers = {"Content-Type": "application/json"} if body else {}
         if headers:
             send_headers.update(headers)
-        for attempt in (0, 1):
-            conn = self._connection()
+        policy = self.retry
+        attempts = policy.max_attempts if policy is not None else 1
+        for attempt in range(attempts):
+            retry_after: Optional[float] = None
             try:
-                conn.request(method, path, body=body, headers=send_headers)
-                response = conn.getresponse()
-                data = response.read()
-                break
-            except (
-                http.client.HTTPException,
-                ConnectionError,
-                socket.timeout,
-            ):
-                # A raced keep-alive close: reconnect once, then give up.
-                self.close()
-                if attempt:
+                result = self._request_once(method, path, body, send_headers)
+                if policy is not None:
+                    self._retry_budget_s = min(
+                        policy.budget_s,
+                        self._retry_budget_s + policy.success_refill_s,
+                    )
+                return result
+            except ServeError as exc:
+                if policy is None or exc.status not in policy.retry_statuses:
                     raise
-        self.last_response_headers = {
-            k.lower(): v for k, v in response.getheaders()
-        }
-        content_type = response.getheader("Content-Type", "")
-        if data and not content_type.startswith("application/json"):
-            # Non-JSON bodies (the Prometheus exposition) come back raw.
-            if response.status >= 300:
-                raise ServeError(response.status, data.decode(errors="replace"))
-            return {"text": data.decode(), "content_type": content_type}
-        parsed = json.loads(data.decode()) if data else {}
-        if response.status >= 300:
-            raise ServeError(
-                response.status, parsed.get("error", data.decode(errors="replace"))
+                last_error: ServeClientError = exc
+                retry_after = exc.retry_after
+            except (ServeTimeout, ServeConnectionError) as exc:
+                if policy is None:
+                    raise
+                last_error = exc
+            if attempt + 1 >= attempts:
+                raise last_error
+            delay = max(
+                policy.backoff_s(attempt, self._retry_rng), retry_after or 0.0
             )
-        return parsed
+            if delay > self._retry_budget_s:
+                # Budget exhausted: fail fast rather than pile more load
+                # (and more latency) onto an already-struggling server.
+                raise last_error
+            self._retry_budget_s -= delay
+            time.sleep(delay)
+        raise last_error  # unreachable; keeps the type checker honest
 
     # -- API ----------------------------------------------------------------
     @staticmethod
@@ -167,8 +352,15 @@ class ServeClient:
         deadline_ms: Optional[float] = None,
         encoding: str = "json",
         request_id: Optional[str] = None,
+        priority: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> dict:
-        """POST one sample (C, H, W); returns the full response dict."""
+        """POST one sample (C, H, W); returns the full response dict.
+
+        ``priority`` is an admission class name (``interactive`` /
+        ``standard`` / ``batch``); ``tenant`` feeds the per-tenant rate
+        limiter.  Both ride in the request body.
+        """
         payload = {"input": self.encode_sample(x, encoding)}
         if encoding != "json":
             payload["encoding"] = encoding
@@ -176,6 +368,10 @@ class ServeClient:
             payload["model"] = model
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
+        if priority is not None:
+            payload["priority"] = priority
+        if tenant is not None:
+            payload["tenant"] = tenant
         headers = (
             {"X-Request-Id": request_id} if request_id is not None else None
         )
@@ -196,10 +392,17 @@ class ServeClient:
         model: Optional[str] = None,
         deadline_ms: Optional[float] = None,
         encoding: str = "json",
+        priority: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> np.ndarray:
         """POST one sample; returns the output as a float32 array."""
         response = self.predict_raw(
-            x, model=model, deadline_ms=deadline_ms, encoding=encoding
+            x,
+            model=model,
+            deadline_ms=deadline_ms,
+            encoding=encoding,
+            priority=priority,
+            tenant=tenant,
         )
         return self.decode_output(response["output"], response)
 

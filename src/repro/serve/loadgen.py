@@ -1,9 +1,17 @@
-"""Closed-loop load generator + the serving throughput benchmark.
+"""Load generators (closed- and open-loop) + the serving benchmarks.
 
 :func:`run_load` drives a running server with ``concurrency`` closed-loop
 worker threads (each with its own keep-alive connection) and reports
 client-side latency percentiles plus server-side batch statistics (taken
 as a ``/metrics`` delta, so only this run's batches are counted).
+
+:func:`run_open_loop` instead fires requests on a seeded Poisson arrival
+process at a fixed offered rate — arrivals don't wait for responses, so
+an overloaded server *stays* offered-overloaded instead of being
+throttled by its own latency (the closed-loop coordination artifact).
+That is the honest way to measure shedding: :func:`measure_overload_goodput`
+runs it at 2× measured capacity and reports *goodput* (on-time successes
+per second), the ``overload_goodput`` entry in ``BENCH_serve.json``.
 
 :func:`benchmark_serving` is the self-contained sweep behind
 ``benchmarks/bench_serve_throughput.py`` and ``repro loadgen --sweep``:
@@ -16,6 +24,8 @@ verifies bit-identity of served outputs against direct
 from __future__ import annotations
 
 import json
+import queue
+import random
 import threading
 import time
 import uuid
@@ -216,6 +226,312 @@ def run_load(
         for rid, ms in all_requests[:16]
     ]
     return stats
+
+
+def poisson_arrivals(
+    rate_rps: float, duration_s: float, seed: int = 0
+) -> List[float]:
+    """Arrival offsets (seconds) of a Poisson process: seeded exponential
+    inter-arrival gaps at ``rate_rps``, truncated at ``duration_s``.
+
+    Pure and deterministic — the schedule a given ``(rate, duration,
+    seed)`` produces is identical everywhere, so open-loop runs are
+    replayable."""
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be > 0")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be > 0")
+    rng = random.Random(seed)
+    out: List[float] = []
+    t = rng.expovariate(rate_rps)
+    while t < duration_s:
+        out.append(t)
+        t += rng.expovariate(rate_rps)
+    return out
+
+
+#: Default traffic mix for :func:`run_open_loop`: one standard class,
+#: no deadline — callers override with an explicit mix.
+_DEFAULT_CLASSES = ({"name": "standard", "priority": "standard", "weight": 1.0},)
+
+
+def run_open_loop(
+    base_url: str,
+    model: str,
+    samples: np.ndarray,
+    rate_rps: float,
+    duration_s: float,
+    classes: Optional[Sequence[dict]] = None,
+    seed: int = 0,
+    encoding: str = "b64",
+    timeout: float = 30.0,
+    client_threads: int = 32,
+    collect_request_ids: bool = False,
+) -> dict:
+    """Open-loop load: requests fire on a seeded Poisson schedule.
+
+    Each arrival draws a traffic *class* — ``{"name", "priority",
+    "deadline_ms", "weight", "tenant"}`` (all but ``name`` optional) —
+    by weight from the same seed, so a run is fully replayable.  A pool
+    of ``client_threads`` sender threads (each with its own keep-alive
+    connection) drains the schedule; because senders never wait for a
+    response before the *next arrival is due*, an overloaded server
+    keeps receiving the offered rate.
+
+    Every request's outcome is recorded — 2xx, typed HTTP status, or
+    ``transport`` — so ``sent == accounted`` detects silent drops.
+    *Goodput* counts only 2xx responses that beat their class deadline
+    (classes without one count every 2xx).  With
+    ``collect_request_ids``, per-outcome request-id lists come back too
+    (how the overload gate joins 504s against executed batch spans).
+    """
+    class_list = [dict(c) for c in (classes or _DEFAULT_CLASSES)]
+    for c in class_list:
+        c.setdefault("priority", "standard")
+        c.setdefault("deadline_ms", None)
+        c.setdefault("weight", 1.0)
+        c.setdefault("tenant", None)
+    arrivals = poisson_arrivals(rate_rps, duration_s, seed=seed)
+    rng = random.Random(seed ^ 0x9E3779B9)
+    assigned = rng.choices(
+        range(len(class_list)),
+        weights=[c["weight"] for c in class_list],
+        k=len(arrivals),
+    )
+
+    samples = np.asarray(samples, dtype=np.float32)
+    payloads = [
+        ServeClient.encode_sample(samples[i], encoding)
+        for i in range(samples.shape[0])
+    ]
+    extra = {} if encoding == "json" else {"encoding": encoding}
+
+    jobs: "queue.Queue" = queue.Queue()
+    records: List[Tuple[int, object, float, str]] = []  # (class, status, ms, rid)
+    records_lock = threading.Lock()
+
+    def sender() -> None:
+        with ServeClient(base_url, timeout=timeout) as client:
+            try:
+                client.connect()
+            except Exception:  # noqa: BLE001 — the timed path will retry
+                pass
+            while True:
+                job = jobs.get()
+                if job is None:
+                    return
+                index, cls_index = job
+                cls = class_list[cls_index]
+                payload = {
+                    "model": model,
+                    "input": payloads[index % len(payloads)],
+                    "priority": cls["priority"],
+                    **extra,
+                }
+                if cls["deadline_ms"] is not None:
+                    payload["deadline_ms"] = cls["deadline_ms"]
+                if cls["tenant"] is not None:
+                    payload["tenant"] = cls["tenant"]
+                rid = f"ol-{index:06d}-{uuid.uuid4().hex[:8]}"
+                t0 = time.perf_counter()
+                try:
+                    client.request(
+                        "POST", "/predict", payload,
+                        headers={"X-Request-Id": rid},
+                    )
+                    status: object = 200
+                except ServeError as exc:
+                    status = exc.status
+                except Exception:  # noqa: BLE001 — reset / timeout / refused
+                    status = "transport"
+                latency_ms = (time.perf_counter() - t0) * 1e3
+                with records_lock:
+                    records.append((cls_index, status, latency_ms, rid))
+
+    n_threads = max(1, min(client_threads, len(arrivals) or 1))
+    threads = [
+        threading.Thread(target=sender, daemon=True) for _ in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    t_start = time.perf_counter()
+    for index, (t_due, cls_index) in enumerate(zip(arrivals, assigned)):
+        lag = t_due - (time.perf_counter() - t_start)
+        if lag > 0:
+            time.sleep(lag)
+        jobs.put((index, cls_index))
+    for _ in threads:
+        jobs.put(None)
+    for thread in threads:
+        thread.join()
+    elapsed_s = time.perf_counter() - t_start
+
+    by_status: Dict[str, int] = {}
+    per_class: Dict[str, dict] = {}
+    rids_by_outcome: Dict[str, List[str]] = {}
+    goodput = 0
+    for name in [c["name"] for c in class_list]:
+        per_class[name] = {
+            "sent": 0, "ok": 0, "within_deadline": 0, "latencies": []
+        }
+    for cls_index, status, latency_ms, rid in records:
+        cls = class_list[cls_index]
+        key = str(status)
+        by_status[key] = by_status.get(key, 0) + 1
+        if collect_request_ids:
+            rids_by_outcome.setdefault(key, []).append(rid)
+        entry = per_class[cls["name"]]
+        entry["sent"] += 1
+        if status == 200:
+            entry["ok"] += 1
+            entry["latencies"].append(latency_ms)
+            deadline = cls["deadline_ms"]
+            if deadline is None or latency_ms <= deadline:
+                entry["within_deadline"] += 1
+                goodput += 1
+
+    for name, entry in per_class.items():
+        lat = np.asarray(entry.pop("latencies"), dtype=np.float64)
+        if lat.size:
+            p50, p99 = np.percentile(lat, [50, 99])
+            entry["p50_ms"] = float(p50)
+            entry["p99_ms"] = float(p99)
+
+    accounted = len(records)
+    stats = {
+        "rate_rps": rate_rps,
+        "duration_s": duration_s,
+        "elapsed_s": elapsed_s,
+        "seed": seed,
+        "sent": len(arrivals),
+        "accounted": accounted,
+        "unaccounted": len(arrivals) - accounted,
+        "by_status": dict(sorted(by_status.items())),
+        "classes": per_class,
+        "goodput": goodput,
+        "goodput_rps": goodput / elapsed_s if elapsed_s > 0 else 0.0,
+        "goodput_ratio": goodput / len(arrivals) if arrivals else 0.0,
+    }
+    if collect_request_ids:
+        stats["request_ids"] = rids_by_outcome
+    return stats
+
+
+def _executed_request_ids(base_url: str, timeout: float = 30.0) -> set:
+    """Request ids that reached execution, read from the server's span
+    buffer: every ``batch`` span lists its *executed* members in the
+    ``request_ids`` attr (expelled-at-formation requests never appear)."""
+    with ServeClient(base_url, timeout=timeout) as client:
+        doc = client.trace(format="spans")
+    executed = set()
+    for span in doc.get("spans", []):
+        if span.get("name") == "batch":
+            executed.update(span.get("attrs", {}).get("request_ids") or [])
+    return executed
+
+
+def measure_overload_goodput(
+    model_name: str,
+    workers: int = 0,
+    quick: bool = False,
+    verbose: bool = True,
+    seed: int = 0,
+) -> dict:
+    """The overload-honesty benchmark (ISSUE 8): offered load at 2×
+    measured capacity must shed *predictably*.
+
+    Three steps against one in-process (or ``workers``-sharded) server
+    traced at rate 1.0:
+
+    1. closed-loop capacity measurement (``capacity_rps``, p50);
+    2. open-loop Poisson traffic at ``2 × capacity_rps`` with a 25 %
+       ``interactive`` slice on a tight deadline (``max(30 ms, 5×p50)``)
+       and a 75 % ``batch`` slice on the server default deadline;
+    3. the honesty checks — every request accounted (no silent drops),
+       and **no expired request executed**: the 504s' request ids must
+       be disjoint from the ids inside executed ``batch`` spans.
+
+    The returned entry is gated by ``benchmarks/check_bench_regression.py``
+    (``overload_goodput``).
+    """
+    spec = ModelSpec.parse(model_name)
+    rng = np.random.default_rng(seed)
+    samples = rng.standard_normal((32,) + spec.sample_shape).astype(np.float32)
+    registry = ModelRegistry(lazy=workers > 0)
+    served = registry.load(spec)
+
+    capacity_requests = 96 if quick else 256
+    duration_s = 1.5 if quick else 4.0
+
+    with start_in_background(
+        registry,
+        policy=POLICIES["dynamic"],
+        workers=workers,
+        worker_replicas=workers or None,
+        trace_rate=1.0,
+    ) as handle:
+        capacity = _best_of_trials(
+            handle.base_url, served.name, samples,
+            concurrency=16, total_requests=capacity_requests,
+            trials=1 if quick else 2,
+        )
+        capacity_rps = capacity["throughput_rps"]
+        tight_deadline_ms = max(30.0, 5.0 * capacity.get("p50_ms", 6.0))
+        offered_rps = 2.0 * capacity_rps
+        classes = [
+            {
+                "name": "tight",
+                "priority": "interactive",
+                "deadline_ms": tight_deadline_ms,
+                "weight": 0.25,
+            },
+            {"name": "loose", "priority": "batch", "weight": 0.75},
+        ]
+        open_stats = run_open_loop(
+            handle.base_url, served.name, samples,
+            rate_rps=offered_rps, duration_s=duration_s,
+            classes=classes, seed=seed, collect_request_ids=True,
+            client_threads=48,
+        )
+        executed = _executed_request_ids(handle.base_url)
+
+    rids = open_stats.pop("request_ids")
+    expired_rids = set(rids.get("504", []))
+    tight = open_stats["classes"]["tight"]
+    entry = {
+        "model": served.name,
+        "workers": workers,
+        "quick": bool(quick),
+        "seed": seed,
+        "capacity_rps": capacity_rps,
+        "offered_rps": offered_rps,
+        "duration_s": duration_s,
+        "sent": open_stats["sent"],
+        "goodput_rps": open_stats["goodput_rps"],
+        "goodput_ratio": open_stats["goodput_ratio"],
+        "sheds_429": open_stats["by_status"].get("429", 0),
+        "expired_504": open_stats["by_status"].get("504", 0),
+        "expired_executed": len(expired_rids & executed),
+        "unaccounted": open_stats["unaccounted"],
+        "tight": {
+            "deadline_ms": tight_deadline_ms,
+            "sent": tight["sent"],
+            "ok": tight["ok"],
+            "within_deadline": tight["within_deadline"],
+            "p99_ms": tight.get("p99_ms"),
+        },
+        "by_status": open_stats["by_status"],
+    }
+    if verbose:
+        print(
+            f"overload 2x: capacity {capacity_rps:.0f} rps, offered "
+            f"{offered_rps:.0f} rps -> goodput {entry['goodput_rps']:.0f} rps "
+            f"({entry['goodput_ratio']:.0%} of sent); 429s "
+            f"{entry['sheds_429']}, 504s {entry['expired_504']} "
+            f"(executed-after-expiry {entry['expired_executed']}, "
+            f"unaccounted {entry['unaccounted']})"
+        )
+    return entry
 
 
 def dump_slowest(
@@ -598,6 +914,11 @@ def benchmark_serving(
         model_name, workers=max(workers_scale, 1), verbose=verbose
     )
 
+    # -- overload honesty: goodput at 2x capacity ---------------------------
+    overload_goodput = measure_overload_goodput(
+        model_name, workers=workers, quick=quick, verbose=verbose
+    )
+
     report = {
         "model": served.name,
         "workers": workers,
@@ -609,6 +930,7 @@ def benchmark_serving(
         "speedup_dynamic_over_batch1": speedups,
         "workers_scaling": workers_scaling,
         "artifact_cold_start": artifact_cold_start,
+        "overload_goodput": overload_goodput,
     }
     if out_path:
         with open(out_path, "w") as fh:

@@ -77,6 +77,7 @@ class ModelMetrics:
         self.requests_total = 0  # accepted into the queue
         self.responses_total = 0  # completed successfully
         self.rejected_total = 0  # backpressure (429)
+        self.shed_total = 0  # admission-control sheds (429, pre-queue)
         self.deadline_exceeded_total = 0  # expired before execution (504)
         self.errors_total = 0  # kernel / internal failures (500)
         self.batches_total = 0
@@ -104,6 +105,15 @@ class ModelMetrics:
 
     def on_reject(self) -> None:
         with self._lock:
+            self.rejected_total += 1
+
+    def on_shed(self) -> None:
+        """Admission control refused the request before it touched the
+        queue (watermark or tenant bucket — HTTP 429).  Counted into
+        ``rejected_total`` as well: that counter remains "every 429 this
+        model answered", with ``shed_total`` the admission subset."""
+        with self._lock:
+            self.shed_total += 1
             self.rejected_total += 1
 
     def on_deadline_exceeded(self, n: int = 1) -> None:
@@ -176,6 +186,7 @@ class ModelMetrics:
                 "requests_total": self.requests_total,
                 "responses_total": self.responses_total,
                 "rejected_total": self.rejected_total,
+                "shed_total": self.shed_total,
                 "deadline_exceeded_total": self.deadline_exceeded_total,
                 "errors_total": self.errors_total,
                 "batches_total": self.batches_total,
@@ -212,6 +223,7 @@ class ModelMetrics:
                     "requests_total": self.requests_total,
                     "responses_total": self.responses_total,
                     "rejected_total": self.rejected_total,
+                    "shed_total": self.shed_total,
                     "deadline_exceeded_total": self.deadline_exceeded_total,
                     "errors_total": self.errors_total,
                     "batches_total": self.batches_total,

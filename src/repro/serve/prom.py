@@ -60,8 +60,14 @@ def wants_prometheus(accept_header: Optional[str]) -> bool:
 def render_prometheus(
     metrics: ServerMetrics,
     trace_info: Optional[Dict] = None,
+    worker_info: Optional[Dict] = None,
 ) -> str:
-    """Render the whole-server exposition document."""
+    """Render the whole-server exposition document.
+
+    ``worker_info`` (only with ``--workers``) carries the router's
+    pool-level resilience counters: respawns, watchdog kills, batch
+    retries, corrupt-transport detections.
+    """
     lines: List[str] = []
 
     def head(name: str, kind: str, help_text: str) -> None:
@@ -70,6 +76,32 @@ def render_prometheus(
 
     head("repro_uptime_seconds", "gauge", "Seconds since server start.")
     lines.append(f"repro_uptime_seconds {_fmt(metrics.uptime_s())}")
+
+    if worker_info:
+        pool_help = {
+            "worker_restarts": (
+                "repro_worker_restarts_total",
+                "Worker processes respawned after death.",
+            ),
+            "watchdog_kills": (
+                "repro_watchdog_kills_total",
+                "Workers killed by the watchdog (hang probe or reply "
+                "timeout).",
+            ),
+            "retries_total": (
+                "repro_worker_retries_total",
+                "Batches re-submitted after a worker death or corrupt "
+                "response.",
+            ),
+            "corrupt_responses_total": (
+                "repro_corrupt_responses_total",
+                "Responses that failed their transport checksum.",
+            ),
+        }
+        for key, (series, help_text) in pool_help.items():
+            if key in worker_info:
+                head(series, "counter", help_text)
+                lines.append(f"{series} {_fmt(worker_info[key])}")
 
     if trace_info:
         head(
@@ -93,6 +125,7 @@ def render_prometheus(
         "requests_total": "Requests accepted into the queue.",
         "responses_total": "Requests answered successfully.",
         "rejected_total": "Backpressure rejections (HTTP 429).",
+        "shed_total": "Admission-control sheds before the queue (HTTP 429).",
         "deadline_exceeded_total": "Deadline expiries (HTTP 504).",
         "errors_total": "Execution failures (HTTP 500).",
         "batches_total": "Coalesced engine batches executed.",

@@ -21,7 +21,20 @@ them over the shared-memory slot ring:
 Failure mapping: a worker *execution* error (the model raised) is
 :class:`WorkerError` — deterministic, never retried, surfaced as
 HTTP 500.  A worker *death* is :class:`WorkerDied` — retried up to
-``max_retries`` times before giving up.
+``max_retries`` times before giving up.  A damaged response payload
+(checksum mismatch over the shm/pipe transport) is
+:class:`TransportCorrupt`, a ``WorkerDied`` subclass retried the same
+way but *without* killing the worker — the plan run was fine, only the
+payload in flight was not.
+
+Watchdog (ISSUE 8): two independent mechanisms bound how long a wedged
+worker can hold traffic.  The monitor's ``probe_hang`` ages an
+outstanding ping and kills workers silent past ``hang_timeout``
+(catches SIGSTOP/livelock with *no* traffic in flight); each dispatch
+additionally bounds its own reply wait with ``reply_timeout`` — a
+worker that swallowed a batch without answering is killed and the batch
+retried, so no request ever hangs indefinitely.  Both kill paths are
+counted (``watchdog_kills``) and exposed via ``stats()`` / ``/metrics``.
 """
 
 from __future__ import annotations
@@ -30,6 +43,7 @@ import hashlib
 import multiprocessing
 import threading
 import time
+import zlib
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -49,6 +63,15 @@ class WorkerError(RuntimeError):
 
 class WorkerDied(RuntimeError):
     """The worker process vanished with this request in flight."""
+
+
+class TransportCorrupt(WorkerDied):
+    """Response payload failed its checksum crossing shm/pipe transport.
+
+    Subclasses :class:`WorkerDied` so the router's retry loop picks it
+    up, but the retry path leaves the worker alive: plan execution is
+    deterministic, so re-running the batch reproduces the true bytes.
+    """
 
 
 class _Waiter:
@@ -73,14 +96,25 @@ class _WorkerHandle:
         threads: Optional[int],
         ctx,
         artifacts: Optional[Dict[str, str]] = None,
+        reply_timeout: float = 120.0,
+        chaos: Optional[str] = None,
+        chaos_generation: int = 0,
     ):
         self.worker_id = worker_id
         self.spec_names = list(spec_names)
         self.slot_bytes = slot_bytes
         self.num_slots = num_slots
+        #: Hard bound on one batch's reply wait: a worker that ate the
+        #: message without answering (hang after recv, dropped reply) is
+        #: killed and the batch retried.  Must exceed the slowest
+        #: honest batch; chaos tests shrink it to keep suites fast.
+        self.reply_timeout = reply_timeout
+        #: Router-installed callback counting watchdog kills (reply
+        #: timeouts here, hang-probe kills in the monitor).
+        self.on_watchdog_kill = None
         self.shm, self.conn, self.process = spawn_worker(
             ctx, worker_id, spec_names, plans, slot_bytes, num_slots, threads,
-            artifacts,
+            artifacts, chaos, chaos_generation,
         )
         self._send_lock = threading.Lock()
         self._state_lock = threading.Lock()
@@ -268,9 +302,39 @@ class _WorkerHandle:
                  traced),
                 waiter, req_id,
             )
-            waiter.event.wait()
+            if not waiter.event.wait(self.reply_timeout):
+                # The worker accepted the batch and went silent — hung
+                # after recv, or the reply was dropped.  The message is
+                # unrecoverable in this process (re-sending would double
+                # execute on a worker that merely stalled), so kill it:
+                # the reader's EOF fails the other pending waiters and
+                # the router's retry path re-runs this batch elsewhere,
+                # bit-identically.
+                with self._state_lock:
+                    self._pending.pop(req_id, None)
+                if self.on_watchdog_kill is not None:
+                    self.on_watchdog_kill("reply_timeout")
+                try:
+                    self.process.kill()
+                except OSError:
+                    pass
+                if traced:
+                    trace_into.record(
+                        "worker_roundtrip", "transport", t_start,
+                        attrs={"worker": self.worker_id, "model": model,
+                               "error": "reply_timeout"},
+                        span_id=rt_id, proc="frontend",
+                    )
+                raise WorkerDied(
+                    f"worker {self.worker_id}: no reply in "
+                    f"{self.reply_timeout:g}s, presumed wedged (killed)"
+                )
             if waiter.kind == "ok":
-                out_slot, out_shape, run_ms, out_inline, spans = waiter.payload
+                payload = waiter.payload
+                # Pre-checksum workers (old artifact mid-upgrade) send a
+                # 5-tuple; treat the missing crc as "don't verify".
+                crc = payload[5] if len(payload) > 5 else None
+                out_slot, out_shape, run_ms, out_inline, spans = payload[:5]
                 t_read = now_ns() if traced else 0
                 if out_inline is not None:
                     out = np.frombuffer(
@@ -281,6 +345,11 @@ class _WorkerHandle:
                     out = slot_view(
                         self.shm, out_slot, self.slot_bytes, out_shape
                     ).copy()
+                if crc is not None and zlib.crc32(out.tobytes()) != crc:
+                    raise TransportCorrupt(
+                        f"worker {self.worker_id}: response checksum "
+                        f"mismatch for {model!r} batch {tuple(out_shape)}"
+                    )
                 if traced:
                     trace_into.record(
                         "shm_read", "transport", t_read,
@@ -416,6 +485,8 @@ class WorkerRouter:
         max_retries: int = 2,
         ready_timeout: float = 300.0,
         artifacts: Optional[Dict[str, str]] = None,
+        reply_timeout: float = 120.0,
+        chaos: Optional[str] = None,
     ):
         # ``health_interval=None`` disables the monitor entirely — and
         # with it both dead-worker respawn-without-traffic AND the
@@ -443,6 +514,14 @@ class WorkerRouter:
         self.max_retries = max_retries
         self.ready_timeout = ready_timeout
         self.health_interval = health_interval
+        self.reply_timeout = reply_timeout
+        #: Chaos spec string (:mod:`repro.chaos`); validated here so a
+        #: typo fails at construction, not silently inside workers.
+        self.chaos = chaos
+        if chaos:
+            from repro.chaos import parse_chaos_spec
+
+            parse_chaos_spec(chaos)
         #: A worker that answers no ping for this long while claiming to
         #: be alive is treated as hung and killed.  Must comfortably
         #: exceed the longest single batch (pings are answered between
@@ -458,6 +537,9 @@ class WorkerRouter:
         self._lock = threading.Lock()
         self._handles: List[Optional[_WorkerHandle]] = [None] * workers
         self._restarts = [0] * workers
+        self._watchdog_kills = 0
+        self._retries = 0
+        self._corrupt_responses = 0
         self._rotor = 0
         self._stop = threading.Event()
         self._monitor: Optional[threading.Thread] = None
@@ -508,7 +590,8 @@ class WorkerRouter:
     def _spawn(self, worker_id: int) -> _WorkerHandle:
         with self._lock:
             artifacts = dict(self.artifacts)
-        return _WorkerHandle(
+            generation = self._restarts[worker_id]
+        handle = _WorkerHandle(
             worker_id,
             self._names_for(worker_id),
             self._plans,
@@ -517,7 +600,16 @@ class WorkerRouter:
             self.threads,
             self._ctx,
             artifacts=artifacts,
+            reply_timeout=self.reply_timeout,
+            chaos=self.chaos,
+            chaos_generation=generation,
         )
+        handle.on_watchdog_kill = self._note_watchdog_kill
+        return handle
+
+    def _note_watchdog_kill(self, reason: str) -> None:
+        with self._lock:
+            self._watchdog_kills += 1
 
     def stop(self) -> None:
         self._stop.set()
@@ -547,6 +639,7 @@ class WorkerRouter:
                         # a replica) and the next branch respawns it.
                         try:
                             if handle.probe_hang() > self.hang_timeout:
+                                self._note_watchdog_kill("hang_probe")
                                 handle.process.kill()
                         except WorkerDied:
                             pass
@@ -648,8 +741,17 @@ class WorkerRouter:
                 return handle.run(
                     model, x, threads=threads, trace_into=trace_into
                 )
+            except TransportCorrupt as exc:
+                # The worker is fine — only the payload in flight was
+                # damaged.  Retry without killing anything.
+                last = exc
+                with self._lock:
+                    self._corrupt_responses += 1
+                    self._retries += 1
             except WorkerDied as exc:
                 last = exc
+                with self._lock:
+                    self._retries += 1
                 threading.Thread(
                     target=self._respawn_quietly, args=(handle,), daemon=True,
                     name=f"serve-worker-respawn-{handle.worker_id}",
@@ -705,15 +807,39 @@ class WorkerRouter:
                 except (WorkerDied, WorkerError):
                     pass
 
+    def respawning(self) -> bool:
+        """True while any worker slot is down or mid-respawn — the
+        ``/healthz`` "worker respawning" degradation signal."""
+        if not self._started:
+            return False
+        with self._lock:
+            handles = list(self._handles)
+        return any(h is None or not h.alive() for h in handles)
+
     # -- metrics ------------------------------------------------------------
     def restarts_total(self) -> int:
         with self._lock:
             return sum(self._restarts)
 
+    def watchdog_kills_total(self) -> int:
+        with self._lock:
+            return self._watchdog_kills
+
+    def retries_total(self) -> int:
+        with self._lock:
+            return self._retries
+
+    def corrupt_responses_total(self) -> int:
+        with self._lock:
+            return self._corrupt_responses
+
     def stats(self, refresh: bool = True, ping_timeout: float = 2.0) -> dict:
         with self._lock:
             handles = list(self._handles)
             restarts = list(self._restarts)
+            watchdog_kills = self._watchdog_kills
+            retries = self._retries
+            corrupt = self._corrupt_responses
         per_worker = []
         cache_totals = {"size": 0, "hits": 0, "misses": 0}
         for worker_id, handle in enumerate(handles):
@@ -754,6 +880,10 @@ class WorkerRouter:
             "count": self.workers,
             "replicas": self.replicas,
             "worker_restarts": sum(restarts),
+            "watchdog_kills": watchdog_kills,
+            "retries_total": retries,
+            "corrupt_responses_total": corrupt,
+            "chaos": self.chaos,
             "shm_bytes_total": sum(
                 h.shm_bytes for h in handles if h is not None
             ),

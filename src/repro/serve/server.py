@@ -46,6 +46,12 @@ import numpy as np
 from repro.engine.cache import PlanCache, plan_cache
 from repro.obs import trace as obs_trace
 from repro.obs.export import to_chrome_trace
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    RequestShed,
+    resolve_priority,
+)
 from repro.serve.batcher import (
     BatcherStopped,
     BatchPolicy,
@@ -132,6 +138,9 @@ class InferenceServer:
         worker_health_interval: Optional[float] = 2.0,
         trace_rate: Optional[float] = None,
         trace_buffer: Optional["obs_trace.TraceBuffer"] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        chaos: Optional[str] = None,
+        worker_reply_timeout: float = 120.0,
     ):
         self.registry = registry
         self.policy = policy or BatchPolicy()
@@ -140,6 +149,15 @@ class InferenceServer:
         self.workers = int(workers or 0)
         self.worker_replicas = worker_replicas
         self.worker_health_interval = worker_health_interval
+        #: Ingress gate: priority watermarks + per-tenant token buckets
+        #: (docs/operations.md 'Overload & incident runbook').
+        self.admission = AdmissionController(admission)
+        #: Chaos spec forwarded to workers (``--chaos`` / REPRO_CHAOS).
+        self.chaos = chaos
+        self.worker_reply_timeout = worker_reply_timeout
+        #: SIGTERM graceful drain: set by :meth:`drain` — intake answers
+        #: 503 and connections close after their in-flight response.
+        self._draining = False
         self.metrics = metrics or ServerMetrics()
         self.cache = cache if cache is not None else plan_cache
         #: Engine threads per dispatched batch (``repro serve --threads``,
@@ -194,6 +212,8 @@ class InferenceServer:
                 threads=self.threads,
                 health_interval=self.worker_health_interval,
                 artifacts=self.registry.artifact_paths(),
+                reply_timeout=self.worker_reply_timeout,
+                chaos=self.chaos,
             )
             # Fork before serving traffic: the child must not inherit
             # live connections or a mid-flight event loop.
@@ -245,6 +265,36 @@ class InferenceServer:
         if self._router is not None:
             router, self._router = self._router, None
             await asyncio.get_running_loop().run_in_executor(None, router.stop)
+
+    async def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful drain (the SIGTERM path): stop intake, let every
+        in-flight batch finish.
+
+        From the instant this is called, ``/predict`` answers 503 with
+        ``Retry-After`` (typed ``"draining"`` reason), keep-alive
+        connections close after their current response, and ``/healthz``
+        reports ``degraded (draining)``.  Returns ``True`` once every
+        batcher's outstanding count reached zero (no accepted request
+        was dropped); ``False`` if ``timeout`` expired first.  The
+        server keeps answering health/metrics/trace reads throughout —
+        the operator can watch the drain — and the caller then runs
+        :meth:`stop` (docs/operations.md 'Overload & incident runbook').
+        """
+        self._draining = True
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while loop.time() < deadline:
+            outstanding = sum(
+                b.outstanding() for b in self._batchers.values()
+            )
+            if outstanding == 0:
+                return True
+            await asyncio.sleep(0.02)
+        return sum(b.outstanding() for b in self._batchers.values()) == 0
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     async def serve_forever(self) -> None:
         await self.start()
@@ -550,6 +600,10 @@ class InferenceServer:
                         {"error": exc.message, "status": exc.status},
                         exc.retry_after,
                     )
+                # A draining server closes every connection after its
+                # in-flight response: clients reconnect, see the refusal,
+                # and back off to another replica.
+                close = close or self._draining
                 extra = [f"X-Request-Id: {request_id}"]
                 if isinstance(payload, _RawResponse):
                     await self._write_response(
@@ -574,7 +628,14 @@ class InferenceServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (
+                # Loop teardown cancels handler tasks mid-close; swallowing
+                # here lets the task finish clean instead of logging one
+                # "Exception in callback" per open keep-alive connection.
+                asyncio.CancelledError,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
                 pass
 
     @staticmethod
@@ -634,14 +695,26 @@ class InferenceServer:
         if path == "/predict":
             if method != "POST":
                 raise _HttpError(405, "/predict requires POST")
-            return await self._predict(body, request_id=request_id)
+            return await self._predict(body, request_id=request_id,
+                                       headers=headers)
         if path == "/models" and method == "POST":
             return await self._models_post(body)
         if method not in ("GET", "HEAD"):
             raise _HttpError(405, f"{path} requires GET")
         if path == "/healthz":
+            # Three-state health: "ok", "degraded" (+ machine-readable
+            # reasons — still serving, but an operator should look), and
+            # the implicit third state of not answering at all.
+            reasons = []
+            if self._draining:
+                reasons.append("draining")
+            if self.admission.shedding_recently():
+                reasons.append("shedding")
+            if self._router is not None and self._router.respawning():
+                reasons.append("worker respawning")
             return {
-                "status": "ok",
+                "status": "degraded" if reasons else "ok",
+                "reasons": reasons,
                 "models": self.registry.names(),
                 "uptime_s": self.metrics.uptime_s(),
             }
@@ -655,8 +728,18 @@ class InferenceServer:
             return self._trace_endpoint(query)
         if path == "/metrics":
             if wants_prometheus(headers.get("accept")):
+                worker_info = None
+                if self._router is not None:
+                    worker_info = {
+                        "worker_restarts": self._router.restarts_total(),
+                        "watchdog_kills": self._router.watchdog_kills_total(),
+                        "retries_total": self._router.retries_total(),
+                        "corrupt_responses_total":
+                            self._router.corrupt_responses_total(),
+                    }
                 text = render_prometheus(
-                    self.metrics, trace_info=self._trace_info()
+                    self.metrics, trace_info=self._trace_info(),
+                    worker_info=worker_info,
                 )
                 return _RawResponse(text.encode("utf-8"), PROM_CONTENT_TYPE)
             snap = self.metrics.snapshot(plan_cache_stats=self.cache.stats())
@@ -665,6 +748,8 @@ class InferenceServer:
             snap["engine_threads"] = self.threads
             snap["plan_memory"] = self.cache.memory_stats()
             snap["trace"] = self._trace_info()
+            snap["admission"] = self.admission.snapshot()
+            snap["draining"] = self._draining
             if self._router is not None:
                 # Per-worker queue depth / restarts / shm bytes, plus the
                 # workers' own plan-cache and arena stats (each worker
@@ -822,20 +907,25 @@ class InferenceServer:
         return output.tolist()
 
     async def _predict(
-        self, body: bytes, request_id: Optional[str] = None
+        self,
+        body: bytes,
+        request_id: Optional[str] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> dict:
         """Sampling wrapper: when this request is traced, wrap the whole
         handler in a root ``request`` span every downstream span (queue
         wait, batch, shm transport, worker kernel steps) hangs off."""
         sampled = self._sample_trace()
         if not sampled:
-            return await self._predict_inner(body, request_id, None)
+            return await self._predict_inner(body, request_id, None, headers)
         root_id = obs_trace.new_span_id()
         t0 = obs_trace.now_ns()
         status = 200
         model = None
         try:
-            response = await self._predict_inner(body, request_id, root_id)
+            response = await self._predict_inner(
+                body, request_id, root_id, headers
+            )
             model = response.get("model")
             return response
         except _HttpError as exc:
@@ -857,7 +947,16 @@ class InferenceServer:
         body: bytes,
         request_id: Optional[str],
         trace_parent: Optional[str],
+        headers: Optional[Dict[str, str]] = None,
     ) -> dict:
+        headers = headers or {}
+        if self._draining:
+            # Typed drain refusal: nothing new is accepted, clients are
+            # told to come back elsewhere (or later).
+            raise _HttpError(
+                503, "server draining: not accepting new requests",
+                retry_after=1.0,
+            )
         try:
             request = json.loads(body.decode() or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -882,6 +981,31 @@ class InferenceServer:
         encoding = request.get("encoding", "json")
         if encoding not in ("json", "b64"):
             raise _HttpError(400, f"unknown encoding {encoding!r} (json or b64)")
+        # Admission control (ISSUE 8): priority class from the body or
+        # the X-Priority header, tenant likewise; the gate runs before
+        # any decode work so a shed request costs nearly nothing.
+        try:
+            priority = resolve_priority(
+                request.get("priority") or headers.get("x-priority")
+            )
+        except ValueError as exc:
+            raise _HttpError(400, str(exc))
+        tenant = request.get("tenant") or headers.get("x-tenant") or None
+        if tenant is not None and not isinstance(tenant, str):
+            raise _HttpError(400, "'tenant' must be a string")
+        gate = self._batchers.get(name)
+        try:
+            level = self.admission.admit(
+                priority,
+                gate.queue_fill() if gate is not None else 0.0,
+                tenant,
+            )
+        except RequestShed as exc:
+            self.metrics.for_model(name).on_shed()
+            raise _HttpError(
+                429, f"request shed: {exc.reason}",
+                retry_after=exc.retry_after,
+            )
 
         if "inputs" in request:
             raw_samples = request["inputs"]
@@ -918,6 +1042,7 @@ class InferenceServer:
                             deadline_ms=deadline_ms,
                             request_id=request_id,
                             trace_parent=trace_parent,
+                            priority=level,
                         )
                     ]
                 else:
@@ -928,6 +1053,7 @@ class InferenceServer:
                                 deadline_ms=deadline_ms,
                                 request_id=request_id,
                                 trace_parent=trace_parent,
+                                priority=level,
                             )
                         )
                         for s in samples
@@ -1033,6 +1159,15 @@ class ServerHandle:
 
         asyncio.run(main())
 
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Run the server's graceful drain from the caller's thread."""
+        if self._loop is None:
+            return True
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(timeout), self._loop
+        )
+        return future.result(timeout + 5.0)
+
     def stop(self, timeout: float = 10.0) -> None:
         if self._loop is not None and self._stop_event is not None:
             self._loop.call_soon_threadsafe(self._stop_event.set)
@@ -1056,6 +1191,9 @@ def start_in_background(
     worker_replicas: Optional[int] = None,
     worker_health_interval: Optional[float] = 2.0,
     trace_rate: Optional[float] = None,
+    admission: Optional[AdmissionPolicy] = None,
+    chaos: Optional[str] = None,
+    worker_reply_timeout: float = 120.0,
 ) -> ServerHandle:
     """Start an :class:`InferenceServer` on a daemon thread (ephemeral port
     by default) and block until it accepts connections.
@@ -1068,6 +1206,7 @@ def start_in_background(
         threads=threads, executor_threads=executor_threads,
         worker_replicas=worker_replicas,
         worker_health_interval=worker_health_interval,
-        trace_rate=trace_rate,
+        trace_rate=trace_rate, admission=admission, chaos=chaos,
+        worker_reply_timeout=worker_reply_timeout,
     )
     return ServerHandle(server).start(timeout=300.0)

@@ -51,10 +51,24 @@ Protocol (pipe messages, parent → worker)::
 worker → parent::
 
     ("ready", worker_id)                      once, after models loaded
-    ("ok",   req_id, slot, out_shape, run_ms, inline|None, spans|None)
+    ("ok",   req_id, slot, out_shape, run_ms, inline|None, spans|None, crc32)
     ("err",  req_id, slot, message)           execution failed (→ HTTP 500)
     ("pong", req_id, stats)
     ("loaded", req_id, ms|None, err|None)     answer to "load"/"unload"
+
+``crc32`` is ``zlib.crc32`` of the response tensor bytes, computed by
+the worker *before* the payload crosses the transport.  The front-end
+recomputes it after copy-out; a mismatch means the shm slot or pipe
+payload was damaged in flight and the batch is retried (the plan run
+itself is pure, so a retry is bit-identical) — see
+:class:`repro.serve.router.TransportCorrupt`.
+
+Chaos (ISSUE 8): ``worker_main`` optionally takes a chaos spec string
+(:mod:`repro.chaos`).  Faults are injected at the protocol boundaries —
+boot stall before ``ready``, crash/hang before executing a batch, reply
+delay/drop/corruption after executing it — never inside the engine, so
+every injected fault exercises exactly the recovery path a real
+infrastructure failure would.
 
 ``trace`` (observability, ISSUE 7) asks the worker to run the plan with
 a local span buffer; the ``ok`` reply then carries the per-step engine
@@ -79,6 +93,7 @@ from __future__ import annotations
 import os
 import signal
 import time
+import zlib
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -125,6 +140,8 @@ def worker_main(
     plans: Optional[Dict[str, object]],
     threads: Optional[int],
     artifacts: Optional[Dict[str, str]] = None,
+    chaos: Optional[str] = None,
+    chaos_generation: int = 0,
 ) -> None:
     """Entry point of one worker process (called in the forked child).
 
@@ -136,10 +153,27 @@ def worker_main(
     ``artifacts`` maps plan keys to ``.rpln`` paths — those keys boot by
     mmapping the artifact (no compiler in the loop; see
     docs/operations.md 'Compile-then-deploy').
+
+    ``chaos`` is a fault-injection spec string (:mod:`repro.chaos`);
+    ``chaos_generation`` is this worker slot's respawn count, mixed into
+    the injector scope so a respawned worker draws a fresh — still
+    deterministic — fault sequence instead of re-hitting the exact
+    fault that killed its predecessor.
     """
     # The parent handles SIGINT; a ^C must not kill workers before the
     # router gets to drain and stop them in order.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    injector = None
+    if chaos:
+        from repro.chaos import ChaosInjector, parse_chaos_spec
+
+        injector = ChaosInjector(
+            parse_chaos_spec(chaos),
+            scope=f"worker-{worker_id}/gen-{chaos_generation}",
+        )
+        if injector.roll("worker_slow_start"):
+            time.sleep(injector.duration_s("worker_slow_start"))
 
     from repro.engine.artifact import load_plan
     from repro.engine.cache import PlanCache
@@ -226,6 +260,15 @@ def worker_main(
             continue
         # ("run", req_id, model, slot, shape, threads, inline, trace)
         _, req_id, model, slot, shape, req_threads, inline, want_trace = msg
+        if injector is not None:
+            # Pre-execution faults: the batch is *lost*, not half-run —
+            # the parent's reply timeout / reader EOF turns either into
+            # WorkerDied and the router retries it bit-identically.
+            if injector.roll("worker_crash"):
+                os._exit(17)
+            if injector.roll("worker_hang"):
+                while True:  # livelock: alive, answering nothing —
+                    time.sleep(60)  # only the watchdog gets us out
         try:
             plan = served.get(model)
             if plan is None:
@@ -277,16 +320,36 @@ def worker_main(
                     spans_payload.append(d)
             out = np.ascontiguousarray(out, dtype=np.float32)
             stats["requests_total"] += 1
+            out_bytes = out.tobytes()
+            # Checksum over the *true* output, before any transport (or
+            # injected corruption) can touch the payload.
+            crc = zlib.crc32(out_bytes)
+            if injector is not None:
+                if injector.roll("shm_delay"):
+                    time.sleep(injector.duration_s("shm_delay"))
+                if injector.roll("pipe_drop"):
+                    # Executed, never answered: the parent's reply
+                    # timeout converts this into WorkerDied + retry.
+                    continue
+            corrupt = injector is not None and injector.roll("corrupt_response")
             if out.nbytes <= slot_bytes:
                 # The input has been fully consumed: reuse the slot for
                 # the response (zero-copy back to the front-end).
-                slot_view(shm, slot, slot_bytes, out.shape)[...] = out
+                view = slot_view(shm, slot, slot_bytes, out.shape)
+                view[...] = out
+                if corrupt and out.nbytes:
+                    flat = view.reshape(-1).view(np.uint8)
+                    flat[injector.pick_index(flat.size)] ^= 0xFF
                 conn.send(("ok", req_id, slot, out.shape, run_ms, None,
-                           spans_payload))
+                           spans_payload, crc))
             else:
                 stats["inline_responses"] += 1
+                if corrupt and out_bytes:
+                    damaged = bytearray(out_bytes)
+                    damaged[injector.pick_index(len(damaged))] ^= 0xFF
+                    out_bytes = bytes(damaged)
                 conn.send(("ok", req_id, slot, out.shape, run_ms,
-                           out.tobytes(), spans_payload))
+                           out_bytes, spans_payload, crc))
         except BaseException as exc:  # noqa: BLE001 — batch fails, worker lives
             stats["errors_total"] += 1
             try:
@@ -318,6 +381,8 @@ def spawn_worker(
     num_slots: int,
     threads: Optional[int],
     artifacts: Optional[Dict[str, str]] = None,
+    chaos: Optional[str] = None,
+    chaos_generation: int = 0,
 ):
     """Create (shm, parent_conn, process) for one worker; fork-only.
 
@@ -331,7 +396,8 @@ def spawn_worker(
     process = ctx.Process(
         target=worker_main,
         args=(worker_id, child_conn, shm, slot_bytes, num_slots,
-              list(spec_names), plans, threads, artifacts),
+              list(spec_names), plans, threads, artifacts, chaos,
+              chaos_generation),
         daemon=True,
         name=f"repro-serve-worker-{worker_id}",
     )

@@ -22,12 +22,14 @@ DOCUMENTED_FLAGS = {
         "--model", "--host", "--port", "--workers", "--worker-replicas",
         "--executor-threads", "--threads", "--max-batch-size",
         "--max-wait-ms", "--max-queue", "--deadline-ms", "--trace-rate",
+        "--tenant-rate", "--tenant-burst", "--chaos", "--drain-trace-out",
     ],
     "bench": ["--quick", "--seed", "--out", "--threads"],
     "loadgen": [
         "--url", "--model", "--concurrency", "--requests", "--deadline-ms",
         "--sweep", "--quick", "--workers", "--workers-scale", "--out",
-        "--dump-slowest", "--dump-out",
+        "--dump-slowest", "--dump-out", "--open-loop", "--duration",
+        "--priority", "--tenant", "--seed", "--overload",
     ],
     "profile": [
         "--batch", "--repeats", "--seed", "--threads", "--backends", "--out",

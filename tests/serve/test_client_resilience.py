@@ -1,0 +1,309 @@
+"""Client-side resilience (ISSUE 8): typed timeout/connection errors,
+``Retry-After``-aware retries with jittered backoff, and the retry
+budget that fails fast instead of amplifying an overload.
+
+The server side here is a scriptable raw-socket stub, so every scenario
+is deterministic: a response script like ``[429+Retry-After, 200]`` or
+``["hang"]`` exercises exactly one client behaviour with no real model
+or batcher in the loop.
+"""
+
+import json
+import random
+import re
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    RetryPolicy,
+    ServeClient,
+    ServeClientError,
+    ServeConnectionError,
+    ServeError,
+    ServeTimeout,
+)
+from repro.serve.client import _parse_retry_after
+
+
+def _http(status, body_obj, extra_headers=()):
+    body = json.dumps(body_obj).encode()
+    head = [
+        f"HTTP/1.1 {status} Stub",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        *extra_headers,
+    ]
+    return ("\r\n".join(head) + "\r\n\r\n").encode() + body
+
+
+class StubServer:
+    """One scripted action per request: raw bytes to send, ``"drop"``
+    (read the request, close the connection), or ``"hang"`` (read the
+    request, never reply).  After the script runs out every request gets
+    a plain 200."""
+
+    def __init__(self, actions=()):
+        self._actions = list(actions)
+        self._lock = threading.Lock()
+        self.requests_seen = 0
+        self._stop = threading.Event()
+        self._sock = socket.socket()
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    @property
+    def base_url(self):
+        return f"http://127.0.0.1:{self.port}"
+
+    def stop(self):
+        self._stop.set()
+        self._sock.close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+    def _next_action(self):
+        with self._lock:
+            self.requests_seen += 1
+            return self._actions.pop(0) if self._actions else None
+
+    def _serve(self):
+        self._sock.settimeout(0.1)
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def _handle(self, conn):
+        try:
+            while not self._stop.is_set():
+                if not self._read_request(conn):
+                    return
+                action = self._next_action()
+                if action == "drop":
+                    return
+                if action == "hang":
+                    self._stop.wait(30.0)
+                    return
+                conn.sendall(
+                    action if action is not None else _http(200, {"ok": True})
+                )
+        except OSError:
+            pass
+        finally:
+            conn.close()
+
+    def _read_request(self, conn):
+        conn.settimeout(10.0)
+        data = b""
+        while b"\r\n\r\n" not in data:
+            try:
+                chunk = conn.recv(4096)
+            except OSError:
+                return False
+            if not chunk:
+                return False
+            data += chunk
+        head, _, rest = data.partition(b"\r\n\r\n")
+        match = re.search(rb"content-length:\s*(\d+)", head, re.I)
+        need = int(match.group(1)) if match else 0
+        while len(rest) < need:
+            chunk = conn.recv(4096)
+            if not chunk:
+                return False
+            rest += chunk
+        return True
+
+
+class TestTypedFailures:
+    def test_refused_connection_is_typed_and_single_raise(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with ServeClient(f"http://127.0.0.1:{port}", timeout=2.0) as client:
+            with pytest.raises(ServeConnectionError):
+                client.healthz()
+
+    def test_read_timeout_is_typed_with_phase(self):
+        with StubServer(["hang"]) as server:
+            with ServeClient(
+                server.base_url, timeout=5.0, read_timeout=0.2
+            ) as client:
+                start = time.monotonic()
+                with pytest.raises(ServeTimeout) as info:
+                    client.healthz()
+                assert time.monotonic() - start < 3.0
+            assert info.value.phase == "read"
+            assert info.value.timeout_s == pytest.approx(0.2)
+
+    def test_all_failures_share_one_base_class(self):
+        for exc_type in (ServeError, ServeTimeout, ServeConnectionError):
+            assert issubclass(exc_type, ServeClientError)
+
+    def test_no_retry_by_default(self):
+        """retry=None (the default) keeps every failure a single raise —
+        exactly one request on the wire."""
+        with StubServer(
+            [_http(429, {"error": "shed"}, ["Retry-After: 0.01"])]
+        ) as server:
+            with ServeClient(server.base_url) as client:
+                with pytest.raises(ServeError) as info:
+                    client.healthz()
+            assert info.value.status == 429
+            assert info.value.retry_after == pytest.approx(0.01)
+            assert server.requests_seen == 1
+
+
+class TestRetryPolicy:
+    def test_429_retried_honouring_retry_after(self):
+        """The server's Retry-After hint wins when it exceeds the
+        computed backoff — the client must not come back early."""
+        with StubServer(
+            [_http(429, {"error": "shed"}, ["Retry-After: 0.2"])]
+        ) as server:
+            policy = RetryPolicy(
+                max_attempts=3, base_backoff_s=0.001, jitter=0.0
+            )
+            with ServeClient(
+                server.base_url, retry=policy, retry_seed=0
+            ) as client:
+                start = time.monotonic()
+                assert client.healthz() == {"ok": True}
+                assert time.monotonic() - start >= 0.2
+            assert server.requests_seen == 2
+
+    def test_503_retried_as_transient(self):
+        with StubServer(
+            [_http(503, {"error": "draining"}, ["Retry-After: 0.01"])]
+        ) as server:
+            policy = RetryPolicy(max_attempts=2, base_backoff_s=0.001)
+            with ServeClient(
+                server.base_url, retry=policy, retry_seed=0
+            ) as client:
+                assert client.healthz() == {"ok": True}
+            assert server.requests_seen == 2
+
+    def test_other_statuses_never_retried(self):
+        with StubServer([_http(400, {"error": "bad request"})]) as server:
+            policy = RetryPolicy(max_attempts=5, base_backoff_s=0.001)
+            with ServeClient(server.base_url, retry=policy) as client:
+                with pytest.raises(ServeError) as info:
+                    client.healthz()
+            assert info.value.status == 400
+            assert server.requests_seen == 1
+
+    def test_dropped_connections_retried(self):
+        with StubServer(["drop", "drop", "drop"]) as server:
+            policy = RetryPolicy(max_attempts=3, base_backoff_s=0.001)
+            with ServeClient(
+                server.base_url, retry=policy, retry_seed=0
+            ) as client:
+                assert client.healthz() == {"ok": True}
+            assert server.requests_seen >= 3
+
+    def test_attempts_exhausted_reraises_last_error(self):
+        responses = [
+            _http(429, {"error": "shed"}, ["Retry-After: 0.01"])
+            for _ in range(3)
+        ]
+        with StubServer(responses) as server:
+            policy = RetryPolicy(max_attempts=3, base_backoff_s=0.001)
+            with ServeClient(
+                server.base_url, retry=policy, retry_seed=0
+            ) as client:
+                with pytest.raises(ServeError) as info:
+                    client.healthz()
+            assert info.value.status == 429
+            assert server.requests_seen == 3
+
+    def test_budget_exhaustion_fails_fast(self):
+        """A huge Retry-After against a tiny budget must fail in
+        milliseconds, not sleep for the server's suggested 5 s — the
+        budget exists so retries cannot amplify an overload."""
+        with StubServer(
+            [_http(429, {"error": "shed"}, ["Retry-After: 5.0"])]
+        ) as server:
+            policy = RetryPolicy(
+                max_attempts=5, base_backoff_s=0.001, budget_s=0.05
+            )
+            with ServeClient(
+                server.base_url, retry=policy, retry_seed=0
+            ) as client:
+                start = time.monotonic()
+                with pytest.raises(ServeError) as info:
+                    client.healthz()
+                assert time.monotonic() - start < 1.0
+            assert info.value.status == 429
+            assert server.requests_seen == 1  # failed fast, no retry
+
+    def test_successes_refill_the_budget_up_to_cap(self):
+        with StubServer() as server:
+            policy = RetryPolicy(budget_s=0.2, success_refill_s=0.15)
+            with ServeClient(
+                server.base_url, retry=policy, retry_seed=0
+            ) as client:
+                client._retry_budget_s = 0.0  # pretend it was spent
+                client.healthz()
+                assert client._retry_budget_s == pytest.approx(0.15)
+                client.healthz()  # refill is capped at budget_s
+                assert client._retry_budget_s == pytest.approx(0.2)
+
+
+class TestPolicyMaths:
+    def test_backoff_is_capped_exponential(self):
+        policy = RetryPolicy(base_backoff_s=0.1, max_backoff_s=0.5, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.backoff_s(a, rng) for a in range(5)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_jitter_only_shrinks_and_is_seeded(self):
+        policy = RetryPolicy(base_backoff_s=0.1, jitter=0.5)
+        a = [policy.backoff_s(0, random.Random(7)) for _ in range(8)]
+        b = [policy.backoff_s(0, random.Random(7)) for _ in range(8)]
+        assert a == b  # same seed, same schedule
+        assert all(0.05 <= d <= 0.1 for d in a)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"jitter": 1.5},
+            {"jitter": -0.1},
+            {"base_backoff_s": -1.0},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    @pytest.mark.parametrize(
+        "header,expected",
+        [
+            (None, None),
+            ("1.5", 1.5),
+            ("0", 0.0),
+            ("-2", None),
+            ("Wed, 21 Oct 2026 07:28:00 GMT", None),
+            ("soon", None),
+        ],
+    )
+    def test_parse_retry_after(self, header, expected):
+        assert _parse_retry_after(header) == expected

@@ -1,0 +1,133 @@
+"""Open-loop load generation (ISSUE 8 satellite): seeded Poisson
+arrivals, weighted traffic classes, and full outcome accounting —
+``sent == accounted`` is the silent-drop detector the overload gate
+relies on.
+
+The schedule maths is tested as pure units; one short live run against
+an in-process server then checks the accounting and goodput surface
+end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    BatchPolicy,
+    ModelRegistry,
+    poisson_arrivals,
+    run_open_loop,
+    start_in_background,
+)
+from repro.serve.loadgen import _executed_request_ids
+
+MODEL = "lenet-F2-fp32@reference"
+
+
+class TestPoissonArrivals:
+    def test_deterministic_for_a_seed(self):
+        a = poisson_arrivals(50.0, 2.0, seed=7)
+        b = poisson_arrivals(50.0, 2.0, seed=7)
+        assert a == b
+        assert a != poisson_arrivals(50.0, 2.0, seed=8)
+
+    def test_schedule_shape(self):
+        arrivals = poisson_arrivals(100.0, 2.0, seed=0)
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 < t < 2.0 for t in arrivals)
+        # Poisson count concentrates around rate×duration = 200.
+        assert 120 < len(arrivals) < 300
+
+    def test_rate_scales_the_count(self):
+        slow = len(poisson_arrivals(20.0, 2.0, seed=3))
+        fast = len(poisson_arrivals(200.0, 2.0, seed=3))
+        assert fast > 5 * slow
+
+    @pytest.mark.parametrize("rate,duration", [(0.0, 1.0), (-1.0, 1.0), (10.0, 0.0)])
+    def test_invalid_inputs_raise(self, rate, duration):
+        with pytest.raises(ValueError):
+            poisson_arrivals(rate, duration)
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    registry = ModelRegistry()
+    registry.load(MODEL)
+    with start_in_background(
+        registry,
+        policy=BatchPolicy(max_batch_size=8, max_queue=256),
+        trace_rate=1.0,
+    ) as handle:
+        yield handle
+
+
+class TestRunOpenLoop:
+    def test_accounting_and_goodput_surface(self, live_server):
+        samples = np.random.default_rng(0).standard_normal(
+            (8, 1, 28, 28)
+        ).astype(np.float32)
+        stats = run_open_loop(
+            live_server.base_url,
+            MODEL,
+            samples,
+            rate_rps=60.0,
+            duration_s=1.0,
+            classes=[
+                {"name": "fast", "priority": "interactive",
+                 "deadline_ms": 5000.0, "weight": 0.5},
+                {"name": "bulk", "priority": "batch", "weight": 0.5},
+            ],
+            seed=11,
+            client_threads=8,
+            collect_request_ids=True,
+        )
+        # The silent-drop detector: every arrival has a recorded outcome.
+        assert stats["sent"] == len(poisson_arrivals(60.0, 1.0, seed=11))
+        assert stats["accounted"] == stats["sent"]
+        assert stats["unaccounted"] == 0
+        assert sum(stats["by_status"].values()) == stats["sent"]
+        # Per-class breakdown covers the whole mix.
+        assert set(stats["classes"]) == {"fast", "bulk"}
+        assert (
+            sum(c["sent"] for c in stats["classes"].values()) == stats["sent"]
+        )
+        fast = stats["classes"]["fast"]
+        assert fast["ok"] > 0 and fast["p50_ms"] > 0
+        # Goodput: 2xx within the class deadline, both forms consistent.
+        assert 0 < stats["goodput"] <= stats["sent"]
+        assert stats["goodput_ratio"] == pytest.approx(
+            stats["goodput"] / stats["sent"]
+        )
+        assert stats["goodput_rps"] > 0
+        # Request ids are collected per outcome for the 504-join.
+        rids = stats["request_ids"]
+        assert sum(len(v) for v in rids.values()) == stats["sent"]
+        assert all(rid.startswith("ol-") for rid in rids.get("200", []))
+
+    def test_executed_ids_visible_in_batch_spans(self, live_server):
+        """With trace_rate=1.0, every served request id must show up in
+        an executed ``batch`` span — the join the overload gate uses to
+        prove expelled requests never ran."""
+        samples = np.zeros((4, 1, 28, 28), dtype=np.float32)
+        stats = run_open_loop(
+            live_server.base_url,
+            MODEL,
+            samples,
+            rate_rps=30.0,
+            duration_s=0.5,
+            seed=3,
+            client_threads=4,
+            collect_request_ids=True,
+        )
+        served = set(stats["request_ids"].get("200", []))
+        assert served, stats["by_status"]
+        executed = _executed_request_ids(live_server.base_url)
+        assert served <= executed
+
+    def test_default_single_class_mix(self, live_server):
+        samples = np.zeros((2, 1, 28, 28), dtype=np.float32)
+        stats = run_open_loop(
+            live_server.base_url, MODEL, samples,
+            rate_rps=20.0, duration_s=0.4, seed=5, client_threads=4,
+        )
+        assert set(stats["classes"]) == {"standard"}
+        assert stats["unaccounted"] == 0
