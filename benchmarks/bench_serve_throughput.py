@@ -7,7 +7,7 @@ model, sweeps closed-loop client concurrency, and persists the result to
 ``BENCH_serve.json`` at the repo root so the serving-perf trajectory is
 tracked across PRs.
 
-Four gates make this a regression test as well as a benchmark (run by the
+Five gates make this a regression test as well as a benchmark (run by the
 CI ``serve-smoke`` job, ``--quick`` there):
 
 * served responses must be **bit-identical** to direct
@@ -18,7 +18,14 @@ CI ``serve-smoke`` job, ``--quick`` there):
   faster than compile-from-scratch, with bit-identical outputs
   (docs/artifact-format.md);
 * a blue/green hot-swap under load must drop **zero** requests
-  (docs/operations.md 'Blue/green deploys and rollback').
+  (docs/operations.md 'Blue/green deploys and rollback');
+* the self-healing control plane must earn its keep: under the same
+  crash-storm chaos and offered overload, the autoscaler+brownout server
+  sustains strictly higher goodput than a static single-replica baseline
+  (full runs), and a kill -9 + restart from ``--state-dir`` recovers
+  every model at its pre-kill content-hash version with bit-identical
+  responses (always; docs/operations.md 'Self-healing & autoscaling
+  runbook').
 
 Usage::
 
@@ -42,6 +49,7 @@ from check_bench_regression import (  # noqa: E402
     ARTIFACT_SPEEDUP_GATE,
     MIN_CORES_PER_WORKER,
     WORKERS_SPEEDUP_GATE,
+    _check_selfheal,
 )
 
 
@@ -134,6 +142,10 @@ def main(argv=None) -> int:
             f"blue/green hot-swap dropped {hot_swap['requests_failed']} "
             "requests"
         )
+    # Self-healing gates share the regression guard's rule set (honesty
+    # + kill -9 recovery always; the goodput-improvement expectation
+    # only on full runs) so the benchmark and the guard never diverge.
+    failures += _check_selfheal({}, report)
     if not args.quick:
         # The throughput gate is calibrated for the single-core reference
         # host this repo's BENCH_serve.json is generated on; --quick (CI

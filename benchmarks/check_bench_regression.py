@@ -84,6 +84,7 @@ def check(baseline: dict, fresh: dict, tolerance: float) -> list:
     failures += _check_workers_scaling(baseline, fresh, tolerance)
     failures += _check_artifact(fresh)
     failures += _check_overload(baseline, fresh, tolerance)
+    failures += _check_selfheal(baseline, fresh)
     anomaly = fresh.get("int8_anomaly")
     if anomaly is not None:
         ceiling = (1.0 + tolerance) * anomaly["fp32_fast_ms"]
@@ -308,6 +309,77 @@ def _check_overload(baseline: dict, fresh: dict, tolerance: float) -> list:
                     f"overload goodput_ratio regressed {base_ratio:.3f} -> "
                     f"{ratio:.3f} (floor {floor:.3f})"
                 )
+    return failures
+
+
+def _check_selfheal(baseline: dict, fresh: dict) -> list:
+    """Self-healing rules (serve reports only; ``selfheal_goodput``).
+
+    Host-independent, enforced on every report that carries the entry:
+
+    * both legs keep the overload honesty invariants — every request
+      accounted, no expired (504) request executed;
+    * the kill -9 drill recovered: the restart replayed the journal,
+      every model came back at its pre-kill content-hash version, and
+      the recovered server's responses are bit-identical (zero manual
+      re-deploys);
+    * the entry disappearing after a baseline carried it is itself a
+      failure — the gate must not silently stop being measured.
+
+    The throughput-shaped expectation — the autoscaler+brownout server
+    sustains *strictly higher* goodput than the static single-replica
+    baseline under the same chaos and offered schedule — is skipped on
+    quick reports, like the other throughput gates.
+    """
+    entry = fresh.get("selfheal_goodput")
+    if not entry:
+        if baseline.get("selfheal_goodput"):
+            return ["selfheal_goodput entry disappeared from the fresh report"]
+        return []
+    failures = []
+    for leg_name in ("static", "selfheal"):
+        leg = entry.get(leg_name) or {}
+        if leg.get("expired_executed", 0) != 0:
+            failures.append(
+                f"selfheal {leg_name} leg: {leg['expired_executed']} expired "
+                "(504) requests were still executed under chaos"
+            )
+        if leg.get("unaccounted", 0) != 0:
+            failures.append(
+                f"selfheal {leg_name} leg: {leg['unaccounted']} of "
+                f"{leg.get('sent')} requests vanished without a recorded "
+                "outcome (silent drop)"
+            )
+    recovery = entry.get("recovery") or {}
+    if not recovery.get("versions_match"):
+        failures.append(
+            "kill -9 recovery: restarted server's model versions do not "
+            f"match pre-kill (before={recovery.get('models_before')}, "
+            f"after={recovery.get('models_after')})"
+        )
+    if not recovery.get("response_identical"):
+        failures.append(
+            "kill -9 recovery: restarted server's responses are not "
+            "bit-identical to pre-kill"
+        )
+    if not recovery.get("recovered"):
+        failures.append(
+            "kill -9 recovery failed: the journal replay did not restore "
+            f"the runtime deploy {recovery.get('deployed_version')!r}"
+        )
+    if entry.get("quick"):
+        print("note: skipping selfheal goodput-improvement check (quick report)")
+        return failures
+    improvement = entry.get("goodput_improvement")
+    if improvement is None or not improvement > 1.0:
+        failures.append(
+            "self-healing server did not beat the static baseline: goodput "
+            f"improvement {improvement} (selfheal "
+            f"{(entry.get('selfheal') or {}).get('goodput_rps', 0):.0f} rps "
+            f"vs static "
+            f"{(entry.get('static') or {}).get('goodput_rps', 0):.0f} rps) "
+            "must be strictly > 1.0x"
+        )
     return failures
 
 

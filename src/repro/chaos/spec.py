@@ -22,6 +22,8 @@ FAULTS = {
     "shm_delay": 20.0,          # delay the reply after writing the slot
     "pipe_drop": None,          # execute, then never send the reply
     "corrupt_response": None,   # flip a byte in the response payload
+    "error_storm": 400.0,       # typed model errors for a burst window
+    "crash_storm": 300.0,       # boot healthy, crash after MS (per gen)
 }
 
 

@@ -300,6 +300,66 @@ def build_parser() -> argparse.ArgumentParser:
         "file after the graceful drain (docs/operations.md "
         "'Overload & incident runbook')",
     )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="crash-consistent control-plane journal directory: deploys, "
+        "replica scales and brownout rungs are fsync'd here and "
+        "replayed on boot, so a kill -9 + restart recovers the full "
+        "serving state with zero manual re-deploys "
+        "(docs/operations.md 'Self-healing & autoscaling runbook')",
+    )
+    serve.add_argument(
+        "--ladder",
+        action="append",
+        dest="ladders",
+        metavar="MODEL=V1>V2",
+        help="brownout ladder: fallback variants served under MODEL's "
+        "name when shed/deadline pressure persists at max replicas "
+        "(e.g. 'resnet18-w0.25-F4-fp32=resnet18-w0.25-F4-int8'); "
+        "responses carry X-Served-Variant; repeatable; fallbacks are "
+        "auto-loaded (docs/operations.md 'Self-healing & autoscaling "
+        "runbook')",
+    )
+    serve.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="enable the per-model replica autoscaler (worker mode "
+        "only): queue fill and shed/deadline-miss deltas move each "
+        "model's replica count within [--autoscale-min, "
+        "--autoscale-max] under hysteresis, cooldowns and flap "
+        "suppression (docs/operations.md 'Self-healing & autoscaling "
+        "runbook')",
+    )
+    serve.add_argument(
+        "--autoscale-min",
+        type=int,
+        default=1,
+        metavar="N",
+        help="autoscaler floor, replicas per model (default 1; "
+        "docs/operations.md 'Self-healing & autoscaling runbook')",
+    )
+    serve.add_argument(
+        "--autoscale-max",
+        type=int,
+        default=None,
+        metavar="N",
+        help="autoscaler ceiling, replicas per model (default: "
+        "--workers; docs/operations.md 'Self-healing & autoscaling "
+        "runbook')",
+    )
+    serve.add_argument(
+        "--circuit-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="consecutive deterministic model errors (HTTP 500s) that "
+        "open a model's circuit breaker: requests fail fast with 503 "
+        "+ Retry-After until a half-open probe batch passes (default "
+        "5 when self-healing is active; docs/operations.md "
+        "'Self-healing & autoscaling runbook')",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -731,39 +791,108 @@ def run_serve(args) -> int:
     if chaos and args.workers <= 0:
         print("error: --chaos needs --workers >= 1", file=sys.stderr)
         return 2
+    from repro.serve.autoscale import AutoscalePolicy
+    from repro.serve.selfheal import (
+        SelfHealPolicy,
+        ServeConfigError,
+        parse_ladder_spec,
+    )
+
+    # Parse ladder specs before touching the registry: a typo must fail
+    # at boot with exit 2, not after models compiled.
+    ladders = {}
+    try:
+        for spec_text in args.ladders or []:
+            ladder_model, fallbacks = parse_ladder_spec(spec_text)
+            if ladder_model in ladders:
+                raise ServeConfigError(
+                    f"duplicate --ladder for model {ladder_model!r}"
+                )
+            ladders[ladder_model] = fallbacks
+    except ServeConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     # With process workers the front-end never compiles: it records the
     # specs (lazy registry) and each worker builds its affinity slice.
     registry = ModelRegistry(lazy=args.workers > 0)
-    for name in args.models or ["resnet18-w0.25-F4-int8"]:
+    # Ladder rungs must be servable the instant a brownout steps down,
+    # so fallback variants load alongside the primary models.
+    ladder_extras = [
+        variant
+        for chain in ladders.values()
+        for variant in chain
+    ]
+    for name in (args.models or ["resnet18-w0.25-F4-int8"]) + ladder_extras:
+        if name in registry:
+            continue
         try:
             served = registry.load(name)
         except (ValueError, CompileError) as exc:  # bad name or @backend
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        suffix = " (brownout fallback)" if name in ladder_extras else ""
         if served.plan is None:
-            print(f"registered {served.name} (compiles in the workers)")
+            print(f"registered {served.name} (compiles in the workers){suffix}")
         else:
             plan = served.plan
             print(
                 f"loaded {served.name}: {len(plan)} steps, "
-                f"backend={plan.backend}"
+                f"backend={plan.backend}{suffix}"
             )
+    selfheal = None
+    if (
+        args.autoscale
+        or ladders
+        or args.state_dir
+        or args.circuit_threshold is not None
+    ):
+        autoscale = None
+        if args.autoscale:
+            try:
+                autoscale = AutoscalePolicy(
+                    min_replicas=args.autoscale_min,
+                    max_replicas=(
+                        args.autoscale_max
+                        if args.autoscale_max is not None
+                        else max(args.workers, 1)
+                    ),
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        selfheal = SelfHealPolicy(
+            autoscale=autoscale,
+            ladders=ladders,
+            circuit_threshold=(
+                args.circuit_threshold
+                if args.circuit_threshold is not None
+                else 5
+            ),
+        )
     from repro.engine import resolve_threads
 
     threads = resolve_threads(args.threads)
-    server = InferenceServer(
-        registry,
-        policy=policy,
-        host=args.host,
-        port=args.port,
-        workers=args.workers,
-        worker_replicas=args.worker_replicas,
-        executor_threads=args.executor_threads,
-        threads=threads,
-        trace_rate=args.trace_rate,
-        admission=admission,
-        chaos=chaos,
-    )
+    try:
+        server = InferenceServer(
+            registry,
+            policy=policy,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            worker_replicas=args.worker_replicas,
+            executor_threads=args.executor_threads,
+            threads=threads,
+            trace_rate=args.trace_rate,
+            admission=admission,
+            chaos=chaos,
+            selfheal=selfheal,
+            state_dir=args.state_dir,
+        )
+    except ServeConfigError as exc:
+        # Typed topology rejection: bad replica/ladder/state-dir wiring
+        # dies here, before any socket bind or worker fork.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     async def _run() -> None:
         await server.start()
@@ -781,6 +910,25 @@ def run_serve(args) -> int:
         )
         if chaos:
             print(f"chaos injection active: {chaos}", flush=True)
+        if selfheal is not None:
+            bits = []
+            if selfheal.autoscale is not None:
+                bits.append(
+                    f"autoscale {selfheal.autoscale.min_replicas}.."
+                    f"{selfheal.autoscale.max_replicas}"
+                )
+            if selfheal.ladders:
+                bits.append(f"brownout ladders: {len(selfheal.ladders)}")
+            bits.append(f"circuit threshold {selfheal.circuit_threshold}")
+            print("self-healing active: " + ", ".join(bits), flush=True)
+        if args.state_dir:
+            replay = server.journal_replay or {}
+            print(
+                f"state journal: {args.state_dir} (replayed "
+                f"{replay.get('records', 0)} records, restored "
+                f"{len(replay.get('deploys_restored') or [])} deploys)",
+                flush=True,
+            )
         print(
             "endpoints: POST /predict  GET /models /healthz /metrics /trace",
             flush=True,

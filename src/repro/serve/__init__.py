@@ -25,7 +25,13 @@ The serving stack, bottom to top:
   timeouts, optional retry policy with backoff + budget) and the closed-
   and open-loop load generators (``repro loadgen``, ``BENCH_serve.json``);
 * :mod:`repro.serve.probe` — served-latency measurement for WiNAS's
-  ``latency_source="served"``.
+  ``latency_source="served"``;
+* :mod:`repro.serve.selfheal` / :mod:`repro.serve.autoscale` — the
+  self-healing control plane: per-model circuit breakers (typed 503 +
+  ``Retry-After``), a hysteresis replica autoscaler, the brownout
+  ladder (``--ladder model=fallback``), and the crash-consistent state
+  journal (``--state-dir``) replayed on boot
+  (docs/operations.md 'Self-healing & autoscaling runbook').
 
 Fault injection for the resilience test suite lives in
 :mod:`repro.chaos` (``repro serve --chaos`` / ``REPRO_CHAOS``).
@@ -56,8 +62,15 @@ from repro.serve.batcher import (
     ExecutionFailed,
     QueueSaturated,
 )
+from repro.serve.autoscale import (
+    AutoscalePolicy,
+    ModelSignals,
+    ReplicaAutoscaler,
+    ScaleDecision,
+)
 from repro.serve.client import (
     RetryPolicy,
+    ServeCircuitOpen,
     ServeClient,
     ServeClientError,
     ServeConnectionError,
@@ -69,6 +82,7 @@ from repro.serve.loadgen import (
     benchmark_serving,
     check_bit_identity,
     measure_overload_goodput,
+    measure_selfheal_goodput,
     poisson_arrivals,
     run_load,
     run_open_loop,
@@ -89,33 +103,56 @@ from repro.serve.router import (
     WorkerPlanProxy,
     WorkerRouter,
 )
+from repro.serve.selfheal import (
+    BrownoutLadder,
+    CircuitBreaker,
+    JournalState,
+    SelfHealController,
+    SelfHealPolicy,
+    ServeConfigError,
+    StateJournal,
+    parse_ladder_spec,
+    validate_topology,
+)
 from repro.serve.server import InferenceServer, ServerHandle, start_in_background
 
 __all__ = [
     "AdmissionController",
     "AdmissionPolicy",
+    "AutoscalePolicy",
     "BatchPolicy",
     "BatchedResult",
     "BatcherStopped",
+    "BrownoutLadder",
+    "CircuitBreaker",
     "DeadlineExceeded",
     "DynamicBatcher",
     "ExecutionFailed",
     "InferenceServer",
+    "JournalState",
     "LatencyWindow",
     "ModelMetrics",
     "ModelRegistry",
+    "ModelSignals",
     "ModelSpec",
     "QueueSaturated",
+    "ReplicaAutoscaler",
     "RequestShed",
     "RetryPolicy",
+    "ScaleDecision",
+    "SelfHealController",
+    "SelfHealPolicy",
+    "ServeCircuitOpen",
     "ServeClient",
     "ServeClientError",
+    "ServeConfigError",
     "ServeConnectionError",
     "ServeError",
     "ServeTimeout",
     "ServedModel",
     "ServerHandle",
     "ServerMetrics",
+    "StateJournal",
     "TokenBucket",
     "WorkerDied",
     "WorkerError",
@@ -127,11 +164,14 @@ __all__ = [
     "compile_served",
     "load_artifact_served",
     "measure_overload_goodput",
+    "measure_selfheal_goodput",
+    "parse_ladder_spec",
     "poisson_arrivals",
     "resolve_priority",
     "run_load",
     "run_open_loop",
     "served_latency_ms",
     "start_in_background",
+    "validate_topology",
     "wait_until_ready",
 ]

@@ -187,6 +187,9 @@ class DynamicBatcher:
         self._task: Optional[asyncio.Task] = None
         self._inflight: Optional[asyncio.Semaphore] = None
         self._pending_runs: set = set()
+        #: Background permit-retirement tasks from a downward
+        #: :meth:`resize_inflight`; cancelled at stop().
+        self._retire_tasks: set = set()
         self._stopped = False
         #: Requests accepted but not yet resolved (queued, collected, or
         #: executing).  Maintained via future done-callbacks on the event
@@ -213,8 +216,32 @@ class DynamicBatcher:
         self._inflight = asyncio.Semaphore(self.max_inflight)
         self._task = asyncio.get_running_loop().create_task(self._collector())
 
+    def resize_inflight(self, new_max: int) -> None:
+        """Retarget the concurrent-batch cap without a batcher swap —
+        the autoscaler's companion lever (replicas + 1 pipelined
+        batches in worker mode).  Growing releases permits immediately;
+        shrinking retires permits as running batches return them, so
+        nothing in flight is interrupted.  Event-loop only.
+        """
+        new_max = max(1, int(new_max))
+        delta = new_max - self.max_inflight
+        self.max_inflight = new_max
+        if self._inflight is None or delta == 0:
+            return
+        if delta > 0:
+            for _ in range(delta):
+                self._inflight.release()
+            return
+        loop = asyncio.get_running_loop()
+        for _ in range(-delta):
+            task = loop.create_task(self._inflight.acquire())
+            self._retire_tasks.add(task)
+            task.add_done_callback(self._retire_tasks.discard)
+
     async def stop(self) -> None:
         self._stopped = True
+        for task in list(self._retire_tasks):
+            task.cancel()
         if self._task is None:
             return
         task, self._task = self._task, None

@@ -40,15 +40,35 @@ class ServeError(ServeClientError):
 
     ``retry_after`` carries the server's ``Retry-After`` header (seconds,
     parsed) when present — 429 sheds and 503 drain responses set it.
+    ``reason`` is the body's machine-readable refusal class when the
+    server sent one (``"circuit_open"``, ``"draining"``, …).
     """
 
     def __init__(
-        self, status: int, message: str, retry_after: Optional[float] = None
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+        reason: Optional[str] = None,
     ):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
         self.retry_after = retry_after
+        self.reason = reason
+
+
+class ServeCircuitOpen(ServeError):
+    """The model's circuit breaker refused the request (503 with
+    ``reason: circuit_open``).
+
+    Distinct from a generic 503 because the right client behaviour
+    differs: the server is healthy and *deliberately* failing fast on a
+    broken model, so with a :class:`RetryPolicy` the client waits out
+    the server's ``Retry-After`` verbatim — no exponential backoff, and
+    **no retry-budget spend**, since honouring an explicit server hold
+    adds no load to an overloaded system.
+    """
 
 
 class ServeTimeout(ServeClientError):
@@ -248,10 +268,15 @@ class ServeClient:
             return {"text": data.decode(), "content_type": content_type}
         parsed = json.loads(data.decode()) if data else {}
         if response.status >= 300:
-            raise ServeError(
+            reason = parsed.get("reason") if isinstance(parsed, dict) else None
+            error_cls = (
+                ServeCircuitOpen if reason == "circuit_open" else ServeError
+            )
+            raise error_cls(
                 response.status,
                 parsed.get("error", data.decode(errors="replace")),
                 retry_after=retry_after,
+                reason=reason,
             )
         return parsed
 
@@ -297,6 +322,12 @@ class ServeClient:
                 last_error = exc
             if attempt + 1 >= attempts:
                 raise last_error
+            if isinstance(last_error, ServeCircuitOpen) and retry_after:
+                # An open circuit is the server deliberately failing
+                # fast: honour its Retry-After verbatim and spend no
+                # retry budget — this wait amplifies nothing.
+                time.sleep(retry_after)
+                continue
             delay = max(
                 policy.backoff_s(attempt, self._retry_rng), retry_after or 0.0
             )

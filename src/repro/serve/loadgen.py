@@ -744,6 +744,395 @@ def measure_artifact_cold_start(
         shutil.rmtree(tmpdir, ignore_errors=True)
 
 
+def _spawn_serve_cli(flags: Sequence[str], timeout: float = 240.0):
+    """Launch ``repro serve`` in its own process group and block until the
+    ``serving on http://...`` banner prints; return ``(proc, base_url)``.
+
+    A subprocess — not :func:`start_in_background` — is what makes the
+    kill -9 recovery drill honest: SIGKILL to the whole group takes down
+    the front-end *and* its workers with no chance to drain, flush, or
+    run any Python cleanup, exactly like a host dying mid-flight.
+    """
+    import re
+    import subprocess
+    import sys
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", *flags],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        start_new_session=True,
+    )
+    ready = threading.Event()
+    box: dict = {"log": []}
+
+    def drain() -> None:
+        for line in proc.stdout:  # type: ignore[union-attr]
+            box["log"].append(line)
+            match = re.search(r"serving on (http://[\d.]+:\d+)", line)
+            if match and "url" not in box:
+                box["url"] = match.group(1)
+                ready.set()
+        ready.set()  # EOF without a banner: the process died at boot
+
+    threading.Thread(target=drain, daemon=True).start()
+    ready.wait(timeout)
+    if "url" not in box:
+        _kill_serve_group(proc)
+        log = "".join(box["log"])[-2000:]
+        raise RuntimeError(f"serve subprocess never became ready:\n{log}")
+    return proc, box["url"]
+
+
+def _kill_serve_group(proc, sig=None) -> None:
+    """Signal a ``_spawn_serve_cli`` process group and reap it (SIGKILL by
+    default; escalates if a gentler signal doesn't exit within 15 s)."""
+    import os
+    import signal
+    import subprocess
+
+    if sig is None:
+        sig = signal.SIGKILL
+    try:
+        os.killpg(os.getpgid(proc.pid), sig)
+    except (ProcessLookupError, PermissionError):
+        return
+    try:
+        proc.wait(timeout=15)
+    except subprocess.TimeoutExpired:
+        try:
+            os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+        proc.wait(timeout=5)
+
+
+def _crash_recovery_drill(
+    artifact_v1: str,
+    artifact_v2: str,
+    model: str,
+    state_dir: str,
+    workers: int,
+    sample: np.ndarray,
+    verbose: bool,
+) -> dict:
+    """Kill -9 a ``--state-dir`` server mid-flight; restart must recover.
+
+    Boots the CLI server on artifact v1, hot-deploys artifact v2 (a
+    different content hash) over HTTP so the deploy exists *only* in the
+    journal, SIGKILLs the whole process group, then restarts with the
+    same flags.  Recovery means zero manual re-deploys: every model
+    comes back at its pre-kill content-hash version and the recovered
+    server's predictions are bit-identical to the pre-kill ones.
+    """
+    import signal
+    import urllib.request
+
+    flags = [
+        "--model", artifact_v1,
+        "--workers", str(workers),
+        "--worker-replicas", "1",
+        "--port", "0",
+        "--state-dir", state_dir,
+        "--autoscale",
+        "--autoscale-max", str(workers),
+    ]
+    proc, url = _spawn_serve_cli(flags)
+    try:
+        body = json.dumps({"artifact": artifact_v2, "watch_s": 0.2}).encode()
+        request = urllib.request.Request(
+            url + "/models", data=body, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as resp:
+            deploy = json.loads(resp.read())
+        with ServeClient(url) as client:
+            before = {
+                info["name"]: info["version"]
+                for info in client.models()["models"]
+            }
+            reference = client.predict(sample, model=model, encoding="b64")
+    finally:
+        _kill_serve_group(proc)  # SIGKILL: no drain, no journal flush
+
+    proc2, url2 = _spawn_serve_cli(flags)
+    try:
+        with ServeClient(url2) as client:
+            doc = client.models()
+            after = {
+                info["name"]: info["version"] for info in doc["models"]
+            }
+            replay = doc.get("journal_replay") or {}
+            recovered = client.predict(sample, model=model, encoding="b64")
+    finally:
+        _kill_serve_group(proc2, signal.SIGTERM)
+
+    versions_match = all(
+        after.get(name) == version for name, version in before.items()
+    )
+    response_identical = bool(np.array_equal(reference, recovered))
+    entry = {
+        "deployed_version": deploy["version"],
+        "models_before": before,
+        "models_after": after,
+        "versions_match": versions_match,
+        "response_identical": response_identical,
+        "journal_records_replayed": replay.get("records", 0),
+        "deploys_restored": list(replay.get("deploys_restored") or []),
+        "recovered": bool(
+            versions_match
+            and response_identical
+            and after.get(model) == deploy["version"]
+        ),
+    }
+    if verbose:
+        print(
+            f"kill -9 recovery: deployed {deploy['version']}; restart "
+            f"replayed {entry['journal_records_replayed']} records, "
+            f"restored {len(entry['deploys_restored'])} deploys; "
+            f"versions_match={versions_match} "
+            f"bit_identical={response_identical}"
+        )
+    return entry
+
+
+def measure_selfheal_goodput(
+    model_name: str = "resnet18-w0.25-F4-int8",
+    workers: int = 2,
+    quick: bool = False,
+    verbose: bool = True,
+    seed: int = 0,
+) -> dict:
+    """The self-healing benchmark (ISSUE 9): under the same crash-storm
+    chaos and the same overload schedule, an autoscaler+brownout server
+    must sustain strictly higher goodput than a static single-replica
+    baseline — and a kill -9 must be survivable from ``--state-dir``.
+
+    Four steps:
+
+    1. closed-loop capacity of the *static* topology (1 replica on a
+       ``workers``-process pool, no chaos) — the shared denominator;
+    2. static leg: open-loop Poisson at ``3 × capacity`` against a
+       64-deep queue with ``crash_storm`` chaos, replicas pinned at 1;
+    3. selfheal leg: the *same* offered schedule and chaos seed, but the
+       control loop may scale 1..``workers`` replicas and step the
+       brownout ladder down to the ``@turbo`` rung under sustained
+       pressure (journaling every decision to ``--state-dir``);
+    4. the kill -9 recovery drill (:func:`_crash_recovery_drill`).
+
+    Both legs run traced at rate 1.0 so the overload honesty checks
+    apply: every request accounted, and no expired request executed.
+    The returned entry is gated by
+    ``benchmarks/check_bench_regression.py`` (``selfheal_goodput``).
+    """
+    import dataclasses
+    import os
+    import shutil
+    import tempfile
+
+    from repro.engine.artifact import save_plan
+    from repro.engine.cache import PlanCache
+    from repro.serve.autoscale import AutoscalePolicy
+    from repro.serve.registry import compile_served
+    from repro.serve.selfheal import SelfHealPolicy
+
+    base = model_name.split("@")[0]
+    spec = ModelSpec.parse(base)
+    fallback = base + "@turbo"
+    workers = max(2, int(workers))
+    rng = np.random.default_rng(seed)
+    samples = rng.standard_normal((32,) + spec.sample_shape).astype(np.float32)
+    duration_s = 1.5 if quick else 4.0
+    chaos_spec = f"seed={seed + 7},crash_storm=0.4:500"
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-selfheal-bench-")
+    try:
+        # Two artifacts of the same model with *different* weights (the
+        # seed changes them), so the recovery drill's runtime deploy has
+        # a distinct content hash the journal must bring back exactly.
+        served = compile_served(spec, cache=PlanCache())
+        artifact_v1 = os.path.join(tmpdir, spec.name + ".rpln")
+        save_plan(
+            served.plan, artifact_v1, input_shape=(1,) + spec.sample_shape,
+            extra={"model": spec.name, "seed": spec.seed},
+        )
+        respec = dataclasses.replace(spec, seed=spec.seed + 1)
+        served2 = compile_served(respec, cache=PlanCache())
+        artifact_v2 = os.path.join(tmpdir, spec.name + ".v2.rpln")
+        save_plan(
+            served2.plan, artifact_v2, input_shape=(1,) + spec.sample_shape,
+            extra={"model": spec.name, "seed": respec.seed},
+        )
+
+        # -- step 1: static-topology capacity, no chaos -------------------
+        registry = ModelRegistry(lazy=True)
+        registry.load(artifact_v1)
+        with start_in_background(
+            registry, policy=POLICIES["dynamic"], workers=workers,
+            worker_replicas=1,
+        ) as handle:
+            capacity = _best_of_trials(
+                handle.base_url, spec.name, samples,
+                concurrency=16, total_requests=96 if quick else 256,
+                trials=1 if quick else 2,
+            )
+        capacity_rps = capacity["throughput_rps"]
+        # 3x one replica's capacity against a deliberately small queue:
+        # the static leg *must* saturate (its only release valves are 64
+        # queue slots, sheds, and deadline expiries), while the selfheal
+        # leg can still absorb more by scaling 1 -> ``workers`` replicas
+        # and stepping down to the turbo rung.  The bounded queue is
+        # what turns overload into a goodput difference instead of
+        # silent buffering — and the load generator must run *more*
+        # client threads than there are queue slots, or client-side
+        # concurrency caps the queue depth below the shed point and
+        # both legs look identical.
+        offered_rps = 3.0 * capacity_rps
+        leg_policy = BatchPolicy(
+            max_batch_size=64, max_wait_ms=8.0, max_queue=64,
+            default_deadline_ms=1500,
+        )
+        tight_deadline_ms = max(50.0, 5.0 * capacity.get("p50_ms", 6.0))
+        classes = [
+            {
+                "name": "tight",
+                "priority": "interactive",
+                "deadline_ms": tight_deadline_ms,
+                "weight": 0.25,
+            },
+            {"name": "loose", "priority": "batch", "weight": 0.75},
+        ]
+
+        def run_leg(selfheal=None, state_dir=None) -> Tuple[dict, Optional[dict]]:
+            reg = ModelRegistry(lazy=True)
+            reg.load(artifact_v1)
+            if selfheal is not None:
+                # The ladder's rung must be servable the instant a
+                # brownout steps down (same rule the CLI enforces).
+                reg.load(fallback)
+            with start_in_background(
+                reg, policy=leg_policy, workers=workers,
+                worker_replicas=1, trace_rate=1.0, chaos=chaos_spec,
+                selfheal=selfheal, state_dir=state_dir,
+            ) as handle:
+                stats = run_open_loop(
+                    handle.base_url, spec.name, samples,
+                    rate_rps=offered_rps, duration_s=duration_s,
+                    classes=classes, seed=seed, collect_request_ids=True,
+                    client_threads=160,
+                )
+                executed = _executed_request_ids(handle.base_url)
+                heal_info = None
+                if selfheal is not None:
+                    with ServeClient(handle.base_url) as client:
+                        heal_info = client.metrics().get("selfheal")
+            rids = stats.pop("request_ids")
+            expired_rids = set(rids.get("504", []))
+            leg = {
+                "sent": stats["sent"],
+                "goodput_rps": stats["goodput_rps"],
+                "goodput_ratio": stats["goodput_ratio"],
+                "by_status": stats["by_status"],
+                "unaccounted": stats["unaccounted"],
+                "expired_executed": len(expired_rids & executed),
+            }
+            return leg, heal_info
+
+        # -- step 2: static baseline under crash-storm chaos --------------
+        static_leg, _ = run_leg()
+        if verbose:
+            print(
+                f"selfheal static leg: offered {offered_rps:.0f} rps under "
+                f"{chaos_spec} -> goodput {static_leg['goodput_rps']:.0f} rps "
+                f"({static_leg['goodput_ratio']:.0%} of sent)"
+            )
+
+        # -- step 3: the self-healing server, same schedule + chaos -------
+        autoscale = AutoscalePolicy(
+            min_replicas=1,
+            max_replicas=workers,
+            up_queue_fill=0.2,
+            down_queue_fill=0.02,
+            up_cooldown_s=0.3,
+            down_cooldown_s=30.0,
+            down_stable_ticks=10,
+        )
+        heal_policy = SelfHealPolicy(
+            autoscale=autoscale,
+            ladders={spec.name: [fallback]},
+            interval_s=0.05,
+            ladder_down_after_ticks=8,
+            ladder_up_after_ticks=200,
+            ladder_step_cooldown_s=2.0,
+        )
+        selfheal_leg, heal_info = run_leg(
+            selfheal=heal_policy, state_dir=os.path.join(tmpdir, "journal")
+        )
+        heal_info = heal_info or {}
+        autoscale_info = heal_info.get("autoscale") or {}
+        ladder_info = (heal_info.get("ladders") or {}).get(spec.name) or {}
+        replicas_info = heal_info.get("replicas") or {}
+        if verbose:
+            print(
+                f"selfheal leg: goodput {selfheal_leg['goodput_rps']:.0f} rps "
+                f"({selfheal_leg['goodput_ratio']:.0%} of sent); "
+                f"scale decisions {autoscale_info.get('decisions_total', 0)}, "
+                f"final replicas {replicas_info}, brownout steps "
+                f"{ladder_info.get('steps_down_total', 0)} down / "
+                f"{ladder_info.get('steps_up_total', 0)} up"
+            )
+
+        # -- step 4: kill -9 + restart from --state-dir -------------------
+        recovery = _crash_recovery_drill(
+            artifact_v1, artifact_v2, spec.name,
+            os.path.join(tmpdir, "state"), workers, samples[0], verbose,
+        )
+
+        entry = {
+            "model": spec.name,
+            "fallback": fallback,
+            "workers": workers,
+            "quick": bool(quick),
+            "seed": seed,
+            "chaos": chaos_spec,
+            "capacity_rps": capacity_rps,
+            "offered_rps": offered_rps,
+            "duration_s": duration_s,
+            "tight_deadline_ms": tight_deadline_ms,
+            "static": static_leg,
+            "selfheal": selfheal_leg,
+            "goodput_improvement": (
+                selfheal_leg["goodput_rps"] / static_leg["goodput_rps"]
+                if static_leg["goodput_rps"] > 0
+                else None
+            ),
+            "autoscale": {
+                "decisions_total": autoscale_info.get("decisions_total", 0),
+                "flap_freezes_total": autoscale_info.get(
+                    "flap_freezes_total", 0
+                ),
+                "final_replicas": replicas_info,
+            },
+            "brownout": {
+                "steps_down_total": ladder_info.get("steps_down_total", 0),
+                "steps_up_total": ladder_info.get("steps_up_total", 0),
+                "final_position": ladder_info.get("position", 0),
+            },
+            "recovery": recovery,
+        }
+        if verbose:
+            improvement = entry["goodput_improvement"]
+            pretty = f"{improvement:.2f}x" if improvement else "n/a"
+            print(
+                f"selfheal goodput: {pretty} over static baseline; "
+                f"recovered={recovery['recovered']}"
+            )
+        return entry
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
 def benchmark_serving(
     model_name: str = "resnet18-w0.25-F4-int8@turbo",
     concurrencies: Sequence[int] = (1, 4, 16, 32, 64),
@@ -919,6 +1308,11 @@ def benchmark_serving(
         model_name, workers=workers, quick=quick, verbose=verbose
     )
 
+    # -- self-healing: goodput under crash-storm chaos + kill -9 recovery ---
+    selfheal_goodput = measure_selfheal_goodput(
+        model_name, workers=max(workers_scale, 2), quick=quick, verbose=verbose
+    )
+
     report = {
         "model": served.name,
         "workers": workers,
@@ -931,6 +1325,7 @@ def benchmark_serving(
         "workers_scaling": workers_scaling,
         "artifact_cold_start": artifact_cold_start,
         "overload_goodput": overload_goodput,
+        "selfheal_goodput": selfheal_goodput,
     }
     if out_path:
         with open(out_path, "w") as fh:

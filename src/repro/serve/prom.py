@@ -61,12 +61,16 @@ def render_prometheus(
     metrics: ServerMetrics,
     trace_info: Optional[Dict] = None,
     worker_info: Optional[Dict] = None,
+    selfheal_info: Optional[Dict] = None,
 ) -> str:
     """Render the whole-server exposition document.
 
     ``worker_info`` (only with ``--workers``) carries the router's
     pool-level resilience counters: respawns, watchdog kills, batch
-    retries, corrupt-transport detections.
+    retries, corrupt-transport detections.  ``selfheal_info`` is
+    :meth:`SelfHealController.snapshot` — circuit states, ladder rungs,
+    autoscale decisions (docs/operations.md 'Self-healing & autoscaling
+    runbook').
     """
     lines: List[str] = []
 
@@ -76,6 +80,77 @@ def render_prometheus(
 
     head("repro_uptime_seconds", "gauge", "Seconds since server start.")
     lines.append(f"repro_uptime_seconds {_fmt(metrics.uptime_s())}")
+
+    if selfheal_info:
+        from repro.serve.selfheal import CIRCUIT_STATE_CODE
+
+        circuits = selfheal_info.get("circuits") or {}
+        if circuits:
+            head(
+                "repro_circuit_state",
+                "gauge",
+                "Circuit-breaker state per model (0=closed, 1=half_open, "
+                "2=open).",
+            )
+            for model, circuit in sorted(circuits.items()):
+                code = CIRCUIT_STATE_CODE.get(circuit.get("state"), 0)
+                lines.append(
+                    f'repro_circuit_state{{model="{_escape(model)}"}} {code}'
+                )
+            head(
+                "repro_circuit_opens_total",
+                "counter",
+                "Times each model's circuit opened.",
+            )
+            for model, circuit in sorted(circuits.items()):
+                lines.append(
+                    f'repro_circuit_opens_total{{model="{_escape(model)}"}} '
+                    f"{_fmt(circuit.get('opens_total', 0))}"
+                )
+        ladders = selfheal_info.get("ladders") or {}
+        if ladders:
+            head(
+                "repro_brownout_position",
+                "gauge",
+                "Brownout ladder rung per model (0 = full quality).",
+            )
+            for model, ladder in sorted(ladders.items()):
+                lines.append(
+                    f'repro_brownout_position{{model="{_escape(model)}"}} '
+                    f"{_fmt(ladder.get('position', 0))}"
+                )
+        autoscale = selfheal_info.get("autoscale")
+        if autoscale:
+            head(
+                "repro_autoscale_decisions_total",
+                "counter",
+                "Replica scale decisions applied by the autoscaler.",
+            )
+            lines.append(
+                "repro_autoscale_decisions_total "
+                f"{_fmt(autoscale.get('decisions_total', 0))}"
+            )
+            head(
+                "repro_autoscale_flap_freezes_total",
+                "counter",
+                "Flap-suppression freezes entered by the autoscaler.",
+            )
+            lines.append(
+                "repro_autoscale_flap_freezes_total "
+                f"{_fmt(autoscale.get('flap_freezes_total', 0))}"
+            )
+        replicas = selfheal_info.get("replicas") or {}
+        if replicas:
+            head(
+                "repro_model_replicas",
+                "gauge",
+                "Worker replicas currently serving each model.",
+            )
+            for model, count in sorted(replicas.items()):
+                lines.append(
+                    f'repro_model_replicas{{model="{_escape(model)}"}} '
+                    f"{_fmt(count)}"
+                )
 
     if worker_info:
         pool_help = {

@@ -505,6 +505,9 @@ class WorkerRouter:
             ) from exc
         self.workers = workers
         self.replicas = max(1, min(workers, replicas if replicas else 2))
+        #: Per-model replica-count overrides (the autoscaler's lever);
+        #: models absent here use the pool-wide ``replicas`` default.
+        self._replica_overrides: Dict[str, int] = {}
         self.model_names = list(model_names)
         self.threads = threads
         self.num_slots = num_slots
@@ -535,6 +538,9 @@ class WorkerRouter:
         #: deaths.
         self.artifacts: Dict[str, str] = dict(artifacts or {})
         self._lock = threading.Lock()
+        #: Last fully populated stats() entry per worker slot, served
+        #: (tagged ``stale: true``) when the live worker is gone.
+        self._last_per_worker: Dict[int, dict] = {}
         self._handles: List[Optional[_WorkerHandle]] = [None] * workers
         self._restarts = [0] * workers
         self._watchdog_kills = 0
@@ -546,13 +552,57 @@ class WorkerRouter:
         self._started = False
 
     # -- placement ----------------------------------------------------------
+    def replicas_for(self, model: str) -> int:
+        """Effective replica count for one model (override or default)."""
+        with self._lock:
+            return self._replica_overrides.get(model, self.replicas)
+
     def assigned_workers(self, model: str) -> List[int]:
-        """Rendezvous hashing: stable ``replicas``-subset per model."""
+        """Rendezvous hashing: stable per-model worker subset.
+
+        The ranking is a pure function of ``(model, worker)``, so
+        changing a model's replica count only grows or shrinks the
+        *prefix* taken from it: scale-up adds workers without moving any
+        existing replica, scale-down retires exactly the lowest-ranked
+        ones — no traffic on a surviving replica ever re-shuffles.
+        """
         ranked = sorted(
             range(self.workers),
             key=lambda w: hashlib.sha1(f"{model}|{w}".encode()).hexdigest(),
         )
-        return ranked[: self.replicas]
+        return ranked[: self.replicas_for(model)]
+
+    def set_replicas(self, model: str, count: int) -> List[int]:
+        """Resize one model's replica set (the autoscaler's actuator).
+
+        Scale-up broadcasts artifact-backed plan keys to the newly
+        assigned workers *before* the override lands, so the first
+        batch after the resize never waits on a load (spec-named models
+        boot on demand in the worker instead).  Scale-down simply
+        shrinks the rendezvous prefix: retired workers stop receiving
+        new batches but finish what they already hold — nothing
+        in-flight is dropped — and keep the plan warm so a re-expansion
+        is instant.  Returns the new assignment.
+        """
+        count = max(1, min(self.workers, int(count)))
+        before = set(self.assigned_workers(model))
+        ranked = sorted(
+            range(self.workers),
+            key=lambda w: hashlib.sha1(f"{model}|{w}".encode()).hexdigest(),
+        )
+        added = [w for w in ranked[:count] if w not in before]
+        with self._lock:
+            artifact = self.artifacts.get(model)
+        if artifact is not None and added and self._started:
+            # Load *before* the override lands: a worker must never be
+            # routable for a key it cannot serve (versioned keys cannot
+            # compile on demand).  Any refusal aborts the whole resize.
+            for worker_id in added:
+                handle = self._handle_for(worker_id, timeout=60.0)
+                handle.load_model(model, artifact, timeout=60.0)
+        with self._lock:
+            self._replica_overrides[model] = count
+        return self.assigned_workers(model)
 
     def _names_for(self, worker_id: int) -> List[str]:
         return [
@@ -840,14 +890,20 @@ class WorkerRouter:
             watchdog_kills = self._watchdog_kills
             retries = self._retries
             corrupt = self._corrupt_responses
+            overrides = dict(self._replica_overrides)
         per_worker = []
         cache_totals = {"size": 0, "hits": 0, "misses": 0}
         for worker_id, handle in enumerate(handles):
             if handle is None:
-                per_worker.append(
-                    {"worker": worker_id, "alive": False, "respawning": True,
-                     "restarts": restarts[worker_id]}
+                # Mid-respawn: serve the last-known entry (tagged stale)
+                # instead of omitting the worker — a scrape racing a
+                # crash still sees every slot, with honest freshness.
+                entry = dict(self._last_per_worker.get(worker_id, {}))
+                entry.update(
+                    worker=worker_id, alive=False, respawning=True,
+                    stale=True, restarts=restarts[worker_id],
                 )
+                per_worker.append(entry)
                 continue
             if refresh and handle.alive():
                 try:
@@ -855,10 +911,14 @@ class WorkerRouter:
                 except WorkerDied:
                     pass
             stats = handle.last_stats
+            alive = handle.alive()
             entry = {
                 "worker": worker_id,
                 "pid": handle.pid,
-                "alive": handle.alive(),
+                "alive": alive,
+                # A worker that died mid-scrape reports its last-known
+                # counters rather than erroring; ``stale`` marks them.
+                "stale": not alive,
                 "queue_depth": handle.inflight(),
                 "restarts": restarts[worker_id],
                 "shm_bytes": handle.shm_bytes,
@@ -874,11 +934,14 @@ class WorkerRouter:
                     cache_totals[key] += stats["plan_cache"].get(key, 0)
             if "plan_memory" in stats:
                 entry["plan_memory"] = stats["plan_memory"]
+            if alive:
+                self._last_per_worker[worker_id] = dict(entry)
             per_worker.append(entry)
         lookups = cache_totals["hits"] + cache_totals["misses"]
         return {
             "count": self.workers,
             "replicas": self.replicas,
+            "replica_overrides": overrides,
             "worker_restarts": sum(restarts),
             "watchdog_kills": watchdog_kills,
             "retries_total": retries,

@@ -62,7 +62,16 @@ from repro.serve.batcher import (
 )
 from repro.serve.metrics import ServerMetrics
 from repro.serve.prom import PROM_CONTENT_TYPE, render_prometheus, wants_prometheus
+from repro.serve.autoscale import ModelSignals
 from repro.serve.registry import ModelRegistry, ServedModel
+from repro.serve.selfheal import (
+    CIRCUIT_CLOSED,
+    JournalState,
+    SelfHealController,
+    SelfHealPolicy,
+    StateJournal,
+    validate_topology,
+)
 
 _STATUS_TEXT = {
     200: "OK",
@@ -83,11 +92,20 @@ MAX_BODY_BYTES = 32 * 1024 * 1024
 
 
 class _HttpError(Exception):
-    def __init__(self, status: int, message: str, retry_after: Optional[float] = None):
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+        reason: Optional[str] = None,
+    ):
         super().__init__(message)
         self.status = status
         self.message = message
         self.retry_after = retry_after
+        #: Machine-readable refusal class (e.g. ``"circuit_open"``,
+        #: ``"draining"``) — clients branch on this, not on prose.
+        self.reason = reason
 
 
 class _RawResponse:
@@ -141,6 +159,8 @@ class InferenceServer:
         admission: Optional[AdmissionPolicy] = None,
         chaos: Optional[str] = None,
         worker_reply_timeout: float = 120.0,
+        selfheal: Optional[SelfHealPolicy] = None,
+        state_dir: Optional[str] = None,
     ):
         self.registry = registry
         self.policy = policy or BatchPolicy()
@@ -149,6 +169,32 @@ class InferenceServer:
         self.workers = int(workers or 0)
         self.worker_replicas = worker_replicas
         self.worker_health_interval = worker_health_interval
+        # Boot-time topology validation (ISSUE 9 satellite): raise the
+        # typed ServeConfigError here, before any socket or fork.
+        validate_topology(
+            workers=self.workers,
+            worker_replicas=worker_replicas or 0,
+            state_dir=state_dir,
+            selfheal=selfheal,
+            registry=registry,
+        )
+        #: Self-healing control plane (docs/operations.md 'Self-healing
+        #: & autoscaling runbook'): circuit breakers always run when a
+        #: policy is given; the autoscaler and brownout ladder activate
+        #: per the policy's fields.
+        self.selfheal_policy = selfheal
+        self._selfheal: Optional[SelfHealController] = (
+            SelfHealController(selfheal) if selfheal is not None else None
+        )
+        self._selfheal_task: Optional[asyncio.Task] = None
+        #: Crash-consistent decision journal (``--state-dir``).
+        self._journal: Optional[StateJournal] = (
+            StateJournal(state_dir) if state_dir else None
+        )
+        #: What journal replay recovered at boot (surfaced on /models).
+        self.journal_replay: Optional[dict] = None
+        #: model → ladder variant currently serving it (absent = own).
+        self._active_variant: Dict[str, str] = {}
         #: Ingress gate: priority watermarks + per-tenant token buckets
         #: (docs/operations.md 'Overload & incident runbook').
         self.admission = AdmissionController(admission)
@@ -197,6 +243,12 @@ class InferenceServer:
     async def start(self) -> None:
         if self._server is not None:
             return
+        # Journal replay happens before the worker pool forks: deploys
+        # recovered here land in registry.artifact_paths(), so workers
+        # boot straight into the pre-crash artifacts.
+        replay_state: Optional[JournalState] = None
+        if self._journal is not None:
+            replay_state = self._apply_journal_preboot()
         if self.workers > 0 and self._router is None:
             from repro.serve.router import WorkerRouter
 
@@ -238,10 +290,19 @@ class InferenceServer:
             )
             for name in self.registry.names():
                 await self._ensure_batcher(name)
+            if replay_state is not None:
+                # Ladder rungs and replica overrides need live batchers
+                # and a live router; apply them before the socket opens
+                # so the first request already sees the recovered state.
+                await self._apply_journal_postboot(replay_state)
             self._server = await asyncio.start_server(
                 self._handle_connection, self.host, self.port
             )
             self.port = self._server.sockets[0].getsockname()[1]
+            if self._selfheal is not None:
+                self._selfheal_task = asyncio.get_running_loop().create_task(
+                    self._selfheal_loop()
+                )
         except BaseException:
             # A failed bind (or batcher bring-up) must not leak the
             # already-forked worker pool and its shm segments.
@@ -249,6 +310,13 @@ class InferenceServer:
             raise
 
     async def stop(self) -> None:
+        if self._selfheal_task is not None:
+            task, self._selfheal_task = self._selfheal_task, None
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -265,6 +333,8 @@ class InferenceServer:
         if self._router is not None:
             router, self._router = self._router, None
             await asyncio.get_running_loop().run_in_executor(None, router.stop)
+        if self._journal is not None:
+            self._journal.close()
 
     async def drain(self, timeout: float = 30.0) -> bool:
         """Graceful drain (the SIGTERM path): stop intake, let every
@@ -302,21 +372,30 @@ class InferenceServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def _new_batcher(self, name: str, served: ServedModel) -> DynamicBatcher:
+    async def _new_batcher(
+        self,
+        name: str,
+        served: ServedModel,
+        route_key: Optional[str] = None,
+    ) -> DynamicBatcher:
         """Build + start a batcher for one deployment of ``name``.
 
         In worker mode the batcher's plan proxy routes on the served
         deployment's ``worker_key`` (``name#version`` for blue/green
         deploys), so two versions of the same model can execute side by
-        side while the old one drains.
+        side while the old one drains.  ``route_key`` overrides the
+        routing target entirely — the brownout ladder serves ``name``'s
+        traffic through a fallback variant's plans while keeping the
+        model's own metrics stream.
         """
         if self._router is not None:
             from repro.serve.router import WorkerPlanProxy
 
-            plan = WorkerPlanProxy(self._router, served.worker_key or name)
+            key = route_key or served.worker_key or name
+            plan = WorkerPlanProxy(self._router, key)
             # Process workers execute truly in parallel (no GIL), so
             # keep one batch in flight per replica plus one coalescing.
-            max_inflight = self._router.replicas + 1
+            max_inflight = self._router.replicas_for(key) + 1
         else:
             plan = served.plan
             if plan is None:
@@ -357,6 +436,309 @@ class InferenceServer:
             batcher = await self._new_batcher(name, served)
             self._batchers[name] = batcher
         return batcher
+
+    # -- self-healing control plane -----------------------------------------
+    def _journal_append(self, record: dict) -> None:
+        if self._journal is None:
+            return
+        try:
+            self._journal.append(record)
+        except OSError:
+            # A full or read-only state dir must not take serving down
+            # with it — the journal degrades, the data plane does not.
+            pass
+
+    def _route_key_for(self, name: str) -> str:
+        """The worker-pool key currently serving ``name``'s traffic: its
+        active ladder variant's deployment, or its own."""
+        target = self._active_variant.get(name, name)
+        try:
+            served = self.registry.get(target)
+        except KeyError:
+            return target
+        return served.worker_key or target
+
+    def _apply_journal_preboot(self) -> JournalState:
+        """Replay the journal before the worker pool forks.
+
+        Re-installs every journaled deploy into the registry so
+        ``registry.artifact_paths()`` hands the router the pre-crash
+        artifacts — after a ``kill -9`` the restarted server recovers
+        every model at its deployed content hash with zero manual
+        re-deploys.  A deploy whose artifact vanished is dropped from
+        the recovered state (and reported on ``/metrics``), never
+        fatal: the boot flags' models still serve.
+        """
+        from repro.serve.registry import load_artifact_served
+
+        records = self._journal.replay()
+        state = JournalState.from_records(records)
+        restored: List[str] = []
+        skipped: List[str] = []
+        for model, deploy in sorted(state.deploys.items()):
+            artifact = deploy.get("artifact")
+            version = deploy.get("version")
+            try:
+                active = self.registry.get(model)
+            except KeyError:
+                active = None
+            if active is not None and active.version == version:
+                # The boot flags already loaded this exact deployment;
+                # re-installing would re-version it (install() refuses
+                # version collisions) and break content-hash recovery.
+                restored.append(model)
+                continue
+            if not artifact or not os.path.exists(artifact):
+                skipped.append(model)
+                state.deploys.pop(model, None)
+                continue
+            try:
+                served = load_artifact_served(artifact, lazy=self.workers > 0)
+            except Exception:
+                skipped.append(model)
+                state.deploys.pop(model, None)
+                continue
+            self.registry.install(served)
+            restored.append(model)
+        self.journal_replay = {
+            "records": len(records),
+            "torn_records": self._journal.torn_records,
+            "deploys_restored": restored,
+            "deploys_skipped": skipped,
+            "replicas": dict(state.replicas),
+            "ladders": {m: dict(r) for m, r in state.ladders.items()},
+        }
+        return state
+
+    async def _apply_journal_postboot(self, state: JournalState) -> None:
+        """Re-apply ladder rungs and replica counts once batchers and the
+        worker pool exist, then compact the journal to the state that
+        actually took effect (replaying a replay stays O(models)).
+
+        Ladders first: a journaled replica count applies to whatever
+        variant is serving the model, so the rung must be restored
+        before the scale."""
+        applied = JournalState(deploys=dict(state.deploys))
+        for model, rung in sorted(state.ladders.items()):
+            ladder = self._selfheal.ladder(model) if self._selfheal else None
+            if ladder is None:
+                continue
+            try:
+                position = int(rung.get("position", 0))
+            except (TypeError, ValueError):
+                continue
+            if position <= 0:
+                continue
+            try:
+                await self._activate_variant(
+                    model, position, reason="journal replay", journal=False
+                )
+            except (KeyError, _HttpError):
+                continue
+            applied.ladders[model] = {
+                "position": ladder.position,
+                "variant": ladder.variant,
+            }
+        if self._router is not None:
+            for model, count in sorted(state.replicas.items()):
+                try:
+                    await self.set_model_replicas(
+                        model, count, reason="journal replay", journal=False
+                    )
+                except (KeyError, _HttpError):
+                    continue
+                applied.replicas[model] = self._router.replicas_for(
+                    self._route_key_for(model)
+                )
+        if self._journal is not None:
+            self._journal.compact(applied.to_records())
+
+    async def set_model_replicas(
+        self,
+        name: str,
+        count: int,
+        reason: str = "autoscale",
+        journal: bool = True,
+    ) -> dict:
+        """Resize one model's worker-replica set without dropping a
+        single in-flight batch (worker mode only).
+
+        Rendezvous placement makes replica sets prefix-stable: growing
+        loads the plan on the newly ranked workers *before* they become
+        routable; shrinking just stops routing to the tail — batches
+        already dispatched to a retired replica still complete.
+        """
+        if self._router is None:
+            raise _HttpError(
+                409, "replica scaling requires worker mode (--workers N)"
+            )
+        route_key = self._route_key_for(name)
+        before = self._router.replicas_for(route_key)
+        assigned = await asyncio.get_running_loop().run_in_executor(
+            self._executor,
+            lambda: self._router.set_replicas(route_key, count),
+        )
+        after = self._router.replicas_for(route_key)
+        batcher = self._batchers.get(name)
+        if batcher is not None:
+            # Admission tracks capacity: one batch in flight per
+            # replica plus one coalescing, resized live.
+            batcher.resize_inflight(after + 1)
+        event = {
+            "action": "scale",
+            "model": name,
+            "route_key": route_key,
+            "from_replicas": before,
+            "to_replicas": after,
+            "assigned_workers": assigned,
+            "reason": reason,
+        }
+        self._record_event(event)
+        if journal:
+            self._journal_append(
+                {"event": "scale", "model": name, "replicas": after}
+            )
+        return event
+
+    async def _activate_variant(
+        self,
+        name: str,
+        position: int,
+        reason: str = "",
+        journal: bool = True,
+    ) -> dict:
+        """Serve ``name``'s traffic from ladder rung ``position`` — the
+        same atomic batcher swap as a blue/green cutover, so no accepted
+        request is dropped while quality steps down (or back up)."""
+        if self._selfheal is None:
+            raise _HttpError(409, "no self-heal policy configured")
+        ladder = self._selfheal.ladder(name)
+        if ladder is None:
+            raise _HttpError(409, f"model {name!r} has no brownout ladder")
+        ladder.set_position(position)
+        variant = ladder.variant
+        vserved = self.registry.get(variant)  # presence validated at boot
+        prev_variant = self._active_variant.get(name, name)
+        old_batcher = self._batchers.get(name)
+        self._batchers[name] = await self._new_batcher(
+            name, vserved, route_key=vserved.worker_key or variant
+        )
+        drained = True
+        if old_batcher is not None:
+            drained = await old_batcher.drain_and_stop()
+        if variant == name:
+            self._active_variant.pop(name, None)
+        else:
+            self._active_variant[name] = variant
+        event = {
+            "action": "brownout",
+            "model": name,
+            "position": ladder.position,
+            "variant": variant,
+            "previous_variant": prev_variant,
+            "drained": drained,
+            "reason": reason,
+        }
+        self._record_event(event)
+        if journal:
+            self._journal_append(
+                {
+                    "event": "ladder",
+                    "model": name,
+                    "position": ladder.position,
+                    "variant": variant,
+                }
+            )
+        return event
+
+    def _collect_signals(self) -> Dict[str, ModelSignals]:
+        """One control tick's observations, straight off the live
+        batchers/metrics — cumulative counters; the controller diffs."""
+        fallback_variants = set()
+        for ladder in self._selfheal.ladders().values():
+            fallback_variants.update(ladder.chain[1:])
+        signals: Dict[str, ModelSignals] = {}
+        for name in self.registry.names():
+            if name in fallback_variants:
+                # Fallback rungs are scaled/degraded through their
+                # parent model, never independently.
+                continue
+            metrics = self.metrics.for_model(name)
+            batcher = self._batchers.get(name)
+            replicas = 1
+            if self._router is not None:
+                replicas = self._router.replicas_for(self._route_key_for(name))
+            signals[name] = ModelSignals(
+                queue_fill=batcher.queue_fill() if batcher is not None else 0.0,
+                shed_total=metrics.shed_total,
+                deadline_exceeded_total=metrics.deadline_exceeded_total,
+                errors_total=metrics.errors_total,
+                replicas=replicas,
+            )
+        return signals
+
+    async def _selfheal_tick(self) -> List[dict]:
+        """Collect signals, tick the controller, apply its actions."""
+        actions = self._selfheal.tick(self._collect_signals())
+        applied = []
+        for action in actions:
+            try:
+                if action.kind == "probe":
+                    await self._probe_circuit(action.model)
+                elif action.kind == "scale" and self._router is not None:
+                    applied.append(
+                        await self.set_model_replicas(
+                            action.model, action.value, reason=action.reason
+                        )
+                    )
+                elif action.kind == "ladder":
+                    applied.append(
+                        await self._activate_variant(
+                            action.model, action.value, reason=action.reason
+                        )
+                    )
+            except _HttpError:
+                continue
+        return applied
+
+    async def _selfheal_loop(self) -> None:
+        """The healer itself: tick every ``interval_s`` until cancelled.
+        It must never kill the server it heals — every tick failure is
+        swallowed (the next tick retries from fresh signals)."""
+        interval = max(0.01, self._selfheal.policy.interval_s)
+        while True:
+            await asyncio.sleep(interval)
+            if self._draining:
+                continue
+            try:
+                await self._selfheal_tick()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                continue
+
+    async def _probe_circuit(self, name: str) -> None:
+        """Half-open probe: one operator-invisible sample through the
+        model (its active ladder variant).  Pass → circuit closes and
+        clients flow again; fail → re-open for another hold-off."""
+        breaker = self._selfheal.circuit(name)
+        if not breaker.ready_for_probe():
+            return
+        breaker.begin_probe()
+        target = self._active_variant.get(name, name)
+        try:
+            served = self.registry.get(target)
+            await self._probe_served(target, served)
+        except Exception:
+            breaker.probe_result(False)
+            self._record_event(
+                {"action": "circuit_probe", "model": name, "ok": False}
+            )
+            return
+        breaker.probe_result(True)
+        self._record_event(
+            {"action": "circuit_probe", "model": name, "ok": True}
+        )
 
     # -- blue/green deploys -------------------------------------------------
     def _record_event(self, event: dict) -> None:
@@ -480,6 +862,17 @@ class InferenceServer:
             "watch_s": watch_s if watching else None,
         }
         self._record_event(event)
+        if served.artifact:
+            # Journal only artifact-backed deploys: they are the ones a
+            # restarted process can re-install from disk.
+            self._journal_append(
+                {
+                    "event": "deploy",
+                    "model": name,
+                    "artifact": served.artifact,
+                    "version": served.version,
+                }
+            )
         return event
 
     async def rollback_model(self, name: str, reason: str = "requested") -> dict:
@@ -515,6 +908,19 @@ class InferenceServer:
             "drained": drained,
         }
         self._record_event(event)
+        if previous.artifact:
+            self._journal_append(
+                {
+                    "event": "deploy",
+                    "model": name,
+                    "artifact": previous.artifact,
+                    "version": previous.version,
+                }
+            )
+        else:
+            # Rolled back to an in-process (non-artifact) deployment:
+            # boot flags alone reproduce it, so clear the journal entry.
+            self._journal_append({"event": "remove", "model": name})
         return event
 
     async def _health_watch(
@@ -600,11 +1006,17 @@ class InferenceServer:
                         {"error": exc.message, "status": exc.status},
                         exc.retry_after,
                     )
+                    if exc.reason is not None:
+                        payload["reason"] = exc.reason
                 # A draining server closes every connection after its
                 # in-flight response: clients reconnect, see the refusal,
                 # and back off to another replica.
                 close = close or self._draining
                 extra = [f"X-Request-Id: {request_id}"]
+                if isinstance(payload, dict) and "served_variant" in payload:
+                    extra.append(
+                        f"X-Served-Variant: {payload['served_variant']}"
+                    )
                 if isinstance(payload, _RawResponse):
                     await self._write_response(
                         writer, status, payload.body, payload.content_type,
@@ -712,6 +1124,18 @@ class InferenceServer:
                 reasons.append("shedding")
             if self._router is not None and self._router.respawning():
                 reasons.append("worker respawning")
+            if self._selfheal is not None:
+                heal = self._selfheal.snapshot()
+                for model, circuit in sorted(heal["circuits"].items()):
+                    if circuit["state"] != CIRCUIT_CLOSED:
+                        reasons.append(
+                            f"circuit {circuit['state']}: {model}"
+                        )
+                for model, ladder in sorted(heal["ladders"].items()):
+                    if ladder["position"] > 0:
+                        reasons.append(
+                            f"brownout: {model} serving {ladder['variant']}"
+                        )
             return {
                 "status": "degraded" if reasons else "ok",
                 "reasons": reasons,
@@ -723,6 +1147,12 @@ class InferenceServer:
                 "models": self.registry.describe(),
                 "policy": self.policy.to_dict(),
                 "deploy_events": list(self.deploy_events),
+                "selfheal": (
+                    self.selfheal_policy.to_dict()
+                    if self.selfheal_policy is not None
+                    else None
+                ),
+                "journal_replay": self.journal_replay,
             }
         if path == "/trace":
             return self._trace_endpoint(query)
@@ -740,6 +1170,7 @@ class InferenceServer:
                 text = render_prometheus(
                     self.metrics, trace_info=self._trace_info(),
                     worker_info=worker_info,
+                    selfheal_info=self._selfheal_info(),
                 )
                 return _RawResponse(text.encode("utf-8"), PROM_CONTENT_TYPE)
             snap = self.metrics.snapshot(plan_cache_stats=self.cache.stats())
@@ -750,6 +1181,13 @@ class InferenceServer:
             snap["trace"] = self._trace_info()
             snap["admission"] = self.admission.snapshot()
             snap["draining"] = self._draining
+            selfheal_info = self._selfheal_info()
+            if selfheal_info is not None:
+                snap["selfheal"] = selfheal_info
+            if self._journal is not None:
+                snap["journal"] = self._journal.snapshot()
+            if self.journal_replay is not None:
+                snap["journal_replay"] = self.journal_replay
             if self._router is not None:
                 # Per-worker queue depth / restarts / shm bytes, plus the
                 # workers' own plan-cache and arena stats (each worker
@@ -762,6 +1200,21 @@ class InferenceServer:
                 )
             return snap
         raise _HttpError(404, f"no route {path!r}")
+
+    def _selfheal_info(self) -> Optional[dict]:
+        """The controller snapshot plus live replica counts and the
+        active ladder variants — what /metrics (JSON and Prometheus)
+        exposes for the runbook's dashboards."""
+        if self._selfheal is None:
+            return None
+        info = self._selfheal.snapshot()
+        info["active_variants"] = dict(self._active_variant)
+        if self._router is not None:
+            info["replicas"] = {
+                name: self._router.replicas_for(self._route_key_for(name))
+                for name in self.registry.names()
+            }
+        return info
 
     # -- tracing ------------------------------------------------------------
     def _trace_info(self) -> dict:
@@ -975,6 +1428,20 @@ class InferenceServer:
             served = self.registry.get(name)
         except KeyError as exc:
             raise _HttpError(404, str(exc))
+        if self._selfheal is not None:
+            # Circuit gate: an open (or half-open) circuit fails fast
+            # before any decode/queue work — clients see a typed 503
+            # with Retry-After and never pile onto a broken model.
+            allowed, retry_after = self._selfheal.allow(name)
+            if not allowed:
+                raise _HttpError(
+                    503,
+                    f"model {name!r}: circuit open, failing fast "
+                    "(docs/operations.md 'Self-healing & autoscaling "
+                    "runbook')",
+                    retry_after=retry_after,
+                    reason="circuit_open",
+                )
         deadline_ms = request.get("deadline_ms")
         if deadline_ms is not None and not isinstance(deadline_ms, (int, float)):
             raise _HttpError(400, "'deadline_ms' must be a number")
@@ -1072,6 +1539,11 @@ class InferenceServer:
                 raise _HttpError(504, str(exc))
             except ExecutionFailed as exc:
                 self._cancel_all(tasks)
+                if self._selfheal is not None:
+                    # Deterministic model failure — the only signal that
+                    # trips the circuit (sheds/deadlines are load, not
+                    # health).
+                    self._selfheal.record_error(name)
                 raise _HttpError(500, str(exc))
         else:
             raise _HttpError(
@@ -1079,6 +1551,8 @@ class InferenceServer:
                 f"model {name!r}: deployment cutover in progress",
                 retry_after=0.1,
             )
+        if self._selfheal is not None:
+            self._selfheal.record_success(name)
 
         if single:
             result = results[0]
@@ -1107,6 +1581,10 @@ class InferenceServer:
         if encoding == "b64":
             response["encoding"] = "b64"
             response["output_shape"] = list(results[0].output[0].shape)
+        if self._selfheal is not None and self._selfheal.ladder(name) is not None:
+            # Brownout transparency: laddered models always say which
+            # rung answered (lifted into the X-Served-Variant header).
+            response["served_variant"] = self._active_variant.get(name, name)
         if request_id is not None:
             response["request_id"] = request_id
         return response
@@ -1194,12 +1672,17 @@ def start_in_background(
     admission: Optional[AdmissionPolicy] = None,
     chaos: Optional[str] = None,
     worker_reply_timeout: float = 120.0,
+    selfheal: Optional[SelfHealPolicy] = None,
+    state_dir: Optional[str] = None,
 ) -> ServerHandle:
     """Start an :class:`InferenceServer` on a daemon thread (ephemeral port
     by default) and block until it accepts connections.
 
     ``workers=0`` serves in-process (the default); ``workers=N`` forks
     ``N`` sharded worker processes (see :class:`InferenceServer`).
+    ``selfheal`` enables the self-healing control plane and ``state_dir``
+    its crash-consistent journal (docs/operations.md 'Self-healing &
+    autoscaling runbook').
     """
     server = InferenceServer(
         registry, policy=policy, host=host, port=port, workers=workers,
@@ -1208,5 +1691,6 @@ def start_in_background(
         worker_health_interval=worker_health_interval,
         trace_rate=trace_rate, admission=admission, chaos=chaos,
         worker_reply_timeout=worker_reply_timeout,
+        selfheal=selfheal, state_dir=state_dir,
     )
     return ServerHandle(server).start(timeout=300.0)

@@ -165,7 +165,10 @@ def worker_main(
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
     injector = None
+    error_storm_until = 0.0
     if chaos:
+        import threading
+
         from repro.chaos import ChaosInjector, parse_chaos_spec
 
         injector = ChaosInjector(
@@ -174,6 +177,16 @@ def worker_main(
         )
         if injector.roll("worker_slow_start"):
             time.sleep(injector.duration_s("worker_slow_start"))
+        if injector.roll("crash_storm"):
+            # Crash *wave*: this generation boots healthy, serves for
+            # the window, then dies.  Each respawned generation re-rolls
+            # (fresh scope), so a high probability sustains rolling
+            # crashes across the pool — the autoscaler/journal drill.
+            timer = threading.Timer(
+                injector.duration_s("crash_storm"), os._exit, args=(23,)
+            )
+            timer.daemon = True
+            timer.start()
 
     from repro.engine.artifact import load_plan
     from repro.engine.cache import PlanCache
@@ -269,6 +282,24 @@ def worker_main(
             if injector.roll("worker_hang"):
                 while True:  # livelock: alive, answering nothing —
                     time.sleep(60)  # only the watchdog gets us out
+            # error_storm: a *deterministic* model-error burst — the
+            # worker answers with a typed ("err", ...) (→ HTTP 500,
+            # never retried, worker stays alive) for the whole window.
+            # Consecutive 500s are exactly what trips the circuit
+            # breaker (repro.serve.selfheal.CircuitBreaker).
+            if time.monotonic() < error_storm_until or injector.roll(
+                "error_storm"
+            ):
+                if time.monotonic() >= error_storm_until:
+                    error_storm_until = (
+                        time.monotonic() + injector.duration_s("error_storm")
+                    )
+                stats["errors_total"] += 1
+                conn.send(
+                    ("err", req_id, slot,
+                     "chaos error_storm: injected deterministic model error")
+                )
+                continue
         try:
             plan = served.get(model)
             if plan is None:

@@ -23,6 +23,8 @@ DOCUMENTED_FLAGS = {
         "--executor-threads", "--threads", "--max-batch-size",
         "--max-wait-ms", "--max-queue", "--deadline-ms", "--trace-rate",
         "--tenant-rate", "--tenant-burst", "--chaos", "--drain-trace-out",
+        "--state-dir", "--ladder", "--autoscale", "--autoscale-min",
+        "--autoscale-max", "--circuit-threshold",
     ],
     "bench": ["--quick", "--seed", "--out", "--threads"],
     "loadgen": [

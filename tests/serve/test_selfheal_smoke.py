@@ -1,0 +1,63 @@
+"""kill -9 crash-recovery smoke test (ISSUE 9 acceptance drill).
+
+Reuses the benchmark's :func:`_crash_recovery_drill` so the test and the
+``selfheal_goodput`` BENCH entry exercise the *same* code path: boot the
+real CLI server with ``--state-dir`` and worker processes, hot-deploy a
+second artifact over HTTP (so it exists only in the journal), SIGKILL
+the whole process group mid-flight, restart with the original flags, and
+require every model back at its pre-kill content-hash version with
+bit-identical predictions.
+
+Subprocess boots compile a LeNet plan per leg, so this is marked
+``slow``-adjacent but stays in tier 1: LeNet keeps it to a few seconds.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.engine.artifact import save_plan
+from repro.engine.cache import PlanCache
+from repro.serve.loadgen import _crash_recovery_drill
+from repro.serve.registry import ModelSpec, compile_served
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """Two artifacts of the same model with different content hashes."""
+    tmp = tmp_path_factory.mktemp("selfheal-smoke")
+    spec = ModelSpec.parse("lenet-F2-fp32@reference")
+    paths = []
+    for tag, seed in (("v1", spec.seed), ("v2", spec.seed + 1)):
+        varied = dataclasses.replace(spec, seed=seed)
+        served = compile_served(varied, cache=PlanCache())
+        path = str(tmp / f"lenet-{tag}.rpln")
+        save_plan(
+            served.plan, path, input_shape=(1,) + spec.sample_shape,
+            extra={"model": spec.name, "seed": seed},
+        )
+        paths.append(path)
+    return spec.name, paths[0], paths[1]
+
+
+def test_kill9_restart_recovers_journaled_deploy(artifacts, tmp_path):
+    name, artifact_v1, artifact_v2 = artifacts
+    sample = np.zeros((1, 1, 28, 28), dtype=np.float32)
+    entry = _crash_recovery_drill(
+        artifact_v1,
+        artifact_v2,
+        name,
+        str(tmp_path / "state"),
+        workers=1,
+        sample=sample,
+        verbose=False,
+    )
+    assert entry["versions_match"], entry
+    assert entry["response_identical"], entry
+    assert entry["recovered"], entry
+    # The hot deploy lived only in the journal; the restart must have
+    # replayed it rather than re-serving the boot-flag artifact.
+    assert name in entry["deploys_restored"]
+    assert entry["models_after"][name] == entry["deployed_version"]
+    assert entry["journal_records_replayed"] >= 1
