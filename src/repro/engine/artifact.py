@@ -71,7 +71,12 @@ MAGIC = b"REPROPLN"
 #: Current artifact format version.  The loader rejects any other value
 #: (forward *and* backward: a version bump means the layout changed) —
 #: see the compatibility policy in ``docs/artifact-format.md``.
-FORMAT_VERSION = 1
+#: Version 2: plans may carry transform-domain residency edges
+#: (``resident_out``/``resident_src`` shared dicts) and per-tap scale
+#: grids (``tap_fv``/``tap_fh``/``qmax_v``/``qmax_h`` in the ``i8``
+#: block); version-1 readers would silently run resident steps as plain
+#: round trips, so the version gate rejects rather than degrades.
+FORMAT_VERSION = 2
 
 #: Fixed header: magic, format version, header size, total file size,
 #: manifest offset, manifest length, SHA-256 of bytes [header_size, file

@@ -343,6 +343,8 @@ class CompiledPlan:
                     and step.op in _CHUNKABLE_OPS
                     and all(a.shape[0] == n for a in args)
                     and not self._has_cold_observer(step)
+                    and "resident_out" not in step.attrs
+                    and "resident_src" not in step.attrs
                 ):
                     in_bytes = sum(a.nbytes for a in args)
                     if (
@@ -421,6 +423,8 @@ class CompiledPlan:
                     and step.op in _CHUNKABLE_OPS
                     and all(a.shape[0] == n for a in args)
                     and not self._has_cold_observer(step)
+                    and "resident_out" not in step.attrs
+                    and "resident_src" not in step.attrs
                 ):
                     in_bytes = sum(a.nbytes for a in args)
                     if (
@@ -584,6 +588,34 @@ class CompiledPlan:
             ),
         }
 
+    def residency_report(self) -> List[Dict[str, Any]]:
+        """Transform-domain residency edges wired by the compile pass.
+
+        One entry per producer→consumer pair that exchanges a ``(t,t)``
+        tap tensor instead of a spatial register round trip."""
+        edges = []
+        by_ro = {}
+        for i, step in enumerate(self.steps):
+            ro = step.attrs.get("resident_out")
+            if ro is not None:
+                by_ro[id(ro)] = (i, step)
+        for j, step in enumerate(self.steps):
+            rin = step.attrs.get("resident_src")
+            if rin is None or id(rin) not in by_ro:
+                continue
+            i, producer = by_ro[id(rin)]
+            edges.append(
+                {
+                    "producer": i,
+                    "consumer": j,
+                    "producer_label": producer.label,
+                    "consumer_label": step.label,
+                    "tile": f"F({rin['m']},{rin['r']})",
+                    "per_tap": bool(rin.get("per_tap")),
+                }
+            )
+        return edges
+
     def memory_report(self, batch: Optional[int] = None) -> Dict[str, Any]:
         """The memory planner's static layout plus runtime arena counters.
 
@@ -642,6 +674,12 @@ class CompiledPlan:
             label = f" [{step.label}]" if step.label else ""
             ins = ",".join(f"r{r}" for r in step.inputs)
             lines.append(f"  {i:3d}: {step.op}{tag}{label} ({ins}) -> r{step.output}")
+        for edge in self.residency_report():
+            tap = " per-tap int8" if edge["per_tap"] else ""
+            lines.append(
+                f"  residency: step {edge['producer']} -> {edge['consumer']} "
+                f"stays in the {edge['tile']} transform domain{tap}"
+            )
         with self._mem_lock:
             pools = [p for p in self._mem_pools.values() if p is not None]
         for pool in pools:

@@ -19,6 +19,8 @@ docs/operations.md ("Overload & incident runbook").
 from __future__ import annotations
 
 import base64
+import datetime
+import email.utils
 import http.client
 import json
 import random
@@ -122,16 +124,33 @@ class RetryPolicy:
         return raw * (1.0 - self.jitter * rng.random())
 
 
-def _parse_retry_after(header: Optional[str]) -> Optional[float]:
-    """``Retry-After`` seconds as a float, or None (HTTP-date forms and
-    garbage are ignored — this server only emits delta-seconds)."""
+def _parse_retry_after(
+    header: Optional[str], now: Optional[float] = None
+) -> Optional[float]:
+    """``Retry-After`` seconds as a float, or None for garbage.
+
+    RFC 9110 allows both delta-seconds and an HTTP-date; proxies in
+    front of this server rewrite to the date form, so both are parsed.
+    A date is converted to a delay against ``now`` (seconds since the
+    epoch; defaults to the wall clock — injectable for tests), and
+    negative values — past dates, negative deltas — clamp to 0 ("retry
+    immediately") instead of leaking a negative sleep into the policy.
+    """
     if header is None:
         return None
     try:
         value = float(header)
     except ValueError:
-        return None
-    return value if value >= 0 else None
+        try:
+            when = email.utils.parsedate_to_datetime(header)
+        except (TypeError, ValueError):
+            return None
+        if when is None:
+            return None
+        if when.tzinfo is None:  # RFC 5322 parse of a legacy date form
+            when = when.replace(tzinfo=datetime.timezone.utc)
+        value = when.timestamp() - (time.time() if now is None else now)
+    return max(value, 0.0)
 
 
 class ServeClient:

@@ -160,6 +160,15 @@ def check_model(seed: int, threads: int = 2) -> dict:
     fast_plan = compile_model(gm.model, backend="fast")
     fast = fast_plan.run(x)
     _assert_fast_tolerance(gm, fast, expected, "fast backend out of tolerance")
+    # Transform-domain residency on the float path is pure copy elision:
+    # identical op order, identical layouts — so on *or* off must be
+    # bitwise identical (on quantized models the pass declines and the
+    # two plans are simply the same).
+    report["residency_edges"] = len(fast_plan.residency_report())
+    np.testing.assert_array_equal(
+        compile_model(gm.model, backend="fast", residency=False).run(x), fast,
+        err_msg=_msg(gm, "fast residency-on vs residency-off must be bitwise"),
+    )
     fast_plan.chunk_bytes = TINY_CHUNK
     _assert_fast_tolerance(
         gm, fast_plan.run(x, threads=threads), expected,
@@ -228,6 +237,20 @@ def check_model(seed: int, threads: int = 2) -> dict:
         )
         report["native_int8_steps"] = int8_plan.int8_report()["native_int8_steps"]
         report["float_fallback_gemms"] = len(float_gemms)
+        # Residency on int8 switches eligible pairs to per-tap grids, so
+        # on-vs-off outputs legitimately differ; the contract is that
+        # *each* configuration is bit-identical to the oracle compiled
+        # the same way (the off leg is only non-redundant when the pass
+        # actually wired an edge).
+        int8_edges = int8_plan.residency_report()
+        report["int8_residency_edges"] = len(int8_edges)
+        if int8_edges:
+            off_plan = compile_model(gm.model, backend="int8", residency=False)
+            np.testing.assert_array_equal(
+                off_plan.run(x), int8_oracle_output(gm.model, x, residency=False),
+                err_msg=_msg(gm, "residency-off int8 plan not bit-identical "
+                                 "to its int64 oracle"),
+            )
         audit = winograd_stem_flip_report(int8_plan, x)
         if audit is not None:
             assert audit["unjustified"] == 0, _msg(

@@ -112,6 +112,14 @@ def generate_model(seed: int) -> GeneratedModel:
     has_winograd = False
     layer_index = 0
 
+    # Every fifth seed gets a *chained* stride-1 Winograd stem — two
+    # back-to-back Winograd convs on a non-square input — the exact
+    # shape the compiler's transform-domain residency pass fuses.  The
+    # chained flag derives from the seed (not an rng draw) so the other
+    # seeds' models are untouched; pad of the second conv alternates so
+    # the corpus covers both the aligned (pad=0) and padded tap paths.
+    chained = seed % 5 == 3
+
     # -- stem: one conv straight off the input ------------------------------
     # Half the corpus gets a Winograd stem (quantized where the precision
     # says so) because that is the configuration the stage-level
@@ -121,6 +129,9 @@ def generate_model(seed: int) -> GeneratedModel:
     else:
         stem_alg = "im2row"
     stem_r = 5 if (stem_alg != "im2row" and rng.random() < 0.3) else 3
+    if chained:
+        stem_alg = "F4" if (seed // 5) % 2 == 0 else "F2"
+        stem_r = 3
     stem = _spec(rng, qcfg, stem_alg).build(
         in_channels, channels, kernel_size=stem_r, rng=rng
     )
@@ -130,6 +141,19 @@ def generate_model(seed: int) -> GeneratedModel:
     parts.append(ReLU())
     notes.append(f"stem:{stem_alg}r{stem_r}x{in_channels}->{channels}")
     layer_index += 1
+
+    if chained:
+        pad2 = (seed // 5) % 2
+        alg2 = "F2" if stem_alg == "F4" else "F4"
+        parts.append(
+            _spec(rng, qcfg, alg2).build(
+                channels, channels, kernel_size=3, padding=pad2, rng=rng
+            )
+        )
+        parts.append(ReLU())
+        notes.append(f"chain:{alg2}r3p{pad2}")
+        layer_index += 1
+        size += pad2 * 2 - 2  # second conv shrinks H/W unless padded
 
     # -- body: 2..4 randomly chosen feature stages --------------------------
     for _ in range(int(rng.integers(2, 5))):
@@ -217,7 +241,10 @@ def generate_model(seed: int) -> GeneratedModel:
 
     # -- head ----------------------------------------------------------------
     classes = int(rng.choice((5, 10)))
-    if rng.random() < 0.7 or channels * size * size > 512:
+    # Chained-stem models run on a non-square input (W = H + 4), so the
+    # flatten head's feature count (computed from the square ``size``)
+    # would be wrong — they always take the global-average-pool head.
+    if rng.random() < 0.7 or channels * size * size > 512 or chained:
         parts.append(GlobalAvgPool2d())
         in_features = channels
         notes.append("gap")
@@ -235,11 +262,13 @@ def generate_model(seed: int) -> GeneratedModel:
 
     model = Sequential(*parts)
     model.eval()
+    if chained:
+        notes.append("nonsquare")
     return GeneratedModel(
         seed=seed,
         description="|".join(notes),
         model=model,
-        input_shape=(2, in_channels, input_size, input_size),
+        input_shape=(2, in_channels, input_size, input_size + 4 if chained else input_size),
         precision=precision,
         quantized=quantized,
         has_winograd=has_winograd,

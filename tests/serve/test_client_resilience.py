@@ -300,10 +300,30 @@ class TestPolicyMaths:
             (None, None),
             ("1.5", 1.5),
             ("0", 0.0),
-            ("-2", None),
-            ("Wed, 21 Oct 2026 07:28:00 GMT", None),
+            ("-2", 0.0),  # negative delta clamps to "retry immediately"
             ("soon", None),
+            ("", None),
         ],
     )
     def test_parse_retry_after(self, header, expected):
         assert _parse_retry_after(header) == expected
+
+    def test_parse_retry_after_http_date(self):
+        # RFC 9110 HTTP-date form, parsed against an injected clock: the
+        # header instant is 2026-10-21 07:28:00 UTC == 1792567680.
+        when = 1792567680.0
+        header = "Wed, 21 Oct 2026 07:28:00 GMT"
+        assert _parse_retry_after(header, now=when - 30.0) == pytest.approx(30.0)
+        # a date in the past clamps to 0, never a negative sleep
+        assert _parse_retry_after(header, now=when + 600.0) == 0.0
+        # legacy asctime form (no timezone) is treated as UTC per RFC 9110
+        assert _parse_retry_after(
+            "Wed Oct 21 07:28:00 2026", now=when - 5.0
+        ) == pytest.approx(5.0)
+
+    def test_parse_retry_after_uses_wall_clock_by_default(self):
+        import email.utils as eut
+
+        header = eut.formatdate(time.time() + 42.0, usegmt=True)
+        value = _parse_retry_after(header)
+        assert value is not None and 40.0 <= value <= 43.0
